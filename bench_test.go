@@ -1,0 +1,403 @@
+// Package gem holds the repository-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation, plus ablation
+// benches for the design choices DESIGN.md §5 calls out. Each benchmark
+// reports wall-clock time per experiment and, where meaningful, the headline
+// quality metric via b.ReportMetric (shown as a custom unit in -benchmem
+// output), so bench_output.txt documents both runtime and reproduced scores.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package gem
+
+import (
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/baselines"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/eval"
+	"github.com/gem-embeddings/gem/internal/experiments"
+	"github.com/gem-embeddings/gem/internal/gmm"
+	"github.com/gem-embeddings/gem/internal/hungarian"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// benchOpts is the experiment configuration used by the table/figure
+// benches: large enough that every reported trend is stable, small enough
+// that the full suite runs in minutes.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Seed:           1,
+		Scale:          0.08,
+		Components:     50,
+		Restarts:       2,
+		SubsampleStack: 6000,
+		HeaderDim:      128,
+	}
+}
+
+// BenchmarkTable1DatasetStats regenerates the dataset-statistics table.
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2NumericOnly regenerates the numeric-only comparison and
+// reports Gem's mean average precision across the four corpora plus its mean
+// margin over the strongest baseline.
+func BenchmarkTable2NumericOnly(b *testing.B) {
+	var gemMean, margin float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gemMean, margin = 0, 0
+		for _, ds := range res.Datasets {
+			gem := res.Scores["Gem (D+S)"][ds]
+			gemMean += gem
+			bestBaseline := 0.0
+			for _, m := range res.Methods {
+				if m == "Gem (D+S)" {
+					continue
+				}
+				if s := res.Scores[m][ds]; s > bestBaseline {
+					bestBaseline = s
+				}
+			}
+			margin += gem - bestBaseline
+		}
+		gemMean /= float64(len(res.Datasets))
+		margin /= float64(len(res.Datasets))
+	}
+	b.ReportMetric(gemMean, "gem-precision")
+	b.ReportMetric(margin, "margin-vs-best-baseline")
+}
+
+// BenchmarkTable3HeadersValues regenerates the headers+values comparison and
+// reports the concatenation composition's mean precision.
+func BenchmarkTable3HeadersValues(b *testing.B) {
+	var concatMean float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		concatMean = 0
+		for _, ds := range res.Datasets {
+			concatMean += res.Scores["Gem D+S+C (concatenation)"][ds]
+		}
+		concatMean /= float64(len(res.Datasets))
+	}
+	b.ReportMetric(concatMean, "concat-precision")
+}
+
+// BenchmarkTable4Clustering regenerates the deep-clustering comparison and
+// reports Gem/TableDC headers+values ACC averaged over GDS and WDC. Runs at
+// a reduced scale: deep clustering dominates suite runtime.
+func BenchmarkTable4Clustering(b *testing.B) {
+	opts := benchOpts()
+	opts.Scale = 0.05
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = 0
+		for _, ds := range res.Datasets {
+			acc += res.Cells["Gem"][ds]["TableDC/Headers + Values"].ACC
+		}
+		acc /= float64(len(res.Datasets))
+	}
+	b.ReportMetric(acc, "gem-tabledc-acc")
+}
+
+// BenchmarkFigure3Ablation regenerates the feature ablation and reports the
+// D+C+S precision averaged over both corpora.
+func BenchmarkFigure3Ablation(b *testing.B) {
+	var full float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = 0
+		n := 0
+		for _, scores := range res.Scores {
+			full += scores["D+C+S"]
+			n++
+		}
+		full /= float64(n)
+	}
+	b.ReportMetric(full, "dcs-precision")
+}
+
+// BenchmarkFigure4Components regenerates the component sweep on a reduced
+// grid and reports the precision spread (max-min) across component counts —
+// the paper's claim is that this spread is small.
+func BenchmarkFigure4Components(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(benchOpts(), []int{10, 50, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = 0
+		for _, scores := range res.Scores {
+			lo, hi := 2.0, -1.0
+			for _, m := range res.Components {
+				if scores[m] < lo {
+					lo = scores[m]
+				}
+				if scores[m] > hi {
+					hi = scores[m]
+				}
+			}
+			if hi-lo > spread {
+				spread = hi - lo
+			}
+		}
+	}
+	b.ReportMetric(spread, "max-precision-spread")
+}
+
+// BenchmarkFigure5Scalability regenerates the runtime sweep (one repetition
+// per point inside the bench loop) and reports the ratio of the KS
+// statistic's runtime to Gem's at the largest size — the paper's Figure 5
+// shows KS growing much faster.
+func BenchmarkFigure5Scalability(b *testing.B) {
+	sizes := []int{100, 300, 600}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(benchOpts(), sizes, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := sizes[len(sizes)-1]
+		gem := res.Seconds["Gem"][last]
+		ks := res.Seconds["KS statistic"][last]
+		if gem > 0 {
+			ratio = ks / gem
+		}
+	}
+	b.ReportMetric(ratio, "ks-vs-gem-runtime-ratio")
+}
+
+// ---------------------------------------------------------------- ablations
+
+// ablationCorpus is the corpus the design-choice ablations run on.
+func ablationCorpus() *table.Dataset {
+	return data.GDS(data.Config{Seed: 1, Scale: 0.1})
+}
+
+// ablationScore embeds the corpus with cfg and returns average precision.
+func ablationScore(b *testing.B, ds *table.Dataset, cfg core.Config) float64 {
+	b.Helper()
+	e, err := core.NewEmbedder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	emb, err := e.FitEmbed(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ap, err := eval.AveragePrecisionByType(emb, ds.Labels())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ap
+}
+
+func ablationConfig() core.Config {
+	return core.Config{
+		Components:     50,
+		Restarts:       3,
+		Seed:           1,
+		SubsampleStack: 8000,
+	}
+}
+
+// BenchmarkAblationEMInit compares EM initialization methods (DESIGN.md §5):
+// quantile seeding (the default) vs k-means++ vs random.
+func BenchmarkAblationEMInit(b *testing.B) {
+	ds := ablationCorpus()
+	for name, init := range map[string]gmm.InitMethod{
+		"quantile": gmm.InitQuantile,
+		"kmeans":   gmm.InitKMeans,
+		"random":   gmm.InitRandom,
+	} {
+		init := init
+		b.Run(name, func(b *testing.B) {
+			var ap float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.EMInit = init
+				ap = ablationScore(b, ds, cfg)
+			}
+			b.ReportMetric(ap, "precision")
+		})
+	}
+}
+
+// BenchmarkAblationRestarts compares 1 vs 10 EM restarts (the paper uses 10).
+func BenchmarkAblationRestarts(b *testing.B) {
+	ds := ablationCorpus()
+	for _, restarts := range []int{1, 10} {
+		restarts := restarts
+		b.Run(map[int]string{1: "restarts-1", 10: "restarts-10"}[restarts], func(b *testing.B) {
+			var ap float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Restarts = restarts
+				ap = ablationScore(b, ds, cfg)
+			}
+			b.ReportMetric(ap, "precision")
+		})
+	}
+}
+
+// BenchmarkAblationNormalization compares the paper's L1 row normalization
+// (Eq. 9) against L2.
+func BenchmarkAblationNormalization(b *testing.B) {
+	ds := ablationCorpus()
+	for name, norm := range map[string]core.Norm{"L1": core.L1, "L2": core.L2} {
+		norm := norm
+		b.Run(name, func(b *testing.B) {
+			var ap float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Normalization = norm
+				ap = ablationScore(b, ds, cfg)
+			}
+			b.ReportMetric(ap, "precision")
+		})
+	}
+}
+
+// BenchmarkAblationLogStats compares the signed-log measurement of the
+// statistical features (this repository's adaptation) against the raw
+// feature values.
+func BenchmarkAblationLogStats(b *testing.B) {
+	ds := ablationCorpus()
+	for name, raw := range map[string]bool{"log-stats": false, "raw-stats": true} {
+		raw := raw
+		b.Run(name, func(b *testing.B) {
+			var ap float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.RawStats = raw
+				ap = ablationScore(b, ds, cfg)
+			}
+			b.ReportMetric(ap, "precision")
+		})
+	}
+}
+
+// BenchmarkAblationPLEBinning compares the paper-literal uniform-width PLE
+// against the quantile-binned variant from the original PLE paper.
+func BenchmarkAblationPLEBinning(b *testing.B) {
+	ds := ablationCorpus()
+	for name, quantile := range map[string]bool{"uniform": false, "quantile": true} {
+		quantile := quantile
+		b.Run(name, func(b *testing.B) {
+			var ap float64
+			for i := 0; i < b.N; i++ {
+				m := &baselines.PLE{Bins: 50, Quantile: quantile}
+				emb, err := m.Embed(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ap, err = eval.AveragePrecisionByType(emb, ds.Labels())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(ap, "precision")
+		})
+	}
+}
+
+// ---------------------------------------------------------------- kernels
+
+// BenchmarkGMMFit measures EM fitting on a 10k-value stack with 50
+// components — the dominant cost of the Gem pipeline.
+func BenchmarkGMMFit(b *testing.B) {
+	ds := data.GitTables(data.Config{Seed: 1, Scale: 0.5})
+	stack := ds.Stack()
+	if len(stack) > 10000 {
+		stack = stack[:10000]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gmm.Fit(stack, gmm.Config{K: 50, Restarts: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignature measures per-column signature extraction (mean
+// responsibilities + statistical features) once the mixture is fitted.
+func BenchmarkSignature(b *testing.B) {
+	ds := data.GitTables(data.Config{Seed: 1, Scale: 0.5})
+	e, err := core.NewEmbedder(core.Config{Components: 50, Restarts: 1, Seed: 1, SubsampleStack: 8000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Signatures(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCosineMatrix measures the pairwise similarity matrix over 500
+// columns of 57-dim embeddings — the evaluation-side kernel.
+func BenchmarkCosineMatrix(b *testing.B) {
+	ds := data.GDS(data.Config{Seed: 1, Scale: 0.2})
+	e, err := core.NewEmbedder(core.Config{Components: 50, Restarts: 1, Seed: 1, SubsampleStack: 8000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emb, err := e.FitEmbed(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.CosineSimilarityMatrix(emb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHungarian measures the assignment solver on a 100x100 cost
+// matrix (the clustering-ACC kernel).
+func BenchmarkHungarian(b *testing.B) {
+	n := 100
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = float64((i*7919 + j*104729) % 1000)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := hungarian.Solve(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

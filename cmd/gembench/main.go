@@ -1,0 +1,129 @@
+// Command gembench regenerates the paper's tables and figures on the
+// synthetic benchmark corpora.
+//
+// Usage:
+//
+//	gembench -exp all                 # every table and figure
+//	gembench -exp table2 -scale 1.0   # paper-sized numeric-only comparison
+//	gembench -exp fig4 -seed 7
+//
+// Experiments: table1, table2, table3, table4, fig3, fig4, fig5, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/gem-embeddings/gem/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gembench: ")
+
+	var (
+		exp        = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig3|fig4|fig5|all")
+		seed       = flag.Int64("seed", 1, "random seed for corpora and models")
+		scale      = flag.Float64("scale", 0.25, "corpus scale (1.0 = paper-sized)")
+		components = flag.Int("components", 50, "Gem GMM components (m)")
+		restarts   = flag.Int("restarts", 3, "EM restarts")
+		reps       = flag.Int("reps", 3, "timed repetitions per point (fig5)")
+		out        = flag.String("out", "", "optional output file (default stdout)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Seed:       *seed,
+		Scale:      *scale,
+		Components: *components,
+		Restarts:   *restarts,
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+
+	if err := run(w, strings.ToLower(*exp), opts, *reps); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, exp string, opts experiments.Options, reps int) error {
+	all := exp == "all"
+	ran := false
+
+	if all || exp == "table1" {
+		rows, err := experiments.Table1(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.RenderTable1(rows))
+		ran = true
+	}
+	if all || exp == "table2" {
+		res, err := experiments.Table2(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res)
+		ran = true
+	}
+	if all || exp == "table3" {
+		res, err := experiments.Table3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res)
+		ran = true
+	}
+	if all || exp == "table4" {
+		res, err := experiments.Table4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res)
+		ran = true
+	}
+	if all || exp == "fig3" {
+		res, err := experiments.Figure3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res)
+		ran = true
+	}
+	if all || exp == "fig4" {
+		res, err := experiments.Figure4(opts, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res)
+		ran = true
+	}
+	if all || exp == "fig5" {
+		res, err := experiments.Figure5(opts, nil, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want table1|table2|table3|table4|fig3|fig4|fig5|all)", exp)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+func TestParseFeatures(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    core.Features
+		wantErr bool
+	}{
+		{"D", core.Distributional, false},
+		{"D,S", core.Distributional | core.Statistical, false},
+		{"d,s,c", core.Distributional | core.Statistical | core.Contextual, false},
+		{" D , C ", core.Distributional | core.Contextual, false},
+		{"", 0, true},
+		{"X", 0, true},
+		{"D,X", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := parseFeatures(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseFeatures(%q): want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFeatures(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseFeatures(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseComposition(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    core.Composition
+		wantErr bool
+	}{
+		{"concat", core.Concatenation, false},
+		{"concatenation", core.Concatenation, false},
+		{"agg", core.Aggregation, false},
+		{"AE", core.AE, false},
+		{"autoencoder", core.AE, false},
+		{"bogus", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := parseComposition(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseComposition(%q): want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseComposition(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseComposition(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func testDataset() (*table.Dataset, [][]float64) {
+	ds := &table.Dataset{Name: "t", Columns: []table.Column{
+		{Name: "a", Type: "ta", Values: []float64{1, 2}},
+		{Name: "b", Type: "tb", Values: []float64{3, 4}},
+	}}
+	emb := [][]float64{{0.5, 0.5}, {0.25, 0.75}}
+	return ds, emb
+}
+
+func TestWriteCSV(t *testing.T) {
+	ds, emb := testDataset()
+	var buf bytes.Buffer
+	if err := writeCSV(&buf, ds, emb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d rows, want 3", len(records))
+	}
+	if records[0][0] != "column" || records[0][2] != "e0" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "a" || records[1][1] != "ta" || records[1][2] != "0.5" {
+		t.Errorf("row 1 = %v", records[1])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	ds, emb := testDataset()
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, ds, emb); err != nil {
+		t.Fatal(err)
+	}
+	var out []jsonEmbedding
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].Column != "b" || out[1].Embedding[1] != 0.75 {
+		t.Errorf("json = %+v", out)
+	}
+}
+
+func TestEndToEndThroughReadCSV(t *testing.T) {
+	// The CSV the tool consumes, embedded with a tiny config, must produce
+	// one embedding per numeric column.
+	csvText := "price,name,qty\n#type:cost,#type:label,#type:count\n9.9,x,5\n12.5,y,7\n11.1,z,6\n"
+	ds, err := table.ReadCSV(strings.NewReader(csvText), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEmbedder(core.Config{Components: 2, Restarts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := e.FitEmbed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb) != 2 {
+		t.Fatalf("got %d embeddings, want 2 (name column is non-numeric)", len(emb))
+	}
+	var buf bytes.Buffer
+	if err := writeCSV(&buf, ds, emb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cost") {
+		t.Error("type labels should survive to the output")
+	}
+}

@@ -1,0 +1,86 @@
+// Command gemgen generates the synthetic benchmark corpora (GDS-like,
+// WDC-like, Sato-Tables-like, Git-Tables-like) as CSV files in the format
+// gemembed consumes (header row, "#type:" ground-truth row, data rows).
+//
+// Usage:
+//
+//	gemgen -corpus gds -scale 0.5 -grain fine -out gds.csv
+//	gemgen -corpus sato > sato.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemgen: ")
+
+	var (
+		corpus = flag.String("corpus", "gds", "corpus: gds|wdc|sato|git")
+		seed   = flag.Int64("seed", 1, "random seed")
+		scale  = flag.Float64("scale", 1.0, "corpus scale (1.0 = paper-sized)")
+		grain  = flag.String("grain", "coarse", "label granularity: coarse|fine")
+		out    = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := data.Config{Seed: *seed, Scale: *scale}
+	switch strings.ToLower(*grain) {
+	case "coarse":
+		cfg.Grain = data.Coarse
+	case "fine":
+		cfg.Grain = data.Fine
+	default:
+		log.Fatalf("unknown grain %q (want coarse|fine)", *grain)
+	}
+
+	ds, err := generate(*corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		log.Fatalf("writing corpus: %v", err)
+	}
+	stats := data.Describe(ds)
+	fmt.Fprintf(os.Stderr, "gemgen: wrote %s: %d columns, %d types, %d cells\n",
+		stats.Name, stats.Columns, stats.Types, stats.TotalCells)
+}
+
+// generate builds the named corpus.
+func generate(corpus string, cfg data.Config) (*table.Dataset, error) {
+	switch strings.ToLower(corpus) {
+	case "gds":
+		return data.GDS(cfg), nil
+	case "wdc":
+		return data.WDC(cfg), nil
+	case "sato":
+		return data.SatoTables(cfg), nil
+	case "git":
+		return data.GitTables(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown corpus %q (want gds|wdc|sato|git)", corpus)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+func TestGenerateKnownCorpora(t *testing.T) {
+	cfg := data.Config{Seed: 1, Scale: 0.05}
+	tests := []struct {
+		name      string
+		wantTypes int
+	}{
+		{"git", 19},
+		{"sato", 12},
+	}
+	for _, tc := range tests {
+		ds, err := generate(tc.name, cfg)
+		if err != nil {
+			t.Fatalf("generate(%q): %v", tc.name, err)
+		}
+		if ds.NumTypes() != tc.wantTypes {
+			t.Errorf("%s types = %d, want %d", tc.name, ds.NumTypes(), tc.wantTypes)
+		}
+	}
+	// Case-insensitive.
+	if _, err := generate("GDS", cfg); err != nil {
+		t.Errorf("generate(GDS): %v", err)
+	}
+	if _, err := generate("nope", cfg); err == nil {
+		t.Error("unknown corpus should fail")
+	}
+}
+
+func TestGeneratedCSVIsParsable(t *testing.T) {
+	ds, err := generate("wdc", data.Config{Seed: 2, Scale: 0.03, Grain: data.Fine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := table.ReadCSV(strings.NewReader(buf.String()), "wdc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Columns) != len(ds.Columns) {
+		t.Errorf("CSV round trip: %d columns, want %d", len(back.Columns), len(ds.Columns))
+	}
+	if back.Columns[0].Type == "" {
+		t.Error("ground-truth labels lost in CSV round trip")
+	}
+}

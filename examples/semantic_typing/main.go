@@ -1,0 +1,91 @@
+// Semantic_typing demonstrates Gem's headline task: detecting the semantic
+// type of numeric columns from their value distributions alone. It generates
+// a Git-Tables-like corpus (measurement columns, no useful header context),
+// embeds every column with Gem (D+S) and with the Squashing_GMM baseline,
+// reports average precision for both, and prints the top-5 nearest
+// neighbours of a few query columns so the behaviour is inspectable.
+//
+// Run with: go run ./examples/semantic_typing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gem-embeddings/gem/internal/baselines"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds := data.GitTables(data.Config{Seed: 11, Scale: 0.3})
+	fmt.Printf("corpus: %d numeric columns, %d semantic types\n\n",
+		len(ds.Columns), ds.NumTypes())
+
+	// Gem (D+S): numeric-only embeddings.
+	gem, err := core.NewEmbedder(core.Config{
+		Components:     30,
+		Restarts:       3,
+		Seed:           11,
+		SubsampleStack: 8000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gemEmb, err := gem.FitEmbed(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: Squashing_GMM with the same component budget.
+	sq := &baselines.SquashingGMM{Components: 30, Restarts: 3, SubsampleStack: 8000, Seed: 11}
+	sqEmb, err := sq.Embed(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	labels := ds.Labels()
+	gemAP, err := eval.AveragePrecisionByType(gemEmb, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sqAP, err := eval.AveragePrecisionByType(sqEmb, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("average precision — Gem (D+S): %.3f   Squashing_GMM: %.3f\n\n", gemAP, sqAP)
+
+	// Inspect a few queries.
+	sim, err := eval.CosineSimilarityMatrix(gemEmb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shown := 0
+	for i, col := range ds.Columns {
+		if i%17 != 0 || shown >= 3 {
+			continue
+		}
+		shown++
+		neighbors, err := eval.TopKNeighbors(sim, i, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %q (type %s) — top-5 neighbours:\n", col.Name, col.Type)
+		for _, j := range neighbors {
+			marker := " "
+			if labels[j] == labels[i] {
+				marker = "+"
+			}
+			fmt.Printf("  %s %-14s type=%-12s cos=%.3f\n",
+				marker, ds.Columns[j].Name, labels[j], sim[i][j])
+		}
+		pr, err := eval.PrecisionRecallAtK(sim, labels, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  precision@%d = %.2f, recall = %.2f\n\n", pr.K, pr.Precision, pr.Recall)
+	}
+}

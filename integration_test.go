@@ -1,0 +1,192 @@
+package gem
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/baselines"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/deepcluster"
+	"github.com/gem-embeddings/gem/internal/eval"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// TestPipelineCSVRoundTrip exercises the full user journey: generate a
+// corpus, serialize it to CSV (gemgen's format), parse it back (gemembed's
+// format), embed, and evaluate — everything a downstream user would chain.
+func TestPipelineCSVRoundTrip(t *testing.T) {
+	orig := data.GitTables(data.Config{Seed: 5, Scale: 0.08})
+
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := table.ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Columns) != len(orig.Columns) {
+		t.Fatalf("round trip lost columns: %d vs %d", len(ds.Columns), len(orig.Columns))
+	}
+
+	e, err := core.NewEmbedder(core.Config{
+		Components:     16,
+		Restarts:       2,
+		Seed:           5,
+		SubsampleStack: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := e.FitEmbed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := eval.AveragePrecisionByType(emb, ds.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap < 0.2 {
+		t.Errorf("pipeline average precision = %v, want >= 0.2", ap)
+	}
+}
+
+// TestPipelineSaveLoadServesNewTables exercises the deployment pattern end
+// to end: fit + save on one corpus, load elsewhere, embed incoming columns,
+// and verify the embeddings cluster sensibly.
+func TestPipelineSaveLoadServesNewTables(t *testing.T) {
+	train := data.GitTables(data.Config{Seed: 6, Scale: 0.1})
+	e, err := core.NewEmbedder(core.Config{
+		Components:     16,
+		Restarts:       2,
+		Seed:           6,
+		SubsampleStack: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	var saved bytes.Buffer
+	if err := e.Save(&saved); err != nil {
+		t.Fatal(err)
+	}
+	served, err := core.LoadEmbedder(&saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	incoming := data.GitTables(data.Config{Seed: 777, Scale: 0.06})
+	emb, err := served.Embed(incoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Embeddings of a *new* corpus under the saved model must still carry
+	// type signal (the mixture was fitted on the same domain).
+	ap, err := eval.AveragePrecisionByType(emb, incoming.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap < 0.2 {
+		t.Errorf("served-model average precision = %v, want >= 0.2", ap)
+	}
+}
+
+// TestPipelineEmbedThenCluster chains embedding into deep clustering and
+// checks the metrics agree with each other (ACC high implies ARI and NMI
+// clearly positive).
+func TestPipelineEmbedThenCluster(t *testing.T) {
+	ds := data.GitTables(data.Config{Seed: 7, Scale: 0.1})
+	e, err := core.NewEmbedder(core.Config{
+		Components:     16,
+		Restarts:       2,
+		Seed:           7,
+		SubsampleStack: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := e.FitEmbed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deepcluster.TableDC(emb, deepcluster.Config{
+		K:              ds.NumTypes(),
+		LatentDim:      16,
+		PretrainEpochs: 20,
+		RefineIters:    10,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := ds.Labels()
+	acc, err := eval.ClusterACC(labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := eval.AdjustedRandIndex(labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := eval.NormalizedMutualInformation(labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.3 {
+		t.Errorf("clustering ACC = %v, want >= 0.3", acc)
+	}
+	if ari <= 0 || nmi <= 0 {
+		t.Errorf("ARI (%v) and NMI (%v) should be clearly positive", ari, nmi)
+	}
+	if math.IsNaN(acc + ari + nmi) {
+		t.Error("metrics produced NaN")
+	}
+}
+
+// TestPipelineBaselineComparison verifies the harness-level claim end to
+// end on a mid-sized corpus: Gem (D+S) is at least competitive with every
+// numeric-only baseline on Git Tables.
+func TestPipelineBaselineComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison suite skipped in -short mode")
+	}
+	ds := data.GitTables(data.Config{Seed: 8, Scale: 0.15})
+	e, err := core.NewEmbedder(core.Config{
+		Components:     50,
+		Restarts:       3,
+		Seed:           8,
+		SubsampleStack: 8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gemEmb, err := e.FitEmbed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gemAP, err := eval.AveragePrecisionByType(gemEmb, ds.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []baselines.Method{
+		&baselines.PLE{Bins: 50},
+		&baselines.PAF{Frequencies: 50},
+		&baselines.KSStatistic{},
+	} {
+		emb, err := m.Embed(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		ap, err := eval.AveragePrecisionByType(emb, ds.Labels())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ap > gemAP {
+			t.Errorf("%s (%v) beat Gem (%v) on GitTables", m.Name(), ap, gemAP)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package autoencoder builds symmetric bottleneck autoencoders on the nn
+// substrate. Two consumers in the reproduction: the Gem D+S+C (AE)
+// composition mode of Table 3, which compresses the concatenated
+// distributional+statistical+contextual vector into a latent code, and the
+// deep-clustering models of Table 4 (SDCN, TableDC), which pretrain an AE
+// and refine its latent space.
+package autoencoder
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gem-embeddings/gem/internal/matrix"
+	"github.com/gem-embeddings/gem/internal/nn"
+)
+
+// ErrConfig is returned for invalid autoencoder configuration.
+var ErrConfig = errors.New("autoencoder: invalid configuration")
+
+// Config describes a symmetric autoencoder.
+type Config struct {
+	// InputDim is the width of the input vectors (required).
+	InputDim int
+	// Hidden lists encoder hidden widths, mirrored in the decoder.
+	// May be empty for a single-bottleneck AE.
+	Hidden []int
+	// LatentDim is the bottleneck width (required).
+	LatentDim int
+	// Activation for hidden layers. Default nn.ReLU.
+	Activation nn.Activation
+	// Seed makes initialization deterministic.
+	Seed int64
+}
+
+// AE is a trained or trainable autoencoder.
+type AE struct {
+	net          *nn.Network
+	encodeLayers int // number of dense layers from input to bottleneck
+	latentDim    int
+	inputDim     int
+}
+
+// New constructs an untrained autoencoder with mirrored encoder/decoder.
+func New(cfg Config) (*AE, error) {
+	if cfg.InputDim < 1 {
+		return nil, fmt.Errorf("%w: input dim %d", ErrConfig, cfg.InputDim)
+	}
+	if cfg.LatentDim < 1 {
+		return nil, fmt.Errorf("%w: latent dim %d", ErrConfig, cfg.LatentDim)
+	}
+	for i, h := range cfg.Hidden {
+		if h < 1 {
+			return nil, fmt.Errorf("%w: hidden[%d] = %d", ErrConfig, i, h)
+		}
+	}
+	sizes := []int{cfg.InputDim}
+	sizes = append(sizes, cfg.Hidden...)
+	sizes = append(sizes, cfg.LatentDim)
+	for i := len(cfg.Hidden) - 1; i >= 0; i-- {
+		sizes = append(sizes, cfg.Hidden[i])
+	}
+	sizes = append(sizes, cfg.InputDim)
+	act := cfg.Activation
+	if act == nn.Identity {
+		act = nn.ReLU
+	}
+	net, err := nn.New(nn.Config{
+		Sizes:  sizes,
+		Hidden: act,
+		Output: nn.Identity,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: %w", err)
+	}
+	return &AE{
+		net:          net,
+		encodeLayers: len(cfg.Hidden) + 1,
+		latentDim:    cfg.LatentDim,
+		inputDim:     cfg.InputDim,
+	}, nil
+}
+
+// LatentDim returns the bottleneck width.
+func (a *AE) LatentDim() int { return a.latentDim }
+
+// InputDim returns the expected input width.
+func (a *AE) InputDim() int { return a.inputDim }
+
+// TrainConfig controls reconstruction training.
+type TrainConfig struct {
+	// Epochs of reconstruction training. Default 50.
+	Epochs int
+	// BatchSize for mini-batching. Default 32.
+	BatchSize int
+	// LearningRate for Adam. Default 1e-3.
+	LearningRate float64
+	// Seed shuffles batches deterministically.
+	Seed int64
+}
+
+// Train fits the autoencoder to reconstruct rows and returns the final
+// reconstruction MSE.
+func (a *AE) Train(rows [][]float64, cfg TrainConfig) (float64, error) {
+	x, err := matrix.FromRows(rows)
+	if err != nil {
+		return 0, fmt.Errorf("autoencoder: %w", err)
+	}
+	if x.Cols() != a.inputDim {
+		return 0, fmt.Errorf("%w: rows have dim %d, AE expects %d", ErrConfig, x.Cols(), a.inputDim)
+	}
+	loss, err := a.net.Train(x, x, nn.TrainConfig{
+		Epochs:       cfg.Epochs,
+		BatchSize:    cfg.BatchSize,
+		LearningRate: cfg.LearningRate,
+		Loss:         nn.MSE,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("autoencoder: %w", err)
+	}
+	return loss, nil
+}
+
+// Encode maps rows to their latent codes.
+func (a *AE) Encode(rows [][]float64) ([][]float64, error) {
+	x, err := matrix.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: %w", err)
+	}
+	if x.Cols() != a.inputDim {
+		return nil, fmt.Errorf("%w: rows have dim %d, AE expects %d", ErrConfig, x.Cols(), a.inputDim)
+	}
+	h, err := a.net.HiddenActivations(x, a.encodeLayers)
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: %w", err)
+	}
+	return h.ToRows(), nil
+}
+
+// Reconstruct maps rows through the full encoder/decoder.
+func (a *AE) Reconstruct(rows [][]float64) ([][]float64, error) {
+	x, err := matrix.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: %w", err)
+	}
+	out, err := a.net.Forward(x)
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: %w", err)
+	}
+	return out.ToRows(), nil
+}
+
+// ReconstructionError returns the mean squared reconstruction error on rows.
+func (a *AE) ReconstructionError(rows [][]float64) (float64, error) {
+	rec, err := a.Reconstruct(rows)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var count int
+	for i, r := range rows {
+		for j := range r {
+			d := rec[i][j] - r[j]
+			sum += d * d
+			count++
+		}
+	}
+	return sum / float64(count), nil
+}

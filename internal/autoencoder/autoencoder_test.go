@@ -1,0 +1,154 @@
+package autoencoder
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/nn"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{InputDim: 0, LatentDim: 2}); !errors.Is(err, ErrConfig) {
+		t.Errorf("input 0: want ErrConfig, got %v", err)
+	}
+	if _, err := New(Config{InputDim: 4, LatentDim: 0}); !errors.Is(err, ErrConfig) {
+		t.Errorf("latent 0: want ErrConfig, got %v", err)
+	}
+	if _, err := New(Config{InputDim: 4, LatentDim: 2, Hidden: []int{0}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("hidden 0: want ErrConfig, got %v", err)
+	}
+	a, err := New(Config{InputDim: 10, Hidden: []int{8}, LatentDim: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LatentDim() != 3 || a.InputDim() != 10 {
+		t.Errorf("dims wrong: latent %d, input %d", a.LatentDim(), a.InputDim())
+	}
+}
+
+// lowRankData generates points lying near a 2-D plane inside R^6, which an
+// AE with a 2-wide bottleneck can compress well.
+func lowRankData(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	basis := [2][6]float64{
+		{1, 0.5, -0.2, 0.8, 0.1, -0.5},
+		{-0.3, 1, 0.7, -0.1, 0.9, 0.2},
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		row := make([]float64, 6)
+		for j := 0; j < 6; j++ {
+			row[j] = a*basis[0][j] + b*basis[1][j]
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func TestTrainReducesReconstructionError(t *testing.T) {
+	rows := lowRankData(200, 2)
+	a, err := New(Config{InputDim: 6, Hidden: []int{8}, LatentDim: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := a.ReconstructionError(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(rows, TrainConfig{Epochs: 200, BatchSize: 32, LearningRate: 0.005, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := a.ReconstructionError(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("training did not reduce error: %v -> %v", before, after)
+	}
+	if after > before*0.25 {
+		t.Errorf("low-rank data should compress well: %v -> %v", before, after)
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	rows := lowRankData(50, 5)
+	a, err := New(Config{InputDim: 6, Hidden: []int{8, 4}, LatentDim: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := a.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 50 || len(z[0]) != 2 {
+		t.Fatalf("Encode shape %dx%d, want 50x2", len(z), len(z[0]))
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	rows := lowRankData(20, 7)
+	a, _ := New(Config{InputDim: 6, LatentDim: 3, Seed: 8})
+	z1, err := a.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, _ := a.Encode(rows)
+	for i := range z1 {
+		for j := range z1[i] {
+			if z1[i][j] != z2[i][j] {
+				t.Fatal("Encode not deterministic")
+			}
+		}
+	}
+}
+
+func TestDimensionMismatchErrors(t *testing.T) {
+	a, _ := New(Config{InputDim: 6, LatentDim: 2, Seed: 9})
+	bad := [][]float64{{1, 2, 3}}
+	if _, err := a.Encode(bad); !errors.Is(err, ErrConfig) {
+		t.Errorf("Encode dim mismatch: want ErrConfig, got %v", err)
+	}
+	if _, err := a.Train(bad, TrainConfig{Epochs: 1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("Train dim mismatch: want ErrConfig, got %v", err)
+	}
+}
+
+func TestReconstructShape(t *testing.T) {
+	rows := lowRankData(10, 10)
+	a, _ := New(Config{InputDim: 6, LatentDim: 2, Seed: 11})
+	rec, err := a.Reconstruct(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 10 || len(rec[0]) != 6 {
+		t.Fatalf("Reconstruct shape %dx%d, want 10x6", len(rec), len(rec[0]))
+	}
+	for _, r := range rec {
+		for _, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("Reconstruct produced non-finite values")
+			}
+		}
+	}
+}
+
+func TestTanhActivationOption(t *testing.T) {
+	rows := lowRankData(80, 12)
+	a, err := New(Config{InputDim: 6, Hidden: []int{6}, LatentDim: 2, Activation: nn.Tanh, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(rows, TrainConfig{Epochs: 50, Seed: 14}); err != nil {
+		t.Fatal(err)
+	}
+	z, err := a.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z[0]) != 2 {
+		t.Errorf("latent width %d, want 2", len(z[0]))
+	}
+}

@@ -1,0 +1,402 @@
+// Package baselines implements the eight comparison methods of the paper's
+// evaluation (§4.1.3): the numeric-only encoders PLE, PAF, Squashing_GMM,
+// Squashing_SOM and the KS statistic (Table 2), and the single-column
+// re-implementations Sherlock_SC, Sato_SC and Pythagoras_SC that combine
+// statistical features with header embeddings through learned networks
+// (Table 3). Every method satisfies the Method interface: it maps a dataset
+// to one embedding row per column.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/gem-embeddings/gem/internal/gmm"
+	"github.com/gem-embeddings/gem/internal/ks"
+	"github.com/gem-embeddings/gem/internal/som"
+	"github.com/gem-embeddings/gem/internal/stats"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// ErrInput is returned for invalid inputs.
+var ErrInput = errors.New("baselines: invalid input")
+
+// Method is a column-embedding method under evaluation.
+type Method interface {
+	// Name identifies the method in result tables.
+	Name() string
+	// Embed returns one embedding row per column of ds.
+	Embed(ds *table.Dataset) ([][]float64, error)
+}
+
+// validate rejects empty datasets.
+func validate(ds *table.Dataset) error {
+	if ds == nil || len(ds.Columns) == 0 {
+		return fmt.Errorf("%w: empty dataset", ErrInput)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- PLE
+
+// PLE is Piecewise Linear Encoding (Gorishniy et al., 2022) as the paper
+// describes it: the numeric range of the stacked corpus values is divided
+// into Bins equal-width intervals; a value encodes as a vector with 1 for
+// fully-passed bins, a fractional entry for the bin it falls in, and 0
+// beyond. A column embeds as the mean encoding of its values. The paper uses
+// 50 bins. Equal-width segments are what make PLE collapse on heavy-tailed
+// corpora (the weakness Table 2 reports); quantileEdges is also provided for
+// the quantile-binned PLE variant used by the ablation bench.
+type PLE struct {
+	// Bins is the number of equal-width segments. Default 50.
+	Bins int
+	// Quantile switches to quantile-spaced segments (the stronger variant
+	// from the original PLE paper; used only by the ablation bench).
+	Quantile bool
+}
+
+// Name implements Method.
+func (p *PLE) Name() string { return "PLE" }
+
+// Embed implements Method.
+func (p *PLE) Embed(ds *table.Dataset) ([][]float64, error) {
+	if err := validate(ds); err != nil {
+		return nil, err
+	}
+	bins := p.Bins
+	if bins <= 0 {
+		bins = 50
+	}
+	var edges []float64
+	var err error
+	if p.Quantile {
+		edges, err = quantileEdges(ds.Stack(), bins)
+	} else {
+		edges, err = uniformEdges(ds.Stack(), bins)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("baselines: PLE: %w", err)
+	}
+	out := make([][]float64, len(ds.Columns))
+	for i, col := range ds.Columns {
+		emb := make([]float64, bins)
+		for _, v := range col.Values {
+			enc := pleEncode(v, edges)
+			for j, x := range enc {
+				emb[j] += x
+			}
+		}
+		inv := 1 / float64(len(col.Values))
+		for j := range emb {
+			emb[j] *= inv
+		}
+		out[i] = emb
+	}
+	return out, nil
+}
+
+// uniformEdges returns bins+1 equal-width edges spanning [min(xs), max(xs)].
+func uniformEdges(xs []float64, bins int) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empty stack", ErrInput)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges := make([]float64, bins+1)
+	for b := 0; b <= bins; b++ {
+		edges[b] = lo + (hi-lo)*float64(b)/float64(bins)
+	}
+	return edges, nil
+}
+
+// quantileEdges returns bins+1 edges at equally spaced quantiles of xs.
+// Duplicate edges (heavy ties) are nudged to remain non-decreasing.
+func quantileEdges(xs []float64, bins int) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empty stack", ErrInput)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	edges := make([]float64, bins+1)
+	for b := 0; b <= bins; b++ {
+		pos := float64(b) / float64(bins) * float64(len(sorted)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 < len(sorted) {
+			edges[b] = sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		} else {
+			edges[b] = sorted[lo]
+		}
+	}
+	return edges, nil
+}
+
+// pleEncode encodes a single value against the edges.
+func pleEncode(v float64, edges []float64) []float64 {
+	bins := len(edges) - 1
+	out := make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		lo, hi := edges[b], edges[b+1]
+		switch {
+		case v >= hi:
+			out[b] = 1
+		case v <= lo:
+			out[b] = 0
+		case hi > lo:
+			out[b] = (v - lo) / (hi - lo)
+		default:
+			out[b] = 1 // zero-width bin below v
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- PAF
+
+// PAF is the Periodic Activation Functions encoder (Gorishniy et al., 2022):
+// a value maps to [sin(2π c_k v), cos(2π c_k v)] over Frequencies
+// geometrically spaced frequencies c_k; the column embeds as the mean over
+// its (standardized) values. The paper uses 50 frequencies.
+type PAF struct {
+	// Frequencies is the number of sinusoid frequencies. Default 50.
+	Frequencies int
+	// Sigma scales the geometric frequency ladder. Default 1.
+	Sigma float64
+}
+
+// Name implements Method.
+func (p *PAF) Name() string { return "PAF" }
+
+// Embed implements Method.
+func (p *PAF) Embed(ds *table.Dataset) ([][]float64, error) {
+	if err := validate(ds); err != nil {
+		return nil, err
+	}
+	freqs := p.Frequencies
+	if freqs <= 0 {
+		freqs = 50
+	}
+	sigma := p.Sigma
+	if sigma <= 0 {
+		sigma = 1
+	}
+	// Standardize against the global stack so frequencies are comparable
+	// across columns.
+	stack := ds.Stack()
+	mean, _ := stats.Mean(stack)
+	sd, _ := stats.StdDev(stack)
+	if sd == 0 {
+		sd = 1
+	}
+	// Geometric ladder from 2^-4 to 2^(freqs/8) scaled by sigma.
+	cs := make([]float64, freqs)
+	for k := range cs {
+		cs[k] = sigma * math.Pow(2, -4+float64(k)*0.25)
+	}
+	out := make([][]float64, len(ds.Columns))
+	for i, col := range ds.Columns {
+		emb := make([]float64, 2*freqs)
+		for _, v := range col.Values {
+			z := (v - mean) / sd
+			for k, c := range cs {
+				emb[2*k] += math.Sin(2 * math.Pi * c * z)
+				emb[2*k+1] += math.Cos(2 * math.Pi * c * z)
+			}
+		}
+		inv := 1 / float64(len(col.Values))
+		for j := range emb {
+			emb[j] *= inv
+		}
+		out[i] = emb
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Squashing
+
+// squash is the log-space squashing of Jiang et al. (2020):
+// sign(x) * log(1 + |x|), compressing heavy-tailed numeric ranges.
+func squash(x float64) float64 {
+	if x >= 0 {
+		return math.Log1p(x)
+	}
+	return -math.Log1p(-x)
+}
+
+// SquashingGMM squashes all values into log space, fits a GMM over the
+// squashed stack (prototype induction), and embeds a column as its mean
+// responsibility vector over the prototypes. The paper uses the same number
+// of components as Gem (50).
+type SquashingGMM struct {
+	// Components is the number of GMM prototypes. Default 50.
+	Components int
+	// Restarts for EM. Default 3.
+	Restarts int
+	// SubsampleStack caps the GMM fitting sample. 0 = no cap.
+	SubsampleStack int
+	// Seed makes the method deterministic.
+	Seed int64
+}
+
+// Name implements Method.
+func (s *SquashingGMM) Name() string { return "Squashing_GMM" }
+
+// Embed implements Method.
+func (s *SquashingGMM) Embed(ds *table.Dataset) ([][]float64, error) {
+	if err := validate(ds); err != nil {
+		return nil, err
+	}
+	k := s.Components
+	if k <= 0 {
+		k = 50
+	}
+	restarts := s.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	stack := ds.Stack()
+	squashed := make([]float64, len(stack))
+	for i, v := range stack {
+		squashed[i] = squash(v)
+	}
+	if s.SubsampleStack > 0 && len(squashed) > s.SubsampleStack {
+		squashed = deterministicSample(squashed, s.SubsampleStack, s.Seed)
+	}
+	model, err := gmm.Fit(squashed, gmm.Config{
+		K:        k,
+		Restarts: restarts,
+		Seed:     s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Squashing_GMM: %w", err)
+	}
+	out := make([][]float64, len(ds.Columns))
+	for i, col := range ds.Columns {
+		sq := make([]float64, len(col.Values))
+		for j, v := range col.Values {
+			sq[j] = squash(v)
+		}
+		mr, err := model.MeanResponsibilities(sq)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: Squashing_GMM column %d: %w", i, err)
+		}
+		out[i] = mr
+	}
+	return out, nil
+}
+
+// SquashingSOM squashes values into log space and induces prototypes with a
+// 1-D self-organizing map; a column embeds as its mean soft-activation over
+// the prototypes. The paper uses 50 prototypes.
+type SquashingSOM struct {
+	// Units is the number of SOM prototypes. Default 50.
+	Units int
+	// Epochs of SOM training. Default 10.
+	Epochs int
+	// SubsampleStack caps the SOM training sample. 0 = no cap.
+	SubsampleStack int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// Name implements Method.
+func (s *SquashingSOM) Name() string { return "Squashing_SOM" }
+
+// Embed implements Method.
+func (s *SquashingSOM) Embed(ds *table.Dataset) ([][]float64, error) {
+	if err := validate(ds); err != nil {
+		return nil, err
+	}
+	units := s.Units
+	if units <= 0 {
+		units = 50
+	}
+	epochs := s.Epochs
+	if epochs <= 0 {
+		epochs = 10
+	}
+	stack := ds.Stack()
+	squashed := make([]float64, len(stack))
+	for i, v := range stack {
+		squashed[i] = squash(v)
+	}
+	if s.SubsampleStack > 0 && len(squashed) > s.SubsampleStack {
+		squashed = deterministicSample(squashed, s.SubsampleStack, s.Seed)
+	}
+	m, err := som.Train(squashed, som.Config{Units: units, Epochs: epochs, Seed: s.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Squashing_SOM: %w", err)
+	}
+	out := make([][]float64, len(ds.Columns))
+	for i, col := range ds.Columns {
+		sq := make([]float64, len(col.Values))
+		for j, v := range col.Values {
+			sq[j] = squash(v)
+		}
+		ma, err := m.MeanActivations(sq)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: Squashing_SOM column %d: %w", i, err)
+		}
+		out[i] = ma
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- KS
+
+// KSStatistic embeds each column as its vector of Kolmogorov–Smirnov
+// statistics against the seven fitted reference distributions.
+type KSStatistic struct{}
+
+// Name implements Method.
+func (k *KSStatistic) Name() string { return "KS statistic" }
+
+// Embed implements Method.
+func (k *KSStatistic) Embed(ds *table.Dataset) ([][]float64, error) {
+	if err := validate(ds); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(ds.Columns))
+	for i, col := range ds.Columns {
+		f, err := ks.Features(col.Values)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: KS column %d: %w", i, err)
+		}
+		// Invert so that "well described by family" becomes a large
+		// coordinate: similar goodness-of-fit patterns → high cosine.
+		for j := range f {
+			f[j] = 1 - f[j]
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// deterministicSample takes k elements from xs deterministically in seed.
+func deterministicSample(xs []float64, k int, seed int64) []float64 {
+	// Simple deterministic stride sampling keyed by seed offset — cheap and
+	// reproducible without materializing a permutation.
+	out := make([]float64, k)
+	n := len(xs)
+	offset := int(uint64(seed) % uint64(n))
+	stride := n / k
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < k; i++ {
+		out[i] = xs[(offset+i*stride)%n]
+	}
+	return out
+}

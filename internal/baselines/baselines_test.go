@@ -1,0 +1,264 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/eval"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+func corpus(t *testing.T) *table.Dataset {
+	t.Helper()
+	ds := data.GitTables(data.Config{Seed: 1, Scale: 0.08})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// allMethods returns every baseline with test-speed settings.
+func allMethods() []Method {
+	return []Method{
+		&PLE{Bins: 20},
+		&PAF{Frequencies: 20},
+		&SquashingGMM{Components: 10, Restarts: 2, SubsampleStack: 3000, Seed: 1},
+		&SquashingSOM{Units: 20, Epochs: 5, SubsampleStack: 3000, Seed: 1},
+		&KSStatistic{},
+		&SherlockSC{HeaderDim: 48, Epochs: 10, Seed: 1},
+		&SatoSC{HeaderDim: 48, Epochs: 10, Seed: 1},
+		&PythagorasSC{HeaderDim: 48, Epochs: 10, Seed: 1},
+		&HeadersOnly{HeaderDim: 48},
+	}
+}
+
+func TestAllMethodsProduceFiniteEmbeddings(t *testing.T) {
+	ds := corpus(t)
+	for _, m := range allMethods() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			emb, err := m.Embed(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(emb) != len(ds.Columns) {
+				t.Fatalf("%d embeddings for %d columns", len(emb), len(ds.Columns))
+			}
+			dim := len(emb[0])
+			if dim == 0 {
+				t.Fatal("zero-width embedding")
+			}
+			for i, row := range emb {
+				if len(row) != dim {
+					t.Fatalf("row %d has dim %d, want %d", i, len(row), dim)
+				}
+				for _, v := range row {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("row %d has non-finite value", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllMethodsRejectEmptyDataset(t *testing.T) {
+	for _, m := range allMethods() {
+		if _, err := m.Embed(&table.Dataset{}); !errors.Is(err, ErrInput) {
+			t.Errorf("%s: want ErrInput, got %v", m.Name(), err)
+		}
+		if _, err := m.Embed(nil); !errors.Is(err, ErrInput) {
+			t.Errorf("%s nil: want ErrInput, got %v", m.Name(), err)
+		}
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	want := map[string]bool{
+		"PLE": true, "PAF": true, "Squashing_GMM": true, "Squashing_SOM": true,
+		"KS statistic": true, "Sherlock_SC": true, "Sato_SC": true,
+		"Pythagoras_SC": true, "SBERT (headers only)": true,
+	}
+	for _, m := range allMethods() {
+		if !want[m.Name()] {
+			t.Errorf("unexpected method name %q", m.Name())
+		}
+	}
+}
+
+func TestPLEEncode(t *testing.T) {
+	edges := []float64{0, 1, 2, 3}
+	tests := []struct {
+		v    float64
+		want []float64
+	}{
+		{-1, []float64{0, 0, 0}},
+		{0.5, []float64{0.5, 0, 0}},
+		{1.5, []float64{1, 0.5, 0}},
+		{3, []float64{1, 1, 1}},
+		{10, []float64{1, 1, 1}},
+	}
+	for _, tc := range tests {
+		got := pleEncode(tc.v, edges)
+		for j := range tc.want {
+			if math.Abs(got[j]-tc.want[j]) > 1e-12 {
+				t.Errorf("pleEncode(%v) = %v, want %v", tc.v, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestPLEMonotoneInValue(t *testing.T) {
+	edges, err := quantileEdges([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevSum := -1.0
+	for v := 0.0; v <= 11; v += 0.5 {
+		enc := pleEncode(v, edges)
+		var s float64
+		for _, x := range enc {
+			s += x
+		}
+		if s < prevSum-1e-12 {
+			t.Fatalf("PLE total encoding decreased at v=%v", v)
+		}
+		prevSum = s
+	}
+}
+
+func TestQuantileEdgesSorted(t *testing.T) {
+	edges, err := quantileEdges([]float64{5, 1, 9, 3, 7, 2, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 5 {
+		t.Fatalf("got %d edges, want 5", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] < edges[i-1] {
+			t.Fatalf("edges not sorted: %v", edges)
+		}
+	}
+	if edges[0] != 1 || edges[4] != 9 {
+		t.Errorf("extreme edges = %v, %v; want 1, 9", edges[0], edges[4])
+	}
+	if _, err := quantileEdges(nil, 3); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: want ErrInput, got %v", err)
+	}
+}
+
+func TestSquash(t *testing.T) {
+	if squash(0) != 0 {
+		t.Error("squash(0) != 0")
+	}
+	if squash(math.E-1) != 1 {
+		t.Errorf("squash(e-1) = %v, want 1", squash(math.E-1))
+	}
+	if squash(-3) != -squash(3) {
+		t.Error("squash must be odd")
+	}
+	// Monotone.
+	prev := math.Inf(-1)
+	for x := -100.0; x <= 100; x += 1 {
+		s := squash(x)
+		if s <= prev {
+			t.Fatalf("squash not strictly increasing at %v", x)
+		}
+		prev = s
+	}
+}
+
+func TestSquashingGMMDistinguishesScales(t *testing.T) {
+	// Columns at very different scales should embed differently after
+	// squashing.
+	ds := &table.Dataset{Name: "scales", Columns: []table.Column{
+		{Name: "small", Values: []float64{1, 2, 3, 2, 1}, Type: "small"},
+		{Name: "small2", Values: []float64{2, 1, 3, 1, 2}, Type: "small"},
+		{Name: "big", Values: []float64{1e6, 2e6, 1.5e6}, Type: "big"},
+		{Name: "big2", Values: []float64{1.2e6, 1.8e6, 2.1e6}, Type: "big"},
+	}}
+	m := &SquashingGMM{Components: 2, Restarts: 2, Seed: 3}
+	emb, err := m.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSame, _ := eval.CosineSimilarity(emb[0], emb[1])
+	simDiff, _ := eval.CosineSimilarity(emb[0], emb[2])
+	if simSame <= simDiff {
+		t.Errorf("same-scale sim (%v) should beat cross-scale sim (%v)", simSame, simDiff)
+	}
+}
+
+func TestHeadersOnlySeparatesDistinctHeaders(t *testing.T) {
+	ds := &table.Dataset{Name: "h", Columns: []table.Column{
+		{Name: "engine_power", Values: []float64{1}, Type: "a"},
+		{Name: "engine_power_kw", Values: []float64{1}, Type: "a"},
+		{Name: "publication_year", Values: []float64{1}, Type: "b"},
+	}}
+	m := &HeadersOnly{HeaderDim: 64}
+	emb, err := m.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSame, _ := eval.CosineSimilarity(emb[0], emb[1])
+	simDiff, _ := eval.CosineSimilarity(emb[0], emb[2])
+	if simSame <= simDiff {
+		t.Errorf("related headers sim (%v) should beat unrelated (%v)", simSame, simDiff)
+	}
+}
+
+func TestLearnedBaselinesDeterministic(t *testing.T) {
+	ds := corpus(t)
+	m1 := &SherlockSC{HeaderDim: 32, Epochs: 5, Seed: 9}
+	m2 := &SherlockSC{HeaderDim: 32, Epochs: 5, Seed: 9}
+	a, err := m1.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m2.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("Sherlock_SC not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+func TestSherlockStatsLength(t *testing.T) {
+	f := sherlockStats([]float64{1, 2, 3, 4})
+	if len(f) != 9 {
+		t.Fatalf("sherlockStats length = %d, want 9", len(f))
+	}
+	for _, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("sherlockStats produced non-finite value")
+		}
+	}
+}
+
+func TestKSStatisticEmbeddingRange(t *testing.T) {
+	ds := corpus(t)
+	m := &KSStatistic{}
+	emb, err := m.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range emb {
+		if len(row) != 7 {
+			t.Fatalf("KS row %d has dim %d, want 7", i, len(row))
+		}
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("KS feature %v outside [0,1] (inverted stat)", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/gem-embeddings/gem/internal/table"
+	"github.com/gem-embeddings/gem/internal/textembed"
+)
+
+// HeadersOnly is the "SBERT (headers only)" row of Table 3: each column
+// embeds as the (substitute) sentence embedding of its header, with no value
+// information at all.
+type HeadersOnly struct {
+	// HeaderDim is the embedding width. Default textembed.DefaultDim.
+	HeaderDim int
+}
+
+// Name implements Method.
+func (h *HeadersOnly) Name() string { return "SBERT (headers only)" }
+
+// Embed implements Method.
+func (h *HeadersOnly) Embed(ds *table.Dataset) ([][]float64, error) {
+	if err := validate(ds); err != nil {
+		return nil, err
+	}
+	dim := h.HeaderDim
+	if dim <= 0 {
+		dim = textembed.DefaultDim
+	}
+	emb, err := textembed.New(dim)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: headers-only: %w", err)
+	}
+	return emb.EmbedAll(ds.Headers()), nil
+}

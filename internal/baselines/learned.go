@@ -1,0 +1,313 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gem-embeddings/gem/internal/matrix"
+	"github.com/gem-embeddings/gem/internal/nn"
+	"github.com/gem-embeddings/gem/internal/stats"
+	"github.com/gem-embeddings/gem/internal/table"
+	"github.com/gem-embeddings/gem/internal/textembed"
+)
+
+// The three learned baselines below are the paper's single-column (*_SC)
+// re-implementations of Sherlock, Sato and Pythagoras (§4.1.3): all
+// multi-column/table context is removed; each method consumes the column's
+// statistical features plus an SBERT-substitute header embedding, trains its
+// own network architecture against the ground-truth semantic types, and
+// emits penultimate-layer activations as the column embedding — mirroring
+// how the paper extracted comparable embeddings from supervised methods.
+
+// sherlockStats computes the Sherlock-style numeric feature vector of a
+// column: mean, variance, skewness, kurtosis, min, max, median, sum and
+// unique fraction.
+func sherlockStats(values []float64) []float64 {
+	mean, _ := stats.Mean(values)
+	variance, _ := stats.Variance(values)
+	skew, _ := stats.Skewness(values)
+	kurt, _ := stats.Kurtosis(values)
+	lo, _ := stats.Min(values)
+	hi, _ := stats.Max(values)
+	med, _ := stats.Median(values)
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	uniq := float64(stats.UniqueCount(values)) / float64(len(values))
+	return []float64{mean, variance, skew, kurt, lo, hi, med, sum, uniq}
+}
+
+// learnedInputs assembles the feature matrix (standardized statistics ‖
+// header embedding) and one-hot labels shared by all three learned
+// baselines.
+func learnedInputs(ds *table.Dataset, headerDim int) (x *matrix.Dense, y *matrix.Dense, numClasses int, err error) {
+	if err := validate(ds); err != nil {
+		return nil, nil, 0, err
+	}
+	raw := make([][]float64, len(ds.Columns))
+	for i, col := range ds.Columns {
+		raw[i] = sherlockStats(col.Values)
+	}
+	std, err := stats.Standardize(raw)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("baselines: standardizing: %w", err)
+	}
+	emb, err := textembed.New(headerDim)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("baselines: %w", err)
+	}
+	rows := make([][]float64, len(ds.Columns))
+	for i, col := range ds.Columns {
+		h := emb.Embed(col.Name)
+		row := make([]float64, 0, len(std[i])+len(h))
+		row = append(row, std[i]...)
+		row = append(row, h...)
+		rows[i] = row
+	}
+	x, err = matrix.FromRows(rows)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("baselines: %w", err)
+	}
+
+	classIdx := make(map[string]int)
+	labels := make([]int, len(ds.Columns))
+	for i, col := range ds.Columns {
+		id, ok := classIdx[col.Type]
+		if !ok {
+			id = len(classIdx)
+			classIdx[col.Type] = id
+		}
+		labels[i] = id
+	}
+	y, err = nn.OneHot(labels, len(classIdx))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("baselines: %w", err)
+	}
+	return x, y, len(classIdx), nil
+}
+
+// trainAndEmbed trains net on (x, y) and returns the penultimate-layer
+// activations as embeddings.
+func trainAndEmbed(net *nn.Network, x, y *matrix.Dense, epochs int, lr float64, seed int64) ([][]float64, error) {
+	_, err := net.Train(x, y, nn.TrainConfig{
+		Epochs:       epochs,
+		BatchSize:    64,
+		LearningRate: lr,
+		Loss:         nn.CrossEntropy,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: training: %w", err)
+	}
+	h, err := net.HiddenActivations(x, net.NumLayers()-1)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: embedding: %w", err)
+	}
+	return h.ToRows(), nil
+}
+
+// SherlockSC is the paper's Sherlock_SC: statistical features + header
+// embeddings through dense layers with dropout and a softmax classifier;
+// embeddings come from the penultimate dense layer.
+type SherlockSC struct {
+	// HeaderDim is the header-embedding width. Default 96.
+	HeaderDim int
+	// Epochs of training. Default 30.
+	Epochs int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Name implements Method.
+func (s *SherlockSC) Name() string { return "Sherlock_SC" }
+
+// Embed implements Method.
+func (s *SherlockSC) Embed(ds *table.Dataset) ([][]float64, error) {
+	headerDim := s.HeaderDim
+	if headerDim <= 0 {
+		headerDim = 96
+	}
+	epochs := s.Epochs
+	if epochs <= 0 {
+		epochs = 30
+	}
+	x, y, classes, err := learnedInputs(ds, headerDim)
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.New(nn.Config{
+		Sizes:   []int{x.Cols(), 128, 64, classes},
+		Hidden:  nn.ReLU,
+		Output:  nn.Identity,
+		Dropout: 0.3,
+		Seed:    s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Sherlock_SC: %w", err)
+	}
+	return trainAndEmbed(net, x, y, epochs, 1e-3, s.Seed)
+}
+
+// SatoSC is the paper's Sato_SC: the same single-column features processed
+// through Sato's (context-stripped) architecture — a wider, shallower net
+// with tanh units, reflecting Sato's structured-prediction trunk without the
+// topic and pairwise potentials that require neighbouring columns.
+type SatoSC struct {
+	// HeaderDim is the header-embedding width. Default 96.
+	HeaderDim int
+	// Epochs of training. Default 30.
+	Epochs int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Name implements Method.
+func (s *SatoSC) Name() string { return "Sato_SC" }
+
+// Embed implements Method.
+func (s *SatoSC) Embed(ds *table.Dataset) ([][]float64, error) {
+	headerDim := s.HeaderDim
+	if headerDim <= 0 {
+		headerDim = 96
+	}
+	epochs := s.Epochs
+	if epochs <= 0 {
+		epochs = 30
+	}
+	x, y, classes, err := learnedInputs(ds, headerDim)
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.New(nn.Config{
+		Sizes:   []int{x.Cols(), 256, classes},
+		Hidden:  nn.Tanh,
+		Output:  nn.Identity,
+		Dropout: 0.2,
+		Seed:    s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Sato_SC: %w", err)
+	}
+	return trainAndEmbed(net, x, y, epochs, 1e-3, s.Seed)
+}
+
+// PythagorasSC is the paper's context-reduced Pythagoras: a graph neural
+// network whose heterogeneous table graph degenerates, in the single-column
+// setting, to isolated column nodes with self-loops. One GCN layer with a
+// self-loop-only adjacency is exactly a shared dense layer over the node
+// features; we keep the GCN formulation (symmetric-normalized A = I) plus a
+// k-nearest-neighbour feature graph so the "graph" is not entirely vacuous,
+// then classify and read embeddings off the GCN layer.
+type PythagorasSC struct {
+	// HeaderDim is the header-embedding width. Default 96.
+	HeaderDim int
+	// Epochs of training. Default 30.
+	Epochs int
+	// KNN is the number of neighbours in the feature graph. Default 3.
+	KNN int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Name implements Method.
+func (p *PythagorasSC) Name() string { return "Pythagoras_SC" }
+
+// Embed implements Method.
+func (p *PythagorasSC) Embed(ds *table.Dataset) ([][]float64, error) {
+	headerDim := p.HeaderDim
+	if headerDim <= 0 {
+		headerDim = 96
+	}
+	epochs := p.Epochs
+	if epochs <= 0 {
+		epochs = 30
+	}
+	knn := p.KNN
+	if knn <= 0 {
+		knn = 3
+	}
+	x, y, classes, err := learnedInputs(ds, headerDim)
+	if err != nil {
+		return nil, err
+	}
+	// Graph propagation: X' = Â X with Â the row-normalized KNN adjacency
+	// (self-loops included). This is the fixed, parameter-free part of the
+	// GCN layer; the learned part is the dense transform that follows.
+	adj := knnAdjacency(x, knn)
+	xProp, err := matrix.Mul(adj, x)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Pythagoras_SC: %w", err)
+	}
+	net, err := nn.New(nn.Config{
+		Sizes:   []int{x.Cols(), 96, classes},
+		Hidden:  nn.ReLU,
+		Output:  nn.Identity,
+		Dropout: 0.2,
+		Seed:    p.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Pythagoras_SC: %w", err)
+	}
+	return trainAndEmbed(net, xProp, y, epochs, 1e-3, p.Seed)
+}
+
+// knnAdjacency builds a row-normalized adjacency over the k nearest
+// neighbours (cosine similarity) of each feature row, with self-loops.
+func knnAdjacency(x *matrix.Dense, k int) *matrix.Dense {
+	n := x.Rows()
+	adj := matrix.New(n, n)
+	norms := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var ss float64
+		for _, v := range x.RawRow(i) {
+			ss += v * v
+		}
+		norms[i] = math.Sqrt(ss)
+	}
+	type cand struct {
+		j   int
+		sim float64
+	}
+	for i := 0; i < n; i++ {
+		cands := make([]cand, 0, n-1)
+		ri := x.RawRow(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			var dot float64
+			rj := x.RawRow(j)
+			for t := range ri {
+				dot += ri[t] * rj[t]
+			}
+			var sim float64
+			if norms[i] > 0 && norms[j] > 0 {
+				sim = dot / (norms[i] * norms[j])
+			}
+			cands = append(cands, cand{j, sim})
+		}
+		// Partial selection of top-k.
+		for t := 0; t < k && t < len(cands); t++ {
+			best := t
+			for u := t + 1; u < len(cands); u++ {
+				if cands[u].sim > cands[best].sim {
+					best = u
+				}
+			}
+			cands[t], cands[best] = cands[best], cands[t]
+			adj.Set(i, cands[t].j, 1)
+		}
+		adj.Set(i, i, 1)
+		// Row-normalize.
+		row := adj.RawRow(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		for t := range row {
+			row[t] /= s
+		}
+	}
+	return adj
+}

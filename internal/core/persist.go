@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/gem-embeddings/gem/internal/gmm"
+	"github.com/gem-embeddings/gem/internal/table"
+	"github.com/gem-embeddings/gem/internal/textembed"
+)
+
+// embedderJSON is the stable on-disk representation of a fitted embedder.
+type embedderJSON struct {
+	Config Config          `json:"config"`
+	Model  json.RawMessage `json:"model"`
+}
+
+// Save persists the embedder configuration and its fitted mixture as JSON,
+// enabling the deployment pattern where one corpus-level model embeds
+// incoming tables without refitting. Fails if the embedder is unfitted.
+func (e *Embedder) Save(w io.Writer) error {
+	if e.model == nil {
+		return ErrState
+	}
+	var modelBuf jsonBuffer
+	if err := e.model.Save(&modelBuf); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(embedderJSON{Config: e.cfg, Model: modelBuf.data}); err != nil {
+		return fmt.Errorf("core: saving embedder: %w", err)
+	}
+	return nil
+}
+
+// LoadEmbedder reads an embedder saved by Save, ready to Embed immediately.
+func LoadEmbedder(r io.Reader) (*Embedder, error) {
+	var ej embedderJSON
+	if err := json.NewDecoder(r).Decode(&ej); err != nil {
+		return nil, fmt.Errorf("core: loading embedder: %w", err)
+	}
+	cfg := ej.Config
+	cfg.fillDefaults()
+	model, err := gmm.Load(bytesReader(ej.Model))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	he, err := textembed.New(cfg.HeaderDim)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Embedder{cfg: cfg, model: model, headers: he}, nil
+}
+
+// jsonBuffer is a minimal io.Writer accumulating bytes (avoids importing
+// bytes just for one buffer).
+type jsonBuffer struct{ data []byte }
+
+func (b *jsonBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// bytesReader adapts a byte slice to io.Reader.
+func bytesReader(data []byte) io.Reader { return &sliceReader{data: data} }
+
+type sliceReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// FitWithBIC fits the embedder selecting the component count by the Bayesian
+// Information Criterion over the candidate list (the paper's model-selection
+// procedure, §4.1.4). It returns the BIC per candidate. The winning K
+// replaces cfg.Components for this embedder.
+func (e *Embedder) FitWithBIC(ds *table.Dataset, candidates []int) (map[int]float64, error) {
+	if ds == nil || len(ds.Columns) == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrInput)
+	}
+	if len(candidates) == 0 {
+		candidates = []int{5, 10, 25, 50, 75, 100}
+	}
+	stack := ds.Stack()
+	if e.cfg.SubsampleStack > 0 && len(stack) > e.cfg.SubsampleStack {
+		stack = subsample(stack, e.cfg.SubsampleStack, e.cfg.Seed)
+	}
+	best, bics, err := gmm.SelectK(stack, candidates, gmm.Config{
+		Tol:      e.cfg.Tol,
+		MaxIter:  e.cfg.MaxIter,
+		Restarts: e.cfg.Restarts,
+		Seed:     e.cfg.Seed,
+		Init:     e.cfg.EMInit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: BIC selection: %w", err)
+	}
+	e.model = best
+	e.cfg.Components = best.K()
+	return bics, nil
+}

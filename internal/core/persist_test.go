@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/data"
+)
+
+func TestSaveLoadEmbedderRoundTrip(t *testing.T) {
+	ds := smallCorpus()
+	e, err := NewEmbedder(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEmbedder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("embedding [%d][%d] differs after reload: %v vs %v",
+					i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if back.Config().Components != e.Config().Components {
+		t.Error("config not preserved")
+	}
+}
+
+func TestSaveUnfittedFails(t *testing.T) {
+	e, _ := NewEmbedder(fastCfg())
+	var buf bytes.Buffer
+	if err := e.Save(&buf); !errors.Is(err, ErrState) {
+		t.Errorf("want ErrState, got %v", err)
+	}
+}
+
+func TestLoadEmbedderRejectsMalformed(t *testing.T) {
+	if _, err := LoadEmbedder(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	if _, err := LoadEmbedder(strings.NewReader(`{"config":{},"model":{}}`)); err == nil {
+		t.Error("empty model should fail validation")
+	}
+}
+
+func TestEmbedNewColumnsWithSavedModel(t *testing.T) {
+	// The deployment pattern: fit on one corpus, embed a different one.
+	train := smallCorpus()
+	e, _ := NewEmbedder(fastCfg())
+	if err := e.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEmbedder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incoming := data.GitTables(data.Config{Seed: 99, Scale: 0.05})
+	emb, err := back.Embed(incoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb) != len(incoming.Columns) {
+		t.Fatalf("got %d embeddings for %d columns", len(emb), len(incoming.Columns))
+	}
+}
+
+func TestFitWithBIC(t *testing.T) {
+	ds := smallCorpus()
+	e, err := NewEmbedder(Config{Restarts: 2, Seed: 7, SubsampleStack: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bics, err := e.FitWithBIC(ds, []int{2, 6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bics) != 3 {
+		t.Fatalf("got %d BIC entries, want 3", len(bics))
+	}
+	// The selected K must be the argmin of the returned BICs.
+	bestK, bestV := 0, 0.0
+	first := true
+	for k, v := range bics {
+		if first || v < bestV {
+			bestK, bestV = k, v
+			first = false
+		}
+	}
+	if e.Model().K() != bestK {
+		t.Errorf("selected K = %d, BIC argmin = %d", e.Model().K(), bestK)
+	}
+	if e.Config().Components != bestK {
+		t.Errorf("config Components = %d, want %d", e.Config().Components, bestK)
+	}
+	// The embedder is usable immediately.
+	if _, err := e.Embed(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FitWithBIC(nil, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("nil dataset: want ErrInput, got %v", err)
+	}
+}

@@ -1,0 +1,394 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// archetype is a reusable semantic-type blueprint: a header stem plus a
+// family of value generators indexed by a variant number. Different variants
+// of the same archetype are *systematically* shifted/scaled so that two
+// coarse types derived from one archetype (say "car_weight" and
+// "package_weight") remain distributionally distinguishable — the exact
+// phenomenon the paper's introduction motivates.
+type archetype struct {
+	stem string
+	mk   func(variant int) ValueGen
+}
+
+// vfac converts a variant index into a multiplicative factor: 1.0, 1.45,
+// 0.72, 2.1, ... alternating above and below the base scale.
+func vfac(variant int) float64 {
+	switch variant % 6 {
+	case 0:
+		return 1
+	case 1:
+		return 1.45
+	case 2:
+		return 0.72
+	case 3:
+		return 2.1
+	case 4:
+		return 0.5
+	default:
+		return 3.2
+	}
+}
+
+// catalog returns the base archetype library shared by all corpora.
+func catalog() []archetype {
+	return []archetype{
+		{"age", func(v int) ValueGen {
+			return normalGen(35*vfac(v), 12, 0.08, 0.15, 0, 0, 110*vfac(v))
+		}},
+		{"weight", func(v int) ValueGen {
+			return normalGen(70*vfac(v), 15*vfac(v), 0.1, 0.15, 1, 0, unbounded)
+		}},
+		{"height", func(v int) ValueGen {
+			return normalGen(170*vfac(v), 12*vfac(v), 0.05, 0.1, 1, 0, unbounded)
+		}},
+		{"price", func(v int) ValueGen {
+			return lognormalGen(3.5+0.8*float64(v%5), 0.55+0.25*float64(v%3), 0.25, 2-(v%3))
+		}},
+		{"salary", func(v int) ValueGen {
+			return lognormalGen(10.8+0.3*float64(v%4), 0.35+0.15*float64(v%3), 0.15, 0)
+		}},
+		{"population", func(v int) ValueGen {
+			return lognormalGen(9+0.6*float64(v%5), 0.7+0.3*float64(v%3), 0.3, 0)
+		}},
+		{"year", func(v int) ValueGen {
+			lo := 1950 - 20*(v%4)
+			return uniformGen(float64(lo), 2024, 0.02, 0)
+		}},
+		{"score", func(v int) ValueGen {
+			return normalGen(75*vfac(v), 12*vfac(v), 0.05, 0.1, 1, 0, 100*vfac(v)+30)
+		}},
+		{"rating", func(v int) ValueGen {
+			top := 5 + 5*(v%2) // 1..5 or 1..10 scales
+			support := make([]float64, top)
+			for i := range support {
+				support[i] = float64(i + 1)
+			}
+			return discreteGen(support, 0.6)
+		}},
+		{"rank", func(v int) ValueGen {
+			return uniformGen(1, 40*vfac(v)+10, 0.05, 0)
+		}},
+		{"duration", func(v int) ValueGen {
+			return gammaGen(2, 0.008/vfac(v), 0.2, 1)
+		}},
+		{"temperature", func(v int) ValueGen {
+			return normalGen(18+10*float64(v%3), 8, 0.2, 0.15, 1, unbounded, unbounded)
+		}},
+		{"percent", func(v int) ValueGen {
+			return betaScaledGen(2*vfac(v), 5, 100, 0.2, 1)
+		}},
+		{"count", func(v int) ValueGen {
+			return gammaGen(1.5, 0.05/vfac(v), 0.25, 0)
+		}},
+		{"distance", func(v int) ValueGen {
+			return lognormalGen(2+0.7*float64(v%5), 0.6+0.25*float64(v%3), 0.25, 1+(v%2))
+		}},
+		{"area", func(v int) ValueGen {
+			return lognormalGen(4+0.8*float64(v%4), 0.65+0.3*float64(v%3), 0.25, 0)
+		}},
+		{"speed", func(v int) ValueGen {
+			return normalGen(80*vfac(v), 25*vfac(v), 0.1, 0.15, 1, 0, unbounded)
+		}},
+		{"power", func(v int) ValueGen {
+			return lognormalGen(4.6+0.6*float64(v%4), 0.55+0.25*float64(v%3), 0.2, 0)
+		}},
+		{"energy", func(v int) ValueGen {
+			return gammaGen(2, 0.002/vfac(v), 0.2, 0)
+		}},
+		{"mileage", func(v int) ValueGen {
+			return lognormalGen(9.2+0.4*float64(v%3), 0.65+0.3*float64(v%2), 0.25, 0)
+		}},
+		{"latitude", func(v int) ValueGen {
+			span := 90 / vfac(v)
+			return uniformGen(-span, span, 0.05, 4)
+		}},
+		{"longitude", func(v int) ValueGen {
+			span := 180 / vfac(v)
+			return uniformGen(-span, span, 0.05, 4)
+		}},
+		{"gdp", func(v int) ValueGen {
+			return lognormalGen(12+0.6*float64(v%3), 0.6+0.3*float64(v%2), 0.3, 0)
+		}},
+		{"volume", func(v int) ValueGen {
+			return lognormalGen(3+0.7*float64(v%4), 0.55+0.3*float64(v%3), 0.2, 2-(v%2))
+		}},
+		{"depth", func(v int) ValueGen {
+			return gammaGen(2, 0.1/vfac(v), 0.2, 1)
+		}},
+		{"pressure", func(v int) ValueGen {
+			return normalGen(1013*vfac(v), 30*vfac(v), 0.02, 0.1, 1, 0, unbounded)
+		}},
+		{"frequency", func(v int) ValueGen {
+			return lognormalGen(5+float64(v%3), 0.7+0.3*float64(v%2), 0.3, 1)
+		}},
+		{"voltage", func(v int) ValueGen {
+			base := []float64{110, 120, 220, 230, 240}
+			support := make([]float64, len(base))
+			for i, b := range base {
+				support[i] = roundTo(b*vfac(v), 0)
+			}
+			return discreteGen(support, 1.5)
+		}},
+		{"quantity", func(v int) ValueGen {
+			return gammaGen(2.2, 0.1/vfac(v), 0.25, 0)
+		}},
+	}
+}
+
+// fineSubs maps an archetype stem to realistic sub-entity names used when a
+// coarse type is refined into fine-grained subtypes. Stems without an entry
+// fall back to regional qualifiers.
+var fineSubs = map[string][]string{
+	"score":    {"cricket", "rugby", "football", "basketball", "tennis"},
+	"rating":   {"movie", "book", "hotel", "app", "restaurant"},
+	"price":    {"house", "car", "ticket", "meal", "stock"},
+	"weight":   {"human", "package", "animal", "vehicle"},
+	"height":   {"person", "mountain", "building", "tree"},
+	"power":    {"engine_car", "battery_device", "plant", "motor"},
+	"duration": {"flight", "movie", "call", "task"},
+	"rank":     {"journal", "book", "team", "player"},
+	"count":    {"stock", "visitor", "error", "click"},
+	"age":      {"patient", "employee", "building", "account"},
+	"speed":    {"car", "wind", "network", "runner"},
+	"distance": {"commute", "delivery", "race", "orbit"},
+	"year":     {"publication", "founding", "birth", "model"},
+	"area":     {"apartment", "farm", "forest", "lake"},
+	"volume":   {"bottle", "tank", "shipment", "reservoir"},
+}
+
+var regionSubs = []string{"eu", "us", "asia", "africa", "oceania"}
+
+// subsFor returns fine sub-entity names for a stem.
+func subsFor(stem string) []string {
+	if s, ok := fineSubs[stem]; ok {
+		return s
+	}
+	return regionSubs
+}
+
+// typeSpec fully describes one fine-grained semantic type in a corpus.
+type typeSpec struct {
+	coarse  string
+	fine    string
+	gen     ValueGen
+	headers []string
+}
+
+// headersDistinct builds the GDS-style header pool: every header names the
+// fine type explicitly (plus mild decoration), so header embeddings separate
+// fine types well.
+func headersDistinct(fine string) []string {
+	return []string{
+		fine,
+		fine + "_val",
+		fine + "_2023",
+		"avg_" + fine,
+		fine + "_measured",
+	}
+}
+
+// headersOverlap builds the WDC-style header pool for a coarse type: most
+// headers carry the coarse identity (stem + group) but none carry the fine
+// subtype, so headers partially identify the coarse type while fine types
+// under one coarse type stay indistinguishable by header alone
+// ("Score_Cricket" and "Score_Rugby" both present sports-score headers).
+// The plain stem variant is additionally ambiguous across groups, giving the
+// mixed header quality the paper describes for WDC.
+func headersOverlap(stem, group string) []string {
+	return []string{
+		stem,
+		stem + "_" + group,
+		"total_" + stem,
+		group + "_" + stem,
+		stem + "_value",
+	}
+}
+
+// domainNames used to derive multiple coarse types from one archetype in the
+// GDS-like corpus.
+var gdsDomains = []string{"car", "city", "hospital", "school", "store", "device", "bank", "farm"}
+
+// wdcGroups used to derive multiple coarse types per archetype in the
+// WDC-like corpus.
+var wdcGroups = []string{"retail", "sports", "media", "travel", "social", "finance", "science"}
+
+// gdsTypes builds the GDS-like catalogue: |catalog| x |domains| coarse types
+// trimmed to nCoarse, with fine refinements on every refineEvery-th coarse
+// type, in the spirit of the paper's 86 coarse → 96 fine refinement.
+func gdsTypes(nCoarse, refineEvery int) []typeSpec {
+	arch := catalog()
+	var specs []typeSpec
+	coarseIdx := 0
+	for d, dom := range gdsDomains {
+		for a, at := range arch {
+			if coarseIdx >= nCoarse {
+				return specs
+			}
+			coarse := dom + "_" + at.stem
+			variant := d*len(arch) + a
+			if refineEvery > 0 && coarseIdx%refineEvery == refineEvery-1 {
+				// Refine into two fine subtypes with shifted scales and
+				// distinct headers (e.g. engine_power_car vs
+				// battery_power_device).
+				subs := subsFor(at.stem)
+				for s := 0; s < 2; s++ {
+					fine := coarse + "_" + subs[s%len(subs)]
+					gen := shiftScaleGen(at.mk(variant), 0, 1+0.9*float64(s), -1)
+					specs = append(specs, typeSpec{
+						coarse:  coarse,
+						fine:    fine,
+						gen:     gen,
+						headers: headersDistinct(fine),
+					})
+				}
+			} else {
+				specs = append(specs, typeSpec{
+					coarse:  coarse,
+					fine:    coarse,
+					gen:     at.mk(variant),
+					headers: headersDistinct(coarse),
+				})
+			}
+			coarseIdx++
+		}
+	}
+	return specs
+}
+
+// wdcTypes builds the WDC-like catalogue: |catalog| x |groups| coarse types
+// trimmed to nCoarse, each refined into a cycle of 1–4 fine subtypes with
+// systematically different scales, and overlapping coarse-grained headers.
+func wdcTypes(nCoarse int) []typeSpec {
+	arch := catalog()
+	fineCycle := []int{2, 2, 3, 2, 1, 3, 2, 4}
+	var specs []typeSpec
+	coarseIdx := 0
+	for g, group := range wdcGroups {
+		for a, at := range arch {
+			if coarseIdx >= nCoarse {
+				return specs
+			}
+			coarse := at.stem + "_" + group
+			variant := g*len(arch) + a
+			nFine := fineCycle[coarseIdx%len(fineCycle)]
+			subs := subsFor(at.stem)
+			for s := 0; s < nFine; s++ {
+				fine := coarse
+				headers := headersOverlap(at.stem, group)
+				if nFine > 1 {
+					sub := subs[s%len(subs)]
+					fine = coarse + "_" + sub
+					// Each subtype's pool mixes fine-informative variants
+					// ("cricket_score") among the dominant coarse-only ones
+					// ("score"), mirroring real WDC where a minority of
+					// columns name the sub-entity.
+					headers = append(headers, sub+"_"+at.stem, at.stem+"_"+sub)
+				}
+				gen := shiftScaleGen(at.mk(variant), 0, 1+0.8*float64(s), -1)
+				specs = append(specs, typeSpec{
+					coarse:  coarse,
+					fine:    fine,
+					gen:     gen,
+					headers: headers,
+				})
+			}
+			coarseIdx++
+		}
+	}
+	return specs
+}
+
+// satoTypes builds the Sato-Tables-like catalogue: 12 types whose value
+// ranges deliberately collide (age vs weight in the 30s, rank vs order vs
+// position as small integers, year vs duration) — the collisions the paper
+// reports in §4.2.1.
+func satoTypes() []typeSpec {
+	mk := func(name string, gen ValueGen) typeSpec {
+		return typeSpec{coarse: name, fine: name, gen: gen, headers: []string{name}}
+	}
+	// The collisions are deliberately same-range, different-shape: age and
+	// weight share the low-30s center but differ in granularity (integer vs
+	// one decimal); rank, order and position share the small-integer range
+	// but differ in entropy/repetitiveness; price and count share scale but
+	// differ in tail and decimals. These are the distinctions the paper's
+	// §4.2.1 anecdotes attribute to Gem's distributional + statistical view.
+	return []typeSpec{
+		mk("age", normalGen(33, 6, 0.05, 0.1, 0, 18, 90)),
+		mk("weight", normalGen(33, 6.5, 0.06, 0.12, 1, 10, unbounded)),
+		mk("year", uniformGen(1950, 2023, 0.02, 0)),
+		mk("duration", gammaGen(3, 0.012, 0.15, 1)),
+		mk("order", discreteSpikyGen(1, 40, 0.4)),
+		mk("position", uniformGen(1, 15, 0.1, 0)),
+		mk("rank", uniformGen(1, 40, 0.08, 0)),
+		mk("score", normalGen(74, 11, 0.05, 0.1, 1, 0, 100)),
+		mk("population", lognormalGen(9.5, 1.0, 0.25, 0)),
+		mk("gdp", lognormalGen(12.5, 0.9, 0.2, 0)),
+		mk("price", lognormalGen(3.4, 0.9, 0.2, 2)),
+		mk("count", gammaGen(1.6, 0.05, 0.2, 0)),
+	}
+}
+
+// gitTypes builds the Git-Tables-like catalogue: 19 measurement-flavoured
+// types annotated from a Schema.org-like vocabulary, the "no context" hard
+// setting (values like [153, 228, 125, ...] could be duration, height,
+// length or volume).
+func gitTypes() []typeSpec {
+	mk := func(name string, gen ValueGen) typeSpec {
+		return typeSpec{coarse: name, fine: name, gen: gen, headers: []string{name}}
+	}
+	return []typeSpec{
+		mk("duration", gammaGen(2.5, 0.011, 0.15, 0)),
+		mk("height", normalGen(180, 45, 0.12, 0.15, 0, 0, unbounded)),
+		mk("length", normalGen(210, 70, 0.15, 0.2, 0, 0, unbounded)),
+		mk("volume", lognormalGen(5.2, 0.7, 0.2, 0)),
+		mk("width", mixtureGen(
+			discreteGen([]float64{5, 256, 512}, 1),
+			normalGen(120, 60, 0.2, 0.2, 1, 0, unbounded))),
+		mk("weight", normalGen(72, 16, 0.1, 0.15, 1, 0, unbounded)),
+		mk("price", lognormalGen(3.6, 1.0, 0.2, 2)),
+		mk("count", gammaGen(1.5, 0.04, 0.2, 0)),
+		mk("area", lognormalGen(4.4, 1.1, 0.2, 0)),
+		mk("speed", normalGen(85, 28, 0.1, 0.15, 1, 0, unbounded)),
+		mk("depth", gammaGen(2, 0.09, 0.2, 1)),
+		mk("radius", gammaGen(2.2, 0.055, 0.2, 2)),
+		mk("pressure", normalGen(1010, 28, 0.02, 0.1, 1, 0, unbounded)),
+		mk("energy", gammaGen(2, 0.0021, 0.2, 0)),
+		mk("frequency", lognormalGen(5.5, 1.0, 0.25, 1)),
+		mk("voltage", discreteGen([]float64{110, 120, 220, 230, 240}, 1.5)),
+		mk("current", gammaGen(2, 0.35, 0.2, 2)),
+		mk("distance", lognormalGen(2.4, 1.1, 0.2, 1)),
+		mk("capacity", lognormalGen(6.1, 0.9, 0.25, 0)),
+	}
+}
+
+// rotateHeader returns the i-th header for a type, cycling its pool and
+// appending a disambiguating ordinal every full cycle so large types do not
+// produce thousands of byte-identical headers.
+func rotateHeader(pool []string, i int) string {
+	h := pool[i%len(pool)]
+	cycle := i / len(pool)
+	if cycle == 0 {
+		return h
+	}
+	return fmt.Sprintf("%s_%d", h, cycle)
+}
+
+// columnsForType draws the number of columns for one type uniformly in
+// [minCols, maxCols], scaled, with a floor of 2 so precision@k stays defined.
+func columnsForType(rng *rand.Rand, minCols, maxCols int, scale float64) int {
+	n := minCols
+	if maxCols > minCols {
+		n += rng.Intn(maxCols - minCols + 1)
+	}
+	n = int(float64(n) * scale)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// Grain selects which ground-truth label granularity a generated corpus
+// carries (the paper evaluates GDS/WDC at both levels; Table 2 uses coarse,
+// Table 3 uses fine).
+type Grain int
+
+const (
+	// Coarse labels group fine subtypes ("score").
+	Coarse Grain = iota
+	// Fine labels separate subtypes ("score_cricket").
+	Fine
+)
+
+// Config controls corpus generation.
+type Config struct {
+	// Seed makes generation deterministic. Corpora with the same seed are
+	// bit-identical.
+	Seed int64
+	// Scale multiplies the number of columns per type; 1.0 reproduces the
+	// full paper-sized corpus, smaller values generate faster corpora with
+	// the same type structure. Default 1.0.
+	Scale float64
+	// Grain selects coarse or fine ground-truth labels. Default Coarse.
+	Grain Grain
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// corpusShape bundles the per-corpus size constants.
+type corpusShape struct {
+	name             string
+	minCols, maxCols int // columns per fine type before scaling
+	minRows, maxRows int // rows per column
+}
+
+// build instantiates a corpus from its type specs.
+func build(shape corpusShape, specs []typeSpec, cfg Config) *table.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &table.Dataset{Name: shape.name}
+	for ti, spec := range specs {
+		nCols := columnsForType(rng, shape.minCols, shape.maxCols, cfg.scale())
+		label := spec.coarse
+		if cfg.Grain == Fine {
+			label = spec.fine
+		}
+		for i := 0; i < nCols; i++ {
+			rows := shape.minRows
+			if shape.maxRows > shape.minRows {
+				rows += rng.Intn(shape.maxRows - shape.minRows + 1)
+			}
+			// Headers are drawn randomly from the type's pool: real corpora
+			// repeat headers across tables ("price" appears everywhere), and
+			// sibling columns of one type frequently share the exact string.
+			ds.Columns = append(ds.Columns, table.Column{
+				Name:   spec.headers[rng.Intn(len(spec.headers))],
+				Values: spec.gen(rng, rows),
+				Type:   label,
+				Table:  fmt.Sprintf("%s_t%03d", shape.name, ti),
+			})
+		}
+	}
+	return ds
+}
+
+// GDS generates the Google-Dataset-Search-like corpus: many coarse types
+// (~86) refined to ~96 fine types, ~2.5k columns at scale 1, and distinct,
+// informative headers (header-only precision is high on this corpus, paper
+// Table 3).
+func GDS(cfg Config) *table.Dataset {
+	return build(corpusShape{
+		name:    "GDS",
+		minCols: 20, maxCols: 32,
+		minRows: 40, maxRows: 150,
+	}, gdsTypes(86, 9), cfg)
+}
+
+// WDC generates the Web-Data-Commons-like corpus: ~147 coarse types refined
+// into ~325 fine subtypes with systematically different scales, ~2.9k
+// columns at scale 1, and overlapping coarse-grained headers (header-only
+// precision is low on this corpus, paper Table 3).
+func WDC(cfg Config) *table.Dataset {
+	return build(corpusShape{
+		name:    "WDC",
+		minCols: 5, maxCols: 13,
+		minRows: 40, maxRows: 150,
+	}, wdcTypes(147), cfg)
+}
+
+// SatoTables generates the Sato-Tables-like corpus: 12 types, ~2.2k columns
+// at scale 1, with heavy value-range collisions between types (age vs
+// weight, rank vs order vs position).
+func SatoTables(cfg Config) *table.Dataset {
+	return build(corpusShape{
+		name:    "SatoTables",
+		minCols: 160, maxCols: 210,
+		minRows: 40, maxRows: 150,
+	}, satoTypes(), cfg)
+}
+
+// GitTables generates the Git-Tables-like corpus: 19 measurement types, ~460
+// columns at scale 1, minimal header context.
+func GitTables(cfg Config) *table.Dataset {
+	return build(corpusShape{
+		name:    "GitTables",
+		minCols: 18, maxCols: 30,
+		minRows: 40, maxRows: 150,
+	}, gitTypes(), cfg)
+}
+
+// AllCorpora returns the four corpora in the paper's order: GitTables,
+// SatoTables, WDC, GDS (the column order of Table 2).
+func AllCorpora(cfg Config) []*table.Dataset {
+	return []*table.Dataset{
+		GitTables(cfg),
+		SatoTables(cfg),
+		WDC(cfg),
+		GDS(cfg),
+	}
+}
+
+// Stats summarizes a corpus for Table 1.
+type Stats struct {
+	Name       string
+	Columns    int
+	Types      int
+	TotalCells int
+}
+
+// Describe computes Table 1 statistics for a corpus.
+func Describe(ds *table.Dataset) Stats {
+	return Stats{
+		Name:       ds.Name,
+		Columns:    len(ds.Columns),
+		Types:      ds.NumTypes(),
+		TotalCells: ds.TotalValues(),
+	}
+}
+
+// Figure1Columns returns the four motivating columns of the paper's
+// Figure 1: Age and Rank share a bell shape around 30 while Test Score and
+// Temperature share one around 75, yet all four have different semantic
+// types.
+func Figure1Columns(seed int64) []table.Column {
+	rng := rand.New(rand.NewSource(seed))
+	sample := func(gen ValueGen, n int) []float64 { return gen(rng, n) }
+	return []table.Column{
+		{Name: "Age", Type: "age", Values: sample(normalGen(30, 6, 0, 0, 0, 0, 110), 400)},
+		{Name: "Rank", Type: "rank", Values: sample(normalGen(30, 5, 0, 0, 0, 1, 60), 400)},
+		{Name: "Test Score", Type: "test_score", Values: sample(normalGen(75, 9, 0, 0, 1, 0, 100), 400)},
+		{Name: "Temperature", Type: "temperature", Values: sample(normalGen(75, 10, 0, 0, 1, unbounded, unbounded), 400)},
+	}
+}
+
+// ScalabilityDataset generates a single-purpose corpus with exactly nColumns
+// columns for the Figure 5 runtime sweep, reusing the GDS type structure.
+func ScalabilityDataset(nColumns int, seed int64) *table.Dataset {
+	if nColumns < 1 {
+		nColumns = 1
+	}
+	specs := gdsTypes(86, 9)
+	rng := rand.New(rand.NewSource(seed))
+	ds := &table.Dataset{Name: fmt.Sprintf("scal_%d", nColumns)}
+	for i := 0; i < nColumns; i++ {
+		spec := specs[i%len(specs)]
+		rows := 40 + rng.Intn(111)
+		ds.Columns = append(ds.Columns, table.Column{
+			Name:   rotateHeader(spec.headers, i/len(specs)),
+			Values: spec.gen(rng, rows),
+			Type:   spec.coarse,
+			Table:  ds.Name,
+		})
+	}
+	return ds
+}

@@ -1,0 +1,334 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/stats"
+)
+
+func TestCorporaShapes(t *testing.T) {
+	cfg := Config{Seed: 1, Scale: 0.1}
+	tests := []struct {
+		name      string
+		ds        interface{ NumTypes() int }
+		wantTypes int
+	}{}
+	_ = tests
+
+	git := GitTables(cfg)
+	if git.NumTypes() != 19 {
+		t.Errorf("GitTables types = %d, want 19", git.NumTypes())
+	}
+	sato := SatoTables(cfg)
+	if sato.NumTypes() != 12 {
+		t.Errorf("SatoTables types = %d, want 12", sato.NumTypes())
+	}
+	gds := GDS(cfg)
+	if n := gds.NumTypes(); n < 80 || n > 96 {
+		t.Errorf("GDS coarse types = %d, want ~86", n)
+	}
+	wdc := WDC(cfg)
+	if n := wdc.NumTypes(); n < 140 || n > 150 {
+		t.Errorf("WDC coarse types = %d, want ~147", n)
+	}
+	for _, ds := range AllCorpora(cfg) {
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", ds.Name, err)
+		}
+	}
+}
+
+func TestFineGrainHasMoreTypes(t *testing.T) {
+	coarseGDS := GDS(Config{Seed: 2, Scale: 0.1, Grain: Coarse})
+	fineGDS := GDS(Config{Seed: 2, Scale: 0.1, Grain: Fine})
+	if fineGDS.NumTypes() <= coarseGDS.NumTypes() {
+		t.Errorf("GDS fine types (%d) must exceed coarse (%d)",
+			fineGDS.NumTypes(), coarseGDS.NumTypes())
+	}
+	coarseWDC := WDC(Config{Seed: 2, Scale: 0.1, Grain: Coarse})
+	fineWDC := WDC(Config{Seed: 2, Scale: 0.1, Grain: Fine})
+	if fineWDC.NumTypes() < 2*coarseWDC.NumTypes() {
+		t.Errorf("WDC fine types (%d) should be ≳2x coarse (%d)",
+			fineWDC.NumTypes(), coarseWDC.NumTypes())
+	}
+	// Same seed and scale: identical column count regardless of grain.
+	if len(fineGDS.Columns) != len(coarseGDS.Columns) {
+		t.Errorf("grain must not change column count: %d vs %d",
+			len(fineGDS.Columns), len(coarseGDS.Columns))
+	}
+}
+
+func TestFullScaleColumnCountsNearPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation skipped in -short mode")
+	}
+	cfg := Config{Seed: 3}
+	checks := []struct {
+		name   string
+		got    int
+		lo, hi int
+	}{
+		{"GDS", len(GDS(cfg).Columns), 2000, 3200},
+		{"WDC", len(WDC(cfg).Columns), 2200, 3600},
+		{"SatoTables", len(SatoTables(cfg).Columns), 1800, 2700},
+		{"GitTables", len(GitTables(cfg).Columns), 350, 600},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s columns = %d, want in [%d, %d] (paper-comparable)", c.name, c.got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := GitTables(Config{Seed: 7, Scale: 0.2})
+	b := GitTables(Config{Seed: 7, Scale: 0.2})
+	if len(a.Columns) != len(b.Columns) {
+		t.Fatalf("column counts differ: %d vs %d", len(a.Columns), len(b.Columns))
+	}
+	for i := range a.Columns {
+		ca, cb := a.Columns[i], b.Columns[i]
+		if ca.Name != cb.Name || ca.Type != cb.Type || len(ca.Values) != len(cb.Values) {
+			t.Fatalf("column %d metadata differs", i)
+		}
+		for j := range ca.Values {
+			if ca.Values[j] != cb.Values[j] {
+				t.Fatalf("column %d value %d differs: %v vs %v", i, j, ca.Values[j], cb.Values[j])
+			}
+		}
+	}
+	c := GitTables(Config{Seed: 8, Scale: 0.2})
+	same := true
+	for i := range a.Columns {
+		if i >= len(c.Columns) || len(a.Columns[i].Values) != len(c.Columns[i].Values) {
+			same = false
+			break
+		}
+		for j := range a.Columns[i].Values {
+			if a.Columns[i].Values[j] != c.Columns[i].Values[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical values")
+	}
+}
+
+func TestEveryTypeHasAtLeastTwoColumns(t *testing.T) {
+	for _, ds := range AllCorpora(Config{Seed: 4, Scale: 0.05}) {
+		counts := make(map[string]int)
+		for _, c := range ds.Columns {
+			counts[c.Type]++
+		}
+		for typ, n := range counts {
+			if n < 2 {
+				t.Errorf("%s type %q has %d columns, want >= 2", ds.Name, typ, n)
+			}
+		}
+	}
+}
+
+func TestSatoCollisions(t *testing.T) {
+	// The signature Sato phenomenon: age and weight columns overlap in range.
+	ds := SatoTables(Config{Seed: 5, Scale: 0.1})
+	var ageMean, weightMean float64
+	var ageN, weightN int
+	for _, c := range ds.Columns {
+		m, err := stats.Mean(c.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch c.Type {
+		case "age":
+			ageMean += m
+			ageN++
+		case "weight":
+			weightMean += m
+			weightN++
+		}
+	}
+	if ageN == 0 || weightN == 0 {
+		t.Fatal("missing age or weight columns")
+	}
+	ageMean /= float64(ageN)
+	weightMean /= float64(weightN)
+	if math.Abs(ageMean-weightMean) > 15 {
+		t.Errorf("age (%.1f) and weight (%.1f) should overlap in range", ageMean, weightMean)
+	}
+}
+
+func TestWDCFineSubtypesHaveDifferentScales(t *testing.T) {
+	ds := WDC(Config{Seed: 6, Scale: 0.2, Grain: Fine})
+	// Collect mean-of-means per fine type, grouped by coarse prefix; any
+	// refined coarse type must have fine subtypes with different scales.
+	byFine := make(map[string][]float64)
+	for _, c := range ds.Columns {
+		m, _ := stats.Mean(c.Values)
+		byFine[c.Type] = append(byFine[c.Type], m)
+	}
+	// Find two fine types sharing a coarse stem prefix and compare scales.
+	found := false
+	for fine := range byFine {
+		for other := range byFine {
+			if fine >= other {
+				continue
+			}
+			if sharePrefix(fine, other) {
+				m1 := meanOf(byFine[fine])
+				m2 := meanOf(byFine[other])
+				if m1 != 0 && m2 != 0 && (m1/m2 > 1.3 || m2/m1 > 1.3) {
+					found = true
+				}
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Error("no pair of sibling fine types with clearly different scales found")
+	}
+}
+
+func sharePrefix(a, b string) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	// Require a long shared prefix including at least one underscore.
+	common := 0
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			break
+		}
+		common++
+	}
+	return common >= 8
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}
+
+func TestFigure1Columns(t *testing.T) {
+	cols := Figure1Columns(1)
+	if len(cols) != 4 {
+		t.Fatalf("got %d columns, want 4", len(cols))
+	}
+	means := make(map[string]float64)
+	for _, c := range cols {
+		m, err := stats.Mean(c.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[c.Type] = m
+	}
+	if math.Abs(means["age"]-means["rank"]) > 5 {
+		t.Errorf("Age (%.1f) and Rank (%.1f) should overlap near 30", means["age"], means["rank"])
+	}
+	if math.Abs(means["test_score"]-means["temperature"]) > 6 {
+		t.Errorf("Test Score (%.1f) and Temperature (%.1f) should overlap near 75",
+			means["test_score"], means["temperature"])
+	}
+}
+
+func TestScalabilityDataset(t *testing.T) {
+	ds := ScalabilityDataset(137, 9)
+	if len(ds.Columns) != 137 {
+		t.Errorf("columns = %d, want 137", len(ds.Columns))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Error(err)
+	}
+	tiny := ScalabilityDataset(0, 9)
+	if len(tiny.Columns) != 1 {
+		t.Errorf("clamped columns = %d, want 1", len(tiny.Columns))
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	ds := GitTables(Config{Seed: 10, Scale: 0.1})
+	s := Describe(ds)
+	if s.Name != "GitTables" || s.Columns != len(ds.Columns) || s.Types != 19 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if s.TotalCells != ds.TotalValues() {
+		t.Errorf("TotalCells = %d, want %d", s.TotalCells, ds.TotalValues())
+	}
+}
+
+func TestValueGensProduceFiniteValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gens := map[string]ValueGen{
+		"normal":     normalGen(10, 3, 0.1, 0.1, 1, 0, 100),
+		"uniform":    uniformGen(0, 10, 0.05, 0),
+		"lognormal":  lognormalGen(2, 1, 0.2, 2),
+		"gamma":      gammaGen(2, 0.1, 0.2, 1),
+		"betaScaled": betaScaledGen(2, 5, 100, 0.2, 1),
+		"discrete":   discreteGen([]float64{1, 2, 3}, 0.5),
+		"mixture":    mixtureGen(normalGen(0, 1, 0, 0, -1, unbounded, unbounded), normalGen(10, 1, 0, 0, -1, unbounded, unbounded)),
+		"shifted":    shiftScaleGen(uniformGen(0, 1, 0, -1), 5, 2, 3),
+	}
+	for name, g := range gens {
+		for trial := 0; trial < 5; trial++ {
+			vals := g(rng, 100)
+			if len(vals) != 100 {
+				t.Errorf("%s produced %d values, want 100", name, len(vals))
+			}
+			for _, v := range vals {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s produced non-finite value %v", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDiscreteGenRepetitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := discreteGen([]float64{1, 2, 3, 4, 5}, 0.3)
+	vals := g(rng, 500)
+	uniq := stats.UniqueCount(vals)
+	if uniq > 5 {
+		t.Errorf("discrete column has %d unique values, want <= 5", uniq)
+	}
+}
+
+func TestShiftScaleGen(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := uniformGen(0, 1, 0, -1)
+	shifted := shiftScaleGen(base, 10, 2, -1)
+	vals := shifted(rng, 200)
+	for _, v := range vals {
+		if v < 10 || v > 12 {
+			t.Fatalf("shifted value %v outside [10, 12]", v)
+		}
+	}
+}
+
+func TestRotateHeader(t *testing.T) {
+	pool := []string{"a", "b"}
+	if h := rotateHeader(pool, 0); h != "a" {
+		t.Errorf("rotateHeader(0) = %q", h)
+	}
+	if h := rotateHeader(pool, 1); h != "b" {
+		t.Errorf("rotateHeader(1) = %q", h)
+	}
+	if h := rotateHeader(pool, 2); h != "a_1" {
+		t.Errorf("rotateHeader(2) = %q", h)
+	}
+	if h := rotateHeader(pool, 5); h != "b_2" {
+		t.Errorf("rotateHeader(5) = %q", h)
+	}
+}

@@ -1,0 +1,225 @@
+// Package data generates the four synthetic benchmark corpora the
+// reproduction evaluates on — stand-ins for GDS, WDC, Sato Tables and
+// Git Tables (see DESIGN.md §4, substitution 1). Each corpus is a catalogue
+// of semantic types; each type is a distribution family with type-specific
+// parameters; each column of a type draws jittered per-column parameters and
+// then samples its values. Every phenomenon the paper's evaluation probes is
+// generated explicitly: overlapping value ranges across types, fine-grained
+// subtypes of one coarse type with shifted scales, distinct vs overlapping
+// header vocabularies, and repetitive integer-valued columns next to
+// continuous ones.
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/gem-embeddings/gem/internal/dist"
+)
+
+// ValueGen generates the values of one column: it first draws per-column
+// parameters from rng (jitter) and then samples n cell values.
+type ValueGen func(rng *rand.Rand, n int) []float64
+
+// roundTo rounds v to the given number of decimal places; decimals < 0
+// leaves v untouched.
+func roundTo(v float64, decimals int) float64 {
+	if decimals < 0 {
+		return v
+	}
+	p := math.Pow(10, float64(decimals))
+	return math.Round(v*p) / p
+}
+
+// clip limits v to [lo, hi]; a NaN bound disables that side.
+func clip(v, lo, hi float64) float64 {
+	if !math.IsNaN(lo) && v < lo {
+		return lo
+	}
+	if !math.IsNaN(hi) && v > hi {
+		return hi
+	}
+	return v
+}
+
+var unbounded = math.NaN()
+
+// normalGen produces columns from Normal(mu', sigma') where mu' and sigma'
+// are jittered per column: mu' = mu * (1 + locJitter*z), sigma' likewise.
+func normalGen(mu, sigma, locJitter, scaleJitter float64, decimals int, lo, hi float64) ValueGen {
+	return func(rng *rand.Rand, n int) []float64 {
+		m := mu * (1 + locJitter*rng.NormFloat64())
+		s := math.Abs(sigma * (1 + scaleJitter*rng.NormFloat64()))
+		if s <= 0 {
+			s = sigma
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = roundTo(clip(m+s*rng.NormFloat64(), lo, hi), decimals)
+		}
+		return out
+	}
+}
+
+// uniformGen produces columns from Uniform(lo', hi') with per-column
+// endpoint jitter proportional to the width.
+func uniformGen(lo, hi, jitter float64, decimals int) ValueGen {
+	return func(rng *rand.Rand, n int) []float64 {
+		w := hi - lo
+		l := lo + jitter*w*rng.NormFloat64()
+		h := hi + jitter*w*rng.NormFloat64()
+		if h <= l {
+			l, h = lo, hi
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = roundTo(l+rng.Float64()*(h-l), decimals)
+		}
+		return out
+	}
+}
+
+// lognormalGen produces columns from LogNormal(mu', sigma') with additive
+// jitter on mu (which is multiplicative on the value scale).
+func lognormalGen(mu, sigma, muJitter float64, decimals int) ValueGen {
+	return func(rng *rand.Rand, n int) []float64 {
+		m := mu + muJitter*rng.NormFloat64()
+		s := math.Abs(sigma * (1 + 0.1*rng.NormFloat64()))
+		if s <= 0 {
+			s = sigma
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = roundTo(math.Exp(m+s*rng.NormFloat64()), decimals)
+		}
+		return out
+	}
+}
+
+// gammaGen produces columns from Gamma(shape', rate) with per-column shape
+// jitter; useful for durations and counts with a right tail.
+func gammaGen(shape, rate, jitter float64, decimals int) ValueGen {
+	return func(rng *rand.Rand, n int) []float64 {
+		sh := math.Abs(shape * (1 + jitter*rng.NormFloat64()))
+		if sh <= 0.05 {
+			sh = shape
+		}
+		g := dist.Gamma{Alpha: sh, Beta: rate}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = roundTo(g.Rand(rng), decimals)
+		}
+		return out
+	}
+}
+
+// betaScaledGen produces columns from scale * Beta(a', b'), e.g. percentages.
+func betaScaledGen(a, b, scale, jitter float64, decimals int) ValueGen {
+	return func(rng *rand.Rand, n int) []float64 {
+		aa := math.Abs(a * (1 + jitter*rng.NormFloat64()))
+		bb := math.Abs(b * (1 + jitter*rng.NormFloat64()))
+		if aa <= 0.05 {
+			aa = a
+		}
+		if bb <= 0.05 {
+			bb = b
+		}
+		d := dist.Beta{A: aa, B: bb}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = roundTo(scale*d.Rand(rng), decimals)
+		}
+		return out
+	}
+}
+
+// discreteGen produces highly repetitive columns over a small support set —
+// ratings, shoe sizes, Likert scales. Each column draws its own categorical
+// weights from a symmetric Dirichlet with concentration conc (small conc →
+// spiky columns such as the paper's constant 'Rating_Movie' example).
+func discreteGen(support []float64, conc float64) ValueGen {
+	return func(rng *rand.Rand, n int) []float64 {
+		w := dirichlet(rng, len(support), conc)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = support[sampleIndex(rng, w)]
+		}
+		return out
+	}
+}
+
+// discreteSpikyGen produces repetitive integer columns over [lo, hi] with a
+// per-column spiky Dirichlet weighting — "order"-like columns where a few
+// values dominate (low unique count, low entropy) even though the nominal
+// range matches a uniform neighbour type.
+func discreteSpikyGen(lo, hi int, conc float64) ValueGen {
+	support := make([]float64, hi-lo+1)
+	for i := range support {
+		support[i] = float64(lo + i)
+	}
+	return discreteGen(support, conc)
+}
+
+// mixtureGen produces bimodal/multimodal columns: a per-column weighted blend
+// of the provided generators (each component re-jitters independently).
+func mixtureGen(parts ...ValueGen) ValueGen {
+	return func(rng *rand.Rand, n int) []float64 {
+		w := dirichlet(rng, len(parts), 2)
+		// Pre-draw each part's column closure via a one-shot sampler: we
+		// sample counts per part, generate, then shuffle.
+		counts := make([]int, len(parts))
+		for i := 0; i < n; i++ {
+			counts[sampleIndex(rng, w)]++
+		}
+		out := make([]float64, 0, n)
+		for p, c := range counts {
+			if c == 0 {
+				continue
+			}
+			out = append(out, parts[p](rng, c)...)
+		}
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+}
+
+// shiftScaleGen wraps g, applying x -> offset + factor*x to every value.
+// This is how fine-grained subtypes of one coarse type (Score_Cricket vs
+// Score_Rugby) get systematically different scales.
+func shiftScaleGen(g ValueGen, offset, factor float64, decimals int) ValueGen {
+	return func(rng *rand.Rand, n int) []float64 {
+		out := g(rng, n)
+		for i := range out {
+			out[i] = roundTo(offset+factor*out[i], decimals)
+		}
+		return out
+	}
+}
+
+// dirichlet draws a symmetric Dirichlet(conc) weight vector of length k.
+func dirichlet(rng *rand.Rand, k int, conc float64) []float64 {
+	w := make([]float64, k)
+	var sum float64
+	g := dist.Gamma{Alpha: conc, Beta: 1}
+	for i := range w {
+		w[i] = g.Rand(rng) + 1e-12
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// sampleIndex draws an index from the categorical distribution w.
+func sampleIndex(rng *rand.Rand, w []float64) int {
+	u := rng.Float64()
+	var cum float64
+	for i, v := range w {
+		cum += v
+		if u <= cum {
+			return i
+		}
+	}
+	return len(w) - 1
+}

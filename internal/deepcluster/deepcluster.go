@@ -1,0 +1,408 @@
+// Package deepcluster implements the two deep-clustering algorithms of the
+// paper's Table 4 on this repository's substrates: SDCN (Bo et al., WWW'20)
+// and TableDC (Rauf et al., 2024). Both are reimplemented in simplified but
+// structurally faithful form (see DESIGN.md §4, substitution 4):
+//
+//   - Both pretrain an autoencoder on the input embeddings and initialize
+//     cluster centroids with k-means in the latent space.
+//   - Both then refine clusters with DEC-style self-supervision: a soft
+//     assignment distribution Q is computed from latent-centroid distances,
+//     sharpened into a target distribution P, and centroids are re-estimated
+//     against P; iterate.
+//   - SDCN additionally propagates the latent representation over a
+//     k-nearest-neighbour graph of the inputs (its GCN branch) and blends
+//     the structural and autoencoder views before refinement — its "dual
+//     self-supervision".
+//   - TableDC replaces the Student-t kernel with a Cauchy kernel over the
+//     Mahalanobis distance (shared diagonal covariance), its signature
+//     design for dense, heavily overlapping embedding spaces.
+package deepcluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/gem-embeddings/gem/internal/autoencoder"
+	"github.com/gem-embeddings/gem/internal/kmeans"
+)
+
+// ErrInput is returned for invalid clustering inputs.
+var ErrInput = errors.New("deepcluster: invalid input")
+
+// Config controls a deep-clustering run.
+type Config struct {
+	// K is the number of clusters (required).
+	K int
+	// LatentDim is the AE bottleneck width. Default 32 (clamped to input
+	// width).
+	LatentDim int
+	// Hidden is the AE encoder hidden widths. Default [128].
+	Hidden []int
+	// PretrainEpochs is the AE reconstruction pretraining length. Default 30.
+	PretrainEpochs int
+	// RefineIters is the number of self-supervised refinement iterations.
+	// Default 20.
+	RefineIters int
+	// UpdateInterval is how often the target distribution P is refreshed.
+	// Default 5.
+	UpdateInterval int
+	// KNN is the neighbourhood size of SDCN's graph branch. Default 5.
+	KNN int
+	// GraphBlend is SDCN's mixing weight between the AE view and the
+	// graph-propagated view. Default 0.5.
+	GraphBlend float64
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+func (c *Config) fillDefaults(inputDim int) {
+	if c.LatentDim <= 0 {
+		c.LatentDim = 32
+	}
+	if c.LatentDim > inputDim {
+		c.LatentDim = inputDim
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{128}
+	}
+	if c.PretrainEpochs <= 0 {
+		c.PretrainEpochs = 30
+	}
+	if c.RefineIters <= 0 {
+		c.RefineIters = 20
+	}
+	if c.UpdateInterval <= 0 {
+		c.UpdateInterval = 5
+	}
+	if c.KNN <= 0 {
+		c.KNN = 5
+	}
+	if c.GraphBlend <= 0 || c.GraphBlend >= 1 {
+		c.GraphBlend = 0.5
+	}
+}
+
+// Result holds a deep-clustering outcome.
+type Result struct {
+	// Assignments maps each input row to a cluster in [0, K).
+	Assignments []int
+	// Latent is the refined latent representation of each row.
+	Latent [][]float64
+	// Q is the final soft-assignment matrix (rows sum to 1).
+	Q [][]float64
+	// Centroids are the final cluster centers in latent space.
+	Centroids [][]float64
+}
+
+// kernel computes the soft-assignment row for one latent point.
+type kernel func(z []float64, centroids [][]float64) []float64
+
+// SDCN clusters the rows with the (simplified) Structural Deep Clustering
+// Network: AE pretraining, KNN-graph propagation of the latent view, and
+// DEC-style dual self-supervised refinement with a Student-t kernel.
+func SDCN(rows [][]float64, cfg Config) (*Result, error) {
+	if err := checkRows(rows, cfg.K); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults(len(rows[0]))
+	z, err := pretrainLatent(rows, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("deepcluster: SDCN: %w", err)
+	}
+	// Graph branch: one round of normalized KNN propagation blended with the
+	// AE view (the structural/dual supervision signal).
+	neighbors := knnIndices(rows, cfg.KNN)
+	zg := propagate(z, neighbors)
+	blend := cfg.GraphBlend
+	for i := range z {
+		for j := range z[i] {
+			z[i][j] = (1-blend)*z[i][j] + blend*zg[i][j]
+		}
+	}
+	return refine(z, cfg, studentT)
+}
+
+// TableDC clusters the rows with the (simplified) TableDC algorithm: AE
+// pretraining and self-supervised refinement with a Cauchy kernel over the
+// Mahalanobis distance under a shared diagonal covariance.
+func TableDC(rows [][]float64, cfg Config) (*Result, error) {
+	if err := checkRows(rows, cfg.K); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults(len(rows[0]))
+	z, err := pretrainLatent(rows, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("deepcluster: TableDC: %w", err)
+	}
+	invVar := inverseVariances(z)
+	mahalanobisCauchy := func(zi []float64, centroids [][]float64) []float64 {
+		out := make([]float64, len(centroids))
+		var sum float64
+		for j, c := range centroids {
+			var d2 float64
+			for t := range zi {
+				d := zi[t] - c[t]
+				d2 += d * d * invVar[t]
+			}
+			v := 1 / (1 + d2) // Cauchy kernel on Mahalanobis distance
+			out[j] = v
+			sum += v
+		}
+		for j := range out {
+			out[j] /= sum
+		}
+		return out
+	}
+	return refine(z, cfg, mahalanobisCauchy)
+}
+
+// inverseVariances returns 1/var per latent coordinate (variance floored to
+// keep the Mahalanobis metric finite on collapsed coordinates).
+func inverseVariances(z [][]float64) []float64 {
+	dim := len(z[0])
+	n := float64(len(z))
+	mean := make([]float64, dim)
+	for _, row := range z {
+		for t, v := range row {
+			mean[t] += v
+		}
+	}
+	for t := range mean {
+		mean[t] /= n
+	}
+	out := make([]float64, dim)
+	for _, row := range z {
+		for t, v := range row {
+			d := v - mean[t]
+			out[t] += d * d
+		}
+	}
+	for t := range out {
+		v := out[t] / n
+		if v < 1e-9 {
+			v = 1e-9
+		}
+		out[t] = 1 / v
+	}
+	return out
+}
+
+func checkRows(rows [][]float64, k int) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("%w: no rows", ErrInput)
+	}
+	if len(rows[0]) == 0 {
+		return fmt.Errorf("%w: zero-width rows", ErrInput)
+	}
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width {
+			return fmt.Errorf("%w: row %d has width %d, want %d", ErrInput, i, len(r), width)
+		}
+	}
+	if k < 1 {
+		return fmt.Errorf("%w: K = %d", ErrInput, k)
+	}
+	if k > len(rows) {
+		return fmt.Errorf("%w: K = %d > %d rows", ErrInput, k, len(rows))
+	}
+	return nil
+}
+
+// pretrainLatent trains the AE and returns latent codes.
+func pretrainLatent(rows [][]float64, cfg Config) ([][]float64, error) {
+	ae, err := autoencoder.New(autoencoder.Config{
+		InputDim:  len(rows[0]),
+		Hidden:    cfg.Hidden,
+		LatentDim: cfg.LatentDim,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ae.Train(rows, autoencoder.TrainConfig{
+		Epochs:       cfg.PretrainEpochs,
+		BatchSize:    64,
+		LearningRate: 1e-3,
+		Seed:         cfg.Seed,
+	}); err != nil {
+		return nil, err
+	}
+	return ae.Encode(rows)
+}
+
+// studentT is DEC/SDCN's soft assignment: q_ij ∝ (1 + ||z-mu||^2)^-1
+// (Student's t with one degree of freedom).
+func studentT(z []float64, centroids [][]float64) []float64 {
+	out := make([]float64, len(centroids))
+	var sum float64
+	for j, c := range centroids {
+		var d2 float64
+		for t := range z {
+			d := z[t] - c[t]
+			d2 += d * d
+		}
+		v := 1 / (1 + d2)
+		out[j] = v
+		sum += v
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+	return out
+}
+
+// refine runs the DEC-style alternating refinement: compute Q, sharpen into
+// P every UpdateInterval iterations, and re-estimate centroids as
+// P-weighted means.
+func refine(z [][]float64, cfg Config, kern kernel) (*Result, error) {
+	n := len(z)
+	dim := len(z[0])
+	km, err := kmeans.Run(z, kmeans.Config{K: cfg.K, Restarts: 4, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("deepcluster: centroid init: %w", err)
+	}
+	centroids := km.Centroids
+
+	q := make([][]float64, n)
+	var p [][]float64
+	for iter := 0; iter < cfg.RefineIters; iter++ {
+		for i := range z {
+			q[i] = kern(z[i], centroids)
+		}
+		if iter%cfg.UpdateInterval == 0 || p == nil {
+			p = targetDistribution(q)
+		}
+		// M-step: centroids as P-weighted means of latent points.
+		for j := 0; j < cfg.K; j++ {
+			var wsum float64
+			acc := make([]float64, dim)
+			for i := 0; i < n; i++ {
+				w := p[i][j]
+				wsum += w
+				for t := 0; t < dim; t++ {
+					acc[t] += w * z[i][t]
+				}
+			}
+			if wsum <= 1e-12 {
+				continue // dead cluster: keep previous centroid
+			}
+			for t := 0; t < dim; t++ {
+				centroids[j][t] = acc[t] / wsum
+			}
+		}
+	}
+	for i := range z {
+		q[i] = kern(z[i], centroids)
+	}
+	assign := make([]int, n)
+	for i, row := range q {
+		best, bestV := 0, math.Inf(-1)
+		for j, v := range row {
+			if v > bestV {
+				bestV = v
+				best = j
+			}
+		}
+		assign[i] = best
+	}
+	return &Result{Assignments: assign, Latent: z, Q: q, Centroids: centroids}, nil
+}
+
+// targetDistribution sharpens Q into DEC's target P:
+// p_ij ∝ q_ij^2 / f_j with f_j the cluster's total soft mass.
+func targetDistribution(q [][]float64) [][]float64 {
+	if len(q) == 0 {
+		return nil
+	}
+	k := len(q[0])
+	f := make([]float64, k)
+	for _, row := range q {
+		for j, v := range row {
+			f[j] += v
+		}
+	}
+	p := make([][]float64, len(q))
+	for i, row := range q {
+		pr := make([]float64, k)
+		var sum float64
+		for j, v := range row {
+			var w float64
+			if f[j] > 0 {
+				w = v * v / f[j]
+			}
+			pr[j] = w
+			sum += w
+		}
+		if sum > 0 {
+			for j := range pr {
+				pr[j] /= sum
+			}
+		}
+		p[i] = pr
+	}
+	return p
+}
+
+// knnIndices returns, for every row, the indices of its k nearest
+// neighbours by Euclidean distance in the input space.
+func knnIndices(rows [][]float64, k int) [][]int {
+	n := len(rows)
+	if k > n-1 {
+		k = n - 1
+	}
+	out := make([][]int, n)
+	type cand struct {
+		j int
+		d float64
+	}
+	for i := 0; i < n; i++ {
+		cands := make([]cand, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			var d2 float64
+			for t := range rows[i] {
+				d := rows[i][t] - rows[j][t]
+				d2 += d * d
+			}
+			cands = append(cands, cand{j, d2})
+		}
+		// Partial selection sort of the k nearest.
+		ids := make([]int, 0, k)
+		for t := 0; t < k; t++ {
+			best := t
+			for u := t + 1; u < len(cands); u++ {
+				if cands[u].d < cands[best].d {
+					best = u
+				}
+			}
+			cands[t], cands[best] = cands[best], cands[t]
+			ids = append(ids, cands[t].j)
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// propagate averages each latent row with its graph neighbours (one step of
+// normalized adjacency propagation, self-loop included).
+func propagate(z [][]float64, neighbors [][]int) [][]float64 {
+	out := make([][]float64, len(z))
+	for i := range z {
+		acc := append([]float64(nil), z[i]...)
+		for _, j := range neighbors[i] {
+			for t := range acc {
+				acc[t] += z[j][t]
+			}
+		}
+		inv := 1 / float64(len(neighbors[i])+1)
+		for t := range acc {
+			acc[t] *= inv
+		}
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package deepcluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/eval"
+	"github.com/gem-embeddings/gem/internal/mathx"
+)
+
+// blobs generates k well-separated Gaussian blobs in dim dimensions and
+// returns rows plus ground-truth labels.
+func blobs(k, perCluster, dim int, seed int64) ([][]float64, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, 0, k*perCluster)
+	labels := make([]string, 0, k*perCluster)
+	for c := 0; c < k; c++ {
+		center := make([]float64, dim)
+		for t := range center {
+			center[t] = float64(c*10) * math.Cos(float64(t+c))
+		}
+		for i := 0; i < perCluster; i++ {
+			row := make([]float64, dim)
+			for t := range row {
+				row[t] = center[t] + 0.5*rng.NormFloat64()
+			}
+			rows = append(rows, row)
+			labels = append(labels, string(rune('a'+c)))
+		}
+	}
+	return rows, labels
+}
+
+func fastCfg(k int) Config {
+	return Config{
+		K:              k,
+		LatentDim:      8,
+		Hidden:         []int{32},
+		PretrainEpochs: 40,
+		RefineIters:    10,
+		Seed:           1,
+	}
+}
+
+func TestSDCNSeparatesBlobs(t *testing.T) {
+	rows, labels := blobs(3, 40, 12, 2)
+	res, err := SDCN(rows, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := eval.ClusterACC(labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("SDCN ACC on separated blobs = %v, want >= 0.9", acc)
+	}
+	ari, _ := eval.AdjustedRandIndex(labels, res.Assignments)
+	if ari < 0.8 {
+		t.Errorf("SDCN ARI = %v, want >= 0.8", ari)
+	}
+}
+
+func TestTableDCSeparatesBlobs(t *testing.T) {
+	rows, labels := blobs(3, 40, 12, 3)
+	res, err := TableDC(rows, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := eval.ClusterACC(labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("TableDC ACC on separated blobs = %v, want >= 0.9", acc)
+	}
+}
+
+func TestResultShapes(t *testing.T) {
+	rows, _ := blobs(2, 20, 6, 4)
+	res, err := SDCN(rows, fastCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != len(rows) {
+		t.Errorf("assignments length %d, want %d", len(res.Assignments), len(rows))
+	}
+	if len(res.Latent) != len(rows) || len(res.Latent[0]) != 6 {
+		// latent clamped to min(LatentDim=8, input=6)
+		t.Errorf("latent shape %dx%d, want %dx6", len(res.Latent), len(res.Latent[0]), len(rows))
+	}
+	if len(res.Q) != len(rows) || len(res.Q[0]) != 2 {
+		t.Errorf("Q shape wrong")
+	}
+	if len(res.Centroids) != 2 {
+		t.Errorf("centroids count %d, want 2", len(res.Centroids))
+	}
+	for _, a := range res.Assignments {
+		if a < 0 || a >= 2 {
+			t.Fatalf("assignment %d outside [0, 2)", a)
+		}
+	}
+}
+
+func TestQRowsSumToOne(t *testing.T) {
+	rows, _ := blobs(3, 15, 5, 5)
+	for name, run := range map[string]func([][]float64, Config) (*Result, error){
+		"SDCN":    SDCN,
+		"TableDC": TableDC,
+	} {
+		res, err := run(rows, fastCfg(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, row := range res.Q {
+			var s float64
+			for _, v := range row {
+				if v < 0 {
+					t.Fatalf("%s: negative q at row %d", name, i)
+				}
+				s += v
+			}
+			if !mathx.AlmostEqual(s, 1, 1e-9) {
+				t.Errorf("%s: Q row %d sums to %v", name, i, s)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		rows [][]float64
+		k    int
+	}{
+		{nil, 2},
+		{[][]float64{{}}, 1},
+		{[][]float64{{1, 2}, {1}}, 1},
+		{[][]float64{{1, 2}}, 0},
+		{[][]float64{{1, 2}}, 5},
+	}
+	for i, tc := range cases {
+		if _, err := SDCN(tc.rows, Config{K: tc.k}); !errors.Is(err, ErrInput) {
+			t.Errorf("SDCN case %d: want ErrInput, got %v", i, err)
+		}
+		if _, err := TableDC(tc.rows, Config{K: tc.k}); !errors.Is(err, ErrInput) {
+			t.Errorf("TableDC case %d: want ErrInput, got %v", i, err)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rows, _ := blobs(2, 20, 6, 6)
+	a, err := TableDC(rows, fastCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TableDC(rows, fastCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("TableDC not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestTargetDistributionSharpens(t *testing.T) {
+	q := [][]float64{
+		{0.6, 0.4},
+		{0.7, 0.3},
+		{0.4, 0.6},
+	}
+	p := targetDistribution(q)
+	// Sharpening: dominant entries grow.
+	if p[0][0] <= q[0][0] {
+		t.Errorf("p[0][0] = %v should exceed q[0][0] = %v", p[0][0], q[0][0])
+	}
+	for i, row := range p {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if !mathx.AlmostEqual(s, 1, 1e-9) {
+			t.Errorf("p row %d sums to %v", i, s)
+		}
+	}
+	if targetDistribution(nil) != nil {
+		t.Error("empty q should give nil p")
+	}
+}
+
+func TestStudentTKernel(t *testing.T) {
+	centroids := [][]float64{{0, 0}, {10, 0}}
+	q := studentT([]float64{0.1, 0}, centroids)
+	if q[0] <= q[1] {
+		t.Errorf("point near centroid 0 should favour it: %v", q)
+	}
+	if !mathx.AlmostEqual(q[0]+q[1], 1, 1e-12) {
+		t.Errorf("kernel output must normalize: %v", q)
+	}
+}
+
+func TestKNNIndices(t *testing.T) {
+	rows := [][]float64{{0}, {1}, {10}, {11}}
+	nb := knnIndices(rows, 1)
+	if nb[0][0] != 1 || nb[1][0] != 0 || nb[2][0] != 3 || nb[3][0] != 2 {
+		t.Errorf("knnIndices = %v", nb)
+	}
+	// k clamps to n-1.
+	nb = knnIndices(rows, 10)
+	if len(nb[0]) != 3 {
+		t.Errorf("clamped k: got %d neighbours", len(nb[0]))
+	}
+}
+
+func TestPropagateSmooths(t *testing.T) {
+	z := [][]float64{{0}, {2}}
+	nb := [][]int{{1}, {0}}
+	out := propagate(z, nb)
+	if out[0][0] != 1 || out[1][0] != 1 {
+		t.Errorf("propagate = %v, want both 1", out)
+	}
+}
+
+func TestInverseVariances(t *testing.T) {
+	z := [][]float64{{0, 100}, {2, 104}, {4, 96}}
+	iv := inverseVariances(z)
+	// First coordinate has smaller variance → larger inverse variance.
+	if iv[0] <= iv[1] {
+		t.Errorf("inverseVariances = %v, want iv[0] > iv[1]", iv)
+	}
+}

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalizedMutualInformation returns the NMI between the ground-truth
+// labels and a predicted clustering, normalized by the arithmetic mean of
+// the two entropies. Ranges in [0, 1]: 1 for identical partitions, 0 for
+// independent ones. Complements ARI/ACC for the clustering evaluation.
+func NormalizedMutualInformation(trueLabels []string, predicted []int) (float64, error) {
+	n := len(trueLabels)
+	if n == 0 || len(predicted) != n {
+		return math.NaN(), fmt.Errorf("%w: %d true labels, %d predictions", ErrInput, n, len(predicted))
+	}
+	trueIdx := indexLabels(trueLabels)
+	predIdx := indexInts(predicted)
+	r, c := len(trueIdx), len(predIdx)
+
+	joint := make([][]float64, r)
+	for i := range joint {
+		joint[i] = make([]float64, c)
+	}
+	rowP := make([]float64, r)
+	colP := make([]float64, c)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		t := trueIdx[trueLabels[i]]
+		p := predIdx[predicted[i]]
+		joint[t][p] += inv
+		rowP[t] += inv
+		colP[p] += inv
+	}
+
+	var mi float64
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if joint[i][j] == 0 {
+				continue
+			}
+			mi += joint[i][j] * math.Log(joint[i][j]/(rowP[i]*colP[j]))
+		}
+	}
+	entropy := func(ps []float64) float64 {
+		var h float64
+		for _, p := range ps {
+			if p > 0 {
+				h -= p * math.Log(p)
+			}
+		}
+		return h
+	}
+	ht, hp := entropy(rowP), entropy(colP)
+	if ht == 0 && hp == 0 {
+		// Both partitions trivial (single cluster each): identical.
+		return 1, nil
+	}
+	denom := (ht + hp) / 2
+	if denom == 0 {
+		return 0, nil
+	}
+	nmi := mi / denom
+	// Clamp tiny negative values from floating-point noise.
+	if nmi < 0 && nmi > -1e-12 {
+		nmi = 0
+	}
+	return nmi, nil
+}

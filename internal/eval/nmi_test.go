@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gem-embeddings/gem/internal/mathx"
+)
+
+func TestNMIIdenticalPartitions(t *testing.T) {
+	labels := []string{"a", "a", "b", "b", "c", "c"}
+	pred := []int{9, 9, 4, 4, 7, 7}
+	nmi, err := NormalizedMutualInformation(labels, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(nmi, 1, 1e-12) {
+		t.Errorf("NMI(identical) = %v, want 1", nmi)
+	}
+}
+
+func TestNMIIndependentPartitions(t *testing.T) {
+	// Perfectly crossed partitions: knowing the prediction tells nothing
+	// about the label.
+	labels := []string{"a", "a", "b", "b"}
+	pred := []int{0, 1, 0, 1}
+	nmi, err := NormalizedMutualInformation(labels, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(nmi, 0, 1e-12) {
+		t.Errorf("NMI(independent) = %v, want 0", nmi)
+	}
+}
+
+func TestNMITrivialPartitions(t *testing.T) {
+	labels := []string{"a", "a", "a"}
+	pred := []int{0, 0, 0}
+	nmi, err := NormalizedMutualInformation(labels, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi != 1 {
+		t.Errorf("NMI(both trivial) = %v, want 1", nmi)
+	}
+}
+
+func TestNMIValidation(t *testing.T) {
+	if _, err := NormalizedMutualInformation(nil, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: want ErrInput, got %v", err)
+	}
+	if _, err := NormalizedMutualInformation([]string{"a"}, []int{0, 1}); !errors.Is(err, ErrInput) {
+		t.Errorf("mismatch: want ErrInput, got %v", err)
+	}
+}
+
+func TestNMIBoundedAndSymmetricUnderRenaming(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		labels := make([]string, n)
+		pred := make([]int, n)
+		for i := range labels {
+			labels[i] = string(rune('a' + rng.Intn(4)))
+			pred[i] = rng.Intn(4)
+		}
+		nmi, err := NormalizedMutualInformation(labels, pred)
+		if err != nil {
+			return false
+		}
+		if nmi < -1e-12 || nmi > 1+1e-9 {
+			return false
+		}
+		// Invariance under cluster renaming.
+		perm := map[int]int{0: 2, 1: 3, 2: 0, 3: 1}
+		renamed := make([]int, n)
+		for i, p := range pred {
+			renamed[i] = perm[p]
+		}
+		nmi2, err := NormalizedMutualInformation(labels, renamed)
+		if err != nil {
+			return false
+		}
+		return mathx.AlmostEqual(nmi, nmi2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNMICorrelatesWithAgreement(t *testing.T) {
+	labels := []string{"a", "a", "a", "a", "b", "b", "b", "b"}
+	perfect := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	partial := []int{0, 0, 0, 1, 1, 1, 1, 0}
+	nPerfect, _ := NormalizedMutualInformation(labels, perfect)
+	nPartial, _ := NormalizedMutualInformation(labels, partial)
+	if nPerfect <= nPartial {
+		t.Errorf("NMI(perfect)=%v should exceed NMI(partial)=%v", nPerfect, nPartial)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// The CSV exporters below emit plot-ready long-format data (one observation
+// per row) for every experiment result, so the paper's figures can be
+// regenerated with any plotting tool from gembench output.
+
+// WriteCSV exports Table 2 as method,dataset,precision rows.
+func (r *Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "dataset", "avg_precision"}); err != nil {
+		return fmt.Errorf("experiments: export: %w", err)
+	}
+	for _, m := range r.Methods {
+		for _, ds := range r.Datasets {
+			if err := cw.Write([]string{m, ds, formatF(r.Scores[m][ds])}); err != nil {
+				return fmt.Errorf("experiments: export: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Table 3 as method,dataset,precision rows.
+func (r *Table3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "dataset", "avg_precision"}); err != nil {
+		return fmt.Errorf("experiments: export: %w", err)
+	}
+	for _, m := range r.Methods {
+		for _, ds := range r.Datasets {
+			if err := cw.Write([]string{m, ds, formatF(r.Scores[m][ds])}); err != nil {
+				return fmt.Errorf("experiments: export: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Table 4 as embedding,dataset,algorithm,setting,ari,acc
+// rows.
+func (r *Table4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"embedding", "dataset", "algorithm", "setting", "ari", "acc"}); err != nil {
+		return fmt.Errorf("experiments: export: %w", err)
+	}
+	embeddings := make([]string, 0, len(r.Cells))
+	for e := range r.Cells {
+		embeddings = append(embeddings, e)
+	}
+	sort.Strings(embeddings)
+	for _, emb := range embeddings {
+		for _, ds := range r.Datasets {
+			keys := make([]string, 0, len(r.Cells[emb][ds]))
+			for k := range r.Cells[emb][ds] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				cell := r.Cells[emb][ds][key]
+				algo, setting := splitKey(key)
+				if err := cw.Write([]string{emb, ds, algo, setting, formatF(cell.ARI), formatF(cell.ACC)}); err != nil {
+					return fmt.Errorf("experiments: export: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Figure 3 as dataset,combo,precision rows.
+func (r *Figure3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "combo", "avg_precision"}); err != nil {
+		return fmt.Errorf("experiments: export: %w", err)
+	}
+	for _, ds := range sortedKeys(r.Scores) {
+		for _, combo := range r.Combos {
+			if err := cw.Write([]string{ds, combo, formatF(r.Scores[ds][combo])}); err != nil {
+				return fmt.Errorf("experiments: export: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Figure 4 as dataset,components,precision rows.
+func (r *Figure4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "components", "avg_precision"}); err != nil {
+		return fmt.Errorf("experiments: export: %w", err)
+	}
+	for _, ds := range sortedKeys(r.Scores) {
+		for _, m := range r.Components {
+			if err := cw.Write([]string{ds, strconv.Itoa(m), formatF(r.Scores[ds][m])}); err != nil {
+				return fmt.Errorf("experiments: export: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Figure 5 as method,columns,seconds rows.
+func (r *Figure5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "columns", "seconds"}); err != nil {
+		return fmt.Errorf("experiments: export: %w", err)
+	}
+	for _, m := range r.Methods {
+		for _, n := range r.ColumnCounts {
+			if err := cw.Write([]string{m, strconv.Itoa(n), formatF(r.Seconds[m][n])}); err != nil {
+				return fmt.Errorf("experiments: export: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// splitKey splits an "algo/setting" cell key.
+func splitKey(key string) (algo, setting string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}

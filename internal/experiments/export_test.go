@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
+}
+
+func TestTable2WriteCSV(t *testing.T) {
+	res := &Table2Result{
+		Datasets: []string{"A", "B"},
+		Methods:  []string{"m1", "m2"},
+		Scores: map[string]map[string]float64{
+			"m1": {"A": 0.5, "B": 0.25},
+			"m2": {"A": 0.75, "B": 0.125},
+		},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 5 {
+		t.Fatalf("got %d rows, want 5", len(records))
+	}
+	if records[0][2] != "avg_precision" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "m1" || records[1][1] != "A" || records[1][2] != "0.5" {
+		t.Errorf("row 1 = %v", records[1])
+	}
+}
+
+func TestTable3WriteCSV(t *testing.T) {
+	res := &Table3Result{
+		Datasets: []string{"WDC"},
+		Methods:  []string{"Gem (D+S)"},
+		Scores:   map[string]map[string]float64{"Gem (D+S)": {"WDC": 0.14}},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Gem (D+S),WDC,0.14") {
+		t.Errorf("unexpected csv:\n%s", buf.String())
+	}
+}
+
+func TestTable4WriteCSV(t *testing.T) {
+	res := &Table4Result{
+		Datasets: []string{"GDS"},
+		Settings: []string{"Values only"},
+		Cells: map[string]map[string]map[string]Table4Cell{
+			"Gem": {"GDS": {"TableDC/Values only": {ARI: 0.39, ACC: 0.48}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 2 {
+		t.Fatalf("got %d rows, want 2", len(records))
+	}
+	want := []string{"Gem", "GDS", "TableDC", "Values only", "0.39", "0.48"}
+	for i, v := range want {
+		if records[1][i] != v {
+			t.Errorf("row = %v, want %v", records[1], want)
+			break
+		}
+	}
+}
+
+func TestFigureWriteCSVs(t *testing.T) {
+	f3 := &Figure3Result{
+		Combos: []string{"D", "S"},
+		Scores: map[string]map[string]float64{"GDS": {"D": 0.3, "S": 0.39}},
+	}
+	var buf bytes.Buffer
+	if err := f3.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parseCSV(t, &buf)); got != 3 {
+		t.Errorf("figure3 rows = %d, want 3", got)
+	}
+
+	f4 := &Figure4Result{
+		Components: []int{10, 50},
+		Scores:     map[string]map[int]float64{"WDC": {10: 0.2, 50: 0.21}},
+	}
+	buf.Reset()
+	if err := f4.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 || records[1][1] != "10" {
+		t.Errorf("figure4 rows = %v", records)
+	}
+
+	f5 := &Figure5Result{
+		ColumnCounts: []int{200},
+		Methods:      []string{"Gem"},
+		Seconds:      map[string]map[int]float64{"Gem": {200: 1.25}},
+	}
+	buf.Reset()
+	if err := f5.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Gem,200,1.25") {
+		t.Errorf("figure5 csv:\n%s", buf.String())
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	algo, setting := splitKey("TableDC/Headers + Values")
+	if algo != "TableDC" || setting != "Headers + Values" {
+		t.Errorf("splitKey = %q, %q", algo, setting)
+	}
+	algo, setting = splitKey("nokey")
+	if algo != "nokey" || setting != "" {
+		t.Errorf("splitKey(nokey) = %q, %q", algo, setting)
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/baselines"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// Figure3Result holds the feature-ablation series (paper Figure 3): average
+// precision of every D/S/C combination on fine-grained WDC and GDS.
+type Figure3Result struct {
+	// Combos in the paper's x-axis order: D, S, C, D+S, C+S, D+C, D+C+S.
+	Combos []string
+	// Scores[dataset][combo] = average precision.
+	Scores map[string]map[string]float64
+}
+
+// figure3Combos lists the ablation feature sets in the paper's order.
+func figure3Combos() []struct {
+	label string
+	feats core.Features
+} {
+	return []struct {
+		label string
+		feats core.Features
+	}{
+		{"D", core.Distributional},
+		{"S", core.Statistical},
+		{"C", core.Contextual},
+		{"D+S", core.Distributional | core.Statistical},
+		{"C+S", core.Contextual | core.Statistical},
+		{"D+C", core.Distributional | core.Contextual},
+		{"D+C+S", core.Distributional | core.Contextual | core.Statistical},
+	}
+}
+
+// Figure3 reproduces the ablation study over feature combinations.
+func Figure3(opts Options) (*Figure3Result, error) {
+	opts.FillDefaults()
+	corpora := []*table.Dataset{
+		data.WDC(opts.corpusConfig(data.Fine)),
+		data.GDS(opts.corpusConfig(data.Fine)),
+	}
+	res := &Figure3Result{Scores: make(map[string]map[string]float64)}
+	for _, combo := range figure3Combos() {
+		res.Combos = append(res.Combos, combo.label)
+	}
+	for _, ds := range corpora {
+		res.Scores[ds.Name] = make(map[string]float64)
+		for _, combo := range figure3Combos() {
+			m := &GemMethod{
+				DisplayName: "Gem (" + combo.label + ")",
+				Cfg:         opts.gemConfig(combo.feats, core.Concatenation),
+			}
+			ap, err := scoreMethod(m, ds)
+			if err != nil {
+				return nil, fmt.Errorf("%w: figure3 %s on %s: %v", ErrRun, combo.label, ds.Name, err)
+			}
+			res.Scores[ds.Name][combo.label] = ap
+		}
+	}
+	return res, nil
+}
+
+// Figure4Result holds the GMM-component sweep (paper Figure 4): Gem (D+S)
+// precision as a function of the number of components on all four corpora.
+type Figure4Result struct {
+	Components []int
+	// Scores[dataset][m] = average precision with m components.
+	Scores map[string]map[int]float64
+}
+
+// Figure4 reproduces the component-count robustness sweep. components
+// defaults to the paper's grid 10, 20, ..., 100 when nil.
+func Figure4(opts Options, components []int) (*Figure4Result, error) {
+	opts.FillDefaults()
+	if len(components) == 0 {
+		components = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	corpora := data.AllCorpora(opts.corpusConfig(data.Coarse))
+	res := &Figure4Result{Components: components, Scores: make(map[string]map[int]float64)}
+	for _, ds := range corpora {
+		res.Scores[ds.Name] = make(map[int]float64)
+		for _, m := range components {
+			o := opts
+			o.Components = m
+			method := &GemMethod{
+				DisplayName: fmt.Sprintf("Gem m=%d", m),
+				Cfg:         o.gemConfig(core.Distributional|core.Statistical, core.Concatenation),
+			}
+			ap, err := scoreMethod(method, ds)
+			if err != nil {
+				return nil, fmt.Errorf("%w: figure4 m=%d on %s: %v", ErrRun, m, ds.Name, err)
+			}
+			res.Scores[ds.Name][m] = ap
+		}
+	}
+	return res, nil
+}
+
+// Figure5Result holds the scalability sweep (paper Figure 5): embedding
+// runtime against column count for Gem, PLE, Squashing GMM and the KS
+// statistic.
+type Figure5Result struct {
+	ColumnCounts []int
+	Methods      []string
+	// Seconds[method][nColumns] = mean wall-clock seconds to embed.
+	Seconds map[string]map[int]float64
+}
+
+// Figure5 reproduces the runtime scaling experiment. columnCounts defaults
+// to 200..2000 step 400; reps is the number of timed repetitions per point
+// (the paper uses 5; default 3).
+func Figure5(opts Options, columnCounts []int, reps int) (*Figure5Result, error) {
+	opts.FillDefaults()
+	if len(columnCounts) == 0 {
+		columnCounts = []int{200, 600, 1000, 1400, 1800}
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	methods := []baselines.Method{
+		&GemMethod{DisplayName: "Gem",
+			Cfg: opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation)},
+		&baselines.PLE{Bins: opts.Components},
+		&baselines.SquashingGMM{Components: opts.Components, Restarts: opts.Restarts,
+			SubsampleStack: opts.SubsampleStack, Seed: opts.Seed},
+		&baselines.KSStatistic{},
+	}
+	res := &Figure5Result{
+		ColumnCounts: columnCounts,
+		Seconds:      make(map[string]map[int]float64),
+	}
+	for _, m := range methods {
+		res.Methods = append(res.Methods, m.Name())
+		res.Seconds[m.Name()] = make(map[int]float64)
+	}
+	for _, n := range columnCounts {
+		ds := data.ScalabilityDataset(n, opts.Seed)
+		for _, m := range methods {
+			var total time.Duration
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				if _, err := m.Embed(ds); err != nil {
+					return nil, fmt.Errorf("%w: figure5 %s at n=%d: %v", ErrRun, m.Name(), n, err)
+				}
+				total += time.Since(start)
+			}
+			res.Seconds[m.Name()][n] = total.Seconds() / float64(reps)
+		}
+	}
+	return res, nil
+}

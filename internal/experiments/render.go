@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTable1 formats dataset statistics as a paper-style text table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Dataset statistics (synthetic corpora; fine types in brackets)\n")
+	fmt.Fprintf(&b, "%-12s %10s %18s %12s\n", "Dataset", "#Columns", "#GT clusters", "#Cells")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10d %10d (%d) %12d\n",
+			r.Dataset, r.Columns, r.CoarseTypes, r.FineTypes, r.TotalCells)
+	}
+	return b.String()
+}
+
+// String renders Table 2 in the paper's layout (methods × datasets).
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Average precision, numeric-only, coarse-grained labels\n")
+	fmt.Fprintf(&b, "%-24s", "Method")
+	for _, ds := range r.Datasets {
+		fmt.Fprintf(&b, " %12s", ds)
+	}
+	b.WriteString("\n")
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, "%-24s", m)
+		for _, ds := range r.Datasets {
+			fmt.Fprintf(&b, " %12.2f", r.Scores[m][ds])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// String renders Table 3 in the paper's layout.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3: Average precision, headers + values, fine-grained labels\n")
+	fmt.Fprintf(&b, "%-28s", "Method")
+	for _, ds := range r.Datasets {
+		fmt.Fprintf(&b, " %10s", ds)
+	}
+	b.WriteString("\n")
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, "%-28s", m)
+		for _, ds := range r.Datasets {
+			fmt.Fprintf(&b, " %10.3f", r.Scores[m][ds])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// String renders Table 4 with one row per embedding × algorithm × setting.
+func (r *Table4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 4: Clustering results (ARI / ACC)\n")
+	fmt.Fprintf(&b, "%-14s %-10s %-18s", "Embedding", "Algo", "Setting")
+	for _, ds := range r.Datasets {
+		fmt.Fprintf(&b, " %16s", ds)
+	}
+	b.WriteString("\n")
+	embeddings := make([]string, 0, len(r.Cells))
+	for e := range r.Cells {
+		embeddings = append(embeddings, e)
+	}
+	sort.Strings(embeddings)
+	for _, emb := range embeddings {
+		for _, algo := range []string{"TableDC", "SDCN"} {
+			for _, setting := range r.Settings {
+				key := algo + "/" + setting
+				// Skip rows absent everywhere (e.g. SOM headers-only).
+				present := false
+				for _, ds := range r.Datasets {
+					if _, ok := r.Cells[emb][ds][key]; ok {
+						present = true
+						break
+					}
+				}
+				if !present {
+					continue
+				}
+				fmt.Fprintf(&b, "%-14s %-10s %-18s", emb, algo, setting)
+				for _, ds := range r.Datasets {
+					cell, ok := r.Cells[emb][ds][key]
+					if !ok {
+						fmt.Fprintf(&b, " %16s", "-")
+						continue
+					}
+					fmt.Fprintf(&b, "      %5.2f/%5.2f", cell.ARI, cell.ACC)
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// String renders the Figure 3 ablation series.
+func (r *Figure3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Average precision per feature combination (fine-grained)\n")
+	fmt.Fprintf(&b, "%-10s", "Combo")
+	datasets := sortedKeys(r.Scores)
+	for _, ds := range datasets {
+		fmt.Fprintf(&b, " %10s", ds)
+	}
+	b.WriteString("\n")
+	for _, combo := range r.Combos {
+		fmt.Fprintf(&b, "%-10s", combo)
+		for _, ds := range datasets {
+			fmt.Fprintf(&b, " %10.3f", r.Scores[ds][combo])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// String renders the Figure 4 component sweep.
+func (r *Figure4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Precision vs number of GMM components\n")
+	fmt.Fprintf(&b, "%-12s", "Components")
+	datasets := sortedKeys(r.Scores)
+	for _, ds := range datasets {
+		fmt.Fprintf(&b, " %12s", ds)
+	}
+	b.WriteString("\n")
+	for _, m := range r.Components {
+		fmt.Fprintf(&b, "%-12d", m)
+		for _, ds := range datasets {
+			fmt.Fprintf(&b, " %12.3f", r.Scores[ds][m])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// String renders the Figure 5 runtime sweep.
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Mean embedding runtime (seconds) vs number of columns\n")
+	fmt.Fprintf(&b, "%-10s", "Columns")
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, " %14s", m)
+	}
+	b.WriteString("\n")
+	for _, n := range r.ColumnCounts {
+		fmt.Fprintf(&b, "%-10d", n)
+		for _, m := range r.Methods {
+			fmt.Fprintf(&b, " %14.3f", r.Seconds[m][n])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

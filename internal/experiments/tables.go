@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/gem-embeddings/gem/internal/baselines"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/deepcluster"
+	"github.com/gem-embeddings/gem/internal/eval"
+	"github.com/gem-embeddings/gem/internal/stats"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// MethodScore is one (method, dataset) average-precision cell.
+type MethodScore struct {
+	Method  string
+	Dataset string
+	Score   float64
+}
+
+// Table2Result holds the numeric-only comparison (paper Table 2): average
+// precision of six methods across the four corpora at coarse granularity.
+type Table2Result struct {
+	// Datasets in column order (Git Tables, Sato Tables, WDC, GDS).
+	Datasets []string
+	// Methods in row order.
+	Methods []string
+	// Scores[method][dataset] = average precision.
+	Scores map[string]map[string]float64
+}
+
+// Table2 reproduces the numeric-only experiment: Gem (D+S) against the five
+// numeric-only baselines on all four corpora with coarse labels.
+func Table2(opts Options) (*Table2Result, error) {
+	opts.FillDefaults()
+	corpora := data.AllCorpora(opts.corpusConfig(data.Coarse))
+
+	methods := []baselines.Method{
+		&baselines.SquashingGMM{Components: opts.Components, Restarts: opts.Restarts,
+			SubsampleStack: opts.SubsampleStack, Seed: opts.Seed},
+		&baselines.SquashingSOM{Units: opts.Components, Epochs: 10,
+			SubsampleStack: opts.SubsampleStack, Seed: opts.Seed},
+		&baselines.PLE{Bins: opts.Components},
+		&baselines.PAF{Frequencies: opts.Components},
+		&baselines.KSStatistic{},
+		&GemMethod{DisplayName: "Gem (D+S)",
+			Cfg: opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation)},
+	}
+
+	res := &Table2Result{Scores: make(map[string]map[string]float64)}
+	for _, ds := range corpora {
+		res.Datasets = append(res.Datasets, ds.Name)
+	}
+	for _, m := range methods {
+		res.Methods = append(res.Methods, m.Name())
+		res.Scores[m.Name()] = make(map[string]float64)
+		for _, ds := range corpora {
+			ap, err := scoreMethod(m, ds)
+			if err != nil {
+				return nil, fmt.Errorf("%w: table2 %s on %s: %v", ErrRun, m.Name(), ds.Name, err)
+			}
+			res.Scores[m.Name()][ds.Name] = ap
+		}
+	}
+	return res, nil
+}
+
+// scoreMethod embeds ds with m and returns macro-averaged precision@k.
+func scoreMethod(m baselines.Method, ds *table.Dataset) (float64, error) {
+	emb, err := m.Embed(ds)
+	if err != nil {
+		return 0, err
+	}
+	return eval.AveragePrecisionByType(emb, ds.Labels())
+}
+
+// Table3Result holds the headers+values comparison (paper Table 3) on the
+// fine-grained GDS and WDC corpora.
+type Table3Result struct {
+	Datasets []string // WDC, GDS
+	Methods  []string
+	Scores   map[string]map[string]float64
+}
+
+// Table3 reproduces the headers+values experiment: header-only SBERT
+// (substitute), the three learned single-column baselines, Gem (D+S), and
+// Gem D+S+C under the three composition modes, on fine-grained WDC and GDS.
+func Table3(opts Options) (*Table3Result, error) {
+	opts.FillDefaults()
+	corpora := []*table.Dataset{
+		data.WDC(opts.corpusConfig(data.Fine)),
+		data.GDS(opts.corpusConfig(data.Fine)),
+	}
+
+	methods := []baselines.Method{
+		&baselines.HeadersOnly{HeaderDim: opts.HeaderDim},
+		&baselines.PythagorasSC{HeaderDim: opts.HeaderDim, Epochs: 20, Seed: opts.Seed},
+		&baselines.SherlockSC{HeaderDim: opts.HeaderDim, Epochs: 20, Seed: opts.Seed},
+		&baselines.SatoSC{HeaderDim: opts.HeaderDim, Epochs: 20, Seed: opts.Seed},
+		&GemMethod{DisplayName: "Gem (D+S)",
+			Cfg: opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation)},
+		&GemMethod{DisplayName: "Gem D+S+C (aggregation)",
+			Cfg: opts.gemConfig(core.Distributional|core.Statistical|core.Contextual, core.Aggregation)},
+		&GemMethod{DisplayName: "Gem D+S+C (AE)",
+			Cfg: opts.gemConfig(core.Distributional|core.Statistical|core.Contextual, core.AE)},
+		&GemMethod{DisplayName: "Gem D+S+C (concatenation)",
+			Cfg: opts.gemConfig(core.Distributional|core.Statistical|core.Contextual, core.Concatenation)},
+	}
+
+	res := &Table3Result{Scores: make(map[string]map[string]float64)}
+	for _, ds := range corpora {
+		res.Datasets = append(res.Datasets, ds.Name)
+	}
+	for _, m := range methods {
+		res.Methods = append(res.Methods, m.Name())
+		res.Scores[m.Name()] = make(map[string]float64)
+		for _, ds := range corpora {
+			ap, err := scoreMethod(m, ds)
+			if err != nil {
+				return nil, fmt.Errorf("%w: table3 %s on %s: %v", ErrRun, m.Name(), ds.Name, err)
+			}
+			res.Scores[m.Name()][ds.Name] = ap
+		}
+	}
+	return res, nil
+}
+
+// Table4Cell is one clustering outcome.
+type Table4Cell struct {
+	ARI float64
+	ACC float64
+}
+
+// Table4Result holds the deep-clustering comparison (paper Table 4):
+// {Gem, Squashing_SOM} embeddings × {TableDC, SDCN} × three input settings
+// on GDS and WDC.
+type Table4Result struct {
+	Datasets []string // GDS, WDC
+	Settings []string // "Headers only", "Values only", "Headers + Values"
+	// Cells[embedding][dataset][algorithm][setting]
+	Cells map[string]map[string]map[string]Table4Cell
+}
+
+// Table4 reproduces the clustering experiment. Following the paper,
+// Squashing_SOM has no headers-only setting (its mechanism is value-based);
+// that cell is absent from the result map.
+func Table4(opts Options) (*Table4Result, error) {
+	opts.FillDefaults()
+	corpora := []*table.Dataset{
+		data.GDS(opts.corpusConfig(data.Fine)),
+		data.WDC(opts.corpusConfig(data.Fine)),
+	}
+
+	res := &Table4Result{
+		Settings: []string{"Headers only", "Values only", "Headers + Values"},
+		Cells:    make(map[string]map[string]map[string]Table4Cell),
+	}
+	for _, emb := range []string{"Gem", "Squashing_SOM"} {
+		res.Cells[emb] = make(map[string]map[string]Table4Cell)
+	}
+
+	for _, ds := range corpora {
+		res.Datasets = append(res.Datasets, ds.Name)
+		k := ds.NumTypes()
+		labels := ds.Labels()
+
+		// Build the three input representations per embedding family.
+		headerRows, err := (&baselines.HeadersOnly{HeaderDim: opts.HeaderDim}).Embed(ds)
+		if err != nil {
+			return nil, fmt.Errorf("%w: table4 headers on %s: %v", ErrRun, ds.Name, err)
+		}
+		gemValues, err := (&GemMethod{DisplayName: "gem",
+			Cfg: opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation)}).Embed(ds)
+		if err != nil {
+			return nil, fmt.Errorf("%w: table4 gem values on %s: %v", ErrRun, ds.Name, err)
+		}
+		somValues, err := (&baselines.SquashingSOM{Units: opts.Components, Epochs: 10,
+			SubsampleStack: opts.SubsampleStack, Seed: opts.Seed}).Embed(ds)
+		if err != nil {
+			return nil, fmt.Errorf("%w: table4 som values on %s: %v", ErrRun, ds.Name, err)
+		}
+
+		inputs := map[string]map[string][][]float64{
+			"Gem": {
+				"Headers only":     headerRows,
+				"Values only":      gemValues,
+				"Headers + Values": concat(gemValues, headerRows),
+			},
+			"Squashing_SOM": {
+				"Values only":      somValues,
+				"Headers + Values": concat(somValues, headerRows),
+			},
+		}
+
+		for embName, settings := range inputs {
+			if res.Cells[embName][ds.Name] == nil {
+				res.Cells[embName][ds.Name] = make(map[string]Table4Cell)
+			}
+			for setting, rows := range settings {
+				for algo, run := range map[string]func([][]float64, deepcluster.Config) (*deepcluster.Result, error){
+					"TableDC": deepcluster.TableDC,
+					"SDCN":    deepcluster.SDCN,
+				} {
+					dcRes, err := run(rows, deepcluster.Config{
+						K:              k,
+						LatentDim:      32,
+						Hidden:         []int{128},
+						PretrainEpochs: 20,
+						RefineIters:    15,
+						Seed:           opts.Seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("%w: table4 %s/%s/%s: %v", ErrRun, embName, algo, setting, err)
+					}
+					ari, err := eval.AdjustedRandIndex(labels, dcRes.Assignments)
+					if err != nil {
+						return nil, fmt.Errorf("%w: table4 ARI: %v", ErrRun, err)
+					}
+					acc, err := eval.ClusterACC(labels, dcRes.Assignments)
+					if err != nil {
+						return nil, fmt.Errorf("%w: table4 ACC: %v", ErrRun, err)
+					}
+					key := algo + "/" + setting
+					cell := res.Cells[embName][ds.Name]
+					cur := cell[key]
+					cur.ARI = ari
+					cur.ACC = acc
+					cell[key] = cur
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// concat composes value and header rows the way Gem's Eq. 11 does: each part
+// is L1-normalized and the parts are joined side by side. The L1 geometry
+// makes the denser header block a gentle tiebreaker rather than an equal
+// partner, which is exactly how the paper's combined embeddings behave
+// downstream.
+func concat(a, b [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		na := stats.L1Normalize(a[i])
+		nb := stats.L1Normalize(b[i])
+		row := make([]float64, 0, len(na)+len(nb))
+		row = append(row, na...)
+		row = append(row, nb...)
+		out[i] = row
+	}
+	return out
+}

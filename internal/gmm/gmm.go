@@ -1,0 +1,509 @@
+// Package gmm implements the univariate Gaussian Mixture Model and the
+// Expectation–Maximization algorithm at the core of Gem (paper §3.1,
+// Equations 1–6). All numeric column values are stacked into a single 1-D
+// sample; EM fits m Gaussian components to it; responsibilities of each
+// component for each value then drive the signature mechanism.
+//
+// The implementation follows the paper's setup: convergence when the change
+// in log-likelihood falls below a threshold (default 1e-3), multiple EM
+// restarts (default 10) keeping the best likelihood, and model selection via
+// the Bayesian Information Criterion. E-step arithmetic is carried out in
+// log-space with log-sum-exp so that far-flung values cannot underflow.
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/gem-embeddings/gem/internal/kmeans"
+	"github.com/gem-embeddings/gem/internal/mathx"
+)
+
+// ErrInput is returned for invalid fitting inputs.
+var ErrInput = errors.New("gmm: invalid input")
+
+// ErrNoConverge is returned when no EM restart produced a usable model.
+var ErrNoConverge = errors.New("gmm: EM failed to produce a model")
+
+const (
+	log2Pi = 1.8378770664093453 // log(2*pi)
+	// varianceFloorFrac keeps component variances from collapsing onto a
+	// single point, relative to the total sample variance.
+	varianceFloorFrac = 1e-8
+	minVariance       = 1e-12
+)
+
+// InitMethod selects how EM is initialized.
+type InitMethod int
+
+const (
+	// InitQuantile (the default) seeds component means at equally spaced
+	// sample quantiles, which allocates components proportionally to data
+	// mass. On heavy-tailed 1-D data this avoids the k-means failure mode
+	// where squared distance pulls nearly all centers into the extreme
+	// tail. The init choice is benchmarked by BenchmarkAblationEMInit.
+	InitQuantile InitMethod = iota
+	// InitKMeans seeds component means with k-means++ cluster centers.
+	InitKMeans
+	// InitRandom seeds component means with random sample points.
+	InitRandom
+)
+
+// Config controls EM fitting.
+type Config struct {
+	// K is the number of Gaussian components (required, >= 1). The paper
+	// uses 50 by default and shows 5–100 behave the same (Figure 4).
+	K int
+	// Tol is the absolute log-likelihood improvement below which EM stops.
+	// Default 1e-3 (the paper's threshold).
+	Tol float64
+	// MaxIter caps EM iterations per restart. Default 200.
+	MaxIter int
+	// Restarts runs EM this many times and keeps the best log-likelihood.
+	// Default 10 (the paper's setting).
+	Restarts int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Init selects the initialization method. Default InitKMeans.
+	Init InitMethod
+}
+
+func (c *Config) fillDefaults() {
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 10
+	}
+}
+
+// Model is a fitted univariate Gaussian mixture. Components are sorted by
+// ascending mean so that models fitted on similar data have comparable
+// component order.
+type Model struct {
+	// Weights are the mixing coefficients, summing to 1.
+	Weights []float64
+	// Means are the component means.
+	Means []float64
+	// Variances are the component variances.
+	Variances []float64
+	// LogLikelihood is the total log-likelihood of the training sample.
+	LogLikelihood float64
+	// Iterations is the number of EM iterations of the winning restart.
+	Iterations int
+	// Converged reports whether the winning restart met the tolerance
+	// before MaxIter.
+	Converged bool
+	// N is the number of training values.
+	N int
+}
+
+// K returns the number of components.
+func (m *Model) K() int { return len(m.Weights) }
+
+// Fit runs EM on xs with cfg and returns the best model across restarts.
+func Fit(xs []float64, cfg Config) (*Model, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empty sample", ErrInput)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("%w: K = %d", ErrInput, cfg.K)
+	}
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("%w: non-finite value at index %d", ErrInput, i)
+		}
+	}
+	k := cfg.K
+	if k > len(xs) {
+		k = len(xs) // cannot support more components than points
+	}
+	cfg.fillDefaults()
+
+	totalVar := sampleVariance(xs)
+	varFloor := math.Max(totalVar*varianceFloorFrac, minVariance)
+
+	var best *Model
+	for r := 0; r < cfg.Restarts; r++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*104729))
+		init := initialize(xs, k, cfg, rng, totalVar)
+		m := emLoop(xs, init, cfg, varFloor)
+		if m == nil {
+			continue
+		}
+		if best == nil || m.LogLikelihood > best.LogLikelihood {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, ErrNoConverge
+	}
+	best.sortByMean()
+	return best, nil
+}
+
+// nearestGap returns the distance from mu to its closest other value in the
+// sorted slice (0 if duplicated).
+func nearestGap(mu float64, sorted []float64) float64 {
+	idx := sort.SearchFloat64s(sorted, mu)
+	best := math.Inf(1)
+	for _, t := range []int{idx - 1, idx, idx + 1} {
+		if t < 0 || t >= len(sorted) {
+			continue
+		}
+		d := math.Abs(sorted[t] - mu)
+		if d > 0 && d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// sampleVariance returns the population variance of xs.
+func sampleVariance(xs []float64) float64 {
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// initialize builds starting parameters for one EM restart.
+func initialize(xs []float64, k int, cfg Config, rng *rand.Rand, totalVar float64) *Model {
+	means := make([]float64, k)
+	switch cfg.Init {
+	case InitRandom:
+		for j := range means {
+			means[j] = xs[rng.Intn(len(xs))]
+		}
+	case InitKMeans:
+		pts := make([][]float64, len(xs))
+		for i, x := range xs {
+			pts[i] = []float64{x}
+		}
+		res, err := kmeans.Run(pts, kmeans.Config{K: k, MaxIter: 25, Seed: rng.Int63()})
+		if err != nil {
+			for j := range means {
+				means[j] = xs[rng.Intn(len(xs))]
+			}
+			break
+		}
+		for j := range means {
+			means[j] = res.Centroids[j][0]
+		}
+	default: // InitQuantile
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		// Jittered mid-quantiles: each restart perturbs the quantile grid
+		// so restarts explore different bulk allocations.
+		for j := range means {
+			q := (float64(j) + 0.5 + 0.4*(rng.Float64()-0.5)) / float64(k)
+			if q < 0 {
+				q = 0
+			}
+			if q > 1 {
+				q = 1
+			}
+			means[j] = sorted[int(q*float64(len(sorted)-1))]
+		}
+	}
+	weights := make([]float64, k)
+	variances := make([]float64, k)
+	v := totalVar
+	if v <= 0 {
+		v = 1
+	}
+	for j := range weights {
+		weights[j] = 1 / float64(k)
+		variances[j] = v
+	}
+	if cfg.Init == InitQuantile && k > 1 {
+		// Local bandwidths: the squared gap to the nearest neighbouring
+		// mean. A global variance would make every component cover the
+		// whole heavy-tailed range and stall EM.
+		sortedMeans := append([]float64(nil), means...)
+		sort.Float64s(sortedMeans)
+		for j := range variances {
+			gap := math.Inf(1)
+			for t := 1; t < len(sortedMeans); t++ {
+				g := sortedMeans[t] - sortedMeans[t-1]
+				if g > 0 && g < gap {
+					gap = g
+				}
+			}
+			local := nearestGap(means[j], sortedMeans)
+			if local <= 0 || math.IsInf(local, 1) {
+				local = math.Sqrt(v)
+			}
+			variances[j] = math.Max(local*local, v*1e-8)
+			_ = gap
+		}
+	}
+	return &Model{Weights: weights, Means: means, Variances: variances}
+}
+
+// emLoop runs EM until convergence (|Δ logL| < tol) or MaxIter.
+func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
+	n := len(xs)
+	k := len(m.Weights)
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	logw := make([]float64, k)
+	prevLL := math.Inf(-1)
+	converged := false
+	iter := 0
+
+	for ; iter < cfg.MaxIter; iter++ {
+		// E-step in log space.
+		for j := 0; j < k; j++ {
+			logw[j] = math.Log(m.Weights[j])
+		}
+		var ll float64
+		buf := make([]float64, k)
+		for i, x := range xs {
+			for j := 0; j < k; j++ {
+				buf[j] = logw[j] + logNormPDF(x, m.Means[j], m.Variances[j])
+			}
+			lse := mathx.LogSumExp(buf)
+			ll += lse
+			for j := 0; j < k; j++ {
+				resp[i][j] = math.Exp(buf[j] - lse)
+			}
+		}
+		if math.IsNaN(ll) {
+			return nil
+		}
+		// Convergence check on the change in log-likelihood (paper: 1e-3).
+		if math.Abs(ll-prevLL) < cfg.Tol {
+			prevLL = ll
+			converged = true
+			break
+		}
+		prevLL = ll
+
+		// M-step (Equations 3–5).
+		for j := 0; j < k; j++ {
+			var nk, mu float64
+			for i := 0; i < n; i++ {
+				nk += resp[i][j]
+				mu += resp[i][j] * xs[i]
+			}
+			if nk < 1e-10 {
+				// Dead component: re-center on a random-ish point and reset.
+				m.Means[j] = xs[(j*2654435761)%n]
+				m.Variances[j] = math.Max(varFloor, 1)
+				m.Weights[j] = 1e-6
+				continue
+			}
+			mu /= nk
+			var v float64
+			for i := 0; i < n; i++ {
+				d := xs[i] - mu
+				v += resp[i][j] * d * d
+			}
+			v /= nk
+			if v < varFloor {
+				v = varFloor
+			}
+			m.Means[j] = mu
+			m.Variances[j] = v
+			m.Weights[j] = nk / float64(n)
+		}
+		normalizeWeights(m.Weights)
+	}
+	m.LogLikelihood = prevLL
+	m.Iterations = iter
+	m.Converged = converged
+	m.N = n
+	return m
+}
+
+func normalizeWeights(w []float64) {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	if s <= 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return
+	}
+	for i := range w {
+		w[i] /= s
+	}
+}
+
+// sortByMean orders components ascending by mean, keeping weights and
+// variances aligned.
+func (m *Model) sortByMean() {
+	idx := make([]int, len(m.Means))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return m.Means[idx[a]] < m.Means[idx[b]] })
+	w := make([]float64, len(idx))
+	mu := make([]float64, len(idx))
+	v := make([]float64, len(idx))
+	for i, j := range idx {
+		w[i] = m.Weights[j]
+		mu[i] = m.Means[j]
+		v[i] = m.Variances[j]
+	}
+	m.Weights, m.Means, m.Variances = w, mu, v
+}
+
+// logNormPDF is the log of the normal density at x.
+func logNormPDF(x, mean, variance float64) float64 {
+	d := x - mean
+	return -0.5 * (log2Pi + math.Log(variance) + d*d/variance)
+}
+
+// PDF returns the mixture density at x (Equation 1).
+func (m *Model) PDF(x float64) float64 {
+	var s float64
+	for j := range m.Weights {
+		s += m.Weights[j] * math.Exp(logNormPDF(x, m.Means[j], m.Variances[j]))
+	}
+	return s
+}
+
+// LogPDF returns the log mixture density at x, computed stably.
+func (m *Model) LogPDF(x float64) float64 {
+	buf := make([]float64, len(m.Weights))
+	for j := range m.Weights {
+		buf[j] = math.Log(m.Weights[j]) + logNormPDF(x, m.Means[j], m.Variances[j])
+	}
+	return mathx.LogSumExp(buf)
+}
+
+// ComponentLogPDF returns log N(x | mu_j, sigma_j^2) for component j
+// (Equation 6 in log space).
+func (m *Model) ComponentLogPDF(x float64, j int) float64 {
+	return logNormPDF(x, m.Means[j], m.Variances[j])
+}
+
+// Responsibilities returns gamma(z_j) for a single value x (Equation 2):
+// the posterior probability that x was generated by each component.
+// The returned slice sums to 1.
+func (m *Model) Responsibilities(x float64) []float64 {
+	k := len(m.Weights)
+	buf := make([]float64, k)
+	for j := 0; j < k; j++ {
+		buf[j] = math.Log(m.Weights[j]) + logNormPDF(x, m.Means[j], m.Variances[j])
+	}
+	lse := mathx.LogSumExp(buf)
+	out := make([]float64, k)
+	for j := 0; j < k; j++ {
+		out[j] = math.Exp(buf[j] - lse)
+	}
+	return out
+}
+
+// MeanResponsibilities averages the per-value responsibilities over a column
+// of values: mu_{C_j} = (1/N) * sum_i gamma(z_ij). This is the distributional
+// part of Gem's signature (Figure 2). The result sums to 1 for a non-empty
+// column.
+func (m *Model) MeanResponsibilities(values []float64) ([]float64, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: empty column", ErrInput)
+	}
+	k := len(m.Weights)
+	out := make([]float64, k)
+	for _, x := range values {
+		r := m.Responsibilities(x)
+		for j := 0; j < k; j++ {
+			out[j] += r[j]
+		}
+	}
+	inv := 1 / float64(len(values))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out, nil
+}
+
+// Sample draws n values from the mixture using rng.
+func (m *Model) Sample(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		j := sampleCategorical(m.Weights, rng)
+		out[i] = m.Means[j] + math.Sqrt(m.Variances[j])*rng.NormFloat64()
+	}
+	return out
+}
+
+func sampleCategorical(w []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var cum float64
+	for j, v := range w {
+		cum += v
+		if u <= cum {
+			return j
+		}
+	}
+	return len(w) - 1
+}
+
+// ScoreSamples returns the total log-likelihood of xs under the model.
+func (m *Model) ScoreSamples(xs []float64) float64 {
+	var ll float64
+	for _, x := range xs {
+		ll += m.LogPDF(x)
+	}
+	return ll
+}
+
+// NumParams returns the number of free parameters: (K-1) weights + K means +
+// K variances.
+func (m *Model) NumParams() int { return 3*len(m.Weights) - 1 }
+
+// BIC returns the Bayesian Information Criterion on the training sample
+// (lower is better).
+func (m *Model) BIC() float64 {
+	return float64(m.NumParams())*math.Log(float64(m.N)) - 2*m.LogLikelihood
+}
+
+// AIC returns the Akaike Information Criterion on the training sample
+// (lower is better).
+func (m *Model) AIC() float64 {
+	return 2*float64(m.NumParams()) - 2*m.LogLikelihood
+}
+
+// SelectK fits models for every K in ks and returns the one with the lowest
+// BIC, along with the BIC value per K. This mirrors the paper's model
+// selection discussion (§4.1.4).
+func SelectK(xs []float64, ks []int, base Config) (*Model, map[int]float64, error) {
+	if len(ks) == 0 {
+		return nil, nil, fmt.Errorf("%w: no candidate K values", ErrInput)
+	}
+	bics := make(map[int]float64, len(ks))
+	var best *Model
+	for _, k := range ks {
+		cfg := base
+		cfg.K = k
+		m, err := Fit(xs, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gmm: SelectK at K=%d: %w", k, err)
+		}
+		bics[k] = m.BIC()
+		if best == nil || m.BIC() < best.BIC() {
+			best = m
+		}
+	}
+	return best, bics, nil
+}

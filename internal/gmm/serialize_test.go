@@ -1,0 +1,75 @@
+package gmm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	xs := mixtureSample(800, 31)
+	m, err := Fit(xs, Config{K: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m.K(); j++ {
+		if back.Weights[j] != m.Weights[j] || back.Means[j] != m.Means[j] ||
+			back.Variances[j] != m.Variances[j] {
+			t.Fatalf("component %d not preserved", j)
+		}
+	}
+	if back.LogLikelihood != m.LogLikelihood || back.N != m.N ||
+		back.Converged != m.Converged || back.Iterations != m.Iterations {
+		t.Error("metadata not preserved")
+	}
+	// The reloaded model must produce identical responsibilities.
+	for _, x := range []float64{-5, 0, 5} {
+		a := m.Responsibilities(x)
+		b := back.Responsibilities(x)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("responsibilities differ at x=%v", x)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"weights":[0.5,0.5],"means":[0],"variances":[1,1]}`,
+		`{"weights":[0.5,0.6],"means":[0,1],"variances":[1,1]}`,
+		`{"weights":[0.5,0.5],"means":[0,1],"variances":[1,-1]}`,
+		`{"weights":[0.5,0.5],"means":[0,1],"variances":[1,0]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail to load", i)
+		}
+	}
+}
+
+func TestValidateGoodModel(t *testing.T) {
+	m := &Model{
+		Weights:   []float64{0.4, 0.6},
+		Means:     []float64{0, 5},
+		Variances: []float64{1, 2},
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := &Model{}
+	if err := bad.Validate(); !errors.Is(err, ErrInput) {
+		t.Errorf("empty model: want ErrInput, got %v", err)
+	}
+}

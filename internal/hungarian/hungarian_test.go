@@ -1,0 +1,197 @@
+package hungarian
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSmall(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assignment, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Errorf("total = %v, want 5", total)
+	}
+	want := []int{1, 0, 2}
+	for i, j := range want {
+		if assignment[i] != j {
+			t.Errorf("assignment = %v, want %v", assignment, want)
+			break
+		}
+	}
+}
+
+func TestSolveIdentityDiagonal(t *testing.T) {
+	// Zero diagonal, expensive elsewhere: identity assignment is optimal.
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 10
+			}
+		}
+	}
+	assignment, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("total = %v, want 0", total)
+	}
+	for i, j := range assignment {
+		if i != j {
+			t.Errorf("assignment[%d] = %d, want %d", i, j, i)
+		}
+	}
+}
+
+func TestSolveSingleElement(t *testing.T) {
+	assignment, total, err := Solve([][]float64{{3.5}})
+	if err != nil || total != 3.5 || assignment[0] != 0 {
+		t.Errorf("Solve([[3.5]]) = %v, %v, %v", assignment, total, err)
+	}
+}
+
+func TestSolveNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -10 {
+		t.Errorf("total = %v, want -10", total)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, _, err := Solve(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("empty: want ErrShape, got %v", err)
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged: want ErrShape, got %v", err)
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); !errors.Is(err, ErrShape) {
+		t.Errorf("NaN: want ErrShape, got %v", err)
+	}
+	if _, _, err := Solve([][]float64{{math.Inf(1)}}); !errors.Is(err, ErrShape) {
+		t.Errorf("Inf: want ErrShape, got %v", err)
+	}
+}
+
+// bruteForce finds the optimal assignment by checking all permutations.
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			var tot float64
+			for i, j := range perm {
+				tot += cost[i][j]
+			}
+			if tot < best {
+				best = tot
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return best
+}
+
+func TestSolveMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6) // up to 7x7 is fine for brute force
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*200-100) / 4
+			}
+		}
+		_, total, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		return math.Abs(total-bruteForce(cost)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAssignmentIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.NormFloat64()
+			}
+		}
+		assignment, _, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, j := range assignment {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaximizeProfit(t *testing.T) {
+	profit := [][]float64{
+		{10, 1},
+		{1, 10},
+	}
+	assignment, total, err := MaximizeProfit(profit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 20 {
+		t.Errorf("total = %v, want 20", total)
+	}
+	if assignment[0] != 0 || assignment[1] != 1 {
+		t.Errorf("assignment = %v, want identity", assignment)
+	}
+	if _, _, err := MaximizeProfit(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("empty: want ErrShape, got %v", err)
+	}
+	if _, _, err := MaximizeProfit([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged: want ErrShape, got %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package ks implements the Kolmogorov–Smirnov machinery behind the paper's
+// KS-statistic baseline (§4.1.3): for each numeric column, the one-sample KS
+// statistic is computed against each of seven fitted reference distributions
+// (normal, uniform, exponential, beta, gamma, lognormal, logistic); the
+// vector of statistics is the column's feature vector — different semantic
+// types exhibit different goodness-of-fit patterns.
+package ks
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/gem-embeddings/gem/internal/dist"
+)
+
+// ErrInput is returned for empty samples.
+var ErrInput = errors.New("ks: invalid input")
+
+// Statistic returns the one-sample Kolmogorov–Smirnov statistic
+// D_n = sup_x |F_n(x) - F(x)| of the sample xs against the distribution d.
+func Statistic(xs []float64, d dist.Distribution) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), fmt.Errorf("%w: empty sample", ErrInput)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var maxD float64
+	for i, x := range sorted {
+		cdf := d.CDF(x)
+		// Compare against the ECDF just below and at x (the sup is attained
+		// at a jump point on one of the two sides).
+		dPlus := (float64(i)+1)/n - cdf
+		dMinus := cdf - float64(i)/n
+		if dPlus > maxD {
+			maxD = dPlus
+		}
+		if dMinus > maxD {
+			maxD = dMinus
+		}
+	}
+	return maxD, nil
+}
+
+// FeatureNames lists the reference families in feature order (the canonical
+// dist.FamilyNames order).
+func FeatureNames() []string { return dist.FamilyNames() }
+
+// Features returns the KS feature vector of a column: the KS statistic of
+// the column against each fitted reference family, in FeatureNames order.
+// Families the sample cannot support (e.g. lognormal for negative values)
+// receive feature value 1, the maximal possible KS distance — "this family
+// does not describe the column at all".
+func Features(xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empty sample", ErrInput)
+	}
+	fitted, _ := dist.Families(xs)
+	byName := make(map[string]dist.Distribution, len(fitted))
+	for _, d := range fitted {
+		byName[d.Name()] = d
+	}
+	names := FeatureNames()
+	out := make([]float64, len(names))
+	for i, name := range names {
+		d, ok := byName[name]
+		if !ok {
+			out[i] = 1
+			continue
+		}
+		stat, err := Statistic(xs, d)
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(stat) {
+			stat = 1
+		}
+		out[i] = stat
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package ks
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/dist"
+)
+
+func TestStatisticPerfectFit(t *testing.T) {
+	// The KS statistic of a sample against a distribution it was drawn from
+	// should be small (≈ 1/sqrt(n) scale).
+	rng := rand.New(rand.NewSource(1))
+	n, _ := dist.NewNormal(0, 1)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = n.Rand(rng)
+	}
+	d, err := Statistic(xs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.03 {
+		t.Errorf("KS statistic on own sample = %v, want < 0.03", d)
+	}
+}
+
+func TestStatisticBadFit(t *testing.T) {
+	// Uniform data against a narrow normal: the statistic should be large.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	n, _ := dist.NewNormal(0, 1)
+	d, err := Statistic(xs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.5 {
+		t.Errorf("KS statistic for a terrible fit = %v, want > 0.5", d)
+	}
+}
+
+func TestStatisticBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, _ := dist.NewNormal(5, 2)
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + rng.Intn(50)
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		d, err := Statistic(xs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 || d > 1 {
+			t.Fatalf("KS statistic %v outside [0, 1]", d)
+		}
+	}
+}
+
+func TestStatisticSinglePoint(t *testing.T) {
+	n, _ := dist.NewNormal(0, 1)
+	d, err := Statistic([]float64{0}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ECDF jumps 0→1 at x=0 where CDF=0.5, so D = 0.5.
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("single-point KS = %v, want 0.5", d)
+	}
+}
+
+func TestStatisticEmpty(t *testing.T) {
+	n, _ := dist.NewNormal(0, 1)
+	if _, err := Statistic(nil, n); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: want ErrInput, got %v", err)
+	}
+}
+
+func TestFeaturesLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 1 + math.Abs(rng.NormFloat64())
+	}
+	f, err := Features(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 7 {
+		t.Fatalf("feature vector length %d, want 7", len(f))
+	}
+	for i, v := range f {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Errorf("feature %d (%s) = %v outside [0, 1]", i, FeatureNames()[i], v)
+		}
+	}
+}
+
+func TestFeaturesUnfittableFamiliesAreOne(t *testing.T) {
+	// Negative sample: exponential, gamma, lognormal cannot fit → feature 1.
+	xs := []float64{-5, -3, -8, -1, -2, -4}
+	f, err := Features(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := FeatureNames()
+	for i, name := range names {
+		switch name {
+		case "exponential", "gamma", "lognormal":
+			if f[i] != 1 {
+				t.Errorf("%s on negative sample = %v, want 1", name, f[i])
+			}
+		}
+	}
+}
+
+func TestFeaturesDiscriminateFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Normal-ish sample: the normal feature should be among the smallest.
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = 50 + 5*rng.NormFloat64()
+	}
+	f, err := Features(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := FeatureNames()
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	if f[idx["normal"]] > f[idx["uniform"]] {
+		t.Errorf("normal sample: KS(normal)=%v should beat KS(uniform)=%v",
+			f[idx["normal"]], f[idx["uniform"]])
+	}
+	if f[idx["normal"]] > f[idx["exponential"]] {
+		t.Errorf("normal sample: KS(normal)=%v should beat KS(exponential)=%v",
+			f[idx["normal"]], f[idx["exponential"]])
+	}
+
+	// Uniform sample: the uniform feature wins.
+	ys := make([]float64, 2000)
+	for i := range ys {
+		ys[i] = rng.Float64() * 10
+	}
+	g, err := Features(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[idx["uniform"]] > g[idx["normal"]] {
+		t.Errorf("uniform sample: KS(uniform)=%v should beat KS(normal)=%v",
+			g[idx["uniform"]], g[idx["normal"]])
+	}
+}
+
+func TestFeaturesEmpty(t *testing.T) {
+	if _, err := Features(nil); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: want ErrInput, got %v", err)
+	}
+}
+
+func TestFeatureNamesStable(t *testing.T) {
+	want := []string{"normal", "uniform", "exponential", "beta", "gamma", "lognormal", "logistic"}
+	got := FeatureNames()
+	if len(got) != len(want) {
+		t.Fatalf("FeatureNames length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("FeatureNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package mathx
+
+import "fmt"
+
+// errDomainf wraps ErrDomain with a formatted description of the offending
+// call so callers can both match on errors.Is(err, ErrDomain) and read the
+// argument values from the message.
+func errDomainf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrDomain, fmt.Sprintf(format, args...))
+}

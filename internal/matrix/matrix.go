@@ -1,0 +1,279 @@
+// Package matrix implements the small dense-matrix kernel used by the neural
+// substrates (Sherlock_SC/Sato_SC/Pythagoras_SC networks, autoencoders, the
+// deep-clustering models). It favours clarity and predictable allocation over
+// BLAS-level performance; all experiment matrices are at most a few thousand
+// rows by a few hundred columns.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("matrix: incompatible shapes")
+
+// Dense is a row-major dense matrix of float64.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns an r x c zero matrix.
+func New(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a rectangular slice of rows (copied).
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrShape)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("%w: row %d has %d values, want %d", ErrShape, i, len(row), c)
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// Dims returns the (rows, cols) of m.
+func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns m[i, j].
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns m[i, j] = v.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// RawRow returns row i backed by the matrix storage (no copy; do not resize).
+func (m *Dense) RawRow(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// SetRow copies v into row i.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("matrix: SetRow length %d, want %d", len(v), m.cols))
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// ToRows returns the matrix content as a fresh slice of row slices.
+func (m *Dense) ToRows() [][]float64 {
+	out := make([][]float64, m.rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// Mul returns a * b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: (%dx%d) * (%dx%d)", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulTransB returns a * bᵀ.
+func MulTransB(a, b *Dense) (*Dense, error) {
+	if a.cols != b.cols {
+		return nil, fmt.Errorf("%w: (%dx%d) * (%dx%d)ᵀ", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var s float64
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			out.data[i*out.cols+j] = s
+		}
+	}
+	return out, nil
+}
+
+// MulTransA returns aᵀ * b.
+func MulTransA(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("%w: (%dx%d)ᵀ * (%dx%d)", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.cols, b.cols)
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Add returns a + b.
+func Add(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: (%dx%d) + (%dx%d)", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b.
+func Sub(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: (%dx%d) - (%dx%d)", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Hadamard returns the element-wise product a ⊙ b.
+func Hadamard(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: (%dx%d) ⊙ (%dx%d)", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s * a as a new matrix.
+func Scale(a *Dense, s float64) *Dense {
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] * s
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Dense) *Dense {
+	out := New(a.cols, a.rows)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.data[j*out.cols+i] = a.data[i*a.cols+j]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied element-wise to a, as a new matrix.
+func Apply(a *Dense, f func(float64) float64) *Dense {
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = f(a.data[i])
+	}
+	return out
+}
+
+// ApplyInPlace applies f element-wise to a, mutating it.
+func (m *Dense) ApplyInPlace(f func(float64) float64) {
+	for i := range m.data {
+		m.data[i] = f(m.data[i])
+	}
+}
+
+// AddRowVector adds v to every row of a (broadcast), returning a new matrix.
+func AddRowVector(a *Dense, v []float64) (*Dense, error) {
+	if len(v) != a.cols {
+		return nil, fmt.Errorf("%w: matrix has %d cols, vector has %d", ErrShape, a.cols, len(v))
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.data[i*a.cols+j] = a.data[i*a.cols+j] + v[j]
+		}
+	}
+	return out, nil
+}
+
+// ColSums returns the per-column sums of a.
+func ColSums(a *Dense) []float64 {
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out[j] += a.data[i*a.cols+j]
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns sqrt(sum of squared entries).
+func FrobeniusNorm(a *Dense) float64 {
+	var ss float64
+	for _, v := range a.data {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// Equal reports whether a and b agree element-wise within tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,255 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Dense {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	r, c := m.Dims()
+	if r != 2 || c != 3 || m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", r, c)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Errorf("Row(1)[2] = %v, want 7", row[2])
+	}
+	row[0] = 99 // copy: must not affect matrix
+	if m.At(1, 0) != 0 {
+		t.Error("Row must return a copy")
+	}
+	m.RawRow(1)[0] = 5 // raw: must affect matrix
+	if m.At(1, 0) != 5 {
+		t.Error("RawRow must alias storage")
+	}
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	if _, err := FromRows(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("empty: want ErrShape, got %v", err)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged: want ErrShape, got %v", err)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{5, 6}, {7, 8}})
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{19, 22}, {43, 50}})
+	if !Equal(got, want, 0) {
+		t.Errorf("Mul = %v, want %v", got.ToRows(), want.ToRows())
+	}
+	if _, err := Mul(a, New(3, 2)); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch: want ErrShape, got %v", err)
+	}
+}
+
+func TestMulTransVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 3)
+	b := New(5, 3)
+	c := New(4, 5)
+	for _, m := range []*Dense{a, b, c} {
+		for i := 0; i < m.rows; i++ {
+			for j := 0; j < m.cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	// a * bᵀ == Mul(a, Transpose(b))
+	got, err := MulTransB(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Mul(a, Transpose(b))
+	if !Equal(got, want, 1e-12) {
+		t.Error("MulTransB disagrees with explicit transpose")
+	}
+	// aᵀ * c == Mul(Transpose(a), c)
+	got, err = MulTransA(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ = Mul(Transpose(a), c)
+	if !Equal(got, want, 1e-12) {
+		t.Error("MulTransA disagrees with explicit transpose")
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{10, 20}, {30, 40}})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(1, 1) != 44 {
+		t.Errorf("Add wrong: %v", sum.ToRows())
+	}
+	diff, _ := Sub(b, a)
+	if diff.At(0, 0) != 9 {
+		t.Errorf("Sub wrong: %v", diff.ToRows())
+	}
+	had, _ := Hadamard(a, b)
+	if had.At(1, 0) != 90 {
+		t.Errorf("Hadamard wrong: %v", had.ToRows())
+	}
+	if _, err := Add(a, New(3, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	if _, err := Sub(a, New(1, 2)); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	if _, err := Hadamard(a, New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+}
+
+func TestScaleApplyTranspose(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, -2}, {3, -4}})
+	s := Scale(a, 2)
+	if s.At(1, 1) != -8 {
+		t.Errorf("Scale wrong: %v", s.ToRows())
+	}
+	abs := Apply(a, math.Abs)
+	if abs.At(0, 1) != 2 {
+		t.Errorf("Apply wrong: %v", abs.ToRows())
+	}
+	tr := Transpose(a)
+	if tr.Rows() != 2 || tr.At(0, 1) != 3 {
+		t.Errorf("Transpose wrong: %v", tr.ToRows())
+	}
+	a.ApplyInPlace(func(x float64) float64 { return x * x })
+	if a.At(1, 1) != 16 {
+		t.Errorf("ApplyInPlace wrong: %v", a.ToRows())
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		m := New(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		return Equal(Transpose(Transpose(m)), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		mk := func() *Dense {
+			m := New(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					m.Set(i, j, rng.NormFloat64())
+				}
+			}
+			return m
+		}
+		a, b, c := mk(), mk(), mk()
+		ab, _ := Mul(a, b)
+		abc1, _ := Mul(ab, c)
+		bc, _ := Mul(b, c)
+		abc2, _ := Mul(a, bc)
+		return Equal(abc1, abc2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	out, err := AddRowVector(a, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 11 || out.At(1, 1) != 24 {
+		t.Errorf("AddRowVector wrong: %v", out.ToRows())
+	}
+	if _, err := AddRowVector(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+}
+
+func TestColSumsAndFrobenius(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{3, 0}, {4, 0}})
+	cs := ColSums(a)
+	if cs[0] != 7 || cs[1] != 0 {
+		t.Errorf("ColSums = %v", cs)
+	}
+	if FrobeniusNorm(a) != 5 {
+		t.Errorf("FrobeniusNorm = %v, want 5", FrobeniusNorm(a))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestSetRowAndToRows(t *testing.T) {
+	a := New(2, 2)
+	a.SetRow(1, []float64{5, 6})
+	rows := a.ToRows()
+	if rows[1][0] != 5 || rows[1][1] != 6 {
+		t.Errorf("SetRow/ToRows wrong: %v", rows)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRow with wrong length should panic")
+		}
+	}()
+	a.SetRow(0, []float64{1})
+}
+
+func TestEqualShapes(t *testing.T) {
+	if Equal(New(1, 2), New(2, 1), 1) {
+		t.Error("different shapes must not be Equal")
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, 1) should panic")
+		}
+	}()
+	New(0, 1)
+}

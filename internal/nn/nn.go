@@ -1,0 +1,477 @@
+// Package nn implements the small feed-forward neural network substrate the
+// reproduction's learned baselines run on: dense layers with Xavier
+// initialization, ReLU/sigmoid/tanh activations, inverted dropout, MSE and
+// softmax cross-entropy losses, and the Adam optimizer. Sherlock_SC and
+// Sato_SC train classifier networks over statistical+header features;
+// Pythagoras_SC trains a degenerate GCN; the autoencoder package composes two
+// of these networks; the deep-clustering models reuse all of it.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/gem-embeddings/gem/internal/matrix"
+)
+
+// ErrConfig is returned for invalid network or training configuration.
+var ErrConfig = errors.New("nn: invalid configuration")
+
+// Activation identifies a layer non-linearity.
+type Activation int
+
+const (
+	// Identity passes values through (use for output/logit layers).
+	Identity Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+	// Sigmoid is 1/(1+e^-x).
+	Sigmoid
+	// Tanh is the hyperbolic tangent.
+	Tanh
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns the activation derivative expressed in terms of
+// the activated output value (valid for all supported activations).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Loss identifies the training objective.
+type Loss int
+
+const (
+	// MSE is mean squared error over all outputs (for autoencoders and
+	// regression).
+	MSE Loss = iota
+	// CrossEntropy is softmax cross-entropy; targets must be one-hot rows.
+	CrossEntropy
+)
+
+// Config describes a feed-forward network.
+type Config struct {
+	// Sizes lists layer widths from input to output, e.g. [64, 32, 10].
+	Sizes []int
+	// Hidden is the activation for all hidden layers. Default ReLU.
+	Hidden Activation
+	// Output is the activation of the final layer. Default Identity
+	// (logits for CrossEntropy, raw values for MSE).
+	Output Activation
+	// Dropout is the drop probability applied to hidden activations during
+	// training (inverted dropout). 0 disables.
+	Dropout float64
+	// Seed makes initialization and dropout deterministic.
+	Seed int64
+}
+
+// layer is one dense layer.
+type layer struct {
+	w   *matrix.Dense // inDim x outDim
+	b   []float64
+	act Activation
+}
+
+// Network is a feed-forward neural network.
+type Network struct {
+	layers  []*layer
+	dropout float64
+	rng     *rand.Rand
+
+	// Adam state, lazily initialized by Train.
+	mW, vW []*matrix.Dense
+	mB, vB [][]float64
+	adamT  int
+}
+
+// New constructs a network with Xavier-uniform initial weights.
+func New(cfg Config) (*Network, error) {
+	if len(cfg.Sizes) < 2 {
+		return nil, fmt.Errorf("%w: need at least input and output sizes, got %v", ErrConfig, cfg.Sizes)
+	}
+	for i, s := range cfg.Sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("%w: layer %d has size %d", ErrConfig, i, s)
+		}
+	}
+	if cfg.Dropout < 0 || cfg.Dropout >= 1 {
+		return nil, fmt.Errorf("%w: dropout %v outside [0, 1)", ErrConfig, cfg.Dropout)
+	}
+	if cfg.Hidden == 0 {
+		cfg.Hidden = ReLU
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{dropout: cfg.Dropout, rng: rng}
+	for l := 0; l+1 < len(cfg.Sizes); l++ {
+		in, out := cfg.Sizes[l], cfg.Sizes[l+1]
+		w := matrix.New(in, out)
+		limit := math.Sqrt(6.0 / float64(in+out))
+		for i := 0; i < in; i++ {
+			for j := 0; j < out; j++ {
+				w.Set(i, j, (rng.Float64()*2-1)*limit)
+			}
+		}
+		act := cfg.Hidden
+		if l+2 == len(cfg.Sizes) {
+			act = cfg.Output
+		}
+		n.layers = append(n.layers, &layer{w: w, b: make([]float64, out), act: act})
+	}
+	return n, nil
+}
+
+// NumLayers returns the number of dense layers.
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// InputDim returns the expected input width.
+func (n *Network) InputDim() int { return n.layers[0].w.Rows() }
+
+// OutputDim returns the output width.
+func (n *Network) OutputDim() int { return n.layers[len(n.layers)-1].w.Cols() }
+
+// forward runs the network over a batch. When training is true, inverted
+// dropout masks are applied to hidden activations and returned so backprop
+// can reuse them. The returned slice holds the activation of every layer,
+// with index 0 being the input itself.
+func (n *Network) forward(x *matrix.Dense, training bool) (acts []*matrix.Dense, masks []*matrix.Dense, err error) {
+	acts = make([]*matrix.Dense, 0, len(n.layers)+1)
+	acts = append(acts, x)
+	masks = make([]*matrix.Dense, len(n.layers))
+	cur := x
+	for li, l := range n.layers {
+		z, err := matrix.Mul(cur, l.w)
+		if err != nil {
+			return nil, nil, fmt.Errorf("nn: layer %d: %w", li, err)
+		}
+		z, _ = matrix.AddRowVector(z, l.b)
+		z.ApplyInPlace(l.act.apply)
+		if training && n.dropout > 0 && li+1 < len(n.layers) {
+			keep := 1 - n.dropout
+			mask := matrix.New(z.Rows(), z.Cols())
+			for i := 0; i < z.Rows(); i++ {
+				for j := 0; j < z.Cols(); j++ {
+					if n.rng.Float64() < keep {
+						mask.Set(i, j, 1/keep)
+					}
+				}
+			}
+			z, _ = matrix.Hadamard(z, mask)
+			masks[li] = mask
+		}
+		acts = append(acts, z)
+		cur = z
+	}
+	return acts, masks, nil
+}
+
+// Forward runs inference (no dropout) and returns the output batch.
+func (n *Network) Forward(x *matrix.Dense) (*matrix.Dense, error) {
+	acts, _, err := n.forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	return acts[len(acts)-1], nil
+}
+
+// HiddenActivations runs inference and returns the activation of layer
+// `layerIdx` (1-based over dense layers; layerIdx = NumLayers()-1 is the
+// penultimate layer commonly used as an embedding).
+func (n *Network) HiddenActivations(x *matrix.Dense, layerIdx int) (*matrix.Dense, error) {
+	if layerIdx < 1 || layerIdx > len(n.layers) {
+		return nil, fmt.Errorf("%w: layer index %d outside [1, %d]", ErrConfig, layerIdx, len(n.layers))
+	}
+	acts, _, err := n.forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	return acts[layerIdx], nil
+}
+
+// TrainConfig controls gradient-descent training.
+type TrainConfig struct {
+	// Epochs is the number of passes over the data. Default 50.
+	Epochs int
+	// BatchSize is the mini-batch size. Default 32 (clamped to n).
+	BatchSize int
+	// LearningRate is Adam's step size. Default 1e-3.
+	LearningRate float64
+	// Loss selects the objective. Default MSE.
+	Loss Loss
+	// L2 is the weight-decay coefficient. Default 0.
+	L2 float64
+	// Seed shuffles batches deterministically.
+	Seed int64
+}
+
+func (c *TrainConfig) fillDefaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 1e-3
+	}
+}
+
+// Train fits the network to (x, y) and returns the final epoch's mean loss.
+// For CrossEntropy, y must contain one-hot rows; for MSE, y is the target
+// matrix (for autoencoders, y == x).
+func (n *Network) Train(x, y *matrix.Dense, cfg TrainConfig) (float64, error) {
+	if x.Rows() != y.Rows() {
+		return 0, fmt.Errorf("%w: %d inputs vs %d targets", ErrConfig, x.Rows(), y.Rows())
+	}
+	if x.Cols() != n.InputDim() {
+		return 0, fmt.Errorf("%w: input dim %d, network expects %d", ErrConfig, x.Cols(), n.InputDim())
+	}
+	if y.Cols() != n.OutputDim() {
+		return 0, fmt.Errorf("%w: target dim %d, network outputs %d", ErrConfig, y.Cols(), n.OutputDim())
+	}
+	cfg.fillDefaults()
+	n.initAdam()
+	shuffleRng := rand.New(rand.NewSource(cfg.Seed))
+
+	nRows := x.Rows()
+	batch := cfg.BatchSize
+	if batch > nRows {
+		batch = nRows
+	}
+	order := make([]int, nRows)
+	for i := range order {
+		order[i] = i
+	}
+
+	var epochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffleRng.Shuffle(nRows, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss = 0
+		batches := 0
+		for start := 0; start < nRows; start += batch {
+			end := start + batch
+			if end > nRows {
+				end = nRows
+			}
+			bx := matrix.New(end-start, x.Cols())
+			by := matrix.New(end-start, y.Cols())
+			for i := start; i < end; i++ {
+				bx.SetRow(i-start, x.RawRow(order[i]))
+				by.SetRow(i-start, y.RawRow(order[i]))
+			}
+			loss, err := n.step(bx, by, cfg)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		epochLoss /= float64(batches)
+	}
+	return epochLoss, nil
+}
+
+// step performs one forward/backward/update pass over a batch and returns
+// the batch loss.
+func (n *Network) step(bx, by *matrix.Dense, cfg TrainConfig) (float64, error) {
+	acts, masks, err := n.forward(bx, true)
+	if err != nil {
+		return 0, err
+	}
+	out := acts[len(acts)-1]
+	rows := float64(out.Rows())
+
+	// Output delta and loss.
+	delta := matrix.New(out.Rows(), out.Cols())
+	var loss float64
+	switch cfg.Loss {
+	case CrossEntropy:
+		for i := 0; i < out.Rows(); i++ {
+			probs := softmaxRow(out.RawRow(i))
+			target := by.RawRow(i)
+			for j, p := range probs {
+				delta.Set(i, j, (p-target[j])/rows)
+				if target[j] > 0 {
+					loss -= target[j] * math.Log(math.Max(p, 1e-15))
+				}
+			}
+		}
+		loss /= rows
+	default: // MSE
+		for i := 0; i < out.Rows(); i++ {
+			o := out.RawRow(i)
+			t := by.RawRow(i)
+			for j := range o {
+				d := o[j] - t[j]
+				loss += d * d
+				// d/dz = 2*(o-t)*act'(o) / (rows*cols)
+				delta.Set(i, j, 2*d*n.layers[len(n.layers)-1].act.derivFromOutput(o[j])/(rows*float64(out.Cols())))
+			}
+		}
+		loss /= rows * float64(out.Cols())
+	}
+
+	// Backprop.
+	n.adamT++
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		prev := acts[li]
+		gradW, err := matrix.MulTransA(prev, delta)
+		if err != nil {
+			return 0, err
+		}
+		if cfg.L2 > 0 {
+			wPenalty := matrix.Scale(l.w, cfg.L2)
+			gradW, _ = matrix.Add(gradW, wPenalty)
+		}
+		gradB := matrix.ColSums(delta)
+
+		// Propagate delta before updating weights.
+		if li > 0 {
+			back, err := matrix.MulTransB(delta, l.w)
+			if err != nil {
+				return 0, err
+			}
+			prevAct := acts[li]
+			_ = prevAct
+			// Derivative of the previous layer's activation, evaluated on
+			// its (possibly dropped-out) output.
+			prevLayer := n.layers[li-1]
+			newDelta := matrix.New(back.Rows(), back.Cols())
+			for i := 0; i < back.Rows(); i++ {
+				br := back.RawRow(i)
+				ar := acts[li].RawRow(i)
+				nr := newDelta.RawRow(i)
+				for j := range br {
+					nr[j] = br[j] * prevLayer.act.derivFromOutput(ar[j])
+				}
+			}
+			if masks[li-1] != nil {
+				newDelta, _ = matrix.Hadamard(newDelta, masks[li-1])
+			}
+			delta = newDelta
+		}
+		n.adamUpdate(li, gradW, gradB, cfg.LearningRate)
+	}
+	return loss, nil
+}
+
+func (n *Network) initAdam() {
+	if n.mW != nil {
+		return
+	}
+	n.mW = make([]*matrix.Dense, len(n.layers))
+	n.vW = make([]*matrix.Dense, len(n.layers))
+	n.mB = make([][]float64, len(n.layers))
+	n.vB = make([][]float64, len(n.layers))
+	for i, l := range n.layers {
+		n.mW[i] = matrix.New(l.w.Rows(), l.w.Cols())
+		n.vW[i] = matrix.New(l.w.Rows(), l.w.Cols())
+		n.mB[i] = make([]float64, len(l.b))
+		n.vB[i] = make([]float64, len(l.b))
+	}
+}
+
+// adamUpdate applies one Adam step to layer li.
+func (n *Network) adamUpdate(li int, gradW *matrix.Dense, gradB []float64, lr float64) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	t := float64(n.adamT)
+	bc1 := 1 - math.Pow(beta1, t)
+	bc2 := 1 - math.Pow(beta2, t)
+	l := n.layers[li]
+	for i := 0; i < l.w.Rows(); i++ {
+		for j := 0; j < l.w.Cols(); j++ {
+			g := gradW.At(i, j)
+			m := beta1*n.mW[li].At(i, j) + (1-beta1)*g
+			v := beta2*n.vW[li].At(i, j) + (1-beta2)*g*g
+			n.mW[li].Set(i, j, m)
+			n.vW[li].Set(i, j, v)
+			l.w.Set(i, j, l.w.At(i, j)-lr*(m/bc1)/(math.Sqrt(v/bc2)+eps))
+		}
+	}
+	for j, g := range gradB {
+		m := beta1*n.mB[li][j] + (1-beta1)*g
+		v := beta2*n.vB[li][j] + (1-beta2)*g*g
+		n.mB[li][j] = m
+		n.vB[li][j] = v
+		l.b[j] -= lr * (m / bc1) / (math.Sqrt(v/bc2) + eps)
+	}
+}
+
+// softmaxRow returns the softmax of a logit row.
+func softmaxRow(logits []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxV)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Softmax applies a row-wise softmax to a logit matrix.
+func Softmax(logits *matrix.Dense) *matrix.Dense {
+	out := matrix.New(logits.Rows(), logits.Cols())
+	for i := 0; i < logits.Rows(); i++ {
+		out.SetRow(i, softmaxRow(logits.RawRow(i)))
+	}
+	return out
+}
+
+// OneHot encodes integer class labels as a one-hot matrix with numClasses
+// columns.
+func OneHot(labels []int, numClasses int) (*matrix.Dense, error) {
+	if len(labels) == 0 || numClasses < 1 {
+		return nil, fmt.Errorf("%w: %d labels, %d classes", ErrConfig, len(labels), numClasses)
+	}
+	out := matrix.New(len(labels), numClasses)
+	for i, l := range labels {
+		if l < 0 || l >= numClasses {
+			return nil, fmt.Errorf("%w: label %d outside [0, %d)", ErrConfig, l, numClasses)
+		}
+		out.Set(i, l, 1)
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/matrix"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Sizes: []int{3}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("single layer: want ErrConfig, got %v", err)
+	}
+	if _, err := New(Config{Sizes: []int{3, 0}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero width: want ErrConfig, got %v", err)
+	}
+	if _, err := New(Config{Sizes: []int{3, 2}, Dropout: 1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("dropout 1: want ErrConfig, got %v", err)
+	}
+	n, err := New(Config{Sizes: []int{4, 8, 2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLayers() != 2 || n.InputDim() != 4 || n.OutputDim() != 2 {
+		t.Errorf("shape accessors wrong: %d layers, in %d, out %d",
+			n.NumLayers(), n.InputDim(), n.OutputDim())
+	}
+}
+
+func TestForwardShapeAndDeterminism(t *testing.T) {
+	n, err := New(Config{Sizes: []int{3, 5, 2}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := matrix.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	out1, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Rows() != 2 || out1.Cols() != 2 {
+		t.Fatalf("output shape %dx%d, want 2x2", out1.Rows(), out1.Cols())
+	}
+	out2, _ := n.Forward(x)
+	if !matrix.Equal(out1, out2, 0) {
+		t.Error("inference must be deterministic")
+	}
+	// Two networks with the same seed produce identical outputs.
+	n2, _ := New(Config{Sizes: []int{3, 5, 2}, Seed: 7})
+	out3, _ := n2.Forward(x)
+	if !matrix.Equal(out1, out3, 0) {
+		t.Error("same seed must give identical initialization")
+	}
+}
+
+func TestTrainMSELearnsLinearMap(t *testing.T) {
+	// Fit y = 2*x1 - x2 with a linear network (no hidden layers).
+	rng := rand.New(rand.NewSource(2))
+	nRows := 200
+	x := matrix.New(nRows, 2)
+	y := matrix.New(nRows, 1)
+	for i := 0; i < nRows; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y.Set(i, 0, 2*a-b)
+	}
+	n, err := New(Config{Sizes: []int{2, 1}, Output: Identity, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := n.Train(x, y, TrainConfig{Epochs: 200, BatchSize: 32, LearningRate: 0.01, Loss: MSE, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 1e-3 {
+		t.Errorf("final MSE = %v, want < 1e-3", loss)
+	}
+	out, _ := n.Forward(x)
+	for i := 0; i < 5; i++ {
+		if math.Abs(out.At(i, 0)-y.At(i, 0)) > 0.1 {
+			t.Errorf("prediction %d: %v vs %v", i, out.At(i, 0), y.At(i, 0))
+		}
+	}
+}
+
+func TestTrainXORWithHiddenLayer(t *testing.T) {
+	x, _ := matrix.FromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	y, _ := matrix.FromRows([][]float64{{0}, {1}, {1}, {0}})
+	n, err := New(Config{Sizes: []int{2, 8, 1}, Hidden: Tanh, Output: Sigmoid, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = n.Train(x, y, TrainConfig{Epochs: 2000, BatchSize: 4, LearningRate: 0.05, Loss: MSE, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := n.Forward(x)
+	for i, want := range []float64{0, 1, 1, 0} {
+		got := out.At(i, 0)
+		if math.Abs(got-want) > 0.2 {
+			t.Errorf("XOR row %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTrainCrossEntropyClassifier(t *testing.T) {
+	// Two well-separated 2-D blobs.
+	rng := rand.New(rand.NewSource(8))
+	nPer := 60
+	rows := make([][]float64, 0, 2*nPer)
+	labels := make([]int, 0, 2*nPer)
+	for i := 0; i < nPer; i++ {
+		rows = append(rows, []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5})
+		labels = append(labels, 0)
+		rows = append(rows, []float64{4 + rng.NormFloat64()*0.5, 4 + rng.NormFloat64()*0.5})
+		labels = append(labels, 1)
+	}
+	x, _ := matrix.FromRows(rows)
+	y, err := OneHot(labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Sizes: []int{2, 16, 2}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := n.Train(x, y, TrainConfig{Epochs: 100, BatchSize: 16, LearningRate: 0.01, Loss: CrossEntropy, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.1 {
+		t.Errorf("final CE loss = %v, want < 0.1", loss)
+	}
+	out, _ := n.Forward(x)
+	probs := Softmax(out)
+	correct := 0
+	for i, l := range labels {
+		pred := 0
+		if probs.At(i, 1) > probs.At(i, 0) {
+			pred = 1
+		}
+		if pred == l {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(labels)); acc < 0.98 {
+		t.Errorf("classifier accuracy = %v, want >= 0.98", acc)
+	}
+}
+
+func TestTrainWithDropoutStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nRows := 150
+	x := matrix.New(nRows, 4)
+	y := matrix.New(nRows, 1)
+	for i := 0; i < nRows; i++ {
+		var s float64
+		for j := 0; j < 4; j++ {
+			v := rng.NormFloat64()
+			x.Set(i, j, v)
+			s += v
+		}
+		y.Set(i, 0, s)
+	}
+	n, err := New(Config{Sizes: []int{4, 32, 1}, Dropout: 0.2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := n.Train(x, y, TrainConfig{Epochs: 150, BatchSize: 32, LearningRate: 0.005, Loss: MSE, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.5 {
+		t.Errorf("dropout training loss = %v, want < 0.5", loss)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	n, _ := New(Config{Sizes: []int{2, 2}, Seed: 1})
+	x := matrix.New(3, 2)
+	yBadRows := matrix.New(2, 2)
+	if _, err := n.Train(x, yBadRows, TrainConfig{}); !errors.Is(err, ErrConfig) {
+		t.Errorf("row mismatch: want ErrConfig, got %v", err)
+	}
+	yBadCols := matrix.New(3, 5)
+	if _, err := n.Train(x, yBadCols, TrainConfig{}); !errors.Is(err, ErrConfig) {
+		t.Errorf("col mismatch: want ErrConfig, got %v", err)
+	}
+	xBad := matrix.New(3, 7)
+	y := matrix.New(3, 2)
+	if _, err := n.Train(xBad, y, TrainConfig{}); !errors.Is(err, ErrConfig) {
+		t.Errorf("input dim mismatch: want ErrConfig, got %v", err)
+	}
+}
+
+func TestHiddenActivations(t *testing.T) {
+	n, _ := New(Config{Sizes: []int{3, 6, 4, 2}, Seed: 14})
+	x := matrix.New(5, 3)
+	h, err := n.HiddenActivations(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 5 || h.Cols() != 4 {
+		t.Errorf("hidden activations shape %dx%d, want 5x4", h.Rows(), h.Cols())
+	}
+	if _, err := n.HiddenActivations(x, 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("layer 0: want ErrConfig, got %v", err)
+	}
+	if _, err := n.HiddenActivations(x, 9); !errors.Is(err, ErrConfig) {
+		t.Errorf("layer 9: want ErrConfig, got %v", err)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	logits, _ := matrix.FromRows([][]float64{{1, 2, 3}, {-5, 0, 5}, {1000, 1000, 1000}})
+	probs := Softmax(logits)
+	for i := 0; i < probs.Rows(); i++ {
+		var s float64
+		for j := 0; j < probs.Cols(); j++ {
+			p := probs.At(i, j)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("prob[%d][%d] = %v", i, j, p)
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", i, s)
+		}
+	}
+	// Monotonicity: bigger logit → bigger probability.
+	if !(probs.At(0, 2) > probs.At(0, 1) && probs.At(0, 1) > probs.At(0, 0)) {
+		t.Error("softmax not monotone in logits")
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	oh, err := OneHot([]int{0, 2, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if oh.At(i, j) != want[i][j] {
+				t.Errorf("OneHot[%d][%d] = %v, want %v", i, j, oh.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := OneHot([]int{3}, 3); !errors.Is(err, ErrConfig) {
+		t.Errorf("out-of-range label: want ErrConfig, got %v", err)
+	}
+	if _, err := OneHot(nil, 3); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty: want ErrConfig, got %v", err)
+	}
+}
+
+func TestActivationDerivatives(t *testing.T) {
+	// Numerical check: derivFromOutput(f(x)) ≈ (f(x+h)-f(x-h)) / 2h.
+	for _, act := range []Activation{Identity, Sigmoid, Tanh} {
+		for _, x := range []float64{-2, -0.5, 0.3, 1.7} {
+			h := 1e-6
+			numeric := (act.apply(x+h) - act.apply(x-h)) / (2 * h)
+			analytic := act.derivFromOutput(act.apply(x))
+			if math.Abs(numeric-analytic) > 1e-5 {
+				t.Errorf("activation %d at %v: numeric %v vs analytic %v", act, x, numeric, analytic)
+			}
+		}
+	}
+	// ReLU away from the kink.
+	if ReLU.derivFromOutput(ReLU.apply(2)) != 1 || ReLU.derivFromOutput(ReLU.apply(-2)) != 0 {
+		t.Error("ReLU derivative wrong")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := matrix.New(100, 3)
+	y := matrix.New(100, 2)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y.Set(i, 0, x.At(i, 0)+x.At(i, 1))
+		y.Set(i, 1, x.At(i, 2)*2)
+	}
+	n, _ := New(Config{Sizes: []int{3, 16, 2}, Seed: 16})
+	first, err := n.Train(x, y, TrainConfig{Epochs: 1, LearningRate: 0.01, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := n.Train(x, y, TrainConfig{Epochs: 100, LearningRate: 0.01, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: first %v, last %v", first, last)
+	}
+}

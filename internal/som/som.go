@@ -1,0 +1,205 @@
+// Package som implements a one-dimensional Self-Organizing Map (Kohonen
+// map). It is the prototype-induction substrate of the Squashing_SOM
+// baseline (paper §4.1.3): log-squashed numeric values are projected onto a
+// 1-D grid of prototypes that preserves topological ordering; a column's
+// embedding is its soft similarity to each prototype.
+package som
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrInput is returned for invalid training inputs.
+var ErrInput = errors.New("som: invalid input")
+
+// Config controls SOM training.
+type Config struct {
+	// Units is the number of prototypes on the 1-D grid (required, >= 1).
+	Units int
+	// Epochs is the number of passes over the training data. Default 20.
+	Epochs int
+	// LearningRate is the initial learning rate, decayed linearly to ~0.
+	// Default 0.5.
+	LearningRate float64
+	// Radius is the initial neighbourhood radius in grid units, decayed
+	// exponentially. Default Units/2.
+	Radius float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.5
+	}
+	if c.Radius <= 0 {
+		c.Radius = math.Max(float64(c.Units)/2, 1)
+	}
+}
+
+// Map is a trained 1-D SOM over scalar inputs.
+type Map struct {
+	// Prototypes are the learned codebook values, sorted ascending (the 1-D
+	// topology makes the trained map monotone up to noise; we sort to
+	// guarantee it).
+	Prototypes []float64
+	// Bandwidth is the kernel width used by Activations, derived from the
+	// typical inter-prototype spacing.
+	Bandwidth float64
+}
+
+// Train fits a 1-D SOM to xs.
+func Train(xs []float64, cfg Config) (*Map, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empty sample", ErrInput)
+	}
+	if cfg.Units < 1 {
+		return nil, fmt.Errorf("%w: Units = %d", ErrInput, cfg.Units)
+	}
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("%w: non-finite value at index %d", ErrInput, i)
+		}
+	}
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	// Initialize prototypes evenly across the data range (a standard linear
+	// initialization for 1-D maps; faster and more stable than random).
+	protos := make([]float64, cfg.Units)
+	if cfg.Units == 1 {
+		protos[0] = (lo + hi) / 2
+	} else {
+		for i := range protos {
+			protos[i] = lo + (hi-lo)*float64(i)/float64(cfg.Units-1)
+		}
+	}
+
+	order := rng.Perm(len(xs))
+	totalSteps := cfg.Epochs * len(xs)
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			x := xs[idx]
+			t := float64(step) / float64(totalSteps)
+			lr := cfg.LearningRate * (1 - t)
+			radius := cfg.Radius * math.Exp(-3*t)
+			if radius < 0.5 {
+				radius = 0.5
+			}
+			// Best matching unit.
+			bmu, bestD := 0, math.Inf(1)
+			for u, p := range protos {
+				d := math.Abs(x - p)
+				if d < bestD {
+					bestD = d
+					bmu = u
+				}
+			}
+			// Neighbourhood update.
+			for u := range protos {
+				gd := float64(u - bmu)
+				h := math.Exp(-gd * gd / (2 * radius * radius))
+				protos[u] += lr * h * (x - protos[u])
+			}
+			step++
+		}
+	}
+	sort.Float64s(protos)
+
+	// Bandwidth from median inter-prototype gap; degenerate maps fall back
+	// to the data spread.
+	bw := medianGap(protos)
+	if bw <= 0 {
+		bw = (hi - lo) / math.Max(float64(cfg.Units), 1)
+	}
+	if bw <= 0 {
+		bw = 1
+	}
+	return &Map{Prototypes: protos, Bandwidth: bw}, nil
+}
+
+func medianGap(sorted []float64) float64 {
+	if len(sorted) < 2 {
+		return 0
+	}
+	gaps := make([]float64, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		gaps = append(gaps, sorted[i]-sorted[i-1])
+	}
+	sort.Float64s(gaps)
+	return gaps[len(gaps)/2]
+}
+
+// BMU returns the index of the best matching unit for x.
+func (m *Map) BMU(x float64) int {
+	best, bestD := 0, math.Inf(1)
+	for u, p := range m.Prototypes {
+		d := math.Abs(x - p)
+		if d < bestD {
+			bestD = d
+			best = u
+		}
+	}
+	return best
+}
+
+// Activations returns a normalized soft-similarity vector of x to every
+// prototype using a Gaussian kernel of width Bandwidth. The result sums to 1.
+func (m *Map) Activations(x float64) []float64 {
+	out := make([]float64, len(m.Prototypes))
+	var sum float64
+	for u, p := range m.Prototypes {
+		d := (x - p) / m.Bandwidth
+		v := math.Exp(-0.5 * d * d)
+		out[u] = v
+		sum += v
+	}
+	if sum == 0 {
+		// x is astronomically far from every prototype: assign all mass to
+		// the nearest one.
+		out[m.BMU(x)] = 1
+		return out
+	}
+	for u := range out {
+		out[u] /= sum
+	}
+	return out
+}
+
+// MeanActivations averages the activation vectors across a column of values.
+// The result sums to 1 for a non-empty column.
+func (m *Map) MeanActivations(values []float64) ([]float64, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: empty column", ErrInput)
+	}
+	out := make([]float64, len(m.Prototypes))
+	for _, x := range values {
+		a := m.Activations(x)
+		for u, v := range a {
+			out[u] += v
+		}
+	}
+	inv := 1 / float64(len(values))
+	for u := range out {
+		out[u] *= inv
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package som
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/gem-embeddings/gem/internal/mathx"
+)
+
+func bimodal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = rng.NormFloat64()
+		} else {
+			xs[i] = 20 + rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{Units: 3}); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: want ErrInput, got %v", err)
+	}
+	if _, err := Train([]float64{1}, Config{Units: 0}); !errors.Is(err, ErrInput) {
+		t.Errorf("Units=0: want ErrInput, got %v", err)
+	}
+	if _, err := Train([]float64{math.NaN()}, Config{Units: 1}); !errors.Is(err, ErrInput) {
+		t.Errorf("NaN: want ErrInput, got %v", err)
+	}
+}
+
+func TestTrainPrototypesCoverData(t *testing.T) {
+	xs := bimodal(600, 1)
+	m, err := Train(xs, Config{Units: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Prototypes) != 10 {
+		t.Fatalf("got %d prototypes, want 10", len(m.Prototypes))
+	}
+	if !sort.Float64sAreSorted(m.Prototypes) {
+		t.Error("prototypes must be sorted ascending")
+	}
+	// Some prototypes near each mode.
+	nearLow, nearHigh := false, false
+	for _, p := range m.Prototypes {
+		if math.Abs(p) < 3 {
+			nearLow = true
+		}
+		if math.Abs(p-20) < 3 {
+			nearHigh = true
+		}
+	}
+	if !nearLow || !nearHigh {
+		t.Errorf("prototypes %v do not cover both modes", m.Prototypes)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	xs := bimodal(200, 2)
+	a, err := Train(xs, Config{Units: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(xs, Config{Units: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Prototypes {
+		if a.Prototypes[i] != b.Prototypes[i] {
+			t.Fatalf("same seed differs: %v vs %v", a.Prototypes, b.Prototypes)
+		}
+	}
+}
+
+func TestTrainSingleUnit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	m, err := Train(xs, Config{Units: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single prototype should settle near the mean.
+	if math.Abs(m.Prototypes[0]-3) > 1.5 {
+		t.Errorf("single prototype = %v, want near 3", m.Prototypes[0])
+	}
+}
+
+func TestTrainConstantData(t *testing.T) {
+	xs := []float64{5, 5, 5, 5}
+	m, err := Train(xs, Config{Units: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Prototypes {
+		if math.Abs(p-5) > 1e-6 {
+			t.Errorf("constant data prototype = %v, want 5", p)
+		}
+	}
+	if m.Bandwidth <= 0 {
+		t.Errorf("bandwidth must stay positive, got %v", m.Bandwidth)
+	}
+	// Activations must still be a valid distribution.
+	a := m.Activations(5)
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	if !mathx.AlmostEqual(s, 1, 1e-9) {
+		t.Errorf("activations sum = %v, want 1", s)
+	}
+}
+
+func TestBMUPicksNearest(t *testing.T) {
+	m := &Map{Prototypes: []float64{0, 10, 20}, Bandwidth: 1}
+	tests := []struct {
+		x    float64
+		want int
+	}{{-5, 0}, {4, 0}, {6, 1}, {14, 1}, {16, 2}, {100, 2}}
+	for _, tc := range tests {
+		if got := m.BMU(tc.x); got != tc.want {
+			t.Errorf("BMU(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestActivationsSumToOneProperty(t *testing.T) {
+	xs := bimodal(300, 3)
+	m, err := Train(xs, Config{Units: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) bool {
+		x = math.Mod(x, 100)
+		if math.IsNaN(x) {
+			return true
+		}
+		a := m.Activations(x)
+		var s float64
+		for _, v := range a {
+			if v < 0 {
+				return false
+			}
+			s += v
+		}
+		return mathx.AlmostEqual(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActivationsFarValue(t *testing.T) {
+	m := &Map{Prototypes: []float64{0, 1}, Bandwidth: 0.001}
+	a := m.Activations(1e9)
+	// Astronomically far: all mass on the BMU.
+	if a[1] != 1 || a[0] != 0 {
+		t.Errorf("far-value activations = %v, want [0 1]", a)
+	}
+}
+
+func TestMeanActivations(t *testing.T) {
+	xs := bimodal(600, 4)
+	m, err := Train(xs, Config{Units: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A column near the low mode should put most mass on low prototypes.
+	col := []float64{-1, 0, 1, 0.5, -0.5}
+	ma, err := m.MeanActivations(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s, lowMass float64
+	for u, v := range ma {
+		s += v
+		if m.Prototypes[u] < 10 {
+			lowMass += v
+		}
+	}
+	if !mathx.AlmostEqual(s, 1, 1e-9) {
+		t.Errorf("mean activations sum = %v, want 1", s)
+	}
+	if lowMass < 0.9 {
+		t.Errorf("low-mode mass = %v, want > 0.9", lowMass)
+	}
+	if _, err := m.MeanActivations(nil); !errors.Is(err, ErrInput) {
+		t.Errorf("empty column: want ErrInput, got %v", err)
+	}
+}
+
+func TestDistinctModesGetDistinctEmbeddings(t *testing.T) {
+	xs := bimodal(600, 5)
+	m, err := Train(xs, Config{Units: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowCol := []float64{-1, 0, 1}
+	highCol := []float64{19, 20, 21}
+	a, _ := m.MeanActivations(lowCol)
+	b, _ := m.MeanActivations(highCol)
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	cos := dot / math.Sqrt(na*nb)
+	if cos > 0.3 {
+		t.Errorf("different modes should have dissimilar activations, cos = %v", cos)
+	}
+}

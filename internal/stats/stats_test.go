@@ -1,0 +1,417 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/gem-embeddings/gem/internal/mathx"
+)
+
+func TestMeanBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"single", []float64{7}, 7},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, -4, -6}, -4},
+		{"mixed", []float64{-1, 0, 1}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Mean(tc.xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mathx.AlmostEqual(got, tc.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+		})
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil): want ErrEmpty, got %v", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(v, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	sd, _ := StdDev(xs)
+	if !mathx.AlmostEqual(sd, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+	sv, _ := SampleVariance(xs)
+	if !mathx.AlmostEqual(sv, 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 32/7", sv)
+	}
+	if sv1, _ := SampleVariance([]float64{3}); sv1 != 0 {
+		t.Errorf("SampleVariance(single) = %v, want 0", sv1)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, math.Mod(x, 1e8))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		v, err := Variance(clean)
+		return err == nil && v >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewnessSymmetricIsZero(t *testing.T) {
+	xs := []float64{-3, -1, 0, 1, 3}
+	s, err := Skewness(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(s, 0, 1e-12) {
+		t.Errorf("Skewness(symmetric) = %v, want 0", s)
+	}
+	s, _ = Skewness([]float64{5, 5, 5})
+	if s != 0 {
+		t.Errorf("Skewness(constant) = %v, want 0", s)
+	}
+	right, _ := Skewness([]float64{1, 1, 1, 10})
+	if right <= 0 {
+		t.Errorf("right-tailed sample should have positive skew, got %v", right)
+	}
+}
+
+func TestKurtosis(t *testing.T) {
+	// Two-point symmetric distribution has kurtosis 1, excess -2.
+	k, err := Kurtosis([]float64{-1, 1, -1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(k, -2, 1e-12) {
+		t.Errorf("Kurtosis(±1) = %v, want -2", k)
+	}
+	if k, _ := Kurtosis([]float64{2, 2}); k != 0 {
+		t.Errorf("Kurtosis(constant) = %v, want 0", k)
+	}
+}
+
+func TestMinMaxRange(t *testing.T) {
+	xs := []float64{3, -2, 8, 0}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	rg, _ := Range(xs)
+	if lo != -2 || hi != 8 || rg != 10 {
+		t.Errorf("Min/Max/Range = %v/%v/%v, want -2/8/10", lo, hi, rg)
+	}
+	if _, err := Range(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Range(nil): want ErrEmpty, got %v", err)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	cv, err := CoefficientOfVariation([]float64{10, 10, 10})
+	if err != nil || cv != 0 {
+		t.Errorf("CV(constant) = %v, %v; want 0", cv, err)
+	}
+	cv, _ = CoefficientOfVariation([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !mathx.AlmostEqual(cv, 0.4, 1e-12) {
+		t.Errorf("CV = %v, want 0.4", cv)
+	}
+	// Zero-mean sample falls back to the stddev.
+	cv, _ = CoefficientOfVariation([]float64{-1, 1})
+	if !mathx.AlmostEqual(cv, 1, 1e-12) {
+		t.Errorf("CV(zero mean) = %v, want 1", cv)
+	}
+}
+
+func TestUniqueCount(t *testing.T) {
+	if n := UniqueCount([]float64{1, 1, 2, 3, 3, 3}); n != 3 {
+		t.Errorf("UniqueCount = %d, want 3", n)
+	}
+	if n := UniqueCount(nil); n != 0 {
+		t.Errorf("UniqueCount(nil) = %d, want 0", n)
+	}
+	if n := UniqueCount([]float64{math.NaN(), math.NaN(), 1}); n != 2 {
+		t.Errorf("UniqueCount with NaNs = %d, want 2", n)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {40, 29},
+	}
+	for _, tc := range tests {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mathx.AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("Percentile(-1) should fail")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should fail")
+	}
+	if v, err := Percentile([]float64{9}, 75); err != nil || v != 9 {
+		t.Errorf("Percentile(single) = %v, %v; want 9", v, err)
+	}
+}
+
+func TestPercentileWithinBounds(t *testing.T) {
+	f := func(xs []float64, p float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		p = math.Abs(math.Mod(p, 100))
+		v, err := Percentile(clean, p)
+		if err != nil {
+			return false
+		}
+		lo, _ := Min(clean)
+		hi, _ := Max(clean)
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m, err := Median([]float64{5, 1, 3})
+	if err != nil || m != 3 {
+		t.Errorf("Median = %v, %v; want 3", m, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 2 {
+			t.Errorf("bin %d count = %d, want 2", i, c)
+		}
+	}
+	counts, _ = Histogram([]float64{4, 4, 4}, 3)
+	if counts[0] != 3 || counts[1] != 0 {
+		t.Errorf("constant sample histogram = %v, want all in bin 0", counts)
+	}
+	if _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Error("Histogram with 0 bins should fail")
+	}
+}
+
+func TestHistogramConservesMass(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		counts, err := Histogram(clean, 7)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == len(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform over 4 bins: entropy = log(4).
+	xs := []float64{0.1, 1.1, 2.1, 3.1}
+	h, err := Entropy(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(h, math.Log(4), 1e-9) {
+		t.Errorf("Entropy = %v, want log 4 = %v", h, math.Log(4))
+	}
+	h, _ = Entropy([]float64{5, 5, 5, 5}, 4)
+	if h != 0 {
+		t.Errorf("Entropy(constant) = %v, want 0", h)
+	}
+}
+
+func TestEntropyNonNegativeAndBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		h, err := Entropy(clean, 10)
+		if err != nil {
+			return false
+		}
+		return h >= 0 && h <= math.Log(10)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tc := range tests {
+		if got := e.At(tc.x); got != tc.want {
+			t.Errorf("ECDF.At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d, want 4", e.Len())
+	}
+	if _, err := NewECDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("NewECDF(nil): want ErrEmpty, got %v", err)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 20)
+		b = math.Mod(b, 20)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	rows := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	out, err := Standardize(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		col := []float64{out[0][j], out[1][j], out[2][j]}
+		m, _ := Mean(col)
+		sd, _ := StdDev(col)
+		if !mathx.AlmostEqual(m, 0, 1e-12) || !mathx.AlmostEqual(sd, 1, 1e-12) {
+			t.Errorf("column %d not standardized: mean=%v sd=%v", j, m, sd)
+		}
+	}
+	// Constant column becomes zeros.
+	out, _ = Standardize([][]float64{{5, 1}, {5, 2}})
+	if out[0][0] != 0 || out[1][0] != 0 {
+		t.Errorf("constant column should standardize to 0, got %v", out)
+	}
+	if _, err := Standardize([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged input should fail")
+	}
+	if _, err := Standardize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Standardize(nil): want ErrEmpty, got %v", err)
+	}
+}
+
+func TestL1Normalize(t *testing.T) {
+	v := L1Normalize([]float64{1, -1, 2})
+	var sum float64
+	for _, x := range v {
+		sum += math.Abs(x)
+	}
+	if !mathx.AlmostEqual(sum, 1, 1e-12) {
+		t.Errorf("L1 norm after normalize = %v, want 1", sum)
+	}
+	z := L1Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("zero vector should stay zero, got %v", z)
+	}
+}
+
+func TestL1NormalizeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, math.Mod(x, 1e6))
+			}
+		}
+		out := L1Normalize(clean)
+		var sum float64
+		for _, x := range out {
+			sum += math.Abs(x)
+		}
+		allZero := true
+		for _, x := range clean {
+			if x != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return sum == 0
+		}
+		return mathx.AlmostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL2Normalize(t *testing.T) {
+	v := L2Normalize([]float64{3, 4})
+	if !mathx.AlmostEqual(v[0], 0.6, 1e-12) || !mathx.AlmostEqual(v[1], 0.8, 1e-12) {
+		t.Errorf("L2Normalize(3,4) = %v, want (0.6, 0.8)", v)
+	}
+	z := L2Normalize([]float64{0})
+	if z[0] != 0 {
+		t.Errorf("zero vector should stay zero, got %v", z)
+	}
+}

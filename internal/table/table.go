@@ -1,0 +1,234 @@
+// Package table defines the tabular data model the whole reproduction works
+// over: numeric columns with headers and ground-truth semantic type labels,
+// grouped into datasets, plus CSV import/export so the CLIs can run on real
+// data as well as the synthetic corpora.
+package table
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ErrInput is returned for malformed datasets and I/O payloads.
+var ErrInput = errors.New("table: invalid input")
+
+// Column is one numeric column extracted from some table.
+type Column struct {
+	// Name is the column header (attribute name), e.g. "engine_power_car".
+	Name string
+	// Values are the numeric cell values.
+	Values []float64
+	// Type is the ground-truth semantic type label used for evaluation;
+	// empty when unknown.
+	Type string
+	// Table identifies the source table; informational only.
+	Table string
+}
+
+// Dataset is a named collection of numeric columns with ground truth.
+type Dataset struct {
+	// Name identifies the corpus, e.g. "GDS".
+	Name string
+	// Columns are the numeric columns of the corpus.
+	Columns []Column
+}
+
+// Validate checks that every column is non-empty and finite-valued.
+func (d *Dataset) Validate() error {
+	if len(d.Columns) == 0 {
+		return fmt.Errorf("%w: dataset %q has no columns", ErrInput, d.Name)
+	}
+	for i, c := range d.Columns {
+		if len(c.Values) == 0 {
+			return fmt.Errorf("%w: dataset %q column %d (%q) is empty", ErrInput, d.Name, i, c.Name)
+		}
+		for j, v := range c.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: dataset %q column %d (%q) value %d is not finite",
+					ErrInput, d.Name, i, c.Name, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Headers returns the column headers in order.
+func (d *Dataset) Headers() []string {
+	out := make([]string, len(d.Columns))
+	for i, c := range d.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Labels returns the ground-truth type labels in column order.
+func (d *Dataset) Labels() []string {
+	out := make([]string, len(d.Columns))
+	for i, c := range d.Columns {
+		out[i] = c.Type
+	}
+	return out
+}
+
+// NumTypes returns the number of distinct ground-truth labels.
+func (d *Dataset) NumTypes() int {
+	seen := make(map[string]struct{})
+	for _, c := range d.Columns {
+		seen[c.Type] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Stack concatenates the values of all columns into one 1-D sample, the form
+// the paper's GMM is fitted on ("treats all numerical values from the
+// columns as a single stack", §3.2).
+func (d *Dataset) Stack() []float64 {
+	var n int
+	for _, c := range d.Columns {
+		n += len(c.Values)
+	}
+	out := make([]float64, 0, n)
+	for _, c := range d.Columns {
+		out = append(out, c.Values...)
+	}
+	return out
+}
+
+// TotalValues returns the number of cells across all columns.
+func (d *Dataset) TotalValues() int {
+	var n int
+	for _, c := range d.Columns {
+		n += len(c.Values)
+	}
+	return n
+}
+
+// Subset returns a new dataset containing only the first n columns (or all
+// if n exceeds the count). Columns are shared, not copied.
+func (d *Dataset) Subset(n int) *Dataset {
+	if n > len(d.Columns) {
+		n = len(d.Columns)
+	}
+	return &Dataset{Name: d.Name, Columns: d.Columns[:n]}
+}
+
+// ReadCSV parses a CSV stream where the first row holds headers and every
+// subsequent row holds cell values. Columns in which every non-empty cell
+// parses as a float are returned as numeric columns; other columns are
+// skipped. Blank cells are skipped, not imputed. An optional second header
+// row prefixed with "#type:" assigns ground-truth labels, e.g.
+//
+//	price,quantity
+//	#type:cost,#type:count
+//	9.99,5
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("%w: csv needs a header row and at least one data row", ErrInput)
+	}
+	headers := records[0]
+	body := records[1:]
+	types := make([]string, len(headers))
+	if len(body) > 0 && len(body[0]) > 0 && strings.HasPrefix(body[0][0], "#type:") {
+		for i, cell := range body[0] {
+			if i < len(types) {
+				types[i] = strings.TrimPrefix(cell, "#type:")
+			}
+		}
+		body = body[1:]
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: csv has no data rows", ErrInput)
+	}
+
+	ds := &Dataset{Name: name}
+	for j, h := range headers {
+		var values []float64
+		numeric := true
+		for _, row := range body {
+			if j >= len(row) {
+				continue
+			}
+			cell := strings.TrimSpace(row[j])
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			values = append(values, v)
+		}
+		if numeric && len(values) > 0 {
+			ds.Columns = append(ds.Columns, Column{Name: h, Values: values, Type: types[j], Table: name})
+		}
+	}
+	if len(ds.Columns) == 0 {
+		return nil, fmt.Errorf("%w: csv contains no numeric columns", ErrInput)
+	}
+	return ds, nil
+}
+
+// WriteCSV writes the dataset in the format ReadCSV parses: header row,
+// "#type:" row when any column carries a label, then data rows padded with
+// blanks where columns have unequal lengths.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if len(d.Columns) == 0 {
+		return fmt.Errorf("%w: dataset %q has no columns", ErrInput, d.Name)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Headers()); err != nil {
+		return fmt.Errorf("table: writing header: %w", err)
+	}
+	hasTypes := false
+	for _, c := range d.Columns {
+		if c.Type != "" {
+			hasTypes = true
+			break
+		}
+	}
+	if hasTypes {
+		row := make([]string, len(d.Columns))
+		for i, c := range d.Columns {
+			row[i] = "#type:" + c.Type
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("table: writing type row: %w", err)
+		}
+	}
+	maxLen := 0
+	for _, c := range d.Columns {
+		if len(c.Values) > maxLen {
+			maxLen = len(c.Values)
+		}
+	}
+	row := make([]string, len(d.Columns))
+	for i := 0; i < maxLen; i++ {
+		for j, c := range d.Columns {
+			if i < len(c.Values) {
+				row[j] = strconv.FormatFloat(c.Values[i], 'g', -1, 64)
+			} else {
+				row[j] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("table: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("table: flushing csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package table
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleDataset() *Dataset {
+	return &Dataset{
+		Name: "test",
+		Columns: []Column{
+			{Name: "price", Values: []float64{9.99, 20, 35.5}, Type: "cost", Table: "t1"},
+			{Name: "quantity", Values: []float64{5, 30, 25}, Type: "count", Table: "t1"},
+			{Name: "discount", Values: []float64{5, 10}, Type: "count", Table: "t1"},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ds := sampleDataset()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Dataset{Name: "empty"}
+	if err := empty.Validate(); !errors.Is(err, ErrInput) {
+		t.Errorf("empty dataset: want ErrInput, got %v", err)
+	}
+	bad := &Dataset{Name: "bad", Columns: []Column{{Name: "x", Values: nil}}}
+	if err := bad.Validate(); !errors.Is(err, ErrInput) {
+		t.Errorf("empty column: want ErrInput, got %v", err)
+	}
+	nan := &Dataset{Name: "nan", Columns: []Column{{Name: "x", Values: []float64{1, math.NaN()}}}}
+	if err := nan.Validate(); !errors.Is(err, ErrInput) {
+		t.Errorf("NaN column: want ErrInput, got %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	ds := sampleDataset()
+	h := ds.Headers()
+	if len(h) != 3 || h[0] != "price" || h[2] != "discount" {
+		t.Errorf("Headers = %v", h)
+	}
+	l := ds.Labels()
+	if len(l) != 3 || l[0] != "cost" || l[1] != "count" {
+		t.Errorf("Labels = %v", l)
+	}
+	if ds.NumTypes() != 2 {
+		t.Errorf("NumTypes = %d, want 2", ds.NumTypes())
+	}
+	if ds.TotalValues() != 8 {
+		t.Errorf("TotalValues = %d, want 8", ds.TotalValues())
+	}
+}
+
+func TestStack(t *testing.T) {
+	ds := sampleDataset()
+	s := ds.Stack()
+	if len(s) != 8 {
+		t.Fatalf("Stack length = %d, want 8", len(s))
+	}
+	if s[0] != 9.99 || s[3] != 5 || s[7] != 10 {
+		t.Errorf("Stack order wrong: %v", s)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := sampleDataset()
+	sub := ds.Subset(2)
+	if len(sub.Columns) != 2 {
+		t.Errorf("Subset(2) has %d columns", len(sub.Columns))
+	}
+	big := ds.Subset(100)
+	if len(big.Columns) != 3 {
+		t.Errorf("Subset beyond size should clamp, got %d", len(big.Columns))
+	}
+}
+
+func TestReadCSVBasic(t *testing.T) {
+	csvText := "price,name,quantity\n9.99,apple,5\n20,banana,30\n35.5,cherry,25\n"
+	ds, err := ReadCSV(strings.NewReader(csvText), "fruits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "name" is non-numeric and must be skipped.
+	if len(ds.Columns) != 2 {
+		t.Fatalf("got %d numeric columns, want 2", len(ds.Columns))
+	}
+	if ds.Columns[0].Name != "price" || ds.Columns[1].Name != "quantity" {
+		t.Errorf("columns = %v, %v", ds.Columns[0].Name, ds.Columns[1].Name)
+	}
+	if ds.Columns[0].Values[2] != 35.5 {
+		t.Errorf("price[2] = %v, want 35.5", ds.Columns[0].Values[2])
+	}
+}
+
+func TestReadCSVWithTypeRow(t *testing.T) {
+	csvText := "price,quantity\n#type:cost,#type:count\n9.99,5\n20,30\n"
+	ds, err := ReadCSV(strings.NewReader(csvText), "typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Columns[0].Type != "cost" || ds.Columns[1].Type != "count" {
+		t.Errorf("types = %q, %q", ds.Columns[0].Type, ds.Columns[1].Type)
+	}
+	if len(ds.Columns[0].Values) != 2 {
+		t.Errorf("type row leaked into values: %v", ds.Columns[0].Values)
+	}
+}
+
+func TestReadCSVBlankCellsSkipped(t *testing.T) {
+	csvText := "a,b\n1,\n2,5\n,6\n"
+	ds, err := ReadCSV(strings.NewReader(csvText), "blanks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Columns[0].Values) != 2 || len(ds.Columns[1].Values) != 2 {
+		t.Errorf("blank cells should be skipped: %v / %v", ds.Columns[0].Values, ds.Columns[1].Values)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("only_header\n"), "x"); !errors.Is(err, ErrInput) {
+		t.Errorf("header only: want ErrInput, got %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\nfoo,bar\n"), "x"); !errors.Is(err, ErrInput) {
+		t.Errorf("no numeric columns: want ErrInput, got %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("a\n#type:t\n"), "x"); !errors.Is(err, ErrInput) {
+		t.Errorf("type row but no data: want ErrInput, got %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ds := sampleDataset()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Columns) != len(ds.Columns) {
+		t.Fatalf("round trip lost columns: %d vs %d", len(back.Columns), len(ds.Columns))
+	}
+	for i, c := range ds.Columns {
+		got := back.Columns[i]
+		if got.Name != c.Name || got.Type != c.Type {
+			t.Errorf("column %d metadata: got %q/%q, want %q/%q", i, got.Name, got.Type, c.Name, c.Type)
+		}
+		if len(got.Values) != len(c.Values) {
+			t.Errorf("column %d length: got %d, want %d", i, len(got.Values), len(c.Values))
+			continue
+		}
+		for j := range c.Values {
+			if got.Values[j] != c.Values[j] {
+				t.Errorf("column %d value %d: got %v, want %v", i, j, got.Values[j], c.Values[j])
+			}
+		}
+	}
+}
+
+func TestWriteCSVEmptyDataset(t *testing.T) {
+	var buf bytes.Buffer
+	ds := &Dataset{Name: "empty"}
+	if err := ds.WriteCSV(&buf); !errors.Is(err, ErrInput) {
+		t.Errorf("want ErrInput, got %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package textembed
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4); !errors.Is(err, ErrInput) {
+		t.Errorf("dim too small: want ErrInput, got %v", err)
+	}
+	e, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dim() != 64 {
+		t.Errorf("Dim = %d, want 64", e.Dim())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(1) should panic")
+		}
+	}()
+	MustNew(1)
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := MustNew(DefaultDim)
+	a := e.Embed("Engine_Power")
+	b := e.Embed("Engine_Power")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Embed is not deterministic")
+		}
+	}
+}
+
+func TestEmbedUnitNorm(t *testing.T) {
+	e := MustNew(DefaultDim)
+	for _, h := range []string{"price", "Score_Cricket", "engine_power_car", "x"} {
+		v := e.Embed(h)
+		var ss float64
+		for _, x := range v {
+			ss += x * x
+		}
+		if math.Abs(math.Sqrt(ss)-1) > 1e-9 {
+			t.Errorf("Embed(%q) norm = %v, want 1", h, math.Sqrt(ss))
+		}
+	}
+}
+
+func TestEmbedEmptyIsZero(t *testing.T) {
+	e := MustNew(DefaultDim)
+	v := e.Embed("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty header must embed to zero vector")
+		}
+	}
+	v = e.Embed("___")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("punctuation-only header must embed to zero vector")
+		}
+	}
+}
+
+func TestSharedTokensAreCloserThanUnrelated(t *testing.T) {
+	e := MustNew(DefaultDim)
+	cricket := e.Embed("Score_Cricket")
+	rugby := e.Embed("Score_Rugby")
+	weight := e.Embed("Package_Weight")
+	if cosine(cricket, rugby) <= cosine(cricket, weight) {
+		t.Errorf("Score_Cricket~Score_Rugby (%v) should exceed ~Package_Weight (%v)",
+			cosine(cricket, rugby), cosine(cricket, weight))
+	}
+	if cosine(cricket, rugby) < 0.3 {
+		t.Errorf("headers sharing a token should be clearly similar, cos = %v", cosine(cricket, rugby))
+	}
+}
+
+func TestSynonymsShareCoordinates(t *testing.T) {
+	e := MustNew(DefaultDim)
+	price := e.Embed("price")
+	cost := e.Embed("cost")
+	year := e.Embed("year")
+	if cosine(price, cost) <= cosine(price, year) {
+		t.Errorf("price~cost (%v) should exceed price~year (%v)",
+			cosine(price, cost), cosine(price, year))
+	}
+}
+
+func TestCustomSynonymGroups(t *testing.T) {
+	e := MustNew(DefaultDim, WithSynonyms([][]string{{"foo", "bar"}}))
+	foo := e.Embed("foo")
+	bar := e.Embed("bar")
+	baz := e.Embed("baz")
+	if cosine(foo, bar) <= cosine(foo, baz) {
+		t.Errorf("custom synonyms: foo~bar (%v) should exceed foo~baz (%v)",
+			cosine(foo, bar), cosine(foo, baz))
+	}
+}
+
+func TestIdenticalHeadersMaxSimilarity(t *testing.T) {
+	e := MustNew(DefaultDim)
+	a := e.Embed("mileage_car")
+	b := e.Embed("mileage_car")
+	if math.Abs(cosine(a, b)-1) > 1e-9 {
+		t.Errorf("identical headers cosine = %v, want 1", cosine(a, b))
+	}
+}
+
+func TestCaseAndSeparatorInsensitivity(t *testing.T) {
+	e := MustNew(DefaultDim)
+	variants := []string{"enginePower", "engine_power", "Engine Power", "ENGINE-POWER"}
+	base := e.Embed(variants[0])
+	for _, v := range variants[1:] {
+		if c := cosine(base, e.Embed(v)); c < 0.95 {
+			t.Errorf("cosine(%q, %q) = %v, want ~1", variants[0], v, c)
+		}
+	}
+}
+
+func TestEmbedAll(t *testing.T) {
+	e := MustNew(64)
+	out := e.EmbedAll([]string{"a", "b", "c"})
+	if len(out) != 3 || len(out[0]) != 64 {
+		t.Fatalf("EmbedAll shape wrong: %d x %d", len(out), len(out[0]))
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"EnginePower_kW2", []string{"engine", "power", "k", "w", "2"}},
+		{"snake_case_id", []string{"snake", "case", "id"}},
+		{"Score_Cricket", []string{"score", "cricket"}},
+		{"simple", []string{"simple"}},
+		{"", nil},
+		{"a1b", []string{"a", "1", "b"}},
+		{"UPPER", []string{"upper"}},
+		{"with  spaces", []string{"with", "spaces"}},
+	}
+	for _, tc := range tests {
+		got := Tokenize(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestTokenizeNeverPanicsProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbedBoundedCosineProperty(t *testing.T) {
+	e := MustNew(128)
+	f := func(a, b string) bool {
+		c := cosine(e.Embed(a), e.Embed(b))
+		return c >= -1-1e-9 && c <= 1+1e-9 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
