@@ -11,6 +11,8 @@
 package gem
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/gem-embeddings/gem/internal/baselines"
@@ -360,6 +362,42 @@ func BenchmarkSignature(b *testing.B) {
 		if _, err := e.Signatures(ds); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEmbedParallel measures the full Embed hot path (signatures,
+// standardization, normalization) on a multi-column synthetic catalog across
+// worker-pool widths — the scaling evidence for the concurrent column
+// fan-out in core.Signatures.
+func BenchmarkEmbedParallel(b *testing.B) {
+	ds := data.GDS(data.Config{Seed: 1, Scale: 0.4})
+	widths := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > widths[len(widths)-1] {
+		widths = append(widths, p)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			e, err := core.NewEmbedder(core.Config{
+				Components:     50,
+				Restarts:       1,
+				Seed:           1,
+				SubsampleStack: 8000,
+				Workers:        w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Fit(ds); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Embed(ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ds.Columns)), "columns")
+		})
 	}
 }
 

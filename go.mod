@@ -1,0 +1,3 @@
+module github.com/gem-embeddings/gem
+
+go 1.22

@@ -26,6 +26,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/gem-embeddings/gem/internal/autoencoder"
 	"github.com/gem-embeddings/gem/internal/gmm"
@@ -160,6 +163,12 @@ type Config struct {
 	// statistical features (see StatisticalFeatures). Exposed for the
 	// ablation benches; the log measurement is the default.
 	RawStats bool
+	// Workers bounds the number of goroutines Signatures/Embed fan columns
+	// out across. Default GOMAXPROCS; 1 runs the serial path. Results are
+	// written to index-addressed slots, so output is identical for every
+	// worker count. Excluded from persistence: the right width is a
+	// property of the loading host, not the saving one.
+	Workers int `json:"-"`
 }
 
 func (c *Config) fillDefaults() {
@@ -190,6 +199,61 @@ func (c *Config) fillDefaults() {
 	if c.AEEpochs <= 0 {
 		c.AEEpochs = 30
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines, pulling indices from a shared atomic counter so uneven column
+// sizes balance. An error cancels remaining work; among errors observed
+// before cancellation takes effect, the lowest-index one is returned, so
+// reporting matches the serial path whenever the failures race each other.
+// fn must write its result to an index-addressed slot so output order is
+// deterministic.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		mu      sync.Mutex
+		bestIdx int
+		bestErr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if bestErr == nil || i < bestIdx {
+						bestIdx, bestErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return bestErr
 }
 
 // Embedder produces Gem embeddings for numeric columns.
@@ -354,21 +418,29 @@ func (e *Embedder) Signatures(ds *table.Dataset) ([]Signature, error) {
 	if ds == nil || len(ds.Columns) == 0 {
 		return nil, fmt.Errorf("%w: empty dataset", ErrInput)
 	}
+	statFn := StatisticalFeatures
+	if e.cfg.RawStats {
+		statFn = RawStatisticalFeatures
+	}
+	// Per-column work is independent and the model is read-only once
+	// fitted, so columns fan out across the worker pool; each worker
+	// writes only its own slot, keeping output order deterministic.
 	out := make([]Signature, len(ds.Columns))
-	for i, col := range ds.Columns {
+	err := parallelFor(len(ds.Columns), e.cfg.Workers, func(i int) error {
+		col := ds.Columns[i]
 		mp, err := e.model.MeanResponsibilities(col.Values)
 		if err != nil {
-			return nil, fmt.Errorf("core: column %d (%q): %w", i, col.Name, err)
-		}
-		statFn := StatisticalFeatures
-		if e.cfg.RawStats {
-			statFn = RawStatisticalFeatures
+			return fmt.Errorf("core: column %d (%q): %w", i, col.Name, err)
 		}
 		fs, err := statFn(col.Values, e.cfg.EntropyBins)
 		if err != nil {
-			return nil, fmt.Errorf("core: column %d (%q): %w", i, col.Name, err)
+			return fmt.Errorf("core: column %d (%q): %w", i, col.Name, err)
 		}
 		out[i] = Signature{Column: col.Name, MeanProbs: mp, Stats: fs}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -413,12 +485,16 @@ func (e *Embedder) Embed(ds *table.Dataset) ([][]float64, error) {
 		valueRows[i] = e.normalize(a)
 	}
 
-	// Contextual embedding S_i (Eq. 10).
+	// Contextual embedding S_i (Eq. 10). The header embedder is read-only,
+	// so headers fan out across the same worker pool.
 	var headerRows [][]float64
 	if e.cfg.Features.Has(Contextual) {
 		headerRows = make([][]float64, n)
-		for i, col := range ds.Columns {
-			headerRows[i] = e.normalize(e.headers.Embed(col.Name))
+		if err := parallelFor(n, e.cfg.Workers, func(i int) error {
+			headerRows[i] = e.normalize(e.headers.Embed(ds.Columns[i].Name))
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 

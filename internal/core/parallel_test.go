@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	e, err := NewEmbedder(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Config().Workers, runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default Workers = %d, want GOMAXPROCS = %d", got, want)
+	}
+}
+
+// TestWorkersNotPersisted asserts Save does not bake the saving host's
+// worker count into the blob: a loaded embedder defaults to the loading
+// host's GOMAXPROCS.
+func TestWorkersNotPersisted(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Workers = 999
+	e, err := NewEmbedder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(smallCorpus()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEmbedder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Config().Workers, runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("loaded Workers = %d, want loading-host default %d", got, want)
+	}
+}
+
+// embedWith fits and embeds the shared corpus with a given worker count.
+func embedWith(t *testing.T, workers int, feats Features) ([]Signature, [][]float64) {
+	t.Helper()
+	ds := smallCorpus()
+	cfg := fastCfg()
+	cfg.Workers = workers
+	cfg.Features = feats
+	e, err := NewEmbedder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := e.Signatures(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := e.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sigs, emb
+}
+
+// TestParallelMatchesSerial asserts the parallel fan-out produces
+// bit-identical signatures and embeddings to the serial path, for every
+// feature combination that exercises a distinct code path.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, feats := range []Features{
+		Distributional | Statistical,
+		Distributional | Statistical | Contextual,
+	} {
+		serialSigs, serialEmb := embedWith(t, 1, feats)
+		for _, workers := range []int{2, 4, 16} {
+			sigs, emb := embedWith(t, workers, feats)
+			if !reflect.DeepEqual(serialSigs, sigs) {
+				t.Fatalf("features %v: signatures differ between workers=1 and workers=%d", feats, workers)
+			}
+			if !reflect.DeepEqual(serialEmb, emb) {
+				t.Fatalf("features %v: embeddings differ between workers=1 and workers=%d", feats, workers)
+			}
+		}
+	}
+}
+
+// TestParallelDeterministicAcrossRuns asserts repeated parallel runs are
+// row-for-row identical (no scheduling-order leakage into the output).
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	_, first := embedWith(t, 8, Distributional|Statistical)
+	for run := 0; run < 3; run++ {
+		_, again := embedWith(t, 8, Distributional|Statistical)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d: parallel embedding differs from first run", run)
+		}
+	}
+}
+
+// TestParallelWorkersExceedColumns covers pools wider than the work list.
+func TestParallelWorkersExceedColumns(t *testing.T) {
+	ds := &table.Dataset{Columns: []table.Column{
+		{Name: "a", Type: "t", Values: []float64{1, 2, 3, 4, 5}},
+		{Name: "b", Type: "t", Values: []float64{10, 20, 30, 40, 50}},
+	}}
+	cfg := fastCfg()
+	cfg.Components = 3
+	cfg.Workers = 64
+	e, err := NewEmbedder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	emb, err := e.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb) != 2 {
+		t.Fatalf("got %d rows, want 2", len(emb))
+	}
+	for i, row := range emb {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				t.Fatalf("row %d contains NaN", i)
+			}
+		}
+	}
+}
+
+// TestParallelErrorPropagation asserts a failing column surfaces its error
+// through the pool (an empty column makes MeanResponsibilities fail).
+func TestParallelErrorPropagation(t *testing.T) {
+	ds := &table.Dataset{Columns: []table.Column{
+		{Name: "good", Type: "t", Values: []float64{1, 2, 3, 4, 5, 6}},
+		{Name: "empty", Type: "t", Values: nil},
+		{Name: "also-good", Type: "t", Values: []float64{7, 8, 9, 10, 11}},
+	}}
+	for _, workers := range []int{1, 4} {
+		cfg := fastCfg()
+		cfg.Components = 2
+		cfg.Workers = workers
+		e, err := NewEmbedder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitDS := &table.Dataset{Columns: []table.Column{ds.Columns[0], ds.Columns[2]}}
+		if err := e.Fit(fitDS); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Signatures(ds); err == nil {
+			t.Fatalf("workers=%d: expected error for empty column, got nil", workers)
+		}
+	}
+}
+
+// TestParallelForBalancesAndStops exercises the pool helper directly: full
+// coverage of the index space, and early cancellation on error.
+func TestParallelForBalancesAndStops(t *testing.T) {
+	const n = 1000
+	var visited [n]atomic.Bool
+	if err := parallelFor(n, 7, func(i int) error {
+		if visited[i].Swap(true) {
+			t.Errorf("index %d visited twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visited {
+		if !visited[i].Load() {
+			t.Fatalf("index %d never visited", i)
+		}
+	}
+
+	sentinel := errors.New("boom")
+	var calls atomic.Int64
+	err := parallelFor(n, 4, func(i int) error {
+		calls.Add(1)
+		if i == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel error", err)
+	}
+	if c := calls.Load(); c >= n {
+		t.Errorf("error did not cancel remaining work: %d calls", c)
+	}
+}

@@ -1,0 +1,59 @@
+// Package dist is the parametric-distribution subsystem behind the KS
+// baseline (internal/ks) and the synthetic corpus generators
+// (internal/data): seven classical families — normal, uniform, exponential,
+// beta, gamma, lognormal, logistic — behind one Distribution interface, plus
+// moment/MLE fitting with support guards (Families).
+//
+// Special-function work (incomplete gamma/beta, the normal CDF and its
+// inverse) is delegated to internal/mathx; everything here is the
+// distribution-level layer: densities, CDFs, quantiles and samplers, each
+// written to be safe for concurrent read-only use once constructed.
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrParam is returned (wrapped) by constructors for invalid parameters.
+var ErrParam = errors.New("dist: invalid parameter")
+
+// ErrInput is returned by Families for unusable samples.
+var ErrInput = errors.New("dist: invalid input")
+
+// Distribution is a univariate parametric distribution. Implementations are
+// immutable value types: all methods are read-only and safe for concurrent
+// use (Rand's determinism is carried entirely by the caller's rng).
+type Distribution interface {
+	// Name returns the canonical family name ("normal", "gamma", ...).
+	Name() string
+	// PDF returns the density at x (0 outside the support).
+	PDF(x float64) float64
+	// CDF returns P(X <= x), in [0, 1] and monotone non-decreasing.
+	CDF(x float64) float64
+	// Quantile returns the p-quantile for p in [0, 1]; p of 0 or 1 maps to
+	// the support bounds (possibly ±Inf). Out-of-range p returns NaN.
+	Quantile(p float64) float64
+	// Rand draws one sample using rng.
+	Rand(rng *rand.Rand) float64
+}
+
+// invertCDF numerically inverts d.CDF on the bracket [lo, hi] by bisection.
+// The bracket must satisfy CDF(lo) <= p <= CDF(hi); callers pick the support
+// bounds (expanding finite brackets first when the support is unbounded).
+func invertCDF(d Distribution, p, lo, hi float64) float64 {
+	for i := 0; i < 200 && hi-lo > 1e-14*(1+math.Abs(lo)+math.Abs(hi)); i++ {
+		mid := lo + (hi-lo)/2
+		if d.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// checkP validates a quantile probability, returning NaN pass-through
+// semantics: ok is false when p is outside [0, 1] or NaN.
+func checkP(p float64) bool { return !math.IsNaN(p) && p >= 0 && p <= 1 }

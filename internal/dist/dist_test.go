@@ -1,0 +1,252 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// families used by the cross-family tests, with their true mean/variance.
+func testFamilies() []struct {
+	d          Distribution
+	mean, vari float64
+} {
+	return []struct {
+		d          Distribution
+		mean, vari float64
+	}{
+		{Normal{Mu: 3, Sigma: 2}, 3, 4},
+		{LogNormal{Mu: 0, Sigma: 0.5}, math.Exp(0.125), (math.Exp(0.25) - 1) * math.Exp(0.25)},
+		{Exponential{Rate: 2}, 0.5, 0.25},
+		{Uniform{Lo: -1, Hi: 3}, 1, 16.0 / 12},
+		{Gamma{Alpha: 3, Beta: 2}, 1.5, 0.75},
+		{Beta{A: 2, B: 5}, 2.0 / 7, 2.0 * 5 / (49 * 8)},
+		{Logistic{Mu: -2, S: 1.5}, -2, math.Pi * math.Pi * 2.25 / 3},
+	}
+}
+
+func TestPDFCDFSpotChecks(t *testing.T) {
+	// Closed-form reference values (computed analytically / via scipy).
+	cases := []struct {
+		name     string
+		d        Distribution
+		x        float64
+		pdf, cdf float64
+	}{
+		{"normal std at 0", Normal{Mu: 0, Sigma: 1}, 0, 0.3989422804014327, 0.5},
+		{"normal std at 1.96", Normal{Mu: 0, Sigma: 1}, 1.96, 0.05844094433345147, 0.9750021048517795},
+		{"normal shifted", Normal{Mu: 5, Sigma: 2}, 5, 0.19947114020071635, 0.5},
+		{"lognormal at 1", LogNormal{Mu: 0, Sigma: 1}, 1, 0.3989422804014327, 0.5},
+		{"lognormal at e", LogNormal{Mu: 0, Sigma: 1}, math.E, math.Exp(-1.5) / math.Sqrt(2*math.Pi), 0.8413447460685429},
+		{"exponential at 0", Exponential{Rate: 2}, 0, 2, 0},
+		{"exponential at mean", Exponential{Rate: 2}, 0.5, 2 * math.Exp(-1), 1 - math.Exp(-1)},
+		{"uniform mid", Uniform{Lo: 0, Hi: 4}, 1, 0.25, 0.25},
+		{"gamma(1,1)=exp(1)", Gamma{Alpha: 1, Beta: 1}, 1, math.Exp(-1), 1 - math.Exp(-1)},
+		{"gamma(2,1) at 2", Gamma{Alpha: 2, Beta: 1}, 2, 2 * math.Exp(-2), 1 - 3*math.Exp(-2)},
+		{"beta(1,1)=uniform", Beta{A: 1, B: 1}, 0.3, 1, 0.3},
+		{"beta(2,2) at 1/2", Beta{A: 2, B: 2}, 0.5, 1.5, 0.5},
+		{"beta(2,5) at 0.2", Beta{A: 2, B: 5}, 0.2, 2.4576, 0.34464},
+		{"logistic at mu", Logistic{Mu: 0, S: 1}, 0, 0.25, 0.5},
+		{"logistic at 2", Logistic{Mu: 0, S: 1}, 2, 0.10499358540350652, 0.8807970779778823},
+	}
+	for _, c := range cases {
+		if got := c.d.PDF(c.x); math.Abs(got-c.pdf) > 1e-10 {
+			t.Errorf("%s: PDF(%v) = %v, want %v", c.name, c.x, got, c.pdf)
+		}
+		if got := c.d.CDF(c.x); math.Abs(got-c.cdf) > 1e-10 {
+			t.Errorf("%s: CDF(%v) = %v, want %v", c.name, c.x, got, c.cdf)
+		}
+	}
+}
+
+func TestSupportBoundaries(t *testing.T) {
+	// Densities and CDFs vanish below the support for one-sided families.
+	for _, d := range []Distribution{
+		LogNormal{Mu: 0, Sigma: 1},
+		Exponential{Rate: 1},
+		Gamma{Alpha: 2, Beta: 1},
+	} {
+		if got := d.PDF(-1); got != 0 {
+			t.Errorf("%s: PDF(-1) = %v, want 0", d.Name(), got)
+		}
+		if got := d.CDF(-1); got != 0 {
+			t.Errorf("%s: CDF(-1) = %v, want 0", d.Name(), got)
+		}
+	}
+	b := Beta{A: 2, B: 3}
+	if b.PDF(1.5) != 0 || b.PDF(-0.5) != 0 {
+		t.Errorf("beta: PDF outside [0,1] nonzero")
+	}
+	if b.CDF(1.5) != 1 || b.CDF(-0.5) != 0 {
+		t.Errorf("beta: CDF outside [0,1] not clamped")
+	}
+	u := Uniform{Lo: 2, Hi: 5}
+	if u.CDF(1) != 0 || u.CDF(6) != 1 {
+		t.Errorf("uniform: CDF not clamped outside [Lo,Hi]")
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	// Quantile(CDF(x)) ≈ x across the bulk of each support.
+	for _, f := range testFamilies() {
+		d := f.d
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			x := d.Quantile(p)
+			if math.IsNaN(x) {
+				t.Fatalf("%s: Quantile(%v) is NaN", d.Name(), p)
+			}
+			back := d.CDF(x)
+			if math.Abs(back-p) > 1e-8 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v, want %v", d.Name(), p, back, p)
+			}
+			x2 := d.Quantile(back)
+			tol := 1e-6 * (1 + math.Abs(x))
+			if math.Abs(x2-x) > tol {
+				t.Errorf("%s: Quantile(CDF(%v)) = %v, drift > %v", d.Name(), x, x2, tol)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	for _, f := range testFamilies() {
+		d := f.d
+		for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+			if got := d.Quantile(p); !math.IsNaN(got) {
+				t.Errorf("%s: Quantile(%v) = %v, want NaN", d.Name(), p, got)
+			}
+		}
+		lo, hi := d.Quantile(0), d.Quantile(1)
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo >= hi {
+			t.Errorf("%s: Quantile(0)=%v, Quantile(1)=%v: want a valid support interval", d.Name(), lo, hi)
+		}
+	}
+}
+
+func TestRandSampleMoments(t *testing.T) {
+	const n = 200000
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range testFamilies() {
+		var sum float64
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = f.d.Rand(rng)
+			sum += xs[i]
+		}
+		mean := sum / n
+		var vari float64
+		for _, x := range xs {
+			d := x - mean
+			vari += d * d
+		}
+		vari /= n
+		// 5-sigma-ish tolerances on 200k samples, scaled by the true spread.
+		meanTol := 5 * math.Sqrt(f.vari/n) * 3
+		if math.Abs(mean-f.mean) > meanTol+1e-9 {
+			t.Errorf("%s: sample mean %v, want %v (tol %v)", f.d.Name(), mean, f.mean, meanTol)
+		}
+		if math.Abs(vari-f.vari) > 0.1*f.vari {
+			t.Errorf("%s: sample variance %v, want %v ±10%%", f.d.Name(), vari, f.vari)
+		}
+	}
+}
+
+func TestRandRespectsSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	checks := []struct {
+		d      Distribution
+		lo, hi float64
+	}{
+		{Exponential{Rate: 3}, 0, math.Inf(1)},
+		{LogNormal{Mu: 1, Sigma: 2}, 0, math.Inf(1)},
+		{Gamma{Alpha: 0.3, Beta: 2}, 0, math.Inf(1)}, // exercises the alpha<1 boost
+		{Gamma{Alpha: 7, Beta: 0.5}, 0, math.Inf(1)},
+		{Beta{A: 0.4, B: 0.7}, 0, 1},
+		{Uniform{Lo: -2, Hi: -1}, -2, -1},
+	}
+	for _, c := range checks {
+		for i := 0; i < 5000; i++ {
+			x := c.d.Rand(rng)
+			if math.IsNaN(x) || x < c.lo || x > c.hi {
+				t.Fatalf("%s: sample %v outside [%v, %v]", c.d.Name(), x, c.lo, c.hi)
+			}
+		}
+	}
+}
+
+func TestConstructorsRejectBadParams(t *testing.T) {
+	bad := []error{}
+	collect := func(err error) {
+		if err != nil {
+			bad = append(bad, err)
+		}
+	}
+	_, err := NewNormal(0, 0)
+	collect(err)
+	_, err = NewNormal(math.NaN(), 1)
+	collect(err)
+	_, err = NewLogNormal(0, -1)
+	collect(err)
+	_, err = NewExponential(0)
+	collect(err)
+	_, err = NewUniform(3, 3)
+	collect(err)
+	_, err = NewGamma(-1, 1)
+	collect(err)
+	_, err = NewGamma(1, math.Inf(1))
+	collect(err)
+	_, err = NewBeta(0, 1)
+	collect(err)
+	_, err = NewLogistic(0, 0)
+	collect(err)
+	if len(bad) != 9 {
+		t.Fatalf("expected 9 rejections, got %d", len(bad))
+	}
+	for _, err := range bad {
+		if !errors.Is(err, ErrParam) {
+			t.Errorf("error %v does not wrap ErrParam", err)
+		}
+	}
+}
+
+func TestConstructorsAcceptGoodParams(t *testing.T) {
+	if _, err := NewNormal(0, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewLogNormal(-1, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewExponential(0.1); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewUniform(-1, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewGamma(0.5, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewBeta(2, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewLogistic(5, 0.2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]Distribution{
+		"normal":      Normal{Mu: 0, Sigma: 1},
+		"uniform":     Uniform{Lo: 0, Hi: 1},
+		"exponential": Exponential{Rate: 1},
+		"beta":        Beta{A: 1, B: 1},
+		"gamma":       Gamma{Alpha: 1, Beta: 1},
+		"lognormal":   LogNormal{Mu: 0, Sigma: 1},
+		"logistic":    Logistic{Mu: 0, S: 1},
+	}
+	for name, d := range want {
+		if d.Name() != name {
+			t.Errorf("%T.Name() = %q, want %q", d, d.Name(), name)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/gem-embeddings/gem/internal/mathx"
+)
+
+const sqrt2Pi = 2.5066282746310002 // sqrt(2*pi)
+
+// ---------------------------------------------------------------- normal
+
+// Normal is the Gaussian distribution N(Mu, Sigma^2).
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// NewNormal returns N(mu, sigma^2), rejecting sigma <= 0 and non-finite
+// parameters.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if !isFinite(mu) || !isFinite(sigma) || sigma <= 0 {
+		return Normal{}, fmt.Errorf("%w: NewNormal(mu=%v, sigma=%v)", ErrParam, mu, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Name implements Distribution.
+func (n Normal) Name() string { return "normal" }
+
+// PDF implements Distribution.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-z*z/2) / (n.Sigma * sqrt2Pi)
+}
+
+// CDF implements Distribution.
+func (n Normal) CDF(x float64) float64 {
+	return mathx.NormalCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile implements Distribution.
+func (n Normal) Quantile(p float64) float64 {
+	if !checkP(p) {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return math.Inf(-1)
+	case 1:
+		return math.Inf(1)
+	}
+	z, err := mathx.NormalQuantile(p)
+	if err != nil {
+		return math.NaN()
+	}
+	return n.Mu + n.Sigma*z
+}
+
+// Rand implements Distribution.
+func (n Normal) Rand(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// ---------------------------------------------------------------- lognormal
+
+// LogNormal is the distribution of exp(N(Mu, Sigma^2)); support (0, +Inf).
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// NewLogNormal returns LogNormal(mu, sigma), rejecting sigma <= 0.
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if !isFinite(mu) || !isFinite(sigma) || sigma <= 0 {
+		return LogNormal{}, fmt.Errorf("%w: NewLogNormal(mu=%v, sigma=%v)", ErrParam, mu, sigma)
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Name implements Distribution.
+func (l LogNormal) Name() string { return "lognormal" }
+
+// PDF implements Distribution.
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * sqrt2Pi)
+}
+
+// CDF implements Distribution.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return mathx.NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+// Quantile implements Distribution.
+func (l LogNormal) Quantile(p float64) float64 {
+	if !checkP(p) {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	}
+	z, err := mathx.NormalQuantile(p)
+	if err != nil {
+		return math.NaN()
+	}
+	return math.Exp(l.Mu + l.Sigma*z)
+}
+
+// Rand implements Distribution.
+func (l LogNormal) Rand(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// ---------------------------------------------------------------- exponential
+
+// Exponential is the exponential distribution with rate Rate; support
+// [0, +Inf), mean 1/Rate.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns Exponential(rate), rejecting rate <= 0.
+func NewExponential(rate float64) (Exponential, error) {
+	if !isFinite(rate) || rate <= 0 {
+		return Exponential{}, fmt.Errorf("%w: NewExponential(rate=%v)", ErrParam, rate)
+	}
+	return Exponential{Rate: rate}, nil
+}
+
+// Name implements Distribution.
+func (e Exponential) Name() string { return "exponential" }
+
+// PDF implements Distribution.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF implements Distribution.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Rate * x)
+}
+
+// Quantile implements Distribution.
+func (e Exponential) Quantile(p float64) float64 {
+	if !checkP(p) {
+		return math.NaN()
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Rate
+}
+
+// Rand implements Distribution.
+func (e Exponential) Rand(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Rate
+}
+
+// ---------------------------------------------------------------- uniform
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns Uniform(lo, hi), rejecting hi <= lo.
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if !isFinite(lo) || !isFinite(hi) || hi <= lo {
+		return Uniform{}, fmt.Errorf("%w: NewUniform(lo=%v, hi=%v)", ErrParam, lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// Name implements Distribution.
+func (u Uniform) Name() string { return "uniform" }
+
+// PDF implements Distribution.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.Lo || x > u.Hi {
+		return 0
+	}
+	return 1 / (u.Hi - u.Lo)
+}
+
+// CDF implements Distribution.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	}
+	return (x - u.Lo) / (u.Hi - u.Lo)
+}
+
+// Quantile implements Distribution.
+func (u Uniform) Quantile(p float64) float64 {
+	if !checkP(p) {
+		return math.NaN()
+	}
+	return u.Lo + p*(u.Hi-u.Lo)
+}
+
+// Rand implements Distribution.
+func (u Uniform) Rand(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// ---------------------------------------------------------------- gamma
+
+// Gamma is the gamma distribution with shape Alpha and rate Beta; support
+// [0, +Inf), mean Alpha/Beta.
+type Gamma struct {
+	Alpha, Beta float64
+}
+
+// NewGamma returns Gamma(alpha, beta), rejecting non-positive parameters.
+func NewGamma(alpha, beta float64) (Gamma, error) {
+	if !isFinite(alpha) || !isFinite(beta) || alpha <= 0 || beta <= 0 {
+		return Gamma{}, fmt.Errorf("%w: NewGamma(alpha=%v, beta=%v)", ErrParam, alpha, beta)
+	}
+	return Gamma{Alpha: alpha, Beta: beta}, nil
+}
+
+// Name implements Distribution.
+func (g Gamma) Name() string { return "gamma" }
+
+// PDF implements Distribution.
+func (g Gamma) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		switch {
+		case g.Alpha < 1:
+			return math.Inf(1)
+		case g.Alpha == 1:
+			return g.Beta
+		default:
+			return 0
+		}
+	}
+	lg, _ := math.Lgamma(g.Alpha)
+	return math.Exp(g.Alpha*math.Log(g.Beta) + (g.Alpha-1)*math.Log(x) - g.Beta*x - lg)
+}
+
+// CDF implements Distribution.
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	p, err := mathx.GammaIncP(g.Alpha, g.Beta*x)
+	if err != nil {
+		// Very large shapes exhaust the series/CF iteration budget; there
+		// the Wilson–Hilferty cube-root normal approximation is accurate
+		// (error < 1e-4 for Alpha beyond a few hundred) and monotone.
+		a := g.Alpha
+		z := (math.Cbrt(g.Beta*x/a) - (1 - 1/(9*a))) * 3 * math.Sqrt(a)
+		return mathx.NormalCDF(z)
+	}
+	return p
+}
+
+// Quantile implements Distribution.
+func (g Gamma) Quantile(p float64) float64 {
+	if !checkP(p) {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	}
+	// Expand a finite bracket from the mean+k·std scale until it covers p,
+	// then bisect.
+	mean := g.Alpha / g.Beta
+	std := math.Sqrt(g.Alpha) / g.Beta
+	hi := mean + 8*std
+	for g.CDF(hi) < p {
+		hi *= 2
+	}
+	return invertCDF(g, p, 0, hi)
+}
+
+// Rand implements Distribution. It uses the Marsaglia–Tsang squeeze method
+// (shape >= 1) with the standard boost for shape < 1.
+func (g Gamma) Rand(rng *rand.Rand) float64 {
+	alpha := g.Alpha
+	boost := 1.0
+	if alpha < 1 {
+		// G(alpha) = G(alpha+1) * U^(1/alpha).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		boost = math.Pow(u, 1/alpha)
+		alpha++
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v / g.Beta
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * d * v / g.Beta
+		}
+	}
+}
+
+// ---------------------------------------------------------------- beta
+
+// Beta is the beta distribution with shapes A and B; support [0, 1].
+type Beta struct {
+	A, B float64
+}
+
+// NewBeta returns Beta(a, b), rejecting non-positive parameters.
+func NewBeta(a, b float64) (Beta, error) {
+	if !isFinite(a) || !isFinite(b) || a <= 0 || b <= 0 {
+		return Beta{}, fmt.Errorf("%w: NewBeta(a=%v, b=%v)", ErrParam, a, b)
+	}
+	return Beta{A: a, B: b}, nil
+}
+
+// Name implements Distribution.
+func (b Beta) Name() string { return "beta" }
+
+// PDF implements Distribution.
+func (b Beta) PDF(x float64) float64 {
+	if x < 0 || x > 1 {
+		return 0
+	}
+	lb, err := mathx.LogBeta(b.A, b.B)
+	if err != nil {
+		return math.NaN()
+	}
+	if x == 0 {
+		switch {
+		case b.A < 1:
+			return math.Inf(1)
+		case b.A == 1:
+			return math.Exp(-lb)
+		default:
+			return 0
+		}
+	}
+	if x == 1 {
+		switch {
+		case b.B < 1:
+			return math.Inf(1)
+		case b.B == 1:
+			return math.Exp(-lb)
+		default:
+			return 0
+		}
+	}
+	return math.Exp((b.A-1)*math.Log(x) + (b.B-1)*math.Log1p(-x) - lb)
+}
+
+// CDF implements Distribution.
+func (b Beta) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	p, err := mathx.BetaInc(b.A, b.B, x)
+	if err != nil {
+		// Extreme shapes can exhaust the continued-fraction budget; fall
+		// back to the normal approximation, accurate exactly in that
+		// large-shape regime.
+		s := b.A + b.B
+		mean := b.A / s
+		sd := math.Sqrt(b.A * b.B / (s * s * (s + 1)))
+		return mathx.NormalCDF((x - mean) / sd)
+	}
+	return p
+}
+
+// Quantile implements Distribution.
+func (b Beta) Quantile(p float64) float64 {
+	if !checkP(p) {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	return invertCDF(b, p, 0, 1)
+}
+
+// Rand implements Distribution, via the ratio of two gamma draws.
+func (b Beta) Rand(rng *rand.Rand) float64 {
+	ga := Gamma{Alpha: b.A, Beta: 1}.Rand(rng)
+	gb := Gamma{Alpha: b.B, Beta: 1}.Rand(rng)
+	if ga+gb == 0 {
+		return 0.5
+	}
+	return ga / (ga + gb)
+}
+
+// ---------------------------------------------------------------- logistic
+
+// Logistic is the logistic distribution with location Mu and scale S;
+// variance (pi*S)^2/3.
+type Logistic struct {
+	Mu, S float64
+}
+
+// NewLogistic returns Logistic(mu, s), rejecting s <= 0.
+func NewLogistic(mu, s float64) (Logistic, error) {
+	if !isFinite(mu) || !isFinite(s) || s <= 0 {
+		return Logistic{}, fmt.Errorf("%w: NewLogistic(mu=%v, s=%v)", ErrParam, mu, s)
+	}
+	return Logistic{Mu: mu, S: s}, nil
+}
+
+// Name implements Distribution.
+func (l Logistic) Name() string { return "logistic" }
+
+// PDF implements Distribution. The symmetric exp(-|z|) form avoids overflow
+// in either tail.
+func (l Logistic) PDF(x float64) float64 {
+	z := math.Abs(x-l.Mu) / l.S
+	e := math.Exp(-z)
+	return e / (l.S * (1 + e) * (1 + e))
+}
+
+// CDF implements Distribution.
+func (l Logistic) CDF(x float64) float64 {
+	return 1 / (1 + math.Exp(-(x-l.Mu)/l.S))
+}
+
+// Quantile implements Distribution.
+func (l Logistic) Quantile(p float64) float64 {
+	if !checkP(p) {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return math.Inf(-1)
+	case 1:
+		return math.Inf(1)
+	}
+	return l.Mu + l.S*math.Log(p/(1-p))
+}
+
+// Rand implements Distribution, by inverse transform.
+func (l Logistic) Rand(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return l.Mu + l.S*math.Log(u/(1-u))
+}
+
+// isFinite reports whether x is neither NaN nor ±Inf.
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

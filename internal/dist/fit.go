@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxMomentShape caps the shape parameters produced by moment matching: a
+// sample whose implied gamma/beta shape exceeds this is effectively a point
+// mass, and such a fit is numerically meaningless.
+const maxMomentShape = 1e6
+
+// familyNames is the canonical family order; internal/ks exposes it as its
+// KS feature order, so it must stay stable.
+var familyNames = []string{
+	"normal", "uniform", "exponential", "beta", "gamma", "lognormal", "logistic",
+}
+
+// FamilyNames returns the canonical family names in fitting order. The
+// returned slice is a copy.
+func FamilyNames() []string {
+	return append([]string(nil), familyNames...)
+}
+
+// Fitted is a Distribution estimated from a sample by Families, tagged with
+// the estimator that produced it.
+type Fitted struct {
+	Distribution
+	// Method names the estimator used: "mle" or "moments".
+	Method string
+}
+
+// sampleStats holds the one-pass summary Families fits from.
+type sampleStats struct {
+	n          int
+	min, max   float64
+	mean, vari float64 // vari is the population variance (MLE denominator n)
+}
+
+func summarize(xs []float64) sampleStats {
+	s := sampleStats{n: len(xs), min: math.Inf(1), max: math.Inf(-1)}
+	for _, x := range xs {
+		s.mean += x
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.mean /= float64(s.n)
+	for _, x := range xs {
+		d := x - s.mean
+		s.vari += d * d
+	}
+	s.vari /= float64(s.n)
+	return s
+}
+
+// Families fits every family the sample supports and returns the fitted
+// distributions in FamilyNames order (unsupported families are skipped, not
+// errors — a negative sample simply yields no exponential/gamma/lognormal
+// fit). Estimators are MLE where closed-form (normal, uniform, exponential,
+// lognormal) and method-of-moments otherwise (beta, gamma, logistic).
+// Only an empty or non-finite sample is an error.
+func Families(xs []float64) ([]Fitted, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empty sample", ErrInput)
+	}
+	for i, x := range xs {
+		if !isFinite(x) {
+			return nil, fmt.Errorf("%w: non-finite value %v at index %d", ErrInput, x, i)
+		}
+	}
+	s := summarize(xs)
+	out := make([]Fitted, 0, len(familyNames))
+
+	// normal: needs spread.
+	if s.vari > 0 {
+		if d, err := NewNormal(s.mean, math.Sqrt(s.vari)); err == nil {
+			out = append(out, Fitted{Distribution: d, Method: "mle"})
+		}
+	}
+
+	// uniform: needs a non-degenerate range.
+	if s.max > s.min {
+		if d, err := NewUniform(s.min, s.max); err == nil {
+			out = append(out, Fitted{Distribution: d, Method: "mle"})
+		}
+	}
+
+	// exponential: non-negative support, positive mean.
+	if s.min >= 0 && s.mean > 0 {
+		if d, err := NewExponential(1 / s.mean); err == nil {
+			out = append(out, Fitted{Distribution: d, Method: "mle"})
+		}
+	}
+
+	// beta: sample confined to [0, 1] with spread; moment matching requires
+	// vari < mean*(1-mean), which then yields positive shapes. Near-constant
+	// samples imply absurd shapes — treat those as unsupported.
+	if s.min >= 0 && s.max <= 1 && s.vari > 0 {
+		if common := s.mean*(1-s.mean)/s.vari - 1; common > 0 {
+			a := s.mean * common
+			b := (1 - s.mean) * common
+			if a <= maxMomentShape && b <= maxMomentShape {
+				if d, err := NewBeta(a, b); err == nil {
+					out = append(out, Fitted{Distribution: d, Method: "moments"})
+				}
+			}
+		}
+	}
+
+	// gamma: non-negative support with positive mean and spread; the same
+	// near-constant shape guard applies.
+	if s.min >= 0 && s.mean > 0 && s.vari > 0 {
+		alpha := s.mean * s.mean / s.vari
+		beta := s.mean / s.vari
+		if alpha <= maxMomentShape {
+			if d, err := NewGamma(alpha, beta); err == nil {
+				out = append(out, Fitted{Distribution: d, Method: "moments"})
+			}
+		}
+	}
+
+	// lognormal: strictly positive support with spread in log space.
+	if s.min > 0 {
+		var lm, lv float64
+		for _, x := range xs {
+			lm += math.Log(x)
+		}
+		lm /= float64(s.n)
+		for _, x := range xs {
+			d := math.Log(x) - lm
+			lv += d * d
+		}
+		lv /= float64(s.n)
+		if lv > 0 {
+			if d, err := NewLogNormal(lm, math.Sqrt(lv)); err == nil {
+				out = append(out, Fitted{Distribution: d, Method: "mle"})
+			}
+		}
+	}
+
+	// logistic: needs spread; scale from the variance identity var=(pi*s)^2/3.
+	if s.vari > 0 {
+		if d, err := NewLogistic(s.mean, math.Sqrt(3*s.vari)/math.Pi); err == nil {
+			out = append(out, Fitted{Distribution: d, Method: "moments"})
+		}
+	}
+
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func names(fitted []Fitted) map[string]Fitted {
+	m := make(map[string]Fitted, len(fitted))
+	for _, f := range fitted {
+		m[f.Name()] = f
+	}
+	return m
+}
+
+func TestFamilyNamesStableAndCopied(t *testing.T) {
+	want := []string{"normal", "uniform", "exponential", "beta", "gamma", "lognormal", "logistic"}
+	got := FamilyNames()
+	if len(got) != len(want) {
+		t.Fatalf("FamilyNames length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("FamilyNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	got[0] = "mutated"
+	if FamilyNames()[0] != "normal" {
+		t.Error("FamilyNames returns a shared slice; want a copy")
+	}
+}
+
+func TestFamiliesEmptyAndNonFinite(t *testing.T) {
+	if _, err := Families(nil); !errors.Is(err, ErrInput) {
+		t.Errorf("empty sample: want ErrInput, got %v", err)
+	}
+	if _, err := Families([]float64{1, math.NaN(), 2}); !errors.Is(err, ErrInput) {
+		t.Errorf("NaN sample: want ErrInput, got %v", err)
+	}
+	if _, err := Families([]float64{1, math.Inf(1)}); !errors.Is(err, ErrInput) {
+		t.Errorf("Inf sample: want ErrInput, got %v", err)
+	}
+}
+
+func TestFamiliesOrderMatchesFamilyNames(t *testing.T) {
+	// A sample in (0,1) supports every family; fitted order must follow the
+	// canonical order.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 0.1 + 0.8*rng.Float64()
+	}
+	fitted, err := Families(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitted) != len(familyNames) {
+		t.Fatalf("got %d families, want all %d", len(fitted), len(familyNames))
+	}
+	for i, f := range fitted {
+		if f.Name() != familyNames[i] {
+			t.Errorf("fitted[%d] = %s, want %s", i, f.Name(), familyNames[i])
+		}
+		if f.Method != "mle" && f.Method != "moments" {
+			t.Errorf("fitted[%d] method %q, want mle|moments", i, f.Method)
+		}
+	}
+}
+
+func TestFamiliesSupportGuards(t *testing.T) {
+	cases := []struct {
+		name    string
+		xs      []float64
+		absent  []string
+		present []string
+	}{
+		{
+			name:    "negative values exclude positive-support families and beta",
+			xs:      []float64{-5, -3, -8, -1, -2, -4},
+			absent:  []string{"exponential", "gamma", "lognormal", "beta"},
+			present: []string{"normal", "uniform", "logistic"},
+		},
+		{
+			name:    "zeros exclude lognormal but not gamma/exponential",
+			xs:      []float64{0, 1, 2, 3, 0, 5},
+			absent:  []string{"lognormal", "beta"},
+			present: []string{"normal", "uniform", "exponential", "gamma", "logistic"},
+		},
+		{
+			name:    "values above 1 exclude beta",
+			xs:      []float64{0.5, 1.5, 2.5, 0.7, 1.1},
+			absent:  []string{"beta"},
+			present: []string{"normal", "uniform", "exponential", "gamma", "lognormal", "logistic"},
+		},
+		{
+			name:    "constant positive column keeps only exponential",
+			xs:      []float64{4, 4, 4, 4},
+			absent:  []string{"normal", "uniform", "beta", "gamma", "lognormal", "logistic"},
+			present: []string{"exponential"},
+		},
+		{
+			name:   "constant zero column fits nothing",
+			xs:     []float64{0, 0, 0},
+			absent: FamilyNames(),
+		},
+	}
+	for _, c := range cases {
+		fitted, err := Families(c.xs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		byName := names(fitted)
+		for _, n := range c.absent {
+			if _, ok := byName[n]; ok {
+				t.Errorf("%s: family %s fitted but sample cannot support it", c.name, n)
+			}
+		}
+		for _, n := range c.present {
+			if _, ok := byName[n]; !ok {
+				t.Errorf("%s: family %s missing", c.name, n)
+			}
+		}
+	}
+}
+
+func TestFamiliesParameterRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 50000
+
+	// Normal(10, 3): MLE should recover both parameters closely.
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 3*rng.NormFloat64()
+	}
+	fitted, err := Families(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, ok := names(fitted)["normal"].Distribution.(Normal)
+	if !ok {
+		t.Fatal("normal family missing or wrong concrete type")
+	}
+	if math.Abs(nm.Mu-10) > 0.1 || math.Abs(nm.Sigma-3) > 0.1 {
+		t.Errorf("normal fit (%v, %v), want ≈ (10, 3)", nm.Mu, nm.Sigma)
+	}
+
+	// Exponential(rate 0.5): mean 2.
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 2
+	}
+	fitted, err = Families(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := names(fitted)["exponential"].Distribution.(Exponential)
+	if !ok {
+		t.Fatal("exponential family missing")
+	}
+	if math.Abs(ex.Rate-0.5) > 0.02 {
+		t.Errorf("exponential rate %v, want ≈ 0.5", ex.Rate)
+	}
+
+	// Gamma(3, 2): moment estimates alpha=mean²/var, beta=mean/var.
+	g := Gamma{Alpha: 3, Beta: 2}
+	for i := range xs {
+		xs[i] = g.Rand(rng)
+	}
+	fitted, err = Families(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, ok := names(fitted)["gamma"].Distribution.(Gamma)
+	if !ok {
+		t.Fatal("gamma family missing")
+	}
+	if math.Abs(gf.Alpha-3) > 0.2 || math.Abs(gf.Beta-2) > 0.15 {
+		t.Errorf("gamma fit (%v, %v), want ≈ (3, 2)", gf.Alpha, gf.Beta)
+	}
+
+	// Beta(2, 5): moment matching on a confined sample.
+	bd := Beta{A: 2, B: 5}
+	for i := range xs {
+		xs[i] = bd.Rand(rng)
+	}
+	fitted, err = Families(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, ok := names(fitted)["beta"].Distribution.(Beta)
+	if !ok {
+		t.Fatal("beta family missing")
+	}
+	if math.Abs(bf.A-2) > 0.2 || math.Abs(bf.B-5) > 0.4 {
+		t.Errorf("beta fit (%v, %v), want ≈ (2, 5)", bf.A, bf.B)
+	}
+}
+
+func TestFamiliesFitQuality(t *testing.T) {
+	// The family the data came from should have a small KS-style sup
+	// discrepancy between its CDF and the ECDF — indirectly validating every
+	// estimator end to end.
+	rng := rand.New(rand.NewSource(4))
+	n := 20000
+	gens := []struct {
+		family string
+		draw   func() float64
+	}{
+		{"normal", func() float64 { return 5 + 2*rng.NormFloat64() }},
+		{"uniform", func() float64 { return -3 + 6*rng.Float64() }},
+		{"exponential", func() float64 { return rng.ExpFloat64() / 3 }},
+		{"lognormal", func() float64 { return math.Exp(1 + 0.4*rng.NormFloat64()) }},
+		{"gamma", func() float64 { return Gamma{Alpha: 4, Beta: 1}.Rand(rng) }},
+		{"beta", func() float64 { return Beta{A: 3, B: 2}.Rand(rng) }},
+		{"logistic", func() float64 { return Logistic{Mu: 0, S: 2}.Rand(rng) }},
+	}
+	for _, g := range gens {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = g.draw()
+		}
+		fitted, err := Families(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, ok := names(fitted)[g.family]
+		if !ok {
+			t.Fatalf("%s: own family not fitted", g.family)
+		}
+		// Coarse ECDF sup-distance on a probe grid.
+		var maxD float64
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			x := f.Quantile(p)
+			var below int
+			for _, v := range xs {
+				if v <= x {
+					below++
+				}
+			}
+			d := math.Abs(float64(below)/float64(n) - p)
+			if d > maxD {
+				maxD = d
+			}
+		}
+		if maxD > 0.05 {
+			t.Errorf("%s: fitted-CDF vs ECDF discrepancy %v, want < 0.05", g.family, maxD)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSample draws a sample from a randomly chosen generator shape so the
+// property tests sweep constants, mixtures, heavy tails, negatives and
+// confined ranges.
+func randomSample(rng *rand.Rand) []float64 {
+	n := 2 + rng.Intn(400)
+	xs := make([]float64, n)
+	switch rng.Intn(7) {
+	case 0: // gaussian, arbitrary location/scale
+		mu, s := rng.NormFloat64()*100, math.Abs(rng.NormFloat64())*50+1e-6
+		for i := range xs {
+			xs[i] = mu + s*rng.NormFloat64()
+		}
+	case 1: // strictly positive, heavy tail
+		for i := range xs {
+			xs[i] = math.Exp(rng.NormFloat64() * 2)
+		}
+	case 2: // confined to [0,1]
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+	case 3: // negative shifted uniform
+		for i := range xs {
+			xs[i] = -100 + 30*rng.Float64()
+		}
+	case 4: // constant column
+		c := rng.NormFloat64() * 10
+		for i := range xs {
+			xs[i] = c
+		}
+	case 5: // discrete/repetitive small support
+		for i := range xs {
+			xs[i] = float64(rng.Intn(5))
+		}
+	default: // bimodal mixture straddling zero
+		for i := range xs {
+			if rng.Intn(2) == 0 {
+				xs[i] = -5 + rng.NormFloat64()
+			} else {
+				xs[i] = 5 + rng.NormFloat64()
+			}
+		}
+	}
+	return xs
+}
+
+// TestPropertyFittedCDFMonotoneBounded checks, for every family fitted to
+// every random sample, that the CDF is monotone non-decreasing and bounded
+// in [0, 1] over a probe grid spanning the support and beyond it.
+func TestPropertyFittedCDFMonotoneBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		xs := randomSample(rng)
+		fitted, err := Families(xs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		span := hi - lo
+		if span == 0 {
+			span = math.Abs(hi) + 1
+		}
+		for _, f := range fitted {
+			prev := math.Inf(-1)
+			for i := 0; i <= 60; i++ {
+				// Grid from below the sample min to above the max.
+				x := lo - span + float64(i)/60*3*span
+				c := f.CDF(x)
+				if math.IsNaN(c) || c < 0 || c > 1 {
+					t.Fatalf("trial %d: %s CDF(%v) = %v outside [0,1]", trial, f.Name(), x, c)
+				}
+				if c < prev-1e-12 {
+					t.Fatalf("trial %d: %s CDF decreases at %v: %v < %v", trial, f.Name(), x, c, prev)
+				}
+				prev = c
+				if p := f.PDF(x); math.IsNaN(p) || p < 0 {
+					t.Fatalf("trial %d: %s PDF(%v) = %v negative or NaN", trial, f.Name(), x, p)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyFamiliesRespectSupport checks Families never returns a family
+// whose support cannot contain the sample.
+func TestPropertyFamiliesRespectSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		xs := randomSample(rng)
+		fitted, err := Families(xs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		for _, f := range fitted {
+			switch f.Name() {
+			case "exponential", "gamma":
+				if lo < 0 {
+					t.Fatalf("trial %d: %s fitted to sample with min %v < 0", trial, f.Name(), lo)
+				}
+			case "lognormal":
+				if lo <= 0 {
+					t.Fatalf("trial %d: lognormal fitted to sample with min %v <= 0", trial, lo)
+				}
+			case "beta":
+				if lo < 0 || hi > 1 {
+					t.Fatalf("trial %d: beta fitted to sample range [%v, %v]", trial, lo, hi)
+				}
+			}
+			// Whatever was fitted must give every sample point a defined,
+			// in-range CDF value.
+			for _, x := range xs {
+				if c := f.CDF(x); math.IsNaN(c) || c < 0 || c > 1 {
+					t.Fatalf("trial %d: %s CDF(sample %v) = %v", trial, f.Name(), x, c)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyQuantileMonotone checks quantiles are non-decreasing in p for
+// fitted families — the inverse counterpart of CDF monotonicity, which also
+// exercises the numeric inversion used by gamma and beta.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		xs := randomSample(rng)
+		fitted, err := Families(xs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, f := range fitted {
+			prev := math.Inf(-1)
+			for _, p := range []float64{0.02, 0.1, 0.3, 0.5, 0.7, 0.9, 0.98} {
+				q := f.Quantile(p)
+				if math.IsNaN(q) {
+					t.Fatalf("trial %d: %s Quantile(%v) NaN", trial, f.Name(), p)
+				}
+				if q < prev-1e-9*(1+math.Abs(prev)) {
+					t.Fatalf("trial %d: %s Quantile decreases at p=%v: %v < %v", trial, f.Name(), p, q, prev)
+				}
+				prev = q
+			}
+		}
+	}
+}

@@ -418,16 +418,33 @@ func (m *Model) Responsibilities(x float64) []float64 {
 // of values: mu_{C_j} = (1/N) * sum_i gamma(z_ij). This is the distributional
 // part of Gem's signature (Figure 2). The result sums to 1 for a non-empty
 // column.
+//
+// This is the embedding hot path (columns × values × components), so the
+// per-value E-step is inlined against precomputed per-component constants
+// (log weight, log variance) and a single reused scratch buffer — the
+// arithmetic is term-for-term identical to Responsibilities, without its two
+// heap allocations and k logarithms per value.
 func (m *Model) MeanResponsibilities(values []float64) ([]float64, error) {
 	if len(values) == 0 {
 		return nil, fmt.Errorf("%w: empty column", ErrInput)
 	}
 	k := len(m.Weights)
+	logW := make([]float64, k)
+	logVar := make([]float64, k)
+	for j := 0; j < k; j++ {
+		logW[j] = math.Log(m.Weights[j])
+		logVar[j] = math.Log(m.Variances[j])
+	}
 	out := make([]float64, k)
+	buf := make([]float64, k)
 	for _, x := range values {
-		r := m.Responsibilities(x)
 		for j := 0; j < k; j++ {
-			out[j] += r[j]
+			d := x - m.Means[j]
+			buf[j] = logW[j] + -0.5*(log2Pi+logVar[j]+d*d/m.Variances[j])
+		}
+		lse := mathx.LogSumExp(buf)
+		for j := 0; j < k; j++ {
+			out[j] += math.Exp(buf[j] - lse)
 		}
 	}
 	inv := 1 / float64(len(values))
