@@ -22,6 +22,7 @@ import (
 	"github.com/gem-embeddings/gem/internal/experiments"
 	"github.com/gem-embeddings/gem/internal/gmm"
 	"github.com/gem-embeddings/gem/internal/hungarian"
+	"github.com/gem-embeddings/gem/internal/pool"
 	"github.com/gem-embeddings/gem/internal/table"
 )
 
@@ -343,6 +344,64 @@ func BenchmarkGMMFit(b *testing.B) {
 		if _, err := gmm.Fit(stack, gmm.Config{K: 50, Restarts: 1, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWidths is the worker grid for the parallel-EM benches: serial,
+// small powers of two, and the host width.
+func benchWidths() []int {
+	widths := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > widths[len(widths)-1] {
+		widths = append(widths, p)
+	}
+	return widths
+}
+
+// BenchmarkFitParallel measures the parallel EM engine end to end — the
+// per-restart fan-out plus the chunked E-step — on a 10k-value stack with
+// a 4-restart fit, across pool widths. The acceptance bar for the engine
+// is >= 2x over workers-1 on a >= 4-core host; output is bit-identical at
+// every width (pinned by the determinism suite), so the widths differ
+// only in wall clock.
+func BenchmarkFitParallel(b *testing.B) {
+	ds := data.GitTables(data.Config{Seed: 1, Scale: 0.5})
+	stack := ds.Stack()
+	if len(stack) > 10000 {
+		stack = stack[:10000]
+	}
+	for _, w := range benchWidths() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			p := pool.New(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gmm.Fit(stack, gmm.Config{K: 50, Restarts: 4, Seed: 1, Pool: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectK measures BIC model selection over a candidate grid —
+// the third level of the parallel engine: candidates × restarts × chunks
+// all sharing one bounded pool.
+func BenchmarkSelectK(b *testing.B) {
+	ds := data.GitTables(data.Config{Seed: 1, Scale: 0.5})
+	stack := ds.Stack()
+	if len(stack) > 6000 {
+		stack = stack[:6000]
+	}
+	ks := []int{5, 10, 25, 50}
+	for _, w := range benchWidths() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			p := pool.New(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := gmm.SelectK(stack, ks, gmm.Config{Restarts: 2, Seed: 1, Pool: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

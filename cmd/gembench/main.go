@@ -32,6 +32,7 @@ func main() {
 		components = flag.Int("components", 50, "Gem GMM components (m)")
 		restarts   = flag.Int("restarts", 3, "EM restarts")
 		reps       = flag.Int("reps", 3, "timed repetitions per point (fig5)")
+		workers    = flag.Int("workers", 0, "worker-pool width shared by column fan-out and EM (0 = GOMAXPROCS; results are identical for every value)")
 		out        = flag.String("out", "", "optional output file (default stdout)")
 	)
 	flag.Parse()
@@ -41,6 +42,7 @@ func main() {
 		Scale:      *scale,
 		Components: *components,
 		Restarts:   *restarts,
+		Workers:    *workers,
 	}
 
 	var w io.Writer = os.Stdout

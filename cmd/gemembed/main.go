@@ -41,6 +41,7 @@ func main() {
 		composition = flag.String("composition", "concat", "composition for C: concat|agg|ae")
 		format      = flag.String("format", "csv", "output format: csv|json")
 		subsample   = flag.Int("subsample", 0, "cap on stacked values used to fit the GMM (0 = all)")
+		workers     = flag.Int("workers", 0, "worker-pool width shared by column fan-out and EM (0 = GOMAXPROCS; output is identical for every value)")
 	)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 		Features:       feats,
 		Composition:    comp,
 		SubsampleStack: *subsample,
+		Workers:        *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -27,11 +27,10 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"github.com/gem-embeddings/gem/internal/autoencoder"
 	"github.com/gem-embeddings/gem/internal/gmm"
+	"github.com/gem-embeddings/gem/internal/pool"
 	"github.com/gem-embeddings/gem/internal/stats"
 	"github.com/gem-embeddings/gem/internal/table"
 	"github.com/gem-embeddings/gem/internal/textembed"
@@ -163,11 +162,16 @@ type Config struct {
 	// statistical features (see StatisticalFeatures). Exposed for the
 	// ablation benches; the log measurement is the default.
 	RawStats bool
-	// Workers bounds the number of goroutines Signatures/Embed fan columns
-	// out across. Default GOMAXPROCS; 1 runs the serial path. Results are
-	// written to index-addressed slots, so output is identical for every
-	// worker count. Excluded from persistence: the right width is a
-	// property of the loading host, not the saving one.
+	// Workers bounds the total parallelism of the embedder: one shared
+	// internal/pool worker pool serves the column fan-out of
+	// Signatures/Embed AND the EM engine's restart/chunk/candidate
+	// fan-out (see gmm.Config.Pool), so nested parallelism cannot
+	// oversubscribe — columns × restarts × chunks collapse onto Workers
+	// bounded slots. Default GOMAXPROCS; 1 runs everything serially.
+	// Results are written to index-addressed slots and reduced in index
+	// order, so output is bit-identical for every worker count. Excluded
+	// from persistence: the right width is a property of the loading
+	// host, not the saving one.
 	Workers int `json:"-"`
 }
 
@@ -204,63 +208,16 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// parallelFor runs fn(i) for every i in [0, n) across at most workers
-// goroutines, pulling indices from a shared atomic counter so uneven column
-// sizes balance. An error cancels remaining work; among errors observed
-// before cancellation takes effect, the lowest-index one is returned, so
-// reporting matches the serial path whenever the failures race each other.
-// fn must write its result to an index-addressed slot so output order is
-// deterministic.
-func parallelFor(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		mu      sync.Mutex
-		bestIdx int
-		bestErr error
-		wg      sync.WaitGroup
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if bestErr == nil || i < bestIdx {
-						bestIdx, bestErr = i, err
-					}
-					mu.Unlock()
-					failed.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return bestErr
-}
-
 // Embedder produces Gem embeddings for numeric columns.
 type Embedder struct {
 	cfg     Config
 	model   *gmm.Model
 	headers *textembed.Embedder
+	// pool is the one bounded worker pool shared by every parallel layer
+	// of the pipeline (column fan-out and nested EM), sized by
+	// cfg.Workers. See the internal/pool package comment for the
+	// no-oversubscription contract.
+	pool *pool.Pool
 }
 
 // NewEmbedder returns an unfitted embedder.
@@ -270,7 +227,7 @@ func NewEmbedder(cfg Config) (*Embedder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Embedder{cfg: cfg, headers: he}, nil
+	return &Embedder{cfg: cfg, headers: he, pool: pool.New(cfg.Workers)}, nil
 }
 
 // Config returns the effective (default-filled) configuration.
@@ -296,6 +253,7 @@ func (e *Embedder) Fit(ds *table.Dataset) error {
 		Restarts: e.cfg.Restarts,
 		Seed:     e.cfg.Seed,
 		Init:     e.cfg.EMInit,
+		Pool:     e.pool,
 	})
 	if err != nil {
 		return fmt.Errorf("core: fitting GMM: %w", err)
@@ -426,7 +384,7 @@ func (e *Embedder) Signatures(ds *table.Dataset) ([]Signature, error) {
 	// fitted, so columns fan out across the worker pool; each worker
 	// writes only its own slot, keeping output order deterministic.
 	out := make([]Signature, len(ds.Columns))
-	err := parallelFor(len(ds.Columns), e.cfg.Workers, func(i int) error {
+	err := e.pool.For(len(ds.Columns), func(i int) error {
 		col := ds.Columns[i]
 		mp, err := e.model.MeanResponsibilities(col.Values)
 		if err != nil {
@@ -490,7 +448,7 @@ func (e *Embedder) Embed(ds *table.Dataset) ([][]float64, error) {
 	var headerRows [][]float64
 	if e.cfg.Features.Has(Contextual) {
 		headerRows = make([][]float64, n)
-		if err := parallelFor(n, e.cfg.Workers, func(i int) error {
+		if err := e.pool.For(n, func(i int) error {
 			headerRows[i] = e.normalize(e.headers.Embed(ds.Columns[i].Name))
 			return nil
 		}); err != nil {

@@ -2,11 +2,9 @@ package core
 
 import (
 	"bytes"
-	"errors"
 	"math"
 	"reflect"
 	"runtime"
-	"sync/atomic"
 	"testing"
 
 	"github.com/gem-embeddings/gem/internal/table"
@@ -75,14 +73,16 @@ func embedWith(t *testing.T, workers int, feats Features) ([]Signature, [][]floa
 
 // TestParallelMatchesSerial asserts the parallel fan-out produces
 // bit-identical signatures and embeddings to the serial path, for every
-// feature combination that exercises a distinct code path.
+// feature combination that exercises a distinct code path. Since
+// embedWith refits per worker count, this pins the whole pipeline — the
+// parallel EM engine included — not just the column fan-out.
 func TestParallelMatchesSerial(t *testing.T) {
 	for _, feats := range []Features{
 		Distributional | Statistical,
 		Distributional | Statistical | Contextual,
 	} {
 		serialSigs, serialEmb := embedWith(t, 1, feats)
-		for _, workers := range []int{2, 4, 16} {
+		for _, workers := range []int{2, 8, 16, runtime.GOMAXPROCS(0)} {
 			sigs, emb := embedWith(t, workers, feats)
 			if !reflect.DeepEqual(serialSigs, sigs) {
 				t.Fatalf("features %v: signatures differ between workers=1 and workers=%d", feats, workers)
@@ -164,38 +164,6 @@ func TestParallelErrorPropagation(t *testing.T) {
 	}
 }
 
-// TestParallelForBalancesAndStops exercises the pool helper directly: full
-// coverage of the index space, and early cancellation on error.
-func TestParallelForBalancesAndStops(t *testing.T) {
-	const n = 1000
-	var visited [n]atomic.Bool
-	if err := parallelFor(n, 7, func(i int) error {
-		if visited[i].Swap(true) {
-			t.Errorf("index %d visited twice", i)
-		}
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-	for i := range visited {
-		if !visited[i].Load() {
-			t.Fatalf("index %d never visited", i)
-		}
-	}
-
-	sentinel := errors.New("boom")
-	var calls atomic.Int64
-	err := parallelFor(n, 4, func(i int) error {
-		calls.Add(1)
-		if i == 10 {
-			return sentinel
-		}
-		return nil
-	})
-	if !errors.Is(err, sentinel) {
-		t.Fatalf("got %v, want sentinel error", err)
-	}
-	if c := calls.Load(); c >= n {
-		t.Errorf("error did not cancel remaining work: %d calls", c)
-	}
-}
+// The worker-pool mechanics themselves (coverage, cancellation, nesting,
+// the concurrency bound) are tested in internal/pool, which core shares
+// with the EM engine.

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"github.com/gem-embeddings/gem/internal/gmm"
+	"github.com/gem-embeddings/gem/internal/pool"
 	"github.com/gem-embeddings/gem/internal/table"
 	"github.com/gem-embeddings/gem/internal/textembed"
 )
@@ -51,7 +52,7 @@ func LoadEmbedder(r io.Reader) (*Embedder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Embedder{cfg: cfg, model: model, headers: he}, nil
+	return &Embedder{cfg: cfg, model: model, headers: he, pool: pool.New(cfg.Workers)}, nil
 }
 
 // jsonBuffer is a minimal io.Writer accumulating bytes (avoids importing
@@ -101,6 +102,7 @@ func (e *Embedder) FitWithBIC(ds *table.Dataset, candidates []int) (map[int]floa
 		Restarts: e.cfg.Restarts,
 		Seed:     e.cfg.Seed,
 		Init:     e.cfg.EMInit,
+		Pool:     e.pool,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: BIC selection: %w", err)

@@ -36,6 +36,10 @@ type Options struct {
 	// HeaderDim is the header-embedding width for contextual methods.
 	// Default 128.
 	HeaderDim int
+	// Workers bounds each Gem embedder's shared worker pool (column
+	// fan-out and the parallel EM engine together; see core.Config).
+	// 0 defaults to GOMAXPROCS. Results are identical for every value.
+	Workers int
 }
 
 // FillDefaults normalizes zero-valued options.
@@ -68,6 +72,7 @@ func (o Options) gemConfig(features core.Features, comp core.Composition) core.C
 		HeaderDim:      o.HeaderDim,
 		SubsampleStack: o.SubsampleStack,
 		AEEpochs:       15,
+		Workers:        o.Workers,
 	}
 }
 

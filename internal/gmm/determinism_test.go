@@ -1,0 +1,173 @@
+package gmm
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// poolWidths is the worker-count grid the determinism suite pins: the
+// serial reference, small widths that force chunk interleaving, a width
+// wider than most work lists, and whatever this host actually has.
+func poolWidths() []int {
+	return []int{1, 2, 8, runtime.GOMAXPROCS(0)}
+}
+
+// fitWith fits the same sample on a pool of the given width.
+func fitWith(t *testing.T, xs []float64, cfg Config, workers int) *Model {
+	t.Helper()
+	cfg.Pool = pool.New(workers)
+	m, err := Fit(xs, cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return m
+}
+
+// requireIdenticalModels fails unless a and b match bit for bit in every
+// field — parameters, likelihood, iteration count and convergence flag.
+func requireIdenticalModels(t *testing.T, label string, a, b *Model) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: models differ\n  a: %+v\n  b: %+v", label, a, b)
+	}
+}
+
+// TestFitBitIdenticalAcrossWorkerCounts is the tentpole's contract: the
+// selected model — weights, means, variances, log-likelihood, iteration
+// count — is the same bit pattern no matter how wide the pool is, for
+// every init method and for samples both smaller and larger than the
+// E-step chunk size.
+func TestFitBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	samples := map[string][]float64{
+		"sub-chunk":   mixtureSample(500, 31),  // single E-step chunk
+		"multi-chunk": mixtureSample(4000, 32), // several chunks per iteration
+	}
+	inits := map[string]InitMethod{
+		"quantile": InitQuantile,
+		"kmeans":   InitKMeans,
+		"random":   InitRandom,
+	}
+	for sname, xs := range samples {
+		for iname, init := range inits {
+			// MaxIter keeps the grid affordable under -race; determinism
+			// over a truncated run pins the same reduction code paths.
+			cfg := Config{K: 8, Restarts: 4, Seed: 7, Init: init, MaxIter: 40}
+			// nil pool is the reference: the pure caller-goroutine path.
+			refCfg := cfg
+			ref, err := Fit(xs, refCfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sname, iname, err)
+			}
+			for _, w := range poolWidths() {
+				got := fitWith(t, xs, cfg, w)
+				requireIdenticalModels(t, sname+"/"+iname, ref, got)
+			}
+		}
+	}
+}
+
+// TestFitBitIdenticalRepeatedOnSharedPool asserts repeated fits on one
+// busy, shared pool stay identical run over run — the schedule changes,
+// the bits must not.
+func TestFitBitIdenticalRepeatedOnSharedPool(t *testing.T) {
+	xs := mixtureSample(4000, 34)
+	p := pool.New(8)
+	cfg := Config{K: 6, Restarts: 4, Seed: 11, Pool: p, MaxIter: 40}
+	first, err := Fit(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		again, err := Fit(xs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalModels(t, "repeated run", first, again)
+	}
+}
+
+// TestSelectKBitIdenticalAcrossWorkerCounts pins model selection: the
+// winning K, the winning model, and every BIC value match the serial
+// reference for all pool widths.
+func TestSelectKBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	xs := mixtureSample(3000, 35)
+	ks := []int{1, 2, 3, 5}
+	base := Config{Seed: 13, Restarts: 3}
+	refModel, refBICs, err := SelectK(xs, ks, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range poolWidths() {
+		cfg := base
+		cfg.Pool = pool.New(w)
+		m, bics, err := SelectK(xs, ks, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		requireIdenticalModels(t, "SelectK model", refModel, m)
+		if !reflect.DeepEqual(refBICs, bics) {
+			t.Fatalf("workers=%d: BIC map differs: %v vs %v", w, refBICs, bics)
+		}
+	}
+}
+
+// TestSelectKErrorDeterministicUnderParallelism asserts the reported
+// error is the lowest-candidate one regardless of scheduling: with K=0
+// invalid at two positions, the first position's error must surface.
+func TestSelectKErrorDeterministicUnderParallelism(t *testing.T) {
+	xs := mixtureSample(200, 36)
+	cases := []struct {
+		ks   []int
+		want string
+	}{
+		{[]int{2, 0, 3, 0}, "SelectK at K=0"}, // failure behind a success
+		{[]int{-1, 2, 0}, "SelectK at K=-1"},  // failure first, another behind it
+		{[]int{3, 2, -2}, "SelectK at K=-2"},  // failure last
+	}
+	for _, tc := range cases {
+		for _, w := range poolWidths() {
+			// count=3 gives the schedule a few chances to misbehave.
+			for run := 0; run < 3; run++ {
+				_, _, err := SelectK(xs, tc.ks, Config{Seed: 1, Restarts: 1, Pool: pool.New(w)})
+				if err == nil {
+					t.Fatalf("ks=%v workers=%d: want error", tc.ks, w)
+				}
+				if got := err.Error(); !strings.Contains(got, tc.want) {
+					t.Fatalf("ks=%v workers=%d: error %q does not name the first failing candidate (%s)",
+						tc.ks, w, got, tc.want)
+				}
+			}
+		}
+	}
+}
+
+// TestMeanResponsibilitiesUnaffectedByPool guards the signature path:
+// inference depends only on the fitted model, and identical models give
+// identical responsibilities (sanity link between Fit determinism and the
+// embedding fingerprint).
+func TestMeanResponsibilitiesUnaffectedByPool(t *testing.T) {
+	xs := mixtureSample(2000, 37)
+	col := mixtureSample(300, 38)
+	var ref []float64
+	for _, w := range poolWidths() {
+		m := fitWith(t, xs, Config{K: 4, Restarts: 3, Seed: 17}, w)
+		mr, err := m.MeanResponsibilities(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = mr
+			continue
+		}
+		for j := range ref {
+			if math.Float64bits(ref[j]) != math.Float64bits(mr[j]) {
+				t.Fatalf("workers=%d: responsibility %d differs: %v vs %v", w, j, ref[j], mr[j])
+			}
+		}
+	}
+}

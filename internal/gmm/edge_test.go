@@ -1,0 +1,138 @@
+package gmm
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSampleVarianceEdgeCases pins the explicit n <= 1 contract: no NaN
+// from the empty sample, zero spread for a singleton.
+func TestSampleVarianceEdgeCases(t *testing.T) {
+	if got := sampleVariance(nil); got != 0 {
+		t.Errorf("sampleVariance(nil) = %v, want 0", got)
+	}
+	if got := sampleVariance([]float64{}); got != 0 {
+		t.Errorf("sampleVariance([]) = %v, want 0", got)
+	}
+	if got := sampleVariance([]float64{42}); got != 0 {
+		t.Errorf("sampleVariance([42]) = %v, want 0", got)
+	}
+	if got := sampleVariance([]float64{3, 3, 3, 3}); got != 0 {
+		t.Errorf("sampleVariance(all-equal) = %v, want 0", got)
+	}
+	if got := sampleVariance([]float64{-1, 1}); got != 1 {
+		t.Errorf("sampleVariance([-1,1]) = %v, want 1", got)
+	}
+}
+
+// TestNearestGapEdgeCases pins the explicit no-positive-gap contract:
+// empty input, singleton input, and all-equal input return 0, never ±Inf.
+func TestNearestGapEdgeCases(t *testing.T) {
+	if got := nearestGap(5, nil); got != 0 {
+		t.Errorf("nearestGap(5, nil) = %v, want 0", got)
+	}
+	if got := nearestGap(5, []float64{5}); got != 0 {
+		t.Errorf("nearestGap over singleton = %v, want 0", got)
+	}
+	if got := nearestGap(7, []float64{7, 7, 7}); got != 0 {
+		t.Errorf("nearestGap over all-equal = %v, want 0", got)
+	}
+	if got := nearestGap(5, []float64{1, 5, 9}); got != 4 {
+		t.Errorf("nearestGap(5, [1 5 9]) = %v, want 4", got)
+	}
+	// mu absent from the slice still measures to the closest neighbor.
+	if got := nearestGap(6, []float64{1, 5, 9}); got != 1 {
+		t.Errorf("nearestGap(6, [1 5 9]) = %v, want 1", got)
+	}
+	if math.IsInf(nearestGap(0, []float64{0, 0}), 0) {
+		t.Error("nearestGap leaked an infinity")
+	}
+}
+
+// TestFitSingleValue fits the degenerate one-point sample: K clamps to 1,
+// the mean is the point, and the variance lands on the floor instead of
+// collapsing to zero or NaN.
+func TestFitSingleValue(t *testing.T) {
+	m, err := Fit([]float64{3.5}, Config{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Fatalf("K = %d, want 1", m.K())
+	}
+	if m.Means[0] != 3.5 {
+		t.Errorf("mean = %v, want 3.5", m.Means[0])
+	}
+	if v := m.Variances[0]; !(v > 0) || math.IsNaN(v) {
+		t.Errorf("variance = %v, want positive and finite", v)
+	}
+	if w := m.Weights[0]; w != 1 {
+		t.Errorf("weight = %v, want 1", w)
+	}
+}
+
+// TestFitTwoEqualValues covers n=2 all-equal: sample variance is 0, so
+// everything rides on the variance floor.
+func TestFitTwoEqualValues(t *testing.T) {
+	m, err := Fit([]float64{-2, -2}, Config{K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m.K(); j++ {
+		if m.Means[j] != -2 {
+			t.Errorf("mean[%d] = %v, want -2", j, m.Means[j])
+		}
+		if v := m.Variances[j]; !(v > 0) || math.IsNaN(v) {
+			t.Errorf("variance[%d] = %v, want positive and finite", j, v)
+		}
+	}
+}
+
+// TestFitAllEqualColumnEveryInit runs the all-equal column through each
+// init method: quantile seeding exercises the nearestGap fallback, the
+// others the zero total-variance guard.
+func TestFitAllEqualColumnEveryInit(t *testing.T) {
+	xs := []float64{9, 9, 9, 9, 9, 9, 9, 9}
+	for name, init := range map[string]InitMethod{
+		"quantile": InitQuantile,
+		"kmeans":   InitKMeans,
+		"random":   InitRandom,
+	} {
+		m, err := Fit(xs, Config{K: 3, Seed: 3, Init: init})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.IsNaN(m.LogLikelihood) || math.IsInf(m.LogLikelihood, 0) {
+			t.Errorf("%s: logL = %v, want finite", name, m.LogLikelihood)
+		}
+		for j := 0; j < m.K(); j++ {
+			if math.Abs(m.Means[j]-9) > 1e-9 {
+				t.Errorf("%s: mean[%d] = %v, want 9", name, j, m.Means[j])
+			}
+			if v := m.Variances[j]; !(v > 0) {
+				t.Errorf("%s: variance[%d] = %v, want > 0", name, j, v)
+			}
+		}
+	}
+}
+
+// TestSelectKOnTinySample asserts model selection degrades gracefully
+// when candidates exceed the sample size (K clamps inside Fit).
+func TestSelectKOnTinySample(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	best, bics, err := SelectK(xs, []int{1, 2, 10}, Config{Seed: 4, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || best.K() > 3 {
+		t.Fatalf("best K = %v, want <= 3", best.K())
+	}
+	if len(bics) != 3 {
+		t.Fatalf("got %d BIC entries, want 3", len(bics))
+	}
+	for k, b := range bics {
+		if math.IsNaN(b) {
+			t.Errorf("BIC[%d] = NaN", k)
+		}
+	}
+}

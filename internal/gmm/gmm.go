@@ -9,6 +9,13 @@
 // restarts (default 10) keeping the best likelihood, and model selection via
 // the Bayesian Information Criterion. E-step arithmetic is carried out in
 // log-space with log-sum-exp so that far-flung values cannot underflow.
+//
+// Fitting parallelizes at three levels when Config.Pool is set — EM restarts,
+// the per-iteration E-step (in fixed-boundary chunks), and SelectK's
+// candidate models — and is engineered to be bit-identical for every pool
+// width: per-restart RNGs are derived from a seed sequence, partial sums are
+// reduced in index order, and winners are selected by scanning results in
+// index order. The determinism test suite pins this property.
 package gmm
 
 import (
@@ -17,9 +24,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"github.com/gem-embeddings/gem/internal/kmeans"
 	"github.com/gem-embeddings/gem/internal/mathx"
+	"github.com/gem-embeddings/gem/internal/pool"
 )
 
 // ErrInput is returned for invalid fitting inputs.
@@ -69,6 +78,24 @@ type Config struct {
 	Seed int64
 	// Init selects the initialization method. Default InitKMeans.
 	Init InitMethod
+	// Pool schedules restart-, chunk- and candidate-level parallelism. A
+	// nil Pool (the default) runs everything on the calling goroutine. The
+	// same Pool may be shared with the caller's own fan-out (core shares
+	// its column pool): nested For calls are safe and total concurrency
+	// stays bounded by the pool width. Output is bit-identical for every
+	// pool width, including nil.
+	//
+	// Memory trade-off: each concurrently running restart holds its own
+	// n×K responsibility matrix, so peak memory grows by up to
+	// min(pool width, Restarts) such matrices versus serial fitting.
+	// For large stacks, bound n via subsampling (core.Config's
+	// SubsampleStack) or use a narrower pool.
+	Pool *pool.Pool
+	// iterHook, when set, observes every EM iteration of every restart
+	// (the iteration index and the log-likelihood after that E-step).
+	// Test-only: it is how the property suite checks EM monotonicity.
+	// With a parallel Pool and Restarts > 1 it is called concurrently.
+	iterHook func(iter int, ll float64)
 }
 
 func (c *Config) fillDefaults() {
@@ -129,11 +156,21 @@ func Fit(xs []float64, cfg Config) (*Model, error) {
 	totalVar := sampleVariance(xs)
 	varFloor := math.Max(totalVar*varianceFloorFrac, minVariance)
 
-	var best *Model
-	for r := 0; r < cfg.Restarts; r++ {
+	// Restarts are independent given their RNGs, so they fan out across
+	// the pool: restart r always seeds its RNG from the same point of the
+	// seed sequence, and each restart writes only its own slot. The winner
+	// is then selected by scanning slots in restart order with a strict
+	// comparison — exactly what the serial loop does — so the selected
+	// model does not depend on scheduling.
+	models := make([]*Model, cfg.Restarts)
+	_ = cfg.Pool.For(cfg.Restarts, func(r int) error {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*104729))
 		init := initialize(xs, k, cfg, rng, totalVar)
-		m := emLoop(xs, init, cfg, varFloor)
+		models[r] = emLoop(xs, init, cfg, varFloor)
+		return nil
+	})
+	var best *Model
+	for _, m := range models {
 		if m == nil {
 			continue
 		}
@@ -148,8 +185,11 @@ func Fit(xs []float64, cfg Config) (*Model, error) {
 	return best, nil
 }
 
-// nearestGap returns the distance from mu to its closest other value in the
-// sorted slice (0 if duplicated).
+// nearestGap returns the distance from mu to the closest distinct
+// neighboring value in the sorted slice. It returns 0 — never ±Inf — when
+// no positive gap exists: an empty slice, a single value, or a slice whose
+// neighbors of mu all equal mu (the all-equal column). Callers treat 0 as
+// "no usable local bandwidth" and fall back to the global scale.
 func nearestGap(mu float64, sorted []float64) float64 {
 	idx := sort.SearchFloat64s(sorted, mu)
 	best := math.Inf(1)
@@ -162,11 +202,19 @@ func nearestGap(mu float64, sorted []float64) float64 {
 			best = d
 		}
 	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
 	return best
 }
 
-// sampleVariance returns the population variance of xs.
+// sampleVariance returns the population variance of xs. Samples with fewer
+// than two values carry no spread information, so n <= 1 returns 0 rather
+// than NaN (the empty sample would otherwise divide 0/0).
 func sampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
 	var mean float64
 	for _, x := range xs {
 		mean += x
@@ -236,56 +284,93 @@ func initialize(xs []float64, k int, cfg Config, rng *rand.Rand, totalVar float6
 		sortedMeans := append([]float64(nil), means...)
 		sort.Float64s(sortedMeans)
 		for j := range variances {
-			gap := math.Inf(1)
-			for t := 1; t < len(sortedMeans); t++ {
-				g := sortedMeans[t] - sortedMeans[t-1]
-				if g > 0 && g < gap {
-					gap = g
-				}
-			}
 			local := nearestGap(means[j], sortedMeans)
-			if local <= 0 || math.IsInf(local, 1) {
+			if local <= 0 {
 				local = math.Sqrt(v)
 			}
 			variances[j] = math.Max(local*local, v*1e-8)
-			_ = gap
 		}
 	}
 	return &Model{Weights: weights, Means: means, Variances: variances}
 }
 
+// estepChunk is the number of values per E-step chunk. Chunk boundaries
+// depend only on n — never on the pool width — so the ordered reduction of
+// per-chunk partial log-likelihoods performs float additions in an order
+// that is invariant under scheduling. The size is large enough that a
+// chunk's work dwarfs the goroutine handoff, and small enough that a 10k
+// stack still splits across a typical pool.
+const estepChunk = 1024
+
 // emLoop runs EM until convergence (|Δ logL| < tol) or MaxIter.
+//
+// Both halves of each iteration fan out across cfg.Pool with index-slot
+// writes only: the E-step is chunked over values (each chunk fills its own
+// rows of the responsibility matrix and one partial-likelihood slot), and
+// the M-step is parallel over components (component j reads the whole
+// matrix but writes only parameter j, accumulating over values in the same
+// serial order as the classic loop). The chunked reduction is the single
+// code path — pool width 1 and nil pools sum in the identical order — so
+// results are bit-identical for every worker count.
 func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 	n := len(xs)
 	k := len(m.Weights)
-	resp := make([][]float64, n)
-	for i := range resp {
-		resp[i] = make([]float64, k)
-	}
+	resp := make([]float64, n*k) // row-major n×k responsibilities
 	logw := make([]float64, k)
+	logVar := make([]float64, k)
+	nChunks := (n + estepChunk - 1) / estepChunk
+	llPart := make([]float64, nChunks)
+	// One scratch stripe per chunk, allocated once for the whole run:
+	// chunks write disjoint stripes, so reuse across iterations is
+	// race-free and keeps the hot loop allocation-free. Stripes are
+	// padded to whole 64-byte cache lines so adjacent chunks running on
+	// different cores never false-share a boundary line.
+	stride := (k + 7) / 8 * 8
+	scratch := make([]float64, nChunks*stride)
 	prevLL := math.Inf(-1)
 	converged := false
 	iter := 0
 
 	for ; iter < cfg.MaxIter; iter++ {
-		// E-step in log space.
+		// E-step in log space. Per-component constants are hoisted out of
+		// the value loop; the arithmetic below is term-for-term identical
+		// to logNormPDF against a cached log-variance.
 		for j := 0; j < k; j++ {
 			logw[j] = math.Log(m.Weights[j])
+			logVar[j] = math.Log(m.Variances[j])
 		}
+		_ = cfg.Pool.For(nChunks, func(c int) error {
+			lo := c * estepChunk
+			hi := lo + estepChunk
+			if hi > n {
+				hi = n
+			}
+			buf := scratch[c*stride : c*stride+k]
+			var ll float64
+			for i := lo; i < hi; i++ {
+				x := xs[i]
+				row := resp[i*k : i*k+k]
+				for j := 0; j < k; j++ {
+					buf[j] = logWeightedNormPDF(x, m.Means[j], m.Variances[j], logw[j], logVar[j])
+				}
+				lse := mathx.LogSumExp(buf)
+				ll += lse
+				for j := 0; j < k; j++ {
+					row[j] = math.Exp(buf[j] - lse)
+				}
+			}
+			llPart[c] = ll
+			return nil
+		})
 		var ll float64
-		buf := make([]float64, k)
-		for i, x := range xs {
-			for j := 0; j < k; j++ {
-				buf[j] = logw[j] + logNormPDF(x, m.Means[j], m.Variances[j])
-			}
-			lse := mathx.LogSumExp(buf)
-			ll += lse
-			for j := 0; j < k; j++ {
-				resp[i][j] = math.Exp(buf[j] - lse)
-			}
+		for _, part := range llPart {
+			ll += part
 		}
 		if math.IsNaN(ll) {
 			return nil
+		}
+		if cfg.iterHook != nil {
+			cfg.iterHook(iter, ll)
 		}
 		// Convergence check on the change in log-likelihood (paper: 1e-3).
 		if math.Abs(ll-prevLL) < cfg.Tol {
@@ -295,25 +380,27 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 		}
 		prevLL = ll
 
-		// M-step (Equations 3–5).
-		for j := 0; j < k; j++ {
+		// M-step (Equations 3–5), parallel over components.
+		_ = cfg.Pool.For(k, func(j int) error {
 			var nk, mu float64
 			for i := 0; i < n; i++ {
-				nk += resp[i][j]
-				mu += resp[i][j] * xs[i]
+				nk += resp[i*k+j]
+				mu += resp[i*k+j] * xs[i]
 			}
 			if nk < 1e-10 {
 				// Dead component: re-center on a random-ish point and reset.
-				m.Means[j] = xs[(j*2654435761)%n]
+				// Unsigned math: the Knuth constant overflows int on 32-bit
+				// targets; the value is identical on 64-bit.
+				m.Means[j] = xs[int(uint64(j)*2654435761%uint64(n))]
 				m.Variances[j] = math.Max(varFloor, 1)
 				m.Weights[j] = 1e-6
-				continue
+				return nil
 			}
 			mu /= nk
 			var v float64
 			for i := 0; i < n; i++ {
 				d := xs[i] - mu
-				v += resp[i][j] * d * d
+				v += resp[i*k+j] * d * d
 			}
 			v /= nk
 			if v < varFloor {
@@ -322,7 +409,8 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 			m.Means[j] = mu
 			m.Variances[j] = v
 			m.Weights[j] = nk / float64(n)
-		}
+			return nil
+		})
 		normalizeWeights(m.Weights)
 	}
 	m.LogLikelihood = prevLL
@@ -367,10 +455,22 @@ func (m *Model) sortByMean() {
 	m.Weights, m.Means, m.Variances = w, mu, v
 }
 
-// logNormPDF is the log of the normal density at x.
+// logNormPDF is the log of the normal density at x. It delegates to
+// logWeightedNormPDF (log-weight 0 adds bit-identically) so the density
+// expression exists exactly once.
 func logNormPDF(x, mean, variance float64) float64 {
+	return logWeightedNormPDF(x, mean, variance, 0, math.Log(variance))
+}
+
+// logWeightedNormPDF is log(w · N(x | mean, variance)) against precomputed
+// log-weight and log-variance — the single source of the density
+// expression, shared by the EM E-step, MeanResponsibilities and (via
+// logNormPDF) every inference path, so training-time and inference-time
+// responsibilities stay bit-identical by construction. The compiler
+// inlines the call.
+func logWeightedNormPDF(x, mean, variance, logWeight, logVariance float64) float64 {
 	d := x - mean
-	return -0.5 * (log2Pi + math.Log(variance) + d*d/variance)
+	return logWeight + -0.5*(log2Pi+logVariance+d*d/variance)
 }
 
 // PDF returns the mixture density at x (Equation 1).
@@ -439,8 +539,7 @@ func (m *Model) MeanResponsibilities(values []float64) ([]float64, error) {
 	buf := make([]float64, k)
 	for _, x := range values {
 		for j := 0; j < k; j++ {
-			d := x - m.Means[j]
-			buf[j] = logW[j] + -0.5*(log2Pi+logVar[j]+d*d/m.Variances[j])
+			buf[j] = logWeightedNormPDF(x, m.Means[j], m.Variances[j], logW[j], logVar[j])
 		}
 		lse := mathx.LogSumExp(buf)
 		for j := 0; j < k; j++ {
@@ -504,20 +603,51 @@ func (m *Model) AIC() float64 {
 // SelectK fits models for every K in ks and returns the one with the lowest
 // BIC, along with the BIC value per K. This mirrors the paper's model
 // selection discussion (§4.1.4).
+//
+// Candidates are evaluated concurrently on base.Pool (each Fit's own
+// restart/chunk parallelism shares the same pool, so total concurrency
+// stays bounded). Errors are recorded per slot and scanned in candidate
+// order, and a failure at index f lets every candidate AFTER f skip its
+// fit — so the serial path still stops paying at the first error, like
+// the old loop. The skip condition is "a strictly lower index already
+// failed", tracked as an atomic minimum: a candidate below the lowest
+// recorded failure is never skipped, so the lowest recorded failure is
+// the true lowest failing candidate and the reported error is exactly
+// the serial loop's, independent of scheduling.
 func SelectK(xs []float64, ks []int, base Config) (*Model, map[int]float64, error) {
 	if len(ks) == 0 {
 		return nil, nil, fmt.Errorf("%w: no candidate K values", ErrInput)
 	}
+	models := make([]*Model, len(ks))
+	errs := make([]error, len(ks))
+	var firstFailed atomic.Int64
+	firstFailed.Store(int64(len(ks)))
+	_ = base.Pool.For(len(ks), func(i int) error {
+		if firstFailed.Load() < int64(i) {
+			return nil
+		}
+		cfg := base
+		cfg.K = ks[i]
+		models[i], errs[i] = Fit(xs, cfg)
+		if errs[i] != nil {
+			for {
+				cur := firstFailed.Load()
+				if cur <= int64(i) || firstFailed.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("gmm: SelectK at K=%d: %w", ks[i], err)
+		}
+	}
 	bics := make(map[int]float64, len(ks))
 	var best *Model
-	for _, k := range ks {
-		cfg := base
-		cfg.K = k
-		m, err := Fit(xs, cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("gmm: SelectK at K=%d: %w", k, err)
-		}
-		bics[k] = m.BIC()
+	for i, m := range models {
+		bics[ks[i]] = m.BIC()
 		if best == nil || m.BIC() < best.BIC() {
 			best = m
 		}

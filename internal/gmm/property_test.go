@@ -1,0 +1,160 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/mathx"
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// randomSample draws a random EM input: a mixture with a random number of
+// modes, random spreads, and occasional heavy right tails — the column
+// shapes Gem actually sees.
+func randomSample(rng *rand.Rand) []float64 {
+	n := 200 + rng.Intn(3000)
+	modes := 1 + rng.Intn(4)
+	centers := make([]float64, modes)
+	scales := make([]float64, modes)
+	for j := range centers {
+		centers[j] = rng.NormFloat64() * 20
+		scales[j] = 0.1 + rng.Float64()*3
+	}
+	heavy := rng.Float64() < 0.3
+	xs := make([]float64, n)
+	for i := range xs {
+		j := rng.Intn(modes)
+		xs[i] = centers[j] + scales[j]*rng.NormFloat64()
+		if heavy && rng.Float64() < 0.05 {
+			xs[i] = math.Exp(1 + rng.Float64()*6) // lognormal-ish outlier
+		}
+	}
+	return xs
+}
+
+// TestPropertyFitInvariants fits random inputs and asserts the model
+// invariants every downstream consumer relies on: weights form a
+// probability vector, variances respect the collapse floor, components
+// are sorted by mean, and all parameters are finite.
+func TestPropertyFitInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	p := pool.New(runtime.GOMAXPROCS(0))
+	for trial := 0; trial < 25; trial++ {
+		xs := randomSample(rng)
+		k := 1 + rng.Intn(10)
+		m, err := Fit(xs, Config{K: k, Restarts: 2, Seed: int64(trial), Pool: p})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d, k=%d): %v", trial, len(xs), k, err)
+		}
+		floor := math.Max(sampleVariance(xs)*varianceFloorFrac, minVariance)
+		var sum float64
+		for j := 0; j < m.K(); j++ {
+			w, mu, v := m.Weights[j], m.Means[j], m.Variances[j]
+			if math.IsNaN(w) || math.IsNaN(mu) || math.IsNaN(v) ||
+				math.IsInf(w, 0) || math.IsInf(mu, 0) || math.IsInf(v, 0) {
+				t.Fatalf("trial %d: non-finite parameter in component %d: w=%v mu=%v v=%v", trial, j, w, mu, v)
+			}
+			if w < 0 || w > 1 {
+				t.Fatalf("trial %d: weight %d out of [0,1]: %v", trial, j, w)
+			}
+			// The floor is applied before the final weight renormalization,
+			// so allow for one ulp of slack.
+			if v < floor*(1-1e-12) {
+				t.Fatalf("trial %d: variance %d = %v below floor %v", trial, j, v, floor)
+			}
+			if j > 0 && m.Means[j] < m.Means[j-1] {
+				t.Fatalf("trial %d: means not sorted: %v", trial, m.Means)
+			}
+			sum += w
+		}
+		if !mathx.AlmostEqual(sum, 1, 1e-9) {
+			t.Fatalf("trial %d: weights sum to %v", trial, sum)
+		}
+	}
+}
+
+// TestPropertyLogLikelihoodMonotone asserts EM's defining property on
+// random inputs: the log-likelihood observed at each E-step never
+// decreases across iterations of a restart. The variance floor and
+// dead-component reseeding can break exact monotonicity in pathological
+// fits, so the check allows a vanishing relative tolerance — real
+// regressions (a wrong reduction, a stale parameter read) show up as
+// macroscopic drops.
+func TestPropertyLogLikelihoodMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	p := pool.New(runtime.GOMAXPROCS(0))
+	for trial := 0; trial < 15; trial++ {
+		xs := randomSample(rng)
+		k := 1 + rng.Intn(6)
+		var lls []float64
+		cfg := Config{
+			K:        k,
+			Restarts: 1, // one restart so the trace is a single sequence
+			Seed:     int64(trial),
+			Pool:     p,
+			iterHook: func(iter int, ll float64) { lls = append(lls, ll) },
+		}
+		if _, err := Fit(xs, cfg); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(lls) == 0 {
+			t.Fatalf("trial %d: iterHook never called", trial)
+		}
+		for i := 1; i < len(lls); i++ {
+			tol := 1e-9 * (1 + math.Abs(lls[i-1]))
+			if lls[i] < lls[i-1]-tol {
+				t.Fatalf("trial %d: logL decreased at iter %d: %v -> %v", trial, i, lls[i-1], lls[i])
+			}
+		}
+	}
+}
+
+// TestPropertyIterHookMatchesFinalLikelihood ties the per-iteration trace
+// to the reported model: the last observed log-likelihood is the one the
+// winning single-restart model stores.
+func TestPropertyIterHookMatchesFinalLikelihood(t *testing.T) {
+	xs := mixtureSample(1500, 55)
+	var lls []float64
+	m, err := Fit(xs, Config{
+		K:        3,
+		Restarts: 1,
+		Seed:     5,
+		iterHook: func(iter int, ll float64) { lls = append(lls, ll) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lls[len(lls)-1]; got != m.LogLikelihood {
+		t.Fatalf("last traced logL %v != model logL %v", got, m.LogLikelihood)
+	}
+	if m.Iterations != len(lls)-1 && m.Iterations != len(lls) {
+		// Converged runs break after the E-step: iterations = len(lls)-1.
+		// MaxIter runs exhaust the loop: iterations = len(lls).
+		t.Fatalf("Iterations = %d inconsistent with %d traced E-steps", m.Iterations, len(lls))
+	}
+}
+
+// TestPropertyResponsibilityRowsSumToOne checks, on random inputs, the
+// E-step's row constraint through the public inference API.
+func TestPropertyResponsibilityRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 10; trial++ {
+		xs := randomSample(rng)
+		m, err := Fit(xs, Config{K: 1 + rng.Intn(8), Restarts: 1, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			x := xs[rng.Intn(len(xs))]
+			var s float64
+			for _, v := range m.Responsibilities(x) {
+				s += v
+			}
+			if !mathx.AlmostEqual(s, 1, 1e-9) {
+				t.Fatalf("trial %d: responsibilities at %v sum to %v", trial, x, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package pool provides a shared, bounded worker pool for index-parallel
+// loops. One Pool is meant to be shared by every parallel layer of a
+// pipeline — in Gem: the per-column fan-out in core, the per-restart and
+// per-chunk fan-out inside EM, and the per-candidate fan-out of model
+// selection — so that nested parallelism cannot oversubscribe the machine.
+//
+// The no-oversubscription contract: the pool holds w-1 worker tokens; the
+// goroutine that calls For always executes work itself (caller-runs), and
+// extra goroutines are spawned only for tokens that can be acquired
+// without blocking. With c goroutines independently calling For on one
+// Pool, at most c + w - 1 loop bodies run at once — so for the common
+// single-entry-point pipeline (c = 1, including arbitrarily deep nesting,
+// because a nested caller already occupies its slot) the bound is exactly
+// w. A nested For that finds every token busy degrades to a serial loop
+// on its caller — it never queues, never blocks, and never deadlocks —
+// and columns × restarts × chunks all collapse onto the same w slots.
+//
+// Determinism: For distributes indices dynamically, so WHICH goroutine
+// runs an index is scheduling-dependent — but callers that write results
+// only to index-addressed slots and reduce them in index order after For
+// returns get output that is bit-identical for every pool width. All of
+// Gem's hot loops follow that discipline.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool. The zero value is not usable; call New.
+// A nil *Pool is valid and runs every For serially on the caller, which
+// makes it the natural "no parallelism" default for config structs.
+type Pool struct {
+	// tokens holds capacity for workers-1 helper goroutines. Acquiring is
+	// always non-blocking: a For call takes what is free and runs the
+	// remainder on its caller.
+	tokens  chan struct{}
+	workers int
+}
+
+// New returns a Pool bounded to workers concurrent loop bodies. A
+// non-positive workers defaults to GOMAXPROCS. New(1) yields a pool whose
+// For is a plain serial loop.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tokens = make(chan struct{}, workers-1)
+		for i := 0; i < workers-1; i++ {
+			p.tokens <- struct{}{}
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// For runs fn(i) for every i in [0, n), using the calling goroutine plus
+// as many helper goroutines as it can acquire from the pool without
+// blocking (at most min(workers-1, n-1)). Indices are pulled from a
+// shared counter so uneven per-index costs balance across workers.
+//
+// An error cancels remaining work; among errors observed before
+// cancellation takes effect, the lowest-index one is returned, so
+// reporting matches the serial path whenever failures race each other.
+// Callers needing a fully deterministic error regardless of scheduling
+// should record errors per index and scan them after For returns.
+//
+// fn must write its results to index-addressed slots; see the package
+// comment for the determinism discipline.
+func (p *Pool) For(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		mu      sync.Mutex
+		bestIdx int
+		bestErr error
+	)
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
+			}
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if bestErr == nil || i < bestIdx {
+					bestIdx, bestErr = i, err
+				}
+				mu.Unlock()
+				failed.Store(true)
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case tok := <-p.tokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { p.tokens <- tok }()
+				work()
+			}()
+		default:
+			break spawn // no free tokens: the caller handles the rest
+		}
+	}
+	work()
+	wg.Wait()
+	return bestErr
+}
