@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/gem-embeddings/gem/internal/ann"
 	"github.com/gem-embeddings/gem/internal/baselines"
 	"github.com/gem-embeddings/gem/internal/core"
 	"github.com/gem-embeddings/gem/internal/data"
@@ -458,6 +459,68 @@ func BenchmarkEmbedParallel(b *testing.B) {
 			b.ReportMetric(float64(len(ds.Columns)), "columns")
 		})
 	}
+}
+
+// BenchmarkSearch measures top-10 column retrieval over a 1000-column
+// catalog embedding: the exact flat scan vs the HNSW graph, plus the graph
+// build. The hnsw sub-bench reports recall@10 against the exact scan, so
+// bench_output.txt documents the speed/recall trade at catalog scale.
+func BenchmarkSearch(b *testing.B) {
+	opts := experiments.Options{Seed: 1, Components: 16, Restarts: 1, SubsampleStack: 4000}
+	opts.FillDefaults()
+	ds := data.ScalabilityDataset(1000, opts.Seed)
+	e, err := core.NewEmbedder(opts.GemConfig(core.Distributional|core.Statistical, core.Concatenation))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	vs, err := e.EmbedVectors(ds, ann.Cosine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flat := ann.NewFlat(ann.Cosine)
+	if err := flat.Add(vs.Vectors...); err != nil {
+		b.Fatal(err)
+	}
+	buildHNSW := func(b *testing.B) *ann.HNSW {
+		h, err := ann.NewHNSW(ann.HNSWConfig{Metric: ann.Cosine, Seed: 1}, pool.New(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Add(vs.Vectors...); err != nil {
+			b.Fatal(err)
+		}
+		return h
+	}
+	h := buildHNSW(b)
+
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildHNSW(b)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := flat.Search(vs.Vectors[i%len(vs.Vectors)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hnsw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Search(vs.Vectors[i%len(vs.Vectors)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		recall, _, _, err := experiments.ReplayQueries(flat, h, vs.Vectors, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(recall, "recall@10")
+	})
 }
 
 // BenchmarkCosineMatrix measures the pairwise similarity matrix over 500

@@ -63,3 +63,16 @@ func TestRunFig3(t *testing.T) {
 		t.Errorf("output missing Figure 3 content:\n%s", out)
 	}
 }
+
+func TestRunSearch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "search", tinyOpts(), 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ANN search", "recall@10", "hnsw build"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Command gemsearch serves the paper's retrieval workload at catalog
+// scale: it embeds the numeric columns of a catalog with Gem, builds an
+// HNSW index over the embeddings (or loads a previously saved one), and
+// answers top-k similarity queries for a query column. With -recall it
+// replays every column as a query against the exact brute-force baseline
+// and reports recall@k and the throughput of both indexes.
+//
+// Usage:
+//
+//	gemsearch -in catalog.csv -query price -k 10
+//	gemsearch -synthetic 1000 -recall
+//	gemsearch -in catalog.csv -index-out catalog.idx
+//	gemsearch -in catalog.csv -index-in catalog.idx -query "@17"
+//
+// The catalog is a CSV in the gemembed format (header row, optional
+// "#type:" ground-truth row, data rows); -synthetic N generates an
+// N-column synthetic catalog instead. A query names a column header (first
+// match wins) or addresses a column by position with "@i". -min-recall
+// turns the recall report into a gate: the command fails when HNSW
+// recall@k falls below the bound (CI uses this as the smoke check).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/experiments"
+	"github.com/gem-embeddings/gem/internal/pool"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// cliConfig carries the parsed flags; run is pure in it so tests can drive
+// the whole command without a process boundary.
+type cliConfig struct {
+	in         string
+	synthetic  int
+	seed       int64
+	components int
+	restarts   int
+	subsample  int
+	workers    int
+	metricSpec string
+	m          int
+	efc        int
+	efs        int
+	k          int
+	query      string
+	recall     bool
+	minRecall  float64
+	indexIn    string
+	indexOut   string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemsearch: ")
+
+	var cfg cliConfig
+	flag.StringVar(&cfg.in, "in", "", "catalog CSV file (gemembed format)")
+	flag.IntVar(&cfg.synthetic, "synthetic", 0, "generate an N-column synthetic catalog instead of reading -in")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed (corpus, EM and index levels)")
+	flag.IntVar(&cfg.components, "components", 50, "GMM components (m)")
+	flag.IntVar(&cfg.restarts, "restarts", 3, "EM restarts")
+	flag.IntVar(&cfg.subsample, "subsample", 8000, "cap on stacked values used to fit the GMM (0 = all)")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool width shared by the embedder and the index build (0 = GOMAXPROCS; results are identical for every value)")
+	flag.StringVar(&cfg.metricSpec, "metric", "cosine", "index distance: cosine|l2")
+	flag.IntVar(&cfg.m, "m", 0, "HNSW M, max neighbours per layer (0 = default 16)")
+	flag.IntVar(&cfg.efc, "ef-construction", 0, "HNSW construction beam width (0 = default 200)")
+	flag.IntVar(&cfg.efs, "ef-search", 0, "HNSW search beam width (0 = default 100)")
+	flag.IntVar(&cfg.k, "k", 10, "neighbours to retrieve")
+	flag.StringVar(&cfg.query, "query", "", "query column: a header name, or @i for the i-th column")
+	flag.BoolVar(&cfg.recall, "recall", false, "replay every column as a query and report recall@k vs the exact baseline")
+	flag.Float64Var(&cfg.minRecall, "min-recall", 0, "fail unless recall@k reaches this bound (implies -recall)")
+	flag.StringVar(&cfg.indexIn, "index-in", "", "load a saved index instead of building one")
+	flag.StringVar(&cfg.indexOut, "index-out", "", "save the index after building")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg cliConfig, w io.Writer) error {
+	metric, err := ann.ParseMetric(cfg.metricSpec)
+	if err != nil {
+		return err
+	}
+	if cfg.k < 1 {
+		return fmt.Errorf("-k must be positive, got %d", cfg.k)
+	}
+	ds, err := loadCatalog(cfg)
+	if err != nil {
+		return err
+	}
+
+	// One Options value carries the worker bound end to end: the embedder's
+	// shared pool via GemConfig, and the HNSW build pool below.
+	opts := experiments.Options{
+		Seed:           cfg.seed,
+		Components:     cfg.components,
+		Restarts:       cfg.restarts,
+		SubsampleStack: cfg.subsample,
+		Workers:        cfg.workers,
+	}
+	opts.FillDefaults()
+	if cfg.subsample <= 0 {
+		opts.SubsampleStack = 0 // explicit "fit on everything"
+	}
+	embedder, err := core.NewEmbedder(opts.GemConfig(core.Distributional|core.Statistical, core.Concatenation))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := embedder.Fit(ds); err != nil {
+		return err
+	}
+	vs, err := embedder.EmbedVectors(ds, metric)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "embedded %d columns (dim %d) in %.2fs\n",
+		len(vs.Vectors), len(vs.Vectors[0]), time.Since(start).Seconds())
+
+	p := pool.New(opts.Workers)
+	idx, err := obtainIndex(cfg, metric, p, vs, w)
+	if err != nil {
+		return err
+	}
+	if cfg.indexOut != "" {
+		if err := saveIndex(idx, cfg.indexOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "index saved to %s\n", cfg.indexOut)
+	}
+
+	if cfg.query != "" {
+		if err := runQuery(cfg, idx, vs, ds, w); err != nil {
+			return err
+		}
+	}
+	if cfg.recall || cfg.minRecall > 0 {
+		if err := runRecall(cfg, idx, metric, vs, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadCatalog reads -in or generates -synthetic columns.
+func loadCatalog(cfg cliConfig) (*table.Dataset, error) {
+	switch {
+	case cfg.in != "" && cfg.synthetic > 0:
+		return nil, fmt.Errorf("-in and -synthetic are mutually exclusive")
+	case cfg.in != "":
+		f, err := os.Open(cfg.in)
+		if err != nil {
+			return nil, fmt.Errorf("opening catalog: %w", err)
+		}
+		defer f.Close()
+		return table.ReadCSV(f, cfg.in)
+	case cfg.synthetic > 0:
+		return data.ScalabilityDataset(cfg.synthetic, cfg.seed), nil
+	default:
+		return nil, fmt.Errorf("need a catalog: -in file.csv or -synthetic N")
+	}
+}
+
+// obtainIndex loads -index-in (validating it against the embedded catalog)
+// or builds a fresh HNSW graph on the shared pool.
+func obtainIndex(cfg cliConfig, metric ann.Metric, p *pool.Pool, vs *core.VectorSet, w io.Writer) (ann.Index, error) {
+	if cfg.indexIn != "" {
+		// Build-time parameters are baked into a saved graph; accepting
+		// them alongside -index-in would silently drop them.
+		if cfg.m != 0 || cfg.efc != 0 {
+			return nil, fmt.Errorf("-m and -ef-construction apply when building an index; they cannot change one loaded with -index-in")
+		}
+		f, err := os.Open(cfg.indexIn)
+		if err != nil {
+			return nil, fmt.Errorf("opening index: %w", err)
+		}
+		defer f.Close()
+		idx, err := ann.Load(f, p)
+		if err != nil {
+			return nil, err
+		}
+		// -ef-search is a query-time knob, so it does apply to a loaded
+		// index.
+		if h, ok := idx.(*ann.HNSW); ok && cfg.efs > 0 {
+			h.SetEfSearch(cfg.efs)
+		}
+		if idx.Metric() != metric {
+			return nil, fmt.Errorf("index %s uses metric %s, want %s (pass -metric %s)",
+				cfg.indexIn, idx.Metric(), metric, idx.Metric())
+		}
+		if idx.Len() != len(vs.Vectors) || idx.Dim() != len(vs.Vectors[0]) {
+			return nil, fmt.Errorf("index %s holds %d vectors of dim %d, catalog embeds to %d of dim %d — was it built from this catalog and configuration?",
+				cfg.indexIn, idx.Len(), idx.Dim(), len(vs.Vectors), len(vs.Vectors[0]))
+		}
+		fmt.Fprintf(w, "index loaded from %s (%d vectors)\n", cfg.indexIn, idx.Len())
+		return idx, nil
+	}
+	h, err := ann.NewHNSW(ann.HNSWConfig{
+		Metric: metric, M: cfg.m, EfConstruction: cfg.efc,
+		EfSearch: cfg.efs, Seed: cfg.seed,
+	}, p)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := h.Add(vs.Vectors...); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "hnsw index built in %.2fs (M=%d, efConstruction=%d)\n",
+		time.Since(start).Seconds(), h.Config().M, h.Config().EfConstruction)
+	return h, nil
+}
+
+func saveIndex(idx ann.Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating index file: %w", err)
+	}
+	if err := idx.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing index file: %w", err)
+	}
+	return nil
+}
+
+// resolveQuery maps -query to a column position: "@i" addresses by index,
+// anything else is a header name (first match).
+func resolveQuery(q string, vs *core.VectorSet) (int, error) {
+	if strings.HasPrefix(q, "@") {
+		i, err := strconv.Atoi(q[1:])
+		if err != nil || i < 0 || i >= len(vs.Vectors) {
+			return 0, fmt.Errorf("query %q: want @i with i in [0, %d)", q, len(vs.Vectors))
+		}
+		return i, nil
+	}
+	i := vs.Find(q)
+	if i < 0 {
+		return 0, fmt.Errorf("query column %q not in catalog", q)
+	}
+	return i, nil
+}
+
+// runQuery prints the top-k neighbours of the query column.
+func runQuery(cfg cliConfig, idx ann.Index, vs *core.VectorSet, ds *table.Dataset, w io.Writer) error {
+	qi, err := resolveQuery(cfg.query, vs)
+	if err != nil {
+		return err
+	}
+	// k+1 so the query column itself can be dropped from its own result.
+	res, err := idx.Search(vs.Vectors[qi], cfg.k+1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ntop %d for column %d (%q, type %q):\n", cfg.k, qi, vs.Names[qi], ds.Columns[qi].Type)
+	fmt.Fprintf(w, "%4s  %8s  %-28s %s\n", "rank", "dist", "column", "type")
+	rank := 0
+	for _, r := range res {
+		if r.ID == qi {
+			continue
+		}
+		rank++
+		if rank > cfg.k {
+			break
+		}
+		fmt.Fprintf(w, "%4d  %8.5f  %-28s %s\n", rank, r.Dist, vs.Names[r.ID], ds.Columns[r.ID].Type)
+	}
+	return nil
+}
+
+// runRecall replays every column as a query against the index and the
+// exact baseline via the shared experiments harness, reports recall@k and
+// QPS, and enforces -min-recall.
+func runRecall(cfg cliConfig, idx ann.Index, metric ann.Metric, vs *core.VectorSet, w io.Writer) error {
+	flat := ann.NewFlat(metric)
+	if err := flat.Add(vs.Vectors...); err != nil {
+		return err
+	}
+	recall, flatSecs, hnswSecs, err := experiments.ReplayQueries(flat, idx, vs.Vectors, cfg.k)
+	if err != nil {
+		return err
+	}
+	n := float64(len(vs.Vectors))
+	fmt.Fprintf(w, "\nrecall@%d vs flat over %d queries: %.4f\n", cfg.k, len(vs.Vectors), recall)
+	fmt.Fprintf(w, "flat %.0f qps, hnsw %.0f qps (%.1fx)\n", n/flatSecs, n/hnswSecs, flatSecs/hnswSecs)
+	if cfg.minRecall > 0 && recall < cfg.minRecall {
+		return fmt.Errorf("recall@%d = %.4f below required %.4f", cfg.k, recall, cfg.minRecall)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyCfg embeds a small synthetic catalog fast; recall numbers are about
+// index-vs-index agreement, so the small mixture is fine.
+func tinyCfg() cliConfig {
+	return cliConfig{
+		synthetic:  120,
+		seed:       1,
+		components: 8,
+		restarts:   1,
+		subsample:  2000,
+		workers:    2,
+		metricSpec: "cosine",
+		k:          10,
+	}
+}
+
+func TestRunSyntheticRecallGate(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.recall = true
+	cfg.minRecall = 0.95
+	cfg.efs = 256 // beam wider than the catalog: exhaustive, recall 1.0
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"embedded 120 columns", "hnsw index built", "recall@10", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMinRecallFails(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.minRecall = 1.1 // unreachable: must fail after reporting
+	var buf bytes.Buffer
+	err := run(cfg, &buf)
+	if err == nil || !strings.Contains(err.Error(), "below required") {
+		t.Fatalf("want min-recall failure, got %v", err)
+	}
+}
+
+func TestRunQueryByNameAndIndex(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.query = "@3"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "top 10 for column 3") {
+		t.Errorf("output missing query header:\n%s", out)
+	}
+	// The result table lists k ranked rows and never the query itself.
+	if strings.Count(out, "\n   ") == 0 || strings.Contains(out, "rank 0") {
+		t.Errorf("unexpected result table:\n%s", out)
+	}
+
+	cfg.query = "no_such_column"
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "not in catalog") {
+		t.Errorf("missing-column query err = %v", err)
+	}
+	cfg.query = "@9999"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Error("out-of-range @i query accepted")
+	}
+}
+
+func TestRunIndexSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.idx")
+
+	cfg := tinyCfg()
+	cfg.indexOut = path
+	cfg.query = "@0"
+	var built bytes.Buffer
+	if err := run(cfg, &built); err != nil {
+		t.Fatalf("build+save: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("index file: %v", err)
+	}
+
+	cfg2 := tinyCfg()
+	cfg2.indexIn = path
+	cfg2.query = "@0"
+	var loaded bytes.Buffer
+	if err := run(cfg2, &loaded); err != nil {
+		t.Fatalf("load+query: %v", err)
+	}
+	if !strings.Contains(loaded.String(), "index loaded from") {
+		t.Errorf("load path not taken:\n%s", loaded.String())
+	}
+	// Same catalog, same configuration: the ranked table must be identical
+	// whether the index was just built or loaded from disk.
+	tableOf := func(s string) string {
+		i := strings.Index(s, "top 10")
+		if i < 0 {
+			t.Fatalf("no result table in:\n%s", s)
+		}
+		return s[i:]
+	}
+	if tableOf(built.String()) != tableOf(loaded.String()) {
+		t.Errorf("loaded index ranks differently:\nbuilt:\n%s\nloaded:\n%s", built.String(), loaded.String())
+	}
+
+	// A mismatched catalog must be rejected.
+	cfg3 := tinyCfg()
+	cfg3.synthetic = 60
+	cfg3.indexIn = path
+	if err := run(cfg3, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "was it built from this catalog") {
+		t.Errorf("mismatched catalog err = %v", err)
+	}
+	// A mismatched metric must be rejected.
+	cfg4 := tinyCfg()
+	cfg4.indexIn = path
+	cfg4.metricSpec = "l2"
+	if err := run(cfg4, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "metric") {
+		t.Errorf("mismatched metric err = %v", err)
+	}
+	// Build-time flags conflict with -index-in; the query-time -ef-search
+	// applies to the loaded index (wide beam: recall gate must hold).
+	cfg5 := tinyCfg()
+	cfg5.indexIn = path
+	cfg5.m = 8
+	if err := run(cfg5, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "cannot change one loaded") {
+		t.Errorf("build-flag-with-index-in err = %v", err)
+	}
+	cfg6 := tinyCfg()
+	cfg6.indexIn = path
+	cfg6.efs = 256
+	cfg6.recall = true
+	cfg6.minRecall = 1.0
+	if err := run(cfg6, &bytes.Buffer{}); err != nil {
+		t.Errorf("ef-search on loaded index: %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.metricSpec = "hamming"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Error("bad metric accepted")
+	}
+	cfg = tinyCfg()
+	cfg.k = 0
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	cfg = tinyCfg()
+	cfg.synthetic = 0
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "need a catalog") {
+		t.Errorf("no-catalog err = %v", err)
+	}
+	cfg = tinyCfg()
+	cfg.in = "x.csv"
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("in+synthetic err = %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package ann provides nearest-neighbour search over Gem column
+// embeddings at catalog scale: an exact brute-force baseline (Flat) and an
+// HNSW graph index (HNSW) behind one Index interface, with cosine and
+// Euclidean metrics, deterministic construction, parallel index build on a
+// shared internal/pool worker pool, and binary persistence.
+//
+// The paper's headline workload is retrieving columns whose numerical
+// distribution resembles a query column; a fixed-width embedding makes that
+// a vector-search problem. Flat gives the exact answer in O(n·d) per query
+// and is the recall reference; HNSW answers the same queries in roughly
+// logarithmic time with recall governed by its ef parameters.
+//
+// Determinism: index construction and search are bit-identical for a given
+// (vectors, config, seed) triple at every worker-pool width. HNSW assigns
+// node levels by hashing (seed, id) rather than drawing from a shared RNG,
+// batches insertions so that graph mutations happen sequentially in id
+// order while the expensive candidate searches fan out in parallel against
+// the immutable pre-batch graph, and breaks every distance tie by lower id.
+//
+// This package is also the repository's single home for vector metric
+// kernels: eval's cosine similarity delegates here, so there is exactly one
+// implementation of the dot/norm/cosine arithmetic.
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrInput is returned for malformed vectors, queries and configuration.
+var ErrInput = errors.New("ann: invalid input")
+
+// ErrFormat is returned when persisted index bytes cannot be decoded.
+var ErrFormat = errors.New("ann: invalid index data")
+
+// Metric identifies the distance function of an index.
+type Metric uint8
+
+const (
+	// Cosine is cosine distance, 1 - cos(a, b). Zero vectors have
+	// similarity 0 with everything (distance 1), matching eval's
+	// convention.
+	Cosine Metric = iota
+	// Euclidean is the L2 distance.
+	Euclidean
+)
+
+// String names the metric the way the CLIs spell it.
+func (m Metric) String() string {
+	switch m {
+	case Euclidean:
+		return "l2"
+	default:
+		return "cosine"
+	}
+}
+
+// ParseMetric parses the CLI spelling of a metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "cosine", "cos":
+		return Cosine, nil
+	case "l2", "euclidean":
+		return Euclidean, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown metric %q (want cosine|l2)", ErrInput, s)
+	}
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return dot
+}
+
+// Norm returns the L2 norm of v.
+func Norm(v []float64) float64 {
+	var ss float64
+	for _, x := range v {
+		ss += x * x
+	}
+	return math.Sqrt(ss)
+}
+
+// CosineSimilarity returns the cosine of the angle between equal-length
+// vectors. Zero vectors have similarity 0 with everything. This is the
+// shared implementation behind eval.CosineSimilarity and the Cosine metric.
+func CosineSimilarity(a, b []float64) float64 {
+	dot := Dot(a, b)
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+// EuclideanDistance returns the L2 distance between equal-length vectors.
+func EuclideanDistance(a, b []float64) float64 {
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// Distance returns the metric's distance between equal-length vectors:
+// 1-cos for Cosine (range [0, 2]), L2 for Euclidean.
+func (m Metric) Distance(a, b []float64) float64 {
+	if m == Euclidean {
+		return EuclideanDistance(a, b)
+	}
+	return 1 - CosineSimilarity(a, b)
+}
+
+// distNormed is Distance with both L2 norms precomputed — the inner-loop
+// form every index uses so norms are not recomputed per comparison.
+func (m Metric) distNormed(a []float64, na float64, b []float64, nb float64) float64 {
+	if m == Euclidean {
+		return EuclideanDistance(a, b)
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - Dot(a, b)/(na*nb)
+}
+
+// Result is one search hit: the id of a stored vector (its Add order,
+// starting at 0) and its metric distance to the query.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Index is the common contract of the exact and approximate indexes.
+// Vectors are identified by insertion order; Search returns the k stored
+// vectors closest to the query under the index metric, nearest first, with
+// exact distance ties broken by lower id.
+type Index interface {
+	// Add appends vectors to the index. All vectors of an index must share
+	// one dimensionality, fixed by the first Add.
+	Add(vecs ...[]float64) error
+	// Search returns up to k nearest stored vectors, nearest first.
+	Search(q []float64, k int) ([]Result, error)
+	// Len returns the number of stored vectors.
+	Len() int
+	// Dim returns the vector dimensionality (0 while empty).
+	Dim() int
+	// Metric returns the index's distance metric.
+	Metric() Metric
+	// Save writes the index in the binary format Load reads.
+	Save(w io.Writer) error
+}
+
+// checkAdd validates a batch of vectors against an index's current
+// dimensionality and returns the (possibly newly fixed) dimension.
+func checkAdd(dim, n int, vecs [][]float64) (int, error) {
+	for i, v := range vecs {
+		if len(v) == 0 {
+			return 0, fmt.Errorf("%w: vector %d is empty", ErrInput, n+i)
+		}
+		if dim == 0 {
+			dim = len(v)
+		}
+		if len(v) != dim {
+			return 0, fmt.Errorf("%w: vector %d has dim %d, index has %d", ErrInput, n+i, len(v), dim)
+		}
+		for j, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0, fmt.Errorf("%w: vector %d component %d is not finite", ErrInput, n+i, j)
+			}
+		}
+	}
+	return dim, nil
+}
+
+// checkQuery validates a search query. Non-finite components are rejected
+// like they are on Add: NaN distances break the total order every heap and
+// sort relies on, which would silently return garbage rankings.
+func checkQuery(dim int, q []float64, k int) error {
+	if k < 0 {
+		return fmt.Errorf("%w: k = %d", ErrInput, k)
+	}
+	if dim != 0 && len(q) != dim {
+		return fmt.Errorf("%w: query has dim %d, index has %d", ErrInput, len(q), dim)
+	}
+	for i, x := range q {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: query component %d is not finite", ErrInput, i)
+		}
+	}
+	return nil
+}

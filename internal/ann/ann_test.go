@@ -1,0 +1,187 @@
+package ann
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMetricDistance(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 1, 0}
+	c := []float64{2, 0, 0}
+	zero := []float64{0, 0, 0}
+
+	if d := Cosine.Distance(a, b); math.Abs(d-1) > 1e-15 {
+		t.Errorf("cosine distance of orthogonal vectors = %v, want 1", d)
+	}
+	if d := Cosine.Distance(a, c); math.Abs(d) > 1e-15 {
+		t.Errorf("cosine distance of parallel vectors = %v, want 0", d)
+	}
+	if d := Cosine.Distance(a, zero); d != 1 {
+		t.Errorf("cosine distance to zero vector = %v, want 1 (similarity 0)", d)
+	}
+	if d := Euclidean.Distance(a, c); math.Abs(d-1) > 1e-15 {
+		t.Errorf("euclidean distance = %v, want 1", d)
+	}
+	if s := CosineSimilarity(zero, zero); s != 0 {
+		t.Errorf("cosine similarity of zero vectors = %v, want 0", s)
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for spec, want := range map[string]Metric{"cosine": Cosine, "cos": Cosine, "l2": Euclidean, "euclidean": Euclidean} {
+		got, err := ParseMetric(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseMetric(%q) = %v, %v; want %v", spec, got, err, want)
+		}
+	}
+	if _, err := ParseMetric("manhattan"); !errors.Is(err, ErrInput) {
+		t.Errorf("ParseMetric(manhattan) err = %v, want ErrInput", err)
+	}
+	if Cosine.String() != "cosine" || Euclidean.String() != "l2" {
+		t.Errorf("metric String() mismatch: %q, %q", Cosine.String(), Euclidean.String())
+	}
+}
+
+func TestFlatSearchExact(t *testing.T) {
+	f := NewFlat(Euclidean)
+	vecs := [][]float64{{0, 0}, {1, 0}, {3, 0}, {0, 2}}
+	if err := f.Add(vecs...); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Search([]float64{0.9, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 0 {
+		t.Fatalf("Search = %+v, want ids [1 0]", res)
+	}
+	if math.Abs(res[0].Dist-0.1) > 1e-12 {
+		t.Errorf("nearest dist = %v, want 0.1", res[0].Dist)
+	}
+}
+
+func TestFlatTieBreakByID(t *testing.T) {
+	f := NewFlat(Euclidean)
+	// Duplicate vectors: ties must resolve to lower ids, in order.
+	if err := f.Add([]float64{5}, []float64{5}, []float64{5}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Search([]float64{5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 2} {
+		if res[i].ID != want {
+			t.Fatalf("tie-broken ids = %v, want [0 1 2]", res)
+		}
+	}
+}
+
+func TestIndexInputValidation(t *testing.T) {
+	for name, idx := range testIndexes(t, Euclidean) {
+		t.Run(name, func(t *testing.T) {
+			if err := idx.Add([]float64{1, 2}); err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.Add([]float64{1, 2, 3}); !errors.Is(err, ErrInput) {
+				t.Errorf("dim-mismatched Add err = %v, want ErrInput", err)
+			}
+			if err := idx.Add([]float64{}); !errors.Is(err, ErrInput) {
+				t.Errorf("empty-vector Add err = %v, want ErrInput", err)
+			}
+			if err := idx.Add([]float64{math.NaN(), 0}); !errors.Is(err, ErrInput) {
+				t.Errorf("NaN Add err = %v, want ErrInput", err)
+			}
+			if _, err := idx.Search([]float64{1}, 1); !errors.Is(err, ErrInput) {
+				t.Errorf("dim-mismatched Search err = %v, want ErrInput", err)
+			}
+			if _, err := idx.Search([]float64{math.NaN(), 0}, 1); !errors.Is(err, ErrInput) {
+				t.Errorf("NaN Search err = %v, want ErrInput", err)
+			}
+			if _, err := idx.Search([]float64{math.Inf(1), 0}, 1); !errors.Is(err, ErrInput) {
+				t.Errorf("Inf Search err = %v, want ErrInput", err)
+			}
+			if _, err := idx.Search([]float64{1, 2}, -1); !errors.Is(err, ErrInput) {
+				t.Errorf("negative-k Search err = %v, want ErrInput", err)
+			}
+			if res, err := idx.Search([]float64{1, 2}, 0); err != nil || len(res) != 0 {
+				t.Errorf("k=0 Search = %v, %v; want empty", res, err)
+			}
+			// k beyond Len truncates.
+			res, err := idx.Search([]float64{1, 2}, 10)
+			if err != nil || len(res) != 1 {
+				t.Errorf("k>Len Search = %v, %v; want 1 hit", res, err)
+			}
+		})
+	}
+}
+
+func TestEmptyIndexSearch(t *testing.T) {
+	for name, idx := range testIndexes(t, Cosine) {
+		t.Run(name, func(t *testing.T) {
+			res, err := idx.Search([]float64{1, 2}, 5)
+			if err != nil || res != nil {
+				t.Errorf("empty-index Search = %v, %v; want nil, nil", res, err)
+			}
+			if idx.Len() != 0 || idx.Dim() != 0 || idx.Metric() != Cosine {
+				t.Errorf("empty index state: len %d dim %d metric %v", idx.Len(), idx.Dim(), idx.Metric())
+			}
+		})
+	}
+}
+
+// testIndexes returns one empty index per implementation, keyed by name.
+func testIndexes(t *testing.T, m Metric) map[string]Index {
+	t.Helper()
+	h, err := NewHNSW(HNSWConfig{Metric: m, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Index{"flat": NewFlat(m), "hnsw": h}
+}
+
+// randomVectors draws n clustered vectors of width dim: a seeded mixture
+// of gaussian bumps, which resembles embedding geometry far better than
+// i.i.d. uniform noise.
+func randomVectors(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	nClusters := 12
+	centers := make([][]float64, nClusters)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * 3
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		c := centers[rng.Intn(nClusters)]
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = c[j] + rng.NormFloat64()*0.5
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// recallAt compares two result lists by id overlap.
+func recallAt(exact, approx []Result) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	got := make(map[int]bool, len(approx))
+	for _, r := range approx {
+		got[r.ID] = true
+	}
+	hit := 0
+	for _, r := range exact {
+		if got[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

@@ -1,0 +1,74 @@
+package ann
+
+import (
+	"io"
+	"sort"
+)
+
+// Flat is the exact brute-force index: Search scans every stored vector.
+// It is the recall reference for HNSW and the right choice for small
+// catalogs where an O(n·d) scan is already fast.
+type Flat struct {
+	metric Metric
+	dim    int
+	vecs   [][]float64
+	norms  []float64 // cached L2 norms (used by the cosine metric)
+}
+
+// NewFlat returns an empty exact index under the given metric.
+func NewFlat(metric Metric) *Flat {
+	return &Flat{metric: metric}
+}
+
+// Add implements Index.
+func (f *Flat) Add(vecs ...[]float64) error {
+	dim, err := checkAdd(f.dim, len(f.vecs), vecs)
+	if err != nil {
+		return err
+	}
+	f.dim = dim
+	for _, v := range vecs {
+		cp := make([]float64, len(v))
+		copy(cp, v)
+		f.vecs = append(f.vecs, cp)
+		f.norms = append(f.norms, Norm(cp))
+	}
+	return nil
+}
+
+// Len implements Index.
+func (f *Flat) Len() int { return len(f.vecs) }
+
+// Dim implements Index.
+func (f *Flat) Dim() int { return f.dim }
+
+// Metric implements Index.
+func (f *Flat) Metric() Metric { return f.metric }
+
+// Search implements Index: an exact scan, sorted by (distance, id).
+func (f *Flat) Search(q []float64, k int) ([]Result, error) {
+	if err := checkQuery(f.dim, q, k); err != nil {
+		return nil, err
+	}
+	if k > len(f.vecs) {
+		k = len(f.vecs)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	qn := Norm(q)
+	out := make([]Result, len(f.vecs))
+	for i, v := range f.vecs {
+		out[i] = Result{ID: i, Dist: f.metric.distNormed(q, qn, v, f.norms[i])}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out[:k:k], nil
+}
+
+// Save implements Index; see persist.go for the format.
+func (f *Flat) Save(w io.Writer) error { return saveFlat(w, f) }

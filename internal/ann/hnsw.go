@@ -1,0 +1,489 @@
+package ann
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// HNSWConfig parametrizes the HNSW graph index.
+type HNSWConfig struct {
+	// Metric is the distance the index answers queries under.
+	Metric Metric
+	// M is the maximum out-degree per node per layer above the base layer;
+	// the base layer allows 2M. Default 16.
+	M int
+	// EfConstruction is the candidate-beam width used while inserting.
+	// Larger builds a better graph, slower. Default 200.
+	EfConstruction int
+	// EfSearch is the default candidate-beam width of Search (raised to k
+	// when k is larger). Larger is more accurate, slower. Default 100.
+	EfSearch int
+	// Seed pins node level assignment. Two indexes built from the same
+	// vectors, config and seed are identical.
+	Seed int64
+	// BatchSize is the number of insertions whose candidate searches are
+	// fanned out in parallel between sequential graph commits. It is part
+	// of the index definition: changing BatchSize changes the built graph
+	// (deterministically), changing the worker-pool width never does.
+	// Default 64.
+	BatchSize int
+}
+
+func (c *HNSWConfig) fillDefaults() {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 100
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+}
+
+// maxLevelCap bounds node levels so corrupt or adversarial level draws
+// cannot allocate unbounded per-node layer slices.
+const maxLevelCap = 30
+
+// HNSW is a Hierarchical Navigable Small World graph index
+// (Malkov & Yashunin). Construction is deterministic for a given
+// (vectors, config, seed) triple at every worker-pool width: levels come
+// from hashing (seed, id), insertions are committed sequentially in id
+// order, and only the read-only candidate searches of each insertion batch
+// run on the worker pool, against the graph frozen before the batch.
+type HNSW struct {
+	cfg  HNSWConfig
+	pool *pool.Pool
+	mL   float64 // level multiplier 1/ln(M)
+
+	dim    int
+	vecs   [][]float64
+	norms  []float64
+	levels []int
+	// links[id][lvl] lists the out-neighbours of id at layer lvl
+	// (0 <= lvl <= levels[id]). Edges are created in both directions at
+	// insertion, but degree pruning drops them one-sided (standard HNSW),
+	// so the graph is directed and not necessarily symmetric.
+	links  [][][]int32
+	entry  int // id of the entry point, -1 while empty
+	maxLvl int
+}
+
+// NewHNSW returns an empty HNSW index. The pool bounds the parallelism of
+// Add's candidate searches; nil runs them serially. The built graph is
+// identical either way.
+func NewHNSW(cfg HNSWConfig, p *pool.Pool) (*HNSW, error) {
+	cfg.fillDefaults()
+	if cfg.M < 2 {
+		return nil, fmt.Errorf("%w: M = %d (need >= 2)", ErrInput, cfg.M)
+	}
+	return &HNSW{
+		cfg:   cfg,
+		pool:  p,
+		mL:    1 / math.Log(float64(cfg.M)),
+		entry: -1,
+	}, nil
+}
+
+// Config returns the effective (default-filled) configuration.
+func (h *HNSW) Config() HNSWConfig { return h.cfg }
+
+// SetEfSearch overrides the search beam width. Unlike M, EfConstruction
+// and Seed — which are baked into the graph at build time — EfSearch is a
+// pure query-time knob, so it may be changed at any point, including on a
+// loaded index. Values < 1 are ignored.
+func (h *HNSW) SetEfSearch(ef int) {
+	if ef > 0 {
+		h.cfg.EfSearch = ef
+	}
+}
+
+// Len implements Index.
+func (h *HNSW) Len() int { return len(h.vecs) }
+
+// Dim implements Index.
+func (h *HNSW) Dim() int { return h.dim }
+
+// Metric implements Index.
+func (h *HNSW) Metric() Metric { return h.cfg.Metric }
+
+// Save implements Index; see persist.go for the format.
+func (h *HNSW) Save(w io.Writer) error { return saveHNSW(w, h) }
+
+// levelFor draws node id's level from a splitmix64 hash of (seed, id), so
+// levels depend only on the seed and the insertion position — never on
+// scheduling or batch boundaries.
+func (h *HNSW) levelFor(id int) int {
+	x := uint64(h.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(id) + 1
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	// Uniform in (0, 1], never 0, so the log is finite.
+	u := (float64(x>>11) + 1) / (1 << 53)
+	l := int(-math.Log(u) * h.mL)
+	if l > maxLevelCap {
+		l = maxLevelCap
+	}
+	return l
+}
+
+// maxM returns the out-degree cap of a layer.
+func (h *HNSW) maxM(lvl int) int {
+	if lvl == 0 {
+		return 2 * h.cfg.M
+	}
+	return h.cfg.M
+}
+
+// distIDs returns the metric distance between two stored vectors.
+func (h *HNSW) distIDs(a, b int32) float64 {
+	return h.cfg.Metric.distNormed(h.vecs[a], h.norms[a], h.vecs[b], h.norms[b])
+}
+
+// distQ returns the metric distance from a query (with precomputed norm)
+// to a stored vector.
+func (h *HNSW) distQ(q []float64, qn float64, id int32) float64 {
+	return h.cfg.Metric.distNormed(q, qn, h.vecs[id], h.norms[id])
+}
+
+// cand is a candidate neighbour during construction and search.
+type cand struct {
+	id   int32
+	dist float64
+}
+
+// candBefore is the total order on candidates: nearer first, ties broken
+// by lower id. Every heap, sort and greedy step uses it, which is what
+// makes search deterministic on corpora with duplicate columns
+// (distance-0 ties are common there).
+func candBefore(a, b cand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+// candHeap is a binary heap of candidates. min selects nearest-first
+// (candidate frontier) or farthest-first (bounded result set) order.
+type candHeap struct {
+	items []cand
+	min   bool
+}
+
+func (ch *candHeap) before(a, b cand) bool {
+	if ch.min {
+		return candBefore(a, b)
+	}
+	return candBefore(b, a)
+}
+
+func (ch *candHeap) len() int   { return len(ch.items) }
+func (ch *candHeap) peek() cand { return ch.items[0] }
+
+func (ch *candHeap) push(c cand) {
+	ch.items = append(ch.items, c)
+	i := len(ch.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !ch.before(ch.items[i], ch.items[p]) {
+			break
+		}
+		ch.items[i], ch.items[p] = ch.items[p], ch.items[i]
+		i = p
+	}
+}
+
+func (ch *candHeap) pop() cand {
+	top := ch.items[0]
+	last := len(ch.items) - 1
+	ch.items[0] = ch.items[last]
+	ch.items = ch.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && ch.before(ch.items[l], ch.items[best]) {
+			best = l
+		}
+		if r < last && ch.before(ch.items[r], ch.items[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		ch.items[i], ch.items[best] = ch.items[best], ch.items[i]
+		i = best
+	}
+	return top
+}
+
+// greedyStep walks layer lvl greedily from cur towards q until no
+// neighbour improves, and returns the local minimum.
+func (h *HNSW) greedyStep(q []float64, qn float64, cur cand, lvl int) cand {
+	for {
+		improved := false
+		for _, nb := range h.links[cur.id][lvl] {
+			c := cand{id: nb, dist: h.distQ(q, qn, nb)}
+			if candBefore(c, cur) {
+				cur = c
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is the beam search of HNSW (Algorithm 2): starting from eps,
+// it keeps the ef nearest visited nodes of layer lvl and expands the
+// nearest unexpanded candidate until no candidate can improve the result
+// set. visited must be a caller-owned scratch slice of at least Len()
+// false values; it is left dirty.
+func (h *HNSW) searchLayer(q []float64, qn float64, eps []cand, ef, lvl int, visited []bool) []cand {
+	frontier := &candHeap{min: true}
+	results := &candHeap{min: false}
+	for _, e := range eps {
+		if visited[e.id] {
+			continue
+		}
+		visited[e.id] = true
+		frontier.push(e)
+		results.push(e)
+	}
+	for results.len() > ef {
+		results.pop()
+	}
+	for frontier.len() > 0 {
+		c := frontier.pop()
+		if results.len() >= ef && candBefore(results.peek(), c) {
+			break
+		}
+		for _, nb := range h.links[c.id][lvl] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := cand{id: nb, dist: h.distQ(q, qn, nb)}
+			if results.len() < ef || candBefore(d, results.peek()) {
+				frontier.push(d)
+				results.push(d)
+				if results.len() > ef {
+					results.pop()
+				}
+			}
+		}
+	}
+	out := make([]cand, len(results.items))
+	copy(out, results.items)
+	sort.Slice(out, func(i, j int) bool { return candBefore(out[i], out[j]) })
+	return out
+}
+
+// selectNeighbors is the diversity heuristic of HNSW (Algorithm 4): scan
+// candidates nearest-first and keep one only if it is closer to the base
+// vector than to every already-kept neighbour, up to m. cands must carry
+// distances to base; it is sorted in place.
+func (h *HNSW) selectNeighbors(cands []cand, m int) []cand {
+	sort.Slice(cands, func(i, j int) bool { return candBefore(cands[i], cands[j]) })
+	kept := make([]cand, 0, m)
+	for _, c := range cands {
+		if len(kept) == m {
+			break
+		}
+		good := true
+		for _, r := range kept {
+			if h.distIDs(c.id, r.id) < c.dist {
+				good = false
+				break
+			}
+		}
+		if good {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// Add implements Index. Insertions are processed in fixed-size batches:
+// each batch first runs every member's candidate search in parallel on the
+// worker pool against the graph as it stood before the batch, then commits
+// the members sequentially in id order (linking them to the snapshot
+// candidates plus the batch members already committed). Graph state
+// therefore never depends on the pool width, only on the insertion order,
+// config and seed.
+func (h *HNSW) Add(vecs ...[]float64) error {
+	dim, err := checkAdd(h.dim, len(h.vecs), vecs)
+	if err != nil {
+		return err
+	}
+	h.dim = dim
+	start := len(h.vecs)
+	for i, v := range vecs {
+		cp := make([]float64, len(v))
+		copy(cp, v)
+		id := start + i
+		lvl := h.levelFor(id)
+		h.vecs = append(h.vecs, cp)
+		h.norms = append(h.norms, Norm(cp))
+		h.levels = append(h.levels, lvl)
+		h.links = append(h.links, make([][]int32, lvl+1))
+	}
+	for bs := start; bs < len(h.vecs); bs += h.cfg.BatchSize {
+		be := bs + h.cfg.BatchSize
+		if be > len(h.vecs) {
+			be = len(h.vecs)
+		}
+		h.insertBatch(bs, be)
+	}
+	return nil
+}
+
+// insertBatch inserts ids [bs, be): parallel candidate search against the
+// pre-batch graph, then sequential commits.
+func (h *HNSW) insertBatch(bs, be int) {
+	// Phase 1: per-member beam searches, read-only on the pre-batch graph.
+	// snapEntry/snapMax freeze the descent start so a commit that raises
+	// the entry point cannot leak into a sibling's search.
+	snapEntry, snapMax := h.entry, h.maxLvl
+	cands := make([][][]cand, be-bs)
+	if snapEntry >= 0 {
+		// Pool.For distributes ids dynamically, but each id writes only its
+		// own cands slot, so the collected candidates are order-independent.
+		_ = h.pool.For(be-bs, func(i int) error {
+			id := bs + i
+			q, qn, lvl := h.vecs[id], h.norms[id], h.levels[id]
+			cur := cand{id: int32(snapEntry), dist: h.distQ(q, qn, int32(snapEntry))}
+			for l := snapMax; l > lvl; l-- {
+				cur = h.greedyStep(q, qn, cur, l)
+			}
+			top := lvl
+			if snapMax < top {
+				top = snapMax
+			}
+			perLvl := make([][]cand, top+1)
+			visited := make([]bool, bs)
+			eps := []cand{cur}
+			for l := top; l >= 0; l-- {
+				for v := range visited {
+					visited[v] = false
+				}
+				res := h.searchLayer(q, qn, eps, h.cfg.EfConstruction, l, visited)
+				perLvl[l] = res
+				eps = res
+			}
+			cands[i] = perLvl
+			return nil
+		})
+	}
+	// Phase 2: sequential commits in id order.
+	for id := bs; id < be; id++ {
+		h.commit(id, bs, cands[id-bs])
+	}
+}
+
+// commit links node id into the graph: its candidates are the snapshot
+// beam-search results plus every batch sibling already committed, selected
+// by the diversity heuristic per layer, with symmetric links and degree
+// pruning. Runs strictly sequentially in id order.
+func (h *HNSW) commit(id, bs int, perLvl [][]cand) {
+	lvl := h.levels[id]
+	if h.entry < 0 {
+		h.entry, h.maxLvl = id, lvl
+		return
+	}
+	// Distances to already-committed batch siblings, computed once and
+	// reused on every layer both share.
+	sibs := make([]cand, 0, id-bs)
+	for j := bs; j < id; j++ {
+		sibs = append(sibs, cand{id: int32(j), dist: h.distIDs(int32(id), int32(j))})
+	}
+	for l := lvl; l >= 0; l-- {
+		var merged []cand
+		if l < len(perLvl) {
+			merged = append(merged, perLvl[l]...)
+		}
+		for _, s := range sibs {
+			if h.levels[s.id] >= l {
+				merged = append(merged, s)
+			}
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		sel := h.selectNeighbors(merged, h.cfg.M)
+		nbs := make([]int32, len(sel))
+		for k, c := range sel {
+			nbs[k] = c.id
+		}
+		h.links[id][l] = nbs
+		for _, c := range sel {
+			h.links[c.id][l] = append(h.links[c.id][l], int32(id))
+			if limit := h.maxM(l); len(h.links[c.id][l]) > limit {
+				h.prune(c.id, l, limit)
+			}
+		}
+	}
+	if lvl > h.maxLvl {
+		h.entry, h.maxLvl = id, lvl
+	}
+}
+
+// prune re-selects node id's layer-l neighbours down to limit with the
+// same diversity heuristic used at insertion.
+func (h *HNSW) prune(id int32, l, limit int) {
+	old := h.links[id][l]
+	cands := make([]cand, len(old))
+	for i, nb := range old {
+		cands[i] = cand{id: nb, dist: h.distIDs(id, nb)}
+	}
+	sel := h.selectNeighbors(cands, limit)
+	nbs := make([]int32, len(sel))
+	for i, c := range sel {
+		nbs[i] = c.id
+	}
+	h.links[id][l] = nbs
+}
+
+// Search implements Index: greedy descent from the entry point through the
+// upper layers, then a beam search of the base layer with
+// ef = max(EfSearch, k).
+func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
+	if err := checkQuery(h.dim, q, k); err != nil {
+		return nil, err
+	}
+	if k > len(h.vecs) {
+		k = len(h.vecs)
+	}
+	if k == 0 || h.entry < 0 {
+		return nil, nil
+	}
+	qn := Norm(q)
+	cur := cand{id: int32(h.entry), dist: h.distQ(q, qn, int32(h.entry))}
+	for l := h.maxLvl; l >= 1; l-- {
+		cur = h.greedyStep(q, qn, cur, l)
+	}
+	ef := h.cfg.EfSearch
+	if k > ef {
+		ef = k
+	}
+	visited := make([]bool, len(h.vecs))
+	res := h.searchLayer(q, qn, []cand{cur}, ef, 0, visited)
+	if len(res) > k {
+		res = res[:k]
+	}
+	out := make([]Result, len(res))
+	for i, c := range res {
+		out[i] = Result{ID: int(c.id), Dist: c.dist}
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package ann
+
+// Binary persistence for the index types. The format is little-endian:
+//
+//	magic   [8]byte  "gemann\x00\x01" (name + format version)
+//	kind    uint8    1 = Flat, 2 = HNSW
+//	metric  uint8
+//
+// followed by the kind-specific body. Vectors are stored as raw float64
+// bits, so a loaded index returns bit-identical search results: derived
+// quantities (norms) are recomputed on load with the same summation order
+// used at build time, and the HNSW adjacency is stored verbatim.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+var magic = [8]byte{'g', 'e', 'm', 'a', 'n', 'n', 0, 1}
+
+const (
+	kindFlat uint8 = 1
+	kindHNSW uint8 = 2
+)
+
+// maxPersistCount caps counts read from index bytes (vectors, dimensions,
+// neighbours) so a corrupt length cannot drive a huge allocation.
+const maxPersistCount = 1 << 28
+
+// Load reads an index saved by Flat.Save or HNSW.Save, dispatching on the
+// header. The pool bounds the parallelism of future Add calls on a loaded
+// HNSW (Flat ignores it); nil is valid and means serial.
+func Load(r io.Reader, p *pool.Pool) (Index, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, m[:])
+	}
+	var kind, metric uint8
+	if err := readLE(br, &kind, &metric); err != nil {
+		return nil, err
+	}
+	if metric > uint8(Euclidean) {
+		return nil, fmt.Errorf("%w: unknown metric %d", ErrFormat, metric)
+	}
+	switch kind {
+	case kindFlat:
+		return loadFlat(br, Metric(metric))
+	case kindHNSW:
+		return loadHNSW(br, Metric(metric), p)
+	default:
+		return nil, fmt.Errorf("%w: unknown index kind %d", ErrFormat, kind)
+	}
+}
+
+// readLE decodes a sequence of fixed-size little-endian values, wrapping
+// the first failure in ErrFormat.
+func readLE(r io.Reader, vs ...any) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("%w: truncated or unreadable: %v", ErrFormat, err)
+		}
+	}
+	return nil
+}
+
+// writeLE encodes a sequence of fixed-size little-endian values.
+func writeLE(w io.Writer, vs ...any) error {
+	for _, v := range vs {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("ann: writing index: %w", err)
+		}
+	}
+	return nil
+}
+
+// readCount reads a uint32 count and bounds-checks it.
+func readCount(r io.Reader, what string) (int, error) {
+	var n uint32
+	if err := readLE(r, &n); err != nil {
+		return 0, err
+	}
+	if n > maxPersistCount {
+		return 0, fmt.Errorf("%w: %s count %d exceeds limit", ErrFormat, what, n)
+	}
+	return int(n), nil
+}
+
+// writeVectors writes dim, n and the stacked vector payload.
+func writeVectors(w io.Writer, dim int, vecs [][]float64) error {
+	if err := writeLE(w, uint32(dim), uint32(len(vecs))); err != nil {
+		return err
+	}
+	for _, v := range vecs {
+		if err := writeLE(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readVectors reads the payload written by writeVectors.
+func readVectors(r io.Reader) (dim int, vecs [][]float64, err error) {
+	if dim, err = readCount(r, "dimension"); err != nil {
+		return 0, nil, err
+	}
+	n, err := readCount(r, "vector")
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 0 && dim == 0 {
+		return 0, nil, fmt.Errorf("%w: %d vectors with dimension 0", ErrFormat, n)
+	}
+	vecs = make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, dim)
+		if err := readLE(r, vecs[i]); err != nil {
+			return 0, nil, err
+		}
+		// Reject non-finite payloads here, for both index kinds: Add and
+		// Search refuse NaN/Inf because they break the strict distance
+		// order, so a corrupt payload must not sneak them in via Load.
+		for j, x := range vecs[i] {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0, nil, fmt.Errorf("%w: vector %d component %d is not finite", ErrFormat, i, j)
+			}
+		}
+	}
+	return dim, vecs, nil
+}
+
+// saveFlat writes a Flat index.
+func saveFlat(w io.Writer, f *Flat) error {
+	bw := bufio.NewWriter(w)
+	if err := writeLE(bw, magic, kindFlat, uint8(f.metric)); err != nil {
+		return err
+	}
+	if err := writeVectors(bw, f.dim, f.vecs); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ann: writing index: %w", err)
+	}
+	return nil
+}
+
+// loadFlat reads a Flat body (header already consumed).
+func loadFlat(r io.Reader, metric Metric) (*Flat, error) {
+	dim, vecs, err := readVectors(r)
+	if err != nil {
+		return nil, err
+	}
+	f := NewFlat(metric)
+	if err := f.Add(vecs...); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	f.dim = dim
+	return f, nil
+}
+
+// saveHNSW writes an HNSW index: config, vectors, entry point, then the
+// per-node level and adjacency lists verbatim.
+func saveHNSW(w io.Writer, h *HNSW) error {
+	bw := bufio.NewWriter(w)
+	if err := writeLE(bw, magic, kindHNSW, uint8(h.cfg.Metric),
+		uint32(h.cfg.M), uint32(h.cfg.EfConstruction), uint32(h.cfg.EfSearch),
+		uint32(h.cfg.BatchSize), h.cfg.Seed); err != nil {
+		return err
+	}
+	if err := writeVectors(bw, h.dim, h.vecs); err != nil {
+		return err
+	}
+	if err := writeLE(bw, int32(h.entry), int32(h.maxLvl)); err != nil {
+		return err
+	}
+	for id := range h.vecs {
+		if err := writeLE(bw, uint8(h.levels[id])); err != nil {
+			return err
+		}
+		for _, nbs := range h.links[id] {
+			if err := writeLE(bw, uint32(len(nbs)), nbs); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ann: writing index: %w", err)
+	}
+	return nil
+}
+
+// loadHNSW reads an HNSW body (header already consumed) and validates the
+// graph invariants so a corrupt adjacency cannot cause out-of-range panics.
+func loadHNSW(r io.Reader, metric Metric, p *pool.Pool) (*HNSW, error) {
+	var mM, efC, efS, batch uint32
+	var seed int64
+	if err := readLE(r, &mM, &efC, &efS, &batch, &seed); err != nil {
+		return nil, err
+	}
+	if mM > maxPersistCount || efC > maxPersistCount || efS > maxPersistCount || batch > maxPersistCount {
+		return nil, fmt.Errorf("%w: implausible config (M=%d efC=%d efS=%d batch=%d)", ErrFormat, mM, efC, efS, batch)
+	}
+	h, err := NewHNSW(HNSWConfig{
+		Metric: metric, M: int(mM), EfConstruction: int(efC),
+		EfSearch: int(efS), Seed: seed, BatchSize: int(batch),
+	}, p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	dim, vecs, err := readVectors(r)
+	if err != nil {
+		return nil, err
+	}
+	var entry, maxLvl int32
+	if err := readLE(r, &entry, &maxLvl); err != nil {
+		return nil, err
+	}
+	n := len(vecs)
+	if n == 0 {
+		if entry != -1 {
+			return nil, fmt.Errorf("%w: empty index with entry %d", ErrFormat, entry)
+		}
+		return h, nil
+	}
+	if entry < 0 || int(entry) >= n || maxLvl < 0 || maxLvl > maxLevelCap {
+		return nil, fmt.Errorf("%w: entry %d / max level %d out of range for %d vectors", ErrFormat, entry, maxLvl, n)
+	}
+	h.dim = dim
+	h.vecs = vecs
+	h.norms = make([]float64, n)
+	h.levels = make([]int, n)
+	h.links = make([][][]int32, n)
+	for id := 0; id < n; id++ {
+		h.norms[id] = Norm(vecs[id])
+		var lvl uint8
+		if err := readLE(r, &lvl); err != nil {
+			return nil, err
+		}
+		if int(lvl) > maxLevelCap {
+			return nil, fmt.Errorf("%w: node %d level %d exceeds cap", ErrFormat, id, lvl)
+		}
+		h.levels[id] = int(lvl)
+		h.links[id] = make([][]int32, int(lvl)+1)
+		for l := 0; l <= int(lvl); l++ {
+			cnt, err := readCount(r, "neighbour")
+			if err != nil {
+				return nil, err
+			}
+			nbs := make([]int32, cnt)
+			if err := readLE(r, nbs); err != nil {
+				return nil, err
+			}
+			h.links[id][l] = nbs
+		}
+	}
+	// Validate adjacency only after every node's level is known: a link may
+	// reference a node that appears later in the file, and search assumes
+	// any layer-l neighbour exists on layer l.
+	for id := 0; id < n; id++ {
+		for l, nbs := range h.links[id] {
+			for _, nb := range nbs {
+				if nb < 0 || int(nb) >= n || h.levels[nb] < l {
+					return nil, fmt.Errorf("%w: node %d layer %d links to invalid node %d", ErrFormat, id, l, nb)
+				}
+			}
+		}
+	}
+	if h.levels[entry] < int(maxLvl) {
+		return nil, fmt.Errorf("%w: entry %d has level %d, max level is %d", ErrFormat, entry, h.levels[entry], maxLvl)
+	}
+	h.entry = int(entry)
+	h.maxLvl = int(maxLvl)
+	return h, nil
+}

@@ -1,0 +1,181 @@
+package ann
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// roundTrip saves idx and loads it back.
+func roundTrip(t *testing.T, idx Index) Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+// TestPersistRoundTripBitIdentical: a loaded index must return results
+// bit-identical to the original's — same ids, same float64 distance bits —
+// for both implementations and both metrics.
+func TestPersistRoundTripBitIdentical(t *testing.T) {
+	vecs := randomVectors(250, 12, 17)
+	qs := randomVectors(40, 12, 18)
+	for _, metric := range []Metric{Cosine, Euclidean} {
+		h, err := NewHNSW(HNSWConfig{Metric: metric, Seed: 6, M: 8, EfConstruction: 80, EfSearch: 48, BatchSize: 32}, pool.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := NewFlat(metric)
+		for _, idx := range []Index{flat, h} {
+			if err := idx.Add(vecs...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, idx := range map[string]Index{"flat": flat, "hnsw": h} {
+			t.Run(metric.String()+"/"+name, func(t *testing.T) {
+				loaded := roundTrip(t, idx)
+				if loaded.Len() != idx.Len() || loaded.Dim() != idx.Dim() || loaded.Metric() != idx.Metric() {
+					t.Fatalf("loaded shape %d/%d/%v, want %d/%d/%v",
+						loaded.Len(), loaded.Dim(), loaded.Metric(), idx.Len(), idx.Dim(), idx.Metric())
+				}
+				for qi, q := range qs {
+					want, err := idx.Search(q, 10)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := loaded.Search(q, 10)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("query %d: %d vs %d results", qi, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("query %d rank %d: loaded %+v, original %+v", qi, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPersistHNSWConfigSurvives: the loaded index keeps the saved
+// construction parameters (so later Adds extend the same graph family).
+func TestPersistHNSWConfigSurvives(t *testing.T) {
+	h, err := NewHNSW(HNSWConfig{Metric: Euclidean, Seed: 123, M: 6, EfConstruction: 70, EfSearch: 33, BatchSize: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(randomVectors(50, 6, 1)...); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, h).(*HNSW)
+	if loaded.Config() != h.Config() {
+		t.Fatalf("loaded config %+v, want %+v", loaded.Config(), h.Config())
+	}
+	// The loaded index must accept further Adds.
+	if err := loaded.Add(randomVectors(20, 6, 2)...); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 70 {
+		t.Fatalf("Len after post-load Add = %d, want 70", loaded.Len())
+	}
+}
+
+// TestPersistEmptyIndex round-trips indexes with no vectors.
+func TestPersistEmptyIndex(t *testing.T) {
+	for name, idx := range testIndexes(t, Cosine) {
+		t.Run(name, func(t *testing.T) {
+			loaded := roundTrip(t, idx)
+			if loaded.Len() != 0 {
+				t.Fatalf("Len = %d, want 0", loaded.Len())
+			}
+			if res, err := loaded.Search([]float64{1}, 3); err != nil || res != nil {
+				t.Fatalf("empty loaded Search = %v, %v", res, err)
+			}
+		})
+	}
+}
+
+// TestPersistCorruptHeader covers the error paths of Load: every corrupt
+// payload must fail with ErrFormat, never panic or succeed.
+func TestPersistCorruptHeader(t *testing.T) {
+	h, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(randomVectors(30, 4, 2)...); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			raw := append([]byte(nil), good...)
+			raw = mutate(raw)
+			if _, err := Load(bytes.NewReader(raw), nil); !errors.Is(err, ErrFormat) {
+				t.Errorf("Load err = %v, want ErrFormat", err)
+			}
+		})
+	}
+	corrupt("empty", func(b []byte) []byte { return nil })
+	corrupt("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("bad-version", func(b []byte) []byte { b[7] = 99; return b })
+	corrupt("bad-kind", func(b []byte) []byte { b[8] = 77; return b })
+	corrupt("bad-metric", func(b []byte) []byte { b[9] = 9; return b })
+	corrupt("truncated-header", func(b []byte) []byte { return b[:9] })
+	corrupt("truncated-body", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("trailing-cut", func(b []byte) []byte { return b[:len(b)-3] })
+	// Vector count beyond the allocation cap.
+	corrupt("huge-count", func(b []byte) []byte {
+		// dim is the first uint32 after magic(8)+kind(1)+metric(1)+
+		// M/efC/efS/batch (4*4)+seed(8) = 34; n follows at 38.
+		for i, v := range []byte{0xFF, 0xFF, 0xFF, 0xFF} {
+			b[38+i] = v
+		}
+		return b
+	})
+	// A NaN smuggled into the vector payload (all-ones float64 bits) must
+	// be rejected like Add/Search reject it.
+	corrupt("nan-payload", func(b []byte) []byte {
+		for i := 0; i < 8; i++ {
+			b[42+i] = 0xFF // first component of vector 0 (payload starts at 42)
+		}
+		return b
+	})
+}
+
+// TestPersistCorruptGraph covers graph-invariant validation: out-of-range
+// neighbours and entry points must be rejected.
+func TestPersistCorruptGraph(t *testing.T) {
+	h, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(randomVectors(10, 2, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the in-memory graph, then save: Load must reject it.
+	h.links[0][0] = append(h.links[0][0], 999)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, nil); !errors.Is(err, ErrFormat) {
+		t.Errorf("out-of-range neighbour: Load err = %v, want ErrFormat", err)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/stats"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// VectorSet couples embedding rows with the column names they embed — the
+// unit of exchange between the embedding pipeline and the internal/ann
+// indexes. Row i of Vectors embeds the column Names[i].
+type VectorSet struct {
+	Names   []string
+	Vectors [][]float64
+}
+
+// Find returns the row index of the first column with the given name, or
+// -1 when absent.
+func (vs *VectorSet) Find(name string) int {
+	for i, n := range vs.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// EmbedVectors runs the full Gem pipeline on ds and prepares the rows for
+// similarity search under the given metric. Under ann.Cosine each row is
+// brought to unit L2 norm: cosine rankings are unchanged (so recall
+// numbers are identical either way), but stored and query vectors then
+// live on the unit sphere, where cosine and Euclidean neighbourhoods
+// coincide and persisted indexes are scale-free. Under ann.Euclidean rows
+// are passed through untouched — L2 distances are exactly distances
+// between Gem embeddings.
+func (e *Embedder) EmbedVectors(ds *table.Dataset, metric ann.Metric) (*VectorSet, error) {
+	emb, err := e.Embed(ds)
+	if err != nil {
+		return nil, err
+	}
+	if metric == ann.Cosine {
+		for i, row := range emb {
+			emb[i] = stats.L2Normalize(row)
+		}
+	}
+	return &VectorSet{Names: ds.Headers(), Vectors: emb}, nil
+}

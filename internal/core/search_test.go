@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/data"
+)
+
+func TestEmbedVectors(t *testing.T) {
+	ds := data.GitTables(data.Config{Seed: 1, Scale: 0.1})
+	e, err := NewEmbedder(Config{Components: 8, Restarts: 1, Seed: 1, SubsampleStack: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EmbedVectors(ds, ann.Cosine); !errors.Is(err, ErrState) {
+		t.Fatalf("EmbedVectors before Fit err = %v, want ErrState", err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := e.Embed(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vs, err := e.EmbedVectors(ds, ann.Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs.Vectors) != len(ds.Columns) || len(vs.Names) != len(ds.Columns) {
+		t.Fatalf("got %d vectors / %d names for %d columns", len(vs.Vectors), len(vs.Names), len(ds.Columns))
+	}
+	for i, row := range vs.Vectors {
+		if vs.Names[i] != ds.Columns[i].Name {
+			t.Fatalf("row %d named %q, column is %q", i, vs.Names[i], ds.Columns[i].Name)
+		}
+		if n := ann.Norm(row); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("cosine row %d has norm %v, want 1", i, n)
+		}
+	}
+	// Cosine normalization must not change cosine geometry.
+	for _, j := range []int{1, len(raw) / 2, len(raw) - 1} {
+		want := ann.CosineSimilarity(raw[0], raw[j])
+		got := ann.CosineSimilarity(vs.Vectors[0], vs.Vectors[j])
+		if math.Abs(want-got) > 1e-12 {
+			t.Fatalf("cosine(0, %d) changed: %v -> %v", j, want, got)
+		}
+	}
+
+	// Euclidean passes rows through untouched.
+	e2, err := NewEmbedder(Config{Components: 8, Restarts: 1, Seed: 1, SubsampleStack: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	vsE, err := e2.EmbedVectors(ds, ann.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		for j := range raw[i] {
+			if vsE.Vectors[i][j] != raw[i][j] {
+				t.Fatalf("euclidean row %d differs from Embed output", i)
+			}
+		}
+	}
+
+	if got := vs.Find(ds.Columns[3].Name); got < 0 || vs.Names[got] != ds.Columns[3].Name {
+		t.Errorf("Find(%q) = %d", ds.Columns[3].Name, got)
+	}
+	if got := vs.Find("no_such_column"); got != -1 {
+		t.Errorf("Find(missing) = %d, want -1", got)
+	}
+}

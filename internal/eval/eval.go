@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/gem-embeddings/gem/internal/ann"
 	"github.com/gem-embeddings/gem/internal/hungarian"
 )
 
@@ -19,25 +20,18 @@ import (
 var ErrInput = errors.New("eval: invalid input")
 
 // CosineSimilarity returns the cosine of the angle between a and b. Zero
-// vectors have similarity 0 with everything.
+// vectors have similarity 0 with everything. The arithmetic lives in
+// internal/ann — the repository's single metric implementation — so eval
+// and the search indexes can never drift apart.
 func CosineSimilarity(a, b []float64) (float64, error) {
 	if len(a) != len(b) {
 		return math.NaN(), fmt.Errorf("%w: vector lengths %d vs %d", ErrInput, len(a), len(b))
 	}
-	var dot, na, nb float64
-	for i := range a {
-		dot += a[i] * b[i]
-		na += a[i] * a[i]
-		nb += b[i] * b[i]
-	}
-	if na == 0 || nb == 0 {
-		return 0, nil
-	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb)), nil
+	return ann.CosineSimilarity(a, b), nil
 }
 
 // CosineSimilarityMatrix returns the full pairwise cosine similarity matrix
-// of the embedding rows.
+// of the embedding rows, built on the shared internal/ann metric kernels.
 func CosineSimilarityMatrix(embeddings [][]float64) ([][]float64, error) {
 	n := len(embeddings)
 	if n == 0 {
@@ -49,11 +43,7 @@ func CosineSimilarityMatrix(embeddings [][]float64) ([][]float64, error) {
 		if len(e) != d {
 			return nil, fmt.Errorf("%w: embedding %d has dim %d, want %d", ErrInput, i, len(e), d)
 		}
-		var ss float64
-		for _, x := range e {
-			ss += x * x
-		}
-		norms[i] = math.Sqrt(ss)
+		norms[i] = ann.Norm(e)
 	}
 	sim := make([][]float64, n)
 	for i := range sim {
@@ -62,13 +52,9 @@ func CosineSimilarityMatrix(embeddings [][]float64) ([][]float64, error) {
 	for i := 0; i < n; i++ {
 		sim[i][i] = 1
 		for j := i + 1; j < n; j++ {
-			var dot float64
-			for k := 0; k < d; k++ {
-				dot += embeddings[i][k] * embeddings[j][k]
-			}
 			var s float64
 			if norms[i] > 0 && norms[j] > 0 {
-				s = dot / (norms[i] * norms[j])
+				s = ann.Dot(embeddings[i], embeddings[j]) / (norms[i] * norms[j])
 			}
 			sim[i][j] = s
 			sim[j][i] = s

@@ -61,6 +61,14 @@ func (o *Options) FillDefaults() {
 	}
 }
 
+// GemConfig builds a core.Config from the options — the one translation of
+// experiment options into an embedder configuration, shared by the harness
+// and the CLIs (cmd/gemsearch builds its embedder through it so -workers
+// reaches the shared pool the same way everywhere).
+func (o Options) GemConfig(features core.Features, comp core.Composition) core.Config {
+	return o.gemConfig(features, comp)
+}
+
 // gemConfig builds a core.Config from the options.
 func (o Options) gemConfig(features core.Features, comp core.Composition) core.Config {
 	return core.Config{

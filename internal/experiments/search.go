@@ -1,0 +1,201 @@
+package experiments
+
+// Approximate-nearest-neighbour evaluation: the paper's retrieval use case
+// at catalog scale. A synthetic catalog is embedded with Gem, indexed both
+// exactly (ann.Flat) and approximately (ann.HNSW), and every column is
+// replayed as a query against both. The exact scan defines ground truth,
+// so the HNSW numbers are true recall@k plus the speed bought by the
+// graph. cmd/gemsearch's -recall mode and the repository BenchmarkSearch
+// are thin wrappers around this.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// SearchOptions scales the ANN evaluation. The embedded Options drive the
+// corpus seed, the Gem configuration and — via Workers — the one bound on
+// parallelism honored end to end: the embedder's shared pool and the HNSW
+// build pool are both sized by it.
+type SearchOptions struct {
+	Options
+	// Columns is the synthetic catalog size. 0 defaults to 1000·Scale.
+	Columns int
+	// K is the result depth recall is measured at. Default 10.
+	K int
+	// Metric selects the index distance. Default ann.Cosine (the paper's
+	// similarity).
+	Metric ann.Metric
+	// M, EfConstruction and EfSearch tune the HNSW graph; 0 takes the
+	// internal/ann defaults.
+	M, EfConstruction, EfSearch int
+}
+
+// fillDefaults normalizes zero-valued search options.
+func (o *SearchOptions) fillDefaults() {
+	o.Options.FillDefaults()
+	if o.Columns <= 0 {
+		o.Columns = int(1000 * o.Scale)
+		if o.Columns < 50 {
+			o.Columns = 50
+		}
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+}
+
+// SearchResult reports one ANN evaluation run.
+type SearchResult struct {
+	// Columns, Dim and K describe the indexed workload.
+	Columns, Dim, K int
+	// Metric is the index distance.
+	Metric ann.Metric
+	// Recall is mean recall@K of HNSW against the exact scan over all
+	// columns as queries (each query excludes itself).
+	Recall float64
+	// EmbedSeconds and BuildSeconds are the wall-clock costs of embedding
+	// the catalog and of constructing the HNSW graph.
+	EmbedSeconds, BuildSeconds float64
+	// FlatQPS and HNSWQPS are single-threaded queries per second over the
+	// full query replay.
+	FlatQPS, HNSWQPS float64
+}
+
+// String renders the result as a small paper-style text table.
+func (r *SearchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ANN search: %d columns, dim %d, metric %s\n", r.Columns, r.Dim, r.Metric)
+	fmt.Fprintf(&b, "  recall@%-3d        %.4f\n", r.K, r.Recall)
+	fmt.Fprintf(&b, "  embed             %.3fs\n", r.EmbedSeconds)
+	fmt.Fprintf(&b, "  hnsw build        %.3fs\n", r.BuildSeconds)
+	fmt.Fprintf(&b, "  flat search       %.0f qps\n", r.FlatQPS)
+	fmt.Fprintf(&b, "  hnsw search       %.0f qps (%.1fx)\n", r.HNSWQPS, r.HNSWQPS/r.FlatQPS)
+	return b.String()
+}
+
+// SearchEval builds the catalog, embeds it, constructs both indexes and
+// replays every column as a query. Deterministic apart from the timing
+// fields: the recall number is a pure function of (options, seed) at every
+// worker count.
+func SearchEval(opts SearchOptions) (*SearchResult, error) {
+	opts.fillDefaults()
+	ds := data.ScalabilityDataset(opts.Columns, opts.Seed)
+	e, err := core.NewEmbedder(opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	embedStart := time.Now()
+	if err := e.Fit(ds); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	vs, err := e.EmbedVectors(ds, opts.Metric)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	embedSecs := time.Since(embedStart).Seconds()
+
+	flat := ann.NewFlat(opts.Metric)
+	if err := flat.Add(vs.Vectors...); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	h, err := ann.NewHNSW(ann.HNSWConfig{
+		Metric: opts.Metric, M: opts.M, EfConstruction: opts.EfConstruction,
+		EfSearch: opts.EfSearch, Seed: opts.Seed,
+	}, pool.New(opts.Workers))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	buildStart := time.Now()
+	if err := h.Add(vs.Vectors...); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	buildSecs := time.Since(buildStart).Seconds()
+
+	recall, flatSecs, hnswSecs, err := ReplayQueries(flat, h, vs.Vectors, opts.K)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(vs.Vectors))
+	return &SearchResult{
+		Columns:      len(vs.Vectors),
+		Dim:          flat.Dim(),
+		K:            opts.K,
+		Metric:       opts.Metric,
+		Recall:       recall,
+		EmbedSeconds: embedSecs,
+		BuildSeconds: buildSecs,
+		FlatQPS:      n / flatSecs,
+		HNSWQPS:      n / hnswSecs,
+	}, nil
+}
+
+// ReplayQueries runs every vector as a query against both indexes and
+// returns mean recall@k plus the per-index wall-clock seconds. Each query
+// is searched with k+1 so the query vector itself (assumed stored at its
+// own position) can be excluded from its result. This is the one
+// implementation of the recall/QPS replay, shared by SearchEval,
+// cmd/gemsearch's -recall mode and the repository BenchmarkSearch.
+func ReplayQueries(flat, approx ann.Index, vecs [][]float64, k int) (recall, flatSecs, approxSecs float64, err error) {
+	exact := make([][]ann.Result, len(vecs))
+	start := time.Now()
+	for i, q := range vecs {
+		if exact[i], err = flat.Search(q, k+1); err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: flat query %d: %v", ErrRun, i, err)
+		}
+	}
+	flatSecs = time.Since(start).Seconds()
+	got := make([][]ann.Result, len(vecs))
+	start = time.Now()
+	for i, q := range vecs {
+		if got[i], err = approx.Search(q, k+1); err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: hnsw query %d: %v", ErrRun, i, err)
+		}
+	}
+	approxSecs = time.Since(start).Seconds()
+	var total float64
+	for i := range vecs {
+		total += RecallAtK(exact[i], got[i], i, k)
+	}
+	return total / float64(len(vecs)), flatSecs, approxSecs, nil
+}
+
+// RecallAtK compares an approximate result list against the exact one for
+// query self (both searched with k+1 so the query column itself can be
+// dropped) and returns |exact∩approx| / |exact| over the top k.
+func RecallAtK(exact, approx []ann.Result, self, k int) float64 {
+	trim := func(rs []ann.Result) []ann.Result {
+		out := make([]ann.Result, 0, k)
+		for _, r := range rs {
+			if r.ID == self {
+				continue
+			}
+			out = append(out, r)
+			if len(out) == k {
+				break
+			}
+		}
+		return out
+	}
+	ex, ap := trim(exact), trim(approx)
+	if len(ex) == 0 {
+		return 1
+	}
+	ids := make(map[int]bool, len(ap))
+	for _, r := range ap {
+		ids[r.ID] = true
+	}
+	hit := 0
+	for _, r := range ex {
+		if ids[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(ex))
+}

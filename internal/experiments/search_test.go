@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// searchTestOptions keeps the Gem side of the ANN tests cheap: the recall
+// measurement compares two indexes over the same embedding space, so the
+// mixture size barely matters.
+func searchTestOptions() Options {
+	return Options{Seed: 1, Components: 24, Restarts: 2, SubsampleStack: 4000}
+}
+
+// TestSearchEvalRecallAcceptance is the ISSUE 3 acceptance gate: HNSW
+// recall@10 >= 0.95 against ann.Flat on a 1000-column synthetic catalog.
+func TestSearchEvalRecallAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-column catalog embed in -short mode")
+	}
+	res, err := SearchEval(SearchOptions{Options: searchTestOptions(), Columns: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns != 1000 || res.K != 10 || res.Dim == 0 {
+		t.Fatalf("unexpected workload shape: %+v", res)
+	}
+	if res.Recall < 0.95 {
+		t.Fatalf("recall@10 = %.4f, want >= 0.95", res.Recall)
+	}
+	if res.FlatQPS <= 0 || res.HNSWQPS <= 0 || res.BuildSeconds < 0 {
+		t.Fatalf("implausible timings: %+v", res)
+	}
+	if s := res.String(); !strings.Contains(s, "recall@10") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestSearchIndexDeterministicAcrossWorkers pins the other half of the
+// acceptance line on real Gem vectors: the HNSW graph built over a
+// 1000-column catalog embedding is byte-identical for worker counts
+// 1, 2 and 8.
+func TestSearchIndexDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-column catalog embed in -short mode")
+	}
+	opts := searchTestOptions()
+	ds := data.ScalabilityDataset(1000, opts.Seed)
+	e, err := core.NewEmbedder(opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := e.EmbedVectors(ds, ann.Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		h, err := ann.NewHNSW(ann.HNSWConfig{Metric: ann.Cosine, Seed: opts.Seed}, pool.New(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Add(vs.Vectors...); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := h.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("workers=%d built a different index over the catalog embedding", workers)
+		}
+	}
+}
+
+// TestSearchEvalSmall keeps a fast always-on check: tiny catalog, recall
+// well-defined, defaults filled.
+func TestSearchEvalSmall(t *testing.T) {
+	res, err := SearchEval(SearchOptions{Options: searchTestOptions(), Columns: 120, K: 5, EfSearch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns != 120 || res.K != 5 {
+		t.Fatalf("shape: %+v", res)
+	}
+	if res.Recall < 0.9 {
+		t.Fatalf("recall@5 on a 120-column catalog = %.4f, want >= 0.9", res.Recall)
+	}
+}
+
+// TestRecallAtK exercises the recall arithmetic directly, including
+// self-exclusion.
+func TestRecallAtK(t *testing.T) {
+	r := func(ids ...int) []ann.Result {
+		out := make([]ann.Result, len(ids))
+		for i, id := range ids {
+			out[i] = ann.Result{ID: id}
+		}
+		return out
+	}
+	if got := RecallAtK(r(7, 1, 2, 3), r(7, 1, 2, 3), 7, 3); got != 1 {
+		t.Errorf("identical lists recall = %v, want 1", got)
+	}
+	if got := RecallAtK(r(7, 1, 2, 3), r(7, 1, 9, 8), 7, 3); got != 1.0/3 {
+		t.Errorf("one-of-three recall = %v, want 1/3", got)
+	}
+	if got := RecallAtK(nil, nil, 0, 10); got != 1 {
+		t.Errorf("empty recall = %v, want 1", got)
+	}
+}
