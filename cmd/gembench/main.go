@@ -8,7 +8,7 @@
 //	gembench -exp fig4 -seed 7
 //
 // Experiments: table1, table2, table3, table4, fig3, fig4, fig5, search,
-// all.
+// serve, all.
 package main
 
 import (
@@ -27,7 +27,7 @@ func main() {
 	log.SetPrefix("gembench: ")
 
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig3|fig4|fig5|search|all")
+		exp        = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig3|fig4|fig5|search|serve|all")
 		seed       = flag.Int64("seed", 1, "random seed for corpora and models")
 		scale      = flag.Float64("scale", 0.25, "corpus scale (1.0 = paper-sized)")
 		components = flag.Int("components", 50, "Gem GMM components (m)")
@@ -133,8 +133,16 @@ func run(w io.Writer, exp string, opts experiments.Options, reps int) error {
 		fmt.Fprintln(w, res)
 		ran = true
 	}
+	if all || exp == "serve" {
+		res, err := experiments.ServeEval(experiments.ServeOptions{Options: opts})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res)
+		ran = true
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1|table2|table3|table4|fig3|fig4|fig5|search|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|table3|table4|fig3|fig4|fig5|search|serve|all)", exp)
 	}
 	return nil
 }

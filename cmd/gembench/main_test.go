@@ -64,6 +64,19 @@ func TestRunFig3(t *testing.T) {
 	}
 }
 
+func TestRunServe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "serve", tinyOpts(), 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"serve eval", "qps", "mean batch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunSearch(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, "search", tinyOpts(), 1); err != nil {

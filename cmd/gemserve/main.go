@@ -1,0 +1,262 @@
+// Command gemserve hosts a warm Gem embedder behind an HTTP JSON API — the
+// paper's deployment mode where one corpus-level mixture serves many
+// incoming tables without refitting. Columns are answered from a
+// content-hash cache when their exact content has been served before, and
+// cache misses from concurrent requests are coalesced into single pooled
+// signature passes. With -search, every fresh embedding also feeds a warm
+// ANN index that answers nearest-column queries.
+//
+// Usage:
+//
+//	gemserve -fit catalog.csv -save-model gem.model -addr ""   # fit + persist, no serving
+//	gemserve -model gem.model -addr :8080                      # serve the persisted embedder
+//	gemserve -model gem.model -search -addr :8080              # + warm similarity search
+//	gemserve -fit-synthetic 500 -addr 127.0.0.1:0              # fit a synthetic catalog and serve
+//
+// Endpoints: POST /embed, POST /search, GET /healthz, GET /stats. An
+// /embed response is a pure function of the request body: repeated posts
+// return byte-identical answers whether served cold, cached or coalesced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/pool"
+	"github.com/gem-embeddings/gem/internal/serve"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// cliConfig carries the parsed flags; the build/run helpers are pure in it
+// so tests can drive the command without a process boundary.
+type cliConfig struct {
+	model        string
+	fit          string
+	fitSynthetic int
+	saveModel    string
+	addr         string
+	components   int
+	restarts     int
+	seed         int64
+	subsample    int
+	workers      int
+	search       bool
+	indexIn      string
+	indexCatalog string
+	metricSpec   string
+	maxBatch     int
+	batchWindow  time.Duration
+	cacheSize    int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemserve: ")
+
+	var cfg cliConfig
+	flag.StringVar(&cfg.model, "model", "", "load a persisted embedder (from -save-model or core.Save)")
+	flag.StringVar(&cfg.fit, "fit", "", "fit a fresh embedder on a catalog CSV (gemembed format)")
+	flag.IntVar(&cfg.fitSynthetic, "fit-synthetic", 0, "fit a fresh embedder on an N-column synthetic catalog")
+	flag.StringVar(&cfg.saveModel, "save-model", "", "persist the embedder after fitting")
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address; empty to exit after -save-model")
+	flag.IntVar(&cfg.components, "components", 50, "GMM components when fitting (m)")
+	flag.IntVar(&cfg.restarts, "restarts", 3, "EM restarts when fitting")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed when fitting")
+	flag.IntVar(&cfg.subsample, "subsample", 8000, "cap on stacked values used to fit the GMM (0 = all)")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool width shared by signature fan-out and the index build (0 = GOMAXPROCS; responses are identical for every value)")
+	flag.BoolVar(&cfg.search, "search", false, "keep a warm HNSW index fed by served embeddings (enables /search)")
+	flag.StringVar(&cfg.indexIn, "index-in", "", "preload a persisted ann index (implies -search)")
+	flag.StringVar(&cfg.indexCatalog, "index-catalog", "", "catalog CSV the -index-in index was built from; its numeric headers name the preloaded entries in /search results (otherwise they render as @i)")
+	flag.StringVar(&cfg.metricSpec, "metric", "cosine", "index distance: cosine|l2")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 0, "max columns per coalesced signature pass (0 = default 64)")
+	flag.DurationVar(&cfg.batchWindow, "batch-window", 0, "how long a batch waits to coalesce (0 = default 200µs)")
+	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "column-embedding cache entries (0 = default 4096, negative disables)")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg cliConfig, w io.Writer) error {
+	if cfg.addr == "" && cfg.saveModel == "" {
+		return fmt.Errorf("empty -addr without -save-model does nothing")
+	}
+	srv, err := buildServer(cfg, w)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if cfg.addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
+	}
+	fmt.Fprintf(w, "listening on http://%s (POST /embed, POST /search, GET /healthz, GET /stats)\n", ln.Addr())
+	return (&http.Server{Handler: srv.Handler()}).Serve(ln)
+}
+
+// buildServer assembles the warm server: embedder (loaded or freshly
+// fitted, optionally persisted), optional search index, serve config.
+func buildServer(cfg cliConfig, w io.Writer) (*serve.Server, error) {
+	emb, err := buildEmbedder(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	scfg := serve.Config{
+		MaxBatch:    cfg.maxBatch,
+		BatchWindow: cfg.batchWindow,
+		CacheSize:   cfg.cacheSize,
+	}
+	if cfg.indexCatalog != "" && cfg.indexIn == "" {
+		return nil, fmt.Errorf("-index-catalog names the entries of a preloaded index; it requires -index-in")
+	}
+	if cfg.search || cfg.indexIn != "" {
+		idx, err := buildIndex(cfg, emb.Config().Workers)
+		if err != nil {
+			return nil, err
+		}
+		scfg.Index = idx
+		if cfg.indexCatalog != "" {
+			names, err := catalogHeaders(cfg.indexCatalog)
+			if err != nil {
+				return nil, err
+			}
+			scfg.IndexNames = names
+		}
+	}
+	srv, err := serve.New(emb, scfg)
+	if err != nil {
+		return nil, err
+	}
+	fp := srv.Fingerprint()
+	fmt.Fprintf(w, "warm embedder ready: %d components, dim %d, fingerprint %s\n",
+		emb.Model().K(), srv.Dim(), fp[:12])
+	return srv, nil
+}
+
+func buildEmbedder(cfg cliConfig, w io.Writer) (*core.Embedder, error) {
+	modes := 0
+	for _, on := range []bool{cfg.model != "", cfg.fit != "", cfg.fitSynthetic > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return nil, fmt.Errorf("need exactly one embedder source: -model file, -fit file.csv, or -fit-synthetic N")
+	}
+	if cfg.saveModel != "" && cfg.model != "" {
+		return nil, fmt.Errorf("-save-model persists a freshly fitted embedder; it cannot be combined with -model (the file already exists)")
+	}
+
+	if cfg.model != "" {
+		f, err := os.Open(cfg.model)
+		if err != nil {
+			return nil, fmt.Errorf("opening model: %w", err)
+		}
+		defer f.Close()
+		emb, err := core.LoadEmbedder(f)
+		if err != nil {
+			return nil, err
+		}
+		emb.SetWorkers(cfg.workers)
+		fmt.Fprintf(w, "model loaded from %s\n", cfg.model)
+		return emb, nil
+	}
+
+	var ds *table.Dataset
+	if cfg.fit != "" {
+		f, err := os.Open(cfg.fit)
+		if err != nil {
+			return nil, fmt.Errorf("opening catalog: %w", err)
+		}
+		defer f.Close()
+		if ds, err = table.ReadCSV(f, cfg.fit); err != nil {
+			return nil, err
+		}
+	} else {
+		ds = data.ScalabilityDataset(cfg.fitSynthetic, cfg.seed)
+	}
+	emb, err := core.NewEmbedder(core.Config{
+		Components:     cfg.components,
+		Restarts:       cfg.restarts,
+		Seed:           cfg.seed,
+		SubsampleStack: cfg.subsample,
+		Workers:        cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := emb.Fit(ds); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "fitted on %d columns (%d values) in %.2fs\n",
+		len(ds.Columns), ds.TotalValues(), time.Since(start).Seconds())
+	if cfg.saveModel != "" {
+		f, err := os.Create(cfg.saveModel)
+		if err != nil {
+			return nil, fmt.Errorf("creating model file: %w", err)
+		}
+		if err := emb.Save(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("closing model file: %w", err)
+		}
+		fmt.Fprintf(w, "model saved to %s\n", cfg.saveModel)
+	}
+	return emb, nil
+}
+
+// catalogHeaders reads the numeric-column headers of a catalog CSV, in the
+// order gemsearch indexes them, to name preloaded index entries.
+func catalogHeaders(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening index catalog: %w", err)
+	}
+	defer f.Close()
+	ds, err := table.ReadCSV(f, path)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Headers(), nil
+}
+
+func buildIndex(cfg cliConfig, workers int) (ann.Index, error) {
+	metric, err := ann.ParseMetric(cfg.metricSpec)
+	if err != nil {
+		return nil, err
+	}
+	p := pool.New(workers)
+	if cfg.indexIn != "" {
+		f, err := os.Open(cfg.indexIn)
+		if err != nil {
+			return nil, fmt.Errorf("opening index: %w", err)
+		}
+		defer f.Close()
+		idx, err := ann.Load(f, p)
+		if err != nil {
+			return nil, err
+		}
+		if idx.Metric() != metric {
+			return nil, fmt.Errorf("index %s uses metric %s, want %s (pass -metric %s)",
+				cfg.indexIn, idx.Metric(), metric, idx.Metric())
+		}
+		return idx, nil
+	}
+	return ann.NewHNSW(ann.HNSWConfig{Metric: metric, Seed: cfg.seed}, p)
+}

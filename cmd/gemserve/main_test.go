@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+func tinyCfg() cliConfig {
+	return cliConfig{
+		fitSynthetic: 40,
+		seed:         1,
+		components:   8,
+		restarts:     1,
+		subsample:    2000,
+		workers:      2,
+		metricSpec:   "cosine",
+	}
+}
+
+func TestPersistThenServeModel(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "gem.model")
+
+	// Phase 1: fit + persist, no serving (-addr "").
+	cfg := tinyCfg()
+	cfg.saveModel = model
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("persist run: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"fitted on 40 columns", "model saved to"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model file not written: %v", err)
+	}
+
+	// Phase 2: a server built from the persisted model answers requests.
+	scfg := tinyCfg()
+	scfg.fitSynthetic = 0
+	scfg.model = model
+	scfg.search = true
+	buf.Reset()
+	srv, err := buildServer(scfg, &buf)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	defer srv.Close()
+	if !strings.Contains(buf.String(), "model loaded from") ||
+		!strings.Contains(buf.String(), "warm embedder ready") {
+		t.Errorf("startup output:\n%s", buf.String())
+	}
+
+	col := table.Column{Name: "probe", Values: []float64{1, 2, 3, 4, 5, 6}}
+	rows, err := srv.Embed(context.Background(), []table.Column{col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0]) != srv.Dim() {
+		t.Fatalf("embed shape: %d rows, dim %d vs %d", len(rows), len(rows[0]), srv.Dim())
+	}
+	if _, err := srv.Search(context.Background(), col, 0); err == nil {
+		t.Error("k=0 search must fail")
+	}
+
+	// The HTTP surface is wired through.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status": "ok"`) {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestPreloadedIndexWithCatalogNames(t *testing.T) {
+	dir := t.TempDir()
+	catalog := filepath.Join(dir, "catalog.csv")
+	model := filepath.Join(dir, "gem.model")
+	index := filepath.Join(dir, "catalog.idx")
+
+	// A small catalog on disk, the CSV being the name source.
+	ds := data.ScalabilityDataset(10, 4)
+	cf, err := os.Create(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteCSV(cf); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fit + persist on that catalog.
+	cfg := tinyCfg()
+	cfg.fitSynthetic = 0
+	cfg.fit = catalog
+	cfg.saveModel = model
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("persist run: %v\n%s", err, buf.String())
+	}
+
+	// Build and persist a flat index over the catalog embeddings, in
+	// catalog order (how gemsearch -index-out does it).
+	mf, err := os.Open(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := core.LoadEmbedder(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := table.ReadCSV(rf, catalog)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := emb.EmbedVectors(parsed, ann.Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := ann.NewFlat(ann.Cosine)
+	if err := flat.Add(vs.Vectors...); err != nil {
+		t.Fatal(err)
+	}
+	xf, err := os.Create(index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Save(xf); err != nil {
+		t.Fatal(err)
+	}
+	if err := xf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve the persisted model + index + catalog names: /search hits
+	// must carry the real headers, not "@i" placeholders.
+	scfg := tinyCfg()
+	scfg.fitSynthetic = 0
+	scfg.model = model
+	scfg.indexIn = index
+	scfg.indexCatalog = catalog
+	buf.Reset()
+	srv, err := buildServer(scfg, &buf)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	defer srv.Close()
+	hits, err := srv.Search(context.Background(), parsed.Columns[3], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	valid := map[string]bool{}
+	for _, n := range vs.Names {
+		valid[n] = true
+	}
+	for _, h := range hits {
+		if !valid[h.Name] || strings.HasPrefix(h.Name, "@") {
+			t.Errorf("preloaded hit not named from the catalog: %+v", h)
+		}
+	}
+
+	// -index-catalog without -index-in is rejected.
+	bad := tinyCfg()
+	bad.addr = "127.0.0.1:0"
+	bad.indexCatalog = catalog
+	if err := run(bad, &buf); err == nil || !strings.Contains(err.Error(), "requires -index-in") {
+		t.Errorf("-index-catalog without -index-in: got %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+
+	// No embedder source.
+	if err := run(cliConfig{addr: "127.0.0.1:0"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "exactly one embedder source") {
+		t.Errorf("no source: got %v", err)
+	}
+
+	// Two sources.
+	cfg := tinyCfg()
+	cfg.addr = "127.0.0.1:0"
+	cfg.model = "x.model"
+	if err := run(cfg, &buf); err == nil ||
+		!strings.Contains(err.Error(), "exactly one embedder source") {
+		t.Errorf("two sources: got %v", err)
+	}
+
+	// Empty addr without save-model.
+	cfg2 := tinyCfg()
+	if err := run(cfg2, &buf); err == nil ||
+		!strings.Contains(err.Error(), "does nothing") {
+		t.Errorf("empty addr: got %v", err)
+	}
+
+	// Missing model file surfaces cleanly.
+	cfg3 := cliConfig{model: filepath.Join(t.TempDir(), "absent.model"), addr: "127.0.0.1:0"}
+	if err := run(cfg3, &buf); err == nil || !strings.Contains(err.Error(), "opening model") {
+		t.Errorf("absent model: got %v", err)
+	}
+
+	// -save-model with -model is a silent no-op trap: reject it.
+	cfg5 := cliConfig{model: "x.model", saveModel: "y.model", addr: "127.0.0.1:0"}
+	if err := run(cfg5, &buf); err == nil ||
+		!strings.Contains(err.Error(), "cannot be combined with -model") {
+		t.Errorf("-model + -save-model: got %v", err)
+	}
+
+	// Bad metric.
+	cfg4 := tinyCfg()
+	cfg4.addr = "127.0.0.1:0"
+	cfg4.search = true
+	cfg4.metricSpec = "manhattan"
+	if err := run(cfg4, &buf); err == nil || !strings.Contains(err.Error(), "unknown metric") {
+		t.Errorf("bad metric: got %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+// Single-column embedding: the serve layer's unit of work. The batched
+// Embed standardizes statistical features across the columns it is handed
+// (Eq. 7), which makes a row depend on its batch; serving demands the
+// opposite — an embedding that is a pure function of (column, fitted
+// embedder) so that cached, single and coalesced-batch answers are
+// bit-identical. ColumnSignature and EmbedSignature deliver that by
+// standardizing against the corpus moments frozen at Fit time.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math"
+
+	"github.com/gem-embeddings/gem/internal/stats"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// ColumnSignature computes the signature of a single column under the
+// fitted model — the same code path the batched Signatures fans out, so the
+// result is bit-identical to the column's row in any batch.
+func (e *Embedder) ColumnSignature(col table.Column) (Signature, error) {
+	if e.model == nil {
+		return Signature{}, ErrState
+	}
+	if len(col.Values) == 0 {
+		return Signature{}, fmt.Errorf("%w: column %q is empty", ErrInput, col.Name)
+	}
+	sig, err := e.columnSignature(col)
+	if err != nil {
+		return Signature{}, fmt.Errorf("core: column %q: %w", col.Name, err)
+	}
+	return sig, nil
+}
+
+// EmbedSignature turns one signature into a final embedding row,
+// standardizing statistical features against the frozen corpus moments
+// instead of an incoming batch. It is a pure per-column function of the
+// fitted embedder: for columns of the fitting corpus it reproduces the
+// batched Embed rows exactly, and for any column it returns the same bytes
+// whether called alone or for every member of a coalesced batch.
+//
+// The AE composition is rejected: the autoencoder trains across a dataset
+// and has no per-column semantics.
+func (e *Embedder) EmbedSignature(sig Signature) ([]float64, error) {
+	if e.model == nil {
+		return nil, ErrState
+	}
+	if e.cfg.Features.Has(Contextual) && e.cfg.Composition == AE {
+		return nil, fmt.Errorf("%w: AE composition trains across a dataset and cannot embed single columns", ErrInput)
+	}
+	var a []float64
+	if e.cfg.Features.Has(Distributional) {
+		a = append(a, stats.L2Normalize(sig.MeanProbs)...)
+	}
+	if e.cfg.Features.Has(Statistical) {
+		if e.moments == nil {
+			return nil, fmt.Errorf("%w: no frozen feature moments (fit this embedder, or re-save it with a version that persists moments)", ErrState)
+		}
+		if len(sig.Stats) != len(e.moments.Mean) {
+			return nil, fmt.Errorf("%w: signature has %d statistical features, moments have %d", ErrInput, len(sig.Stats), len(e.moments.Mean))
+		}
+		z := make([]float64, len(sig.Stats))
+		for j, x := range sig.Stats {
+			if sd := e.moments.Std[j]; sd != 0 {
+				z[j] = (x - e.moments.Mean[j]) / sd
+			}
+		}
+		a = append(a, stats.L2Normalize(z)...)
+	}
+	value := e.normalize(a)
+	if !e.cfg.Features.Has(Contextual) {
+		return value, nil
+	}
+	header := e.normalize(e.headers.Embed(sig.Column))
+	if len(value) == 0 {
+		return header, nil
+	}
+	rows, err := e.compose([][]float64{value}, [][]float64{header})
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// EmbedColumn is ColumnSignature followed by EmbedSignature — the cache-miss
+// path of the serve layer.
+func (e *Embedder) EmbedColumn(col table.Column) ([]float64, error) {
+	sig, err := e.ColumnSignature(col)
+	if err != nil {
+		return nil, err
+	}
+	return e.EmbedSignature(sig)
+}
+
+// Fingerprint returns a stable hex digest identifying everything that
+// determines this embedder's output for a given column: the
+// embedding-relevant configuration, the mixture parameters and the frozen
+// feature moments. Two embedders with equal fingerprints produce
+// bit-identical embeddings for any column, which is what makes the digest a
+// safe component of content-addressed caches. Fit-procedure knobs that do
+// not change the output given the fitted model (Tol, MaxIter, Restarts,
+// Seed, SubsampleStack, Workers) are deliberately excluded, so re-deriving
+// an identical model keeps cache entries valid. Fails before Fit.
+func (e *Embedder) Fingerprint() (string, error) {
+	if e.model == nil {
+		return "", ErrState
+	}
+	h := sha256.New()
+	h.Write([]byte("gem-embedder-fp-v1\x00"))
+	hashU64(h,
+		uint64(e.cfg.Features),
+		uint64(e.cfg.Composition),
+		uint64(e.cfg.Normalization),
+		uint64(e.cfg.HeaderDim),
+		uint64(e.cfg.EntropyBins),
+		uint64(e.cfg.AELatent),
+		uint64(e.cfg.AEEpochs),
+		boolBit(e.cfg.RawStats),
+	)
+	hashU64(h, uint64(len(e.model.Weights)))
+	hashFloats(h, e.model.Weights, e.model.Means, e.model.Variances)
+	if e.moments == nil {
+		hashU64(h, 0)
+	} else {
+		hashU64(h, uint64(len(e.moments.Mean)))
+		hashFloats(h, e.moments.Mean, e.moments.Std)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func hashU64(h hash.Hash, vs ...uint64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+}
+
+func hashFloats(h hash.Hash, slices ...[]float64) {
+	var buf [8]byte
+	for _, s := range slices {
+		for _, v := range s {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// TestEmbedColumnMatchesBatchedEmbed pins the serve-layer contract: for
+// columns of the fitting corpus, the single-column path (frozen moments)
+// reproduces the batched Embed rows bit-exactly, because the batch
+// standardization over the fitting corpus IS the frozen standardization.
+func TestEmbedColumnMatchesBatchedEmbed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"D+S", fastCfg()},
+		{"D only", func() Config { c := fastCfg(); c.Features = Distributional; return c }()},
+		{"S only", func() Config { c := fastCfg(); c.Features = Statistical; return c }()},
+		{"D+S+C concat", func() Config {
+			c := fastCfg()
+			c.Features = Distributional | Statistical | Contextual
+			c.HeaderDim = 32
+			return c
+		}()},
+		{"D+S+C agg", func() Config {
+			c := fastCfg()
+			c.Features = Distributional | Statistical | Contextual
+			c.Composition = Aggregation
+			c.HeaderDim = 32
+			return c
+		}()},
+		{"L2 norm", func() Config { c := fastCfg(); c.Normalization = L2; return c }()},
+		{"raw stats", func() Config { c := fastCfg(); c.RawStats = true; return c }()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := smallCorpus()
+			e, err := NewEmbedder(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := e.FitEmbed(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, col := range ds.Columns {
+				row, err := e.EmbedColumn(col)
+				if err != nil {
+					t.Fatalf("EmbedColumn(%q): %v", col.Name, err)
+				}
+				if len(row) != len(batch[i]) {
+					t.Fatalf("column %d: dim %d vs batched %d", i, len(row), len(batch[i]))
+				}
+				for j := range row {
+					if row[j] != batch[i][j] {
+						t.Fatalf("column %d (%q) component %d: single %v != batched %v",
+							i, col.Name, j, row[j], batch[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestColumnSignatureMatchesBatch(t *testing.T) {
+	ds := smallCorpus()
+	e, err := NewEmbedder(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := e.Signatures(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, col := range ds.Columns {
+		sig, err := e.ColumnSignature(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.Column != sigs[i].Column {
+			t.Fatalf("column %d name %q vs %q", i, sig.Column, sigs[i].Column)
+		}
+		for j := range sig.MeanProbs {
+			if sig.MeanProbs[j] != sigs[i].MeanProbs[j] {
+				t.Fatalf("column %d mean-prob %d differs", i, j)
+			}
+		}
+		for j := range sig.Stats {
+			if sig.Stats[j] != sigs[i].Stats[j] {
+				t.Fatalf("column %d stat %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestColumnPathErrors(t *testing.T) {
+	e, err := NewEmbedder(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ColumnSignature(table.Column{Name: "x", Values: []float64{1}}); !errors.Is(err, ErrState) {
+		t.Errorf("unfitted ColumnSignature: want ErrState, got %v", err)
+	}
+	if _, err := e.EmbedSignature(Signature{}); !errors.Is(err, ErrState) {
+		t.Errorf("unfitted EmbedSignature: want ErrState, got %v", err)
+	}
+	if _, err := e.Fingerprint(); !errors.Is(err, ErrState) {
+		t.Errorf("unfitted Fingerprint: want ErrState, got %v", err)
+	}
+	if err := e.Fit(smallCorpus()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ColumnSignature(table.Column{Name: "empty"}); !errors.Is(err, ErrInput) {
+		t.Errorf("empty column: want ErrInput, got %v", err)
+	}
+
+	aeCfg := fastCfg()
+	aeCfg.Features = Distributional | Statistical | Contextual
+	aeCfg.Composition = AE
+	aeCfg.HeaderDim = 16
+	ae, err := NewEmbedder(aeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ae.Fit(smallCorpus()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.EmbedColumn(smallCorpus().Columns[0]); !errors.Is(err, ErrInput) {
+		t.Errorf("AE composition: want ErrInput, got %v", err)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	ds := smallCorpus()
+	mk := func(cfg Config) *Embedder {
+		e, err := NewEmbedder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a := mk(fastCfg())
+	b := mk(fastCfg())
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("same config+corpus must fingerprint identically:\n  %s\n  %s", fa, fb)
+	}
+
+	// Workers must not matter: it is a host property, not an identity.
+	wcfg := fastCfg()
+	wcfg.Workers = 1
+	fw, err := mk(wcfg).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw != fa {
+		t.Errorf("worker count changed the fingerprint")
+	}
+
+	// A different seed fits a different mixture.
+	scfg := fastCfg()
+	scfg.Seed = 777
+	fs, err := mk(scfg).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs == fa {
+		t.Errorf("different mixture fingerprints collide")
+	}
+
+	// Save/Load must preserve the fingerprint (model and moments survive).
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEmbedder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := back.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl != fa {
+		t.Errorf("fingerprint changed across Save/Load:\n  %s\n  %s", fa, fl)
+	}
+}
+
+// TestEmbedColumnAfterReload is the serve deployment mode end to end: fit,
+// persist, load, and serve single columns bit-identically to the original
+// embedder.
+func TestEmbedColumnAfterReload(t *testing.T) {
+	ds := smallCorpus()
+	e, err := NewEmbedder(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEmbedder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Moments() == nil {
+		t.Fatal("moments not persisted")
+	}
+	for _, col := range ds.Columns[:3] {
+		want, err := e.EmbedColumn(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.EmbedColumn(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("column %q component %d differs after reload", col.Name, j)
+			}
+		}
+	}
+}
+
+// TestEmbedSignatureNoMoments covers loading a legacy file without frozen
+// moments: statistical configs must fail with a clear state error instead
+// of silently standardizing against nothing.
+func TestEmbedSignatureNoMoments(t *testing.T) {
+	ds := smallCorpus()
+	e, err := NewEmbedder(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	e.moments = nil // simulate a legacy save file
+	if _, err := e.EmbedColumn(ds.Columns[0]); !errors.Is(err, ErrState) {
+		t.Errorf("missing moments: want ErrState, got %v", err)
+	}
+}

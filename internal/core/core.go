@@ -55,8 +55,9 @@ const (
 	Contextual
 )
 
-// Has reports whether f includes g.
-func (f Features) Has(g Features) bool { return f&g != 0 }
+// Has reports whether f includes g: every bit of g must be set in f, so a
+// multi-bit mask asks for ALL of its families, not any one of them.
+func (f Features) Has(g Features) bool { return f&g == g }
 
 // String renders the combination the way the paper does ("D+S+C").
 func (f Features) String() string {
@@ -208,11 +209,25 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// StatMoments holds the per-feature mean and standard deviation of the
+// statistical features across the fitting corpus columns (population
+// standard deviation, matching stats.Standardize), frozen at Fit time.
+// They make single-column embeddings batch-independent: EmbedSignature
+// standardizes against the corpus moments instead of the incoming batch,
+// so the serve layer can answer for one column at a time.
+type StatMoments struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
 // Embedder produces Gem embeddings for numeric columns.
 type Embedder struct {
 	cfg     Config
 	model   *gmm.Model
 	headers *textembed.Embedder
+	// moments are the frozen corpus-level feature moments; nil until Fit
+	// (or when the config selects no statistical features).
+	moments *StatMoments
 	// pool is the one bounded worker pool shared by every parallel layer
 	// of the pipeline (column fan-out and nested EM), sized by
 	// cfg.Workers. See the internal/pool package comment for the
@@ -232,6 +247,19 @@ func NewEmbedder(cfg Config) (*Embedder, error) {
 
 // Config returns the effective (default-filled) configuration.
 func (e *Embedder) Config() Config { return e.cfg }
+
+// SetWorkers rebuilds the embedder's shared worker pool at the given width
+// (non-positive means GOMAXPROCS). Workers is a property of the running
+// host and is excluded from persistence, so this is how a loaded embedder
+// gets a non-default width. The pool width never changes results, only
+// wall-clock; do not call concurrently with embedding work.
+func (e *Embedder) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.cfg.Workers = n
+	e.pool = pool.New(n)
+}
 
 // Model returns the fitted GMM, or nil before Fit.
 func (e *Embedder) Model() *gmm.Model { return e.model }
@@ -259,17 +287,76 @@ func (e *Embedder) Fit(ds *table.Dataset) error {
 		return fmt.Errorf("core: fitting GMM: %w", err)
 	}
 	e.model = m
+	return e.freezeMoments(ds)
+}
+
+// freezeMoments computes and stores the corpus-level feature moments of ds
+// (see StatMoments). A no-op when the configuration selects no statistical
+// features. The pass over the columns is repeated by a later Embed on the
+// same dataset, but it cannot be deferred to one: the moments must exist
+// even when the embedder goes straight to Save (the serve deployment mode),
+// and the cost is one sort-dominated scan per column — marginal next to the
+// EM iterations Fit just ran.
+func (e *Embedder) freezeMoments(ds *table.Dataset) error {
+	if !e.cfg.Features.Has(Statistical) {
+		return nil
+	}
+	statFn := StatisticalFeatures
+	if e.cfg.RawStats {
+		statFn = RawStatisticalFeatures
+	}
+	feats := make([][]float64, len(ds.Columns))
+	err := e.pool.For(len(ds.Columns), func(i int) error {
+		fs, err := statFn(ds.Columns[i].Values, e.cfg.EntropyBins)
+		if err != nil {
+			return fmt.Errorf("core: column %d (%q): %w", i, ds.Columns[i].Name, err)
+		}
+		feats[i] = fs
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	width := len(feats[0])
+	mom := &StatMoments{Mean: make([]float64, width), Std: make([]float64, width)}
+	col := make([]float64, len(feats))
+	for j := 0; j < width; j++ {
+		for i := range feats {
+			col[i] = feats[i][j]
+		}
+		mom.Mean[j], _ = stats.Mean(col)
+		mom.Std[j], _ = stats.StdDev(col)
+	}
+	e.moments = mom
 	return nil
 }
 
+// Moments returns the frozen corpus-level feature moments, or nil before
+// Fit (or when the configuration selects no statistical features).
+func (e *Embedder) Moments() *StatMoments { return e.moments }
+
 // subsample picks k values from xs uniformly without replacement,
-// deterministically in seed.
+// deterministically in seed. It runs a partial Fisher–Yates shuffle on a
+// sparse view of the index permutation: only the k drawn slots and the
+// entries they displace are materialized in a map, so the cost is O(k) time
+// and memory regardless of len(xs) — where a full rng.Perm would allocate
+// and shuffle all n indices to use just the first k.
 func subsample(xs []float64, k int, seed int64) []float64 {
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed5eed))
-	idx := rng.Perm(len(xs))[:k]
+	n := len(xs)
+	displaced := make(map[int]int, 2*k)
+	at := func(i int) int {
+		if j, ok := displaced[i]; ok {
+			return j
+		}
+		return i
+	}
 	out := make([]float64, k)
-	for i, j := range idx {
-		out[i] = xs[j]
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vi, vj := at(i), at(j)
+		displaced[i], displaced[j] = vj, vi
+		out[i] = xs[vj]
 	}
 	return out
 }
@@ -376,31 +463,41 @@ func (e *Embedder) Signatures(ds *table.Dataset) ([]Signature, error) {
 	if ds == nil || len(ds.Columns) == 0 {
 		return nil, fmt.Errorf("%w: empty dataset", ErrInput)
 	}
-	statFn := StatisticalFeatures
-	if e.cfg.RawStats {
-		statFn = RawStatisticalFeatures
-	}
 	// Per-column work is independent and the model is read-only once
 	// fitted, so columns fan out across the worker pool; each worker
 	// writes only its own slot, keeping output order deterministic.
 	out := make([]Signature, len(ds.Columns))
 	err := e.pool.For(len(ds.Columns), func(i int) error {
-		col := ds.Columns[i]
-		mp, err := e.model.MeanResponsibilities(col.Values)
+		sig, err := e.columnSignature(ds.Columns[i])
 		if err != nil {
-			return fmt.Errorf("core: column %d (%q): %w", i, col.Name, err)
+			return fmt.Errorf("core: column %d (%q): %w", i, ds.Columns[i].Name, err)
 		}
-		fs, err := statFn(col.Values, e.cfg.EntropyBins)
-		if err != nil {
-			return fmt.Errorf("core: column %d (%q): %w", i, col.Name, err)
-		}
-		out[i] = Signature{Column: col.Name, MeanProbs: mp, Stats: fs}
+		out[i] = sig
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// columnSignature computes one column's signature; the exact code path the
+// batched Signatures fans out, so single-column and batched results are
+// bit-identical. The error is unwrapped for the callers to contextualize.
+func (e *Embedder) columnSignature(col table.Column) (Signature, error) {
+	mp, err := e.model.MeanResponsibilities(col.Values)
+	if err != nil {
+		return Signature{}, err
+	}
+	statFn := StatisticalFeatures
+	if e.cfg.RawStats {
+		statFn = RawStatisticalFeatures
+	}
+	fs, err := statFn(col.Values, e.cfg.EntropyBins)
+	if err != nil {
+		return Signature{}, err
+	}
+	return Signature{Column: col.Name, MeanProbs: mp, Stats: fs}, nil
 }
 
 // Embed runs the full Gem pipeline on ds and returns one embedding row per

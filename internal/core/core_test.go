@@ -416,6 +416,42 @@ func TestSubsampleDeterministicProperty(t *testing.T) {
 	}
 }
 
+func TestFeaturesHas(t *testing.T) {
+	cases := []struct {
+		name string
+		f, g Features
+		want bool
+	}{
+		{"single bit present", Distributional | Statistical, Distributional, true},
+		{"single bit absent", Distributional, Contextual, false},
+		{"full mask on full set", Distributional | Statistical | Contextual, Distributional | Statistical | Contextual, true},
+		// Multi-bit mask: Has asks for ALL families of the mask. A D-only
+		// config does NOT have D+S (the pre-fix f&g != 0 said it did).
+		{"multi-bit mask on partial set", Distributional, Distributional | Statistical, false},
+		{"multi-bit mask on superset", Distributional | Statistical | Contextual, Distributional | Statistical, true},
+		{"multi-bit mask exact", Statistical | Contextual, Statistical | Contextual, true},
+		{"disjoint multi-bit mask", Statistical, Distributional | Contextual, false},
+	}
+	for _, c := range cases {
+		if got := c.f.Has(c.g); got != c.want {
+			t.Errorf("%s: (%v).Has(%v) = %v, want %v", c.name, c.f, c.g, got, c.want)
+		}
+	}
+}
+
+func TestSubsampleFullDraw(t *testing.T) {
+	// k == n must return a permutation of xs (every value exactly once).
+	xs := []float64{4, 8, 15, 16, 23, 42}
+	got := subsample(xs, len(xs), 3)
+	seen := map[float64]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != len(xs) {
+		t.Errorf("full draw lost values: %v", got)
+	}
+}
+
 func TestHeaderEmbedderExposed(t *testing.T) {
 	e, _ := NewEmbedder(fastCfg())
 	if e.HeaderEmbedder() == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,22 +16,28 @@ import (
 type embedderJSON struct {
 	Config Config          `json:"config"`
 	Model  json.RawMessage `json:"model"`
+	// Moments carries the frozen corpus-level feature moments so a loaded
+	// embedder can serve single columns (EmbedColumn). Absent in files
+	// saved before moments existed and for configs without statistical
+	// features.
+	Moments *StatMoments `json:"stat_moments,omitempty"`
 }
 
-// Save persists the embedder configuration and its fitted mixture as JSON,
-// enabling the deployment pattern where one corpus-level model embeds
-// incoming tables without refitting. Fails if the embedder is unfitted.
+// Save persists the embedder configuration, its fitted mixture and the
+// frozen feature moments as JSON, enabling the deployment pattern where one
+// corpus-level model embeds incoming tables without refitting. Fails if the
+// embedder is unfitted.
 func (e *Embedder) Save(w io.Writer) error {
 	if e.model == nil {
 		return ErrState
 	}
-	var modelBuf jsonBuffer
+	var modelBuf bytes.Buffer
 	if err := e.model.Save(&modelBuf); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(embedderJSON{Config: e.cfg, Model: modelBuf.data}); err != nil {
+	if err := enc.Encode(embedderJSON{Config: e.cfg, Model: modelBuf.Bytes(), Moments: e.moments}); err != nil {
 		return fmt.Errorf("core: saving embedder: %w", err)
 	}
 	return nil
@@ -42,9 +49,12 @@ func LoadEmbedder(r io.Reader) (*Embedder, error) {
 	if err := json.NewDecoder(r).Decode(&ej); err != nil {
 		return nil, fmt.Errorf("core: loading embedder: %w", err)
 	}
+	if len(ej.Model) == 0 || string(ej.Model) == "null" {
+		return nil, fmt.Errorf("%w: embedder file declares no model payload (was it saved by an unfitted embedder, or truncated?)", ErrInput)
+	}
 	cfg := ej.Config
 	cfg.fillDefaults()
-	model, err := gmm.Load(bytesReader(ej.Model))
+	model, err := gmm.Load(bytes.NewReader(ej.Model))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -52,33 +62,7 @@ func LoadEmbedder(r io.Reader) (*Embedder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Embedder{cfg: cfg, model: model, headers: he, pool: pool.New(cfg.Workers)}, nil
-}
-
-// jsonBuffer is a minimal io.Writer accumulating bytes (avoids importing
-// bytes just for one buffer).
-type jsonBuffer struct{ data []byte }
-
-func (b *jsonBuffer) Write(p []byte) (int, error) {
-	b.data = append(b.data, p...)
-	return len(p), nil
-}
-
-// bytesReader adapts a byte slice to io.Reader.
-func bytesReader(data []byte) io.Reader { return &sliceReader{data: data} }
-
-type sliceReader struct {
-	data []byte
-	pos  int
-}
-
-func (r *sliceReader) Read(p []byte) (int, error) {
-	if r.pos >= len(r.data) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.data[r.pos:])
-	r.pos += n
-	return n, nil
+	return &Embedder{cfg: cfg, model: model, headers: he, moments: ej.Moments, pool: pool.New(cfg.Workers)}, nil
 }
 
 // FitWithBIC fits the embedder selecting the component count by the Bayesian
@@ -109,5 +93,8 @@ func (e *Embedder) FitWithBIC(ds *table.Dataset, candidates []int) (map[int]floa
 	}
 	e.model = best
 	e.cfg.Components = best.K()
+	if err := e.freezeMoments(ds); err != nil {
+		return nil, err
+	}
 	return bics, nil
 }

@@ -63,6 +63,17 @@ func TestLoadEmbedderRejectsMalformed(t *testing.T) {
 	if _, err := LoadEmbedder(strings.NewReader(`{"config":{},"model":{}}`)); err == nil {
 		t.Error("empty model should fail validation")
 	}
+	// A declared-but-empty model payload gets a clear ErrInput, not a
+	// confusing JSON decode error from deep inside gmm.
+	for _, src := range []string{`{"config":{}}`, `{"config":{},"model":null}`} {
+		_, err := LoadEmbedder(strings.NewReader(src))
+		if !errors.Is(err, ErrInput) {
+			t.Errorf("%s: want ErrInput, got %v", src, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "no model payload") {
+			t.Errorf("%s: error should name the missing payload, got %v", src, err)
+		}
+	}
 }
 
 func TestEmbedNewColumnsWithSavedModel(t *testing.T) {

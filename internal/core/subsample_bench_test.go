@@ -1,0 +1,27 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSubsample measures the stack-subsampling cost at the scale the
+// SubsampleStack cap is for: a 10M-value stack capped to 100k. The partial
+// Fisher–Yates does O(k) work on a sparse index view, where the previous
+// rng.Perm allocated and shuffled all 10M indices per call.
+func BenchmarkSubsample(b *testing.B) {
+	const n, k = 10_000_000, 100_000
+	xs := make([]float64, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := subsample(xs, k, int64(i))
+		if len(out) != k {
+			b.Fatalf("got %d values, want %d", len(out), k)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+// Serving-throughput evaluation: the deployment mode at "heavy traffic"
+// grain. One corpus-level embedder is fitted, persisted and reloaded warm;
+// concurrent clients then replay single-column requests whose duplicate
+// fraction is swept, measuring how the serve layer's content-hash cache and
+// micro-batching convert repetition and concurrency into throughput. QPS
+// and latency are wall-clock (machine-dependent); hit rate and batch shape
+// are deterministic in (options, seed). cmd/gembench's -exp serve is a thin
+// wrapper around this.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/data"
+	"github.com/gem-embeddings/gem/internal/serve"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// ServeOptions scales the serving evaluation.
+type ServeOptions struct {
+	Options
+	// Columns is the catalog size the embedder is fitted on and requests
+	// draw from. 0 defaults to 200·Scale (min 40).
+	Columns int
+	// Requests is the number of single-column requests per sweep point.
+	// 0 defaults to Columns, so at duplicate fraction 0 every request is
+	// a fresh column and the measured hit rate tracks the sweep fraction.
+	Requests int
+	// Clients is the number of concurrent requesters. Default 8.
+	Clients int
+	// DupFractions are the duplicate fractions swept. Default 0, 0.5, 0.9.
+	DupFractions []float64
+}
+
+func (o *ServeOptions) fillDefaults() {
+	o.Options.FillDefaults()
+	if o.Columns <= 0 {
+		o.Columns = int(200 * o.Scale)
+		if o.Columns < 40 {
+			o.Columns = 40
+		}
+	}
+	if o.Requests <= 0 {
+		o.Requests = o.Columns
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if len(o.DupFractions) == 0 {
+		o.DupFractions = []float64{0, 0.5, 0.9}
+	}
+}
+
+// ServePoint is one sweep point of the serving evaluation.
+type ServePoint struct {
+	// DupFraction is the requested duplicate fraction of the stream.
+	DupFraction float64
+	// QPS is requests per wall-clock second over the whole replay.
+	QPS float64
+	// HitRate is the server-measured cache hit rate.
+	HitRate float64
+	// MeanBatch is the mean coalesced-batch width (unique columns per
+	// pooled signature pass).
+	MeanBatch float64
+	// P50Ms and P99Ms are request latency percentiles in milliseconds.
+	P50Ms, P99Ms float64
+}
+
+// ServeResult reports one serving evaluation run.
+type ServeResult struct {
+	Columns, Requests, Clients, Dim int
+	Points                          []ServePoint
+}
+
+// String renders the result as a small paper-style text table.
+func (r *ServeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve eval: %d-column catalog, %d requests x %d clients, dim %d\n",
+		r.Columns, r.Requests, r.Clients, r.Dim)
+	fmt.Fprintf(&b, "  %6s  %8s  %6s  %10s  %8s  %8s\n",
+		"dup", "qps", "hit", "mean batch", "p50 ms", "p99 ms")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %6.2f  %8.0f  %6.3f  %10.2f  %8.3f  %8.3f\n",
+			p.DupFraction, p.QPS, p.HitRate, p.MeanBatch, p.P50Ms, p.P99Ms)
+	}
+	return b.String()
+}
+
+// ServeEval fits and persists an embedder, reloads it warm, and replays a
+// concurrent request stream against a fresh serve.Server per duplicate
+// fraction.
+func ServeEval(opts ServeOptions) (*ServeResult, error) {
+	opts.fillDefaults()
+	ds := data.ScalabilityDataset(opts.Columns, opts.Seed)
+	e, err := core.NewEmbedder(opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	if err := e.Fit(ds); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	// Round-trip through persistence: the serve layer's deployment mode is
+	// a LOADED embedder, so the eval must exercise exactly that path.
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	warm, err := core.LoadEmbedder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	warm.SetWorkers(opts.Workers)
+
+	result := &ServeResult{Columns: opts.Columns, Requests: opts.Requests, Clients: opts.Clients}
+	for _, dup := range opts.DupFractions {
+		point, dim, err := serveSweepPoint(warm, ds, opts, dup)
+		if err != nil {
+			return nil, err
+		}
+		result.Dim = dim
+		result.Points = append(result.Points, *point)
+	}
+	return result, nil
+}
+
+// serveSweepPoint replays one request stream at the given duplicate
+// fraction against a cold server on the shared warm embedder.
+func serveSweepPoint(warm *core.Embedder, ds *table.Dataset, opts ServeOptions, dup float64) (*ServePoint, int, error) {
+	srv, err := serve.New(warm, serve.Config{})
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	defer srv.Close()
+
+	// Deterministic stream: with probability dup, repeat a column already
+	// requested; otherwise take the next fresh catalog column. Fresh
+	// columns advance only on fresh draws, so the stream never wraps and
+	// the realized duplicate share tracks dup.
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5e12e))
+	stream := make([]table.Column, opts.Requests)
+	fresh := 0
+	for i := range stream {
+		if fresh > 0 && (fresh == len(ds.Columns) || rng.Float64() < dup) {
+			stream[i] = ds.Columns[rng.Intn(fresh)]
+			continue
+		}
+		stream[i] = ds.Columns[fresh]
+		fresh++
+	}
+
+	jobs := make(chan table.Column)
+	var wg sync.WaitGroup
+	errs := make([]error, opts.Clients)
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for col := range jobs {
+				if errs[c] != nil {
+					continue // keep draining so the producer never blocks
+				}
+				if _, err := srv.Embed(context.Background(), []table.Column{col}); err != nil {
+					errs[c] = err
+				}
+			}
+		}(c)
+	}
+	for _, col := range stream {
+		jobs <- col
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: serve replay: %v", ErrRun, err)
+		}
+	}
+	st := srv.Stats()
+	return &ServePoint{
+		DupFraction: dup,
+		QPS:         float64(opts.Requests) / elapsed,
+		HitRate:     st.HitRate,
+		MeanBatch:   st.MeanBatch,
+		P50Ms:       st.LatencyP50Ms,
+		P99Ms:       st.LatencyP99Ms,
+	}, srv.Dim(), nil
+}

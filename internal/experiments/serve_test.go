@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServeEval(t *testing.T) {
+	res, err := ServeEval(ServeOptions{
+		Options:      Options{Seed: 1, Components: 8, Restarts: 1, SubsampleStack: 2000, Workers: 2},
+		Columns:      40,
+		Clients:      4,
+		DupFractions: []float64{0, 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	if res.Dim == 0 {
+		t.Error("dim not reported")
+	}
+	p0, p1 := res.Points[0], res.Points[1]
+	if p0.HitRate > 0.05 {
+		t.Errorf("all-fresh stream hit rate = %v, want ~0", p0.HitRate)
+	}
+	if p1.HitRate < 0.5 {
+		t.Errorf("0.8-duplicate stream hit rate = %v, want >= 0.5", p1.HitRate)
+	}
+	for i, p := range res.Points {
+		if p.QPS <= 0 {
+			t.Errorf("point %d: qps = %v", i, p.QPS)
+		}
+		if p.MeanBatch < 1 && p.HitRate < 1 {
+			t.Errorf("point %d: mean batch = %v", i, p.MeanBatch)
+		}
+	}
+
+	out := res.String()
+	for _, want := range []string{"serve eval", "qps", "hit", "mean batch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeOptionsDefaults(t *testing.T) {
+	var o ServeOptions
+	o.fillDefaults()
+	if o.Columns != 50 {
+		// Scale defaults to 0.25 → 200·0.25 = 50.
+		t.Errorf("default Columns = %d, want 50", o.Columns)
+	}
+	if o.Requests != o.Columns {
+		t.Errorf("default Requests = %d, want Columns (%d)", o.Requests, o.Columns)
+	}
+	if o.Clients != 8 || len(o.DupFractions) != 3 {
+		t.Errorf("defaults: %+v", o)
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// job is one cache-missed column travelling through the micro-batcher.
+// done is closed exactly once, after vec/err are set.
+type job struct {
+	col  columnWork
+	key  cacheKey
+	vec  []float64
+	err  error
+	done chan struct{}
+}
+
+// columnWork is the minimal column payload a job carries (decoupled from
+// table.Column so the batcher file has no table dependency).
+type columnWork struct {
+	name   string
+	values []float64
+}
+
+func (j *job) finish(vec []float64, err error) {
+	j.vec, j.err = vec, err
+	close(j.done)
+}
+
+// batcher coalesces concurrently arriving jobs into batches: the dispatcher
+// takes the first pending job, then keeps collecting until either maxBatch
+// jobs are in hand or window has elapsed since the batch opened. Under a
+// single client batches degenerate to size 1 (no added latency beyond the
+// window); under concurrent clients the queue drains in large strides, each
+// stride paying for one pooled signature pass.
+type batcher struct {
+	jobs     chan *job
+	quit     chan struct{}
+	finished chan struct{}
+	stop     sync.Once
+	// mu/closed fence submission against shutdown: submits hold the read
+	// side across the channel send, so once close() has taken the write
+	// side and set closed, no job can slip into the queue behind the final
+	// drain and leave its submitter waiting forever.
+	mu       sync.RWMutex
+	closed   bool
+	window   time.Duration
+	maxBatch int
+}
+
+func newBatcher(queueDepth, maxBatch int, window time.Duration) *batcher {
+	return &batcher{
+		jobs:     make(chan *job, queueDepth),
+		quit:     make(chan struct{}),
+		finished: make(chan struct{}),
+		window:   window,
+		maxBatch: maxBatch,
+	}
+}
+
+// submit enqueues a job, blocking for backpressure when the queue is full.
+func (b *batcher) submit(ctx context.Context, j *job) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
+	// While any submit holds the read lock the dispatcher is still
+	// running, so a full queue always drains and this send cannot
+	// deadlock against close().
+	select {
+	case b.jobs <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the dispatcher loop; process receives every batch. Runs until
+// close, then fails whatever is still queued so no submitter hangs.
+func (b *batcher) run(process func([]*job)) {
+	defer close(b.finished)
+	for {
+		select {
+		case j := <-b.jobs:
+			process(b.collect(j))
+		case <-b.quit:
+			b.drain()
+			return
+		}
+	}
+}
+
+// collect gathers up to maxBatch jobs, waiting at most window after the
+// first. A non-positive window skips the timer and takes only what is
+// already queued.
+func (b *batcher) collect(first *job) []*job {
+	batch := []*job{first}
+	if b.window <= 0 {
+		for len(batch) < b.maxBatch {
+			select {
+			case j := <-b.jobs:
+				batch = append(batch, j)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case j := <-b.jobs:
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		case <-b.quit:
+			// Shutting down: process what is in hand, run's drain handles
+			// the rest.
+			return batch
+		}
+	}
+	return batch
+}
+
+// isClosed reports whether close has begun.
+func (b *batcher) isClosed() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.closed
+}
+
+// drain fails every queued job after shutdown.
+func (b *batcher) drain() {
+	for {
+		select {
+		case j := <-b.jobs:
+			j.finish(nil, ErrClosed)
+		default:
+			return
+		}
+	}
+}
+
+// close stops the dispatcher and waits for it to finish, then fails
+// whatever is left in the queue. Idempotent.
+func (b *batcher) close() {
+	b.stop.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		close(b.quit)
+	})
+	<-b.finished
+	b.drain()
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// benchColumn is a serving-sized column: long enough that the GMM hot path
+// dominates a miss, so the hit/miss ratio reflects production traffic.
+func benchColumn(name string, n int, seed int64) table.Column {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = 40 + 9*rng.NormFloat64()
+	}
+	return table.Column{Name: name, Values: vs}
+}
+
+// BenchmarkServeCacheHit measures the cached path: content hash plus LRU
+// lookup, no GMM work. Compare with BenchmarkServeCacheMiss — the
+// acceptance bar is a >=10x gap in ns/op (measured ~100x or more at this
+// column size).
+func BenchmarkServeCacheHit(b *testing.B) {
+	s := newTestServer(b, 0, Config{})
+	col := benchColumn("hot", 2000, 1)
+	if _, err := s.Embed(context.Background(), []table.Column{col}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Embed(context.Background(), []table.Column{col}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Hits != int64(b.N) {
+		b.Fatalf("hits = %d, want %d", st.Hits, b.N)
+	}
+}
+
+// BenchmarkServeCacheMiss measures the same column going through the full
+// signature path every time (cache disabled).
+func BenchmarkServeCacheMiss(b *testing.B) {
+	s := newTestServer(b, 0, Config{CacheSize: -1})
+	col := benchColumn("cold", 2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Embed(context.Background(), []table.Column{col}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Hits != 0 {
+		b.Fatalf("cache disabled but hits = %d", st.Hits)
+	}
+}
+
+// BenchmarkServeThroughput drives concurrent duplicate-heavy clients
+// through the batcher — the serving analogue of the repo's parallel-EM
+// benchmarks.
+func BenchmarkServeThroughput(b *testing.B) {
+	s := newTestServer(b, 0, Config{})
+	pool := make([]table.Column, 16)
+	for i := range pool {
+		pool[i] = benchColumn("col", 2000, int64(i))
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			col := pool[i%len(pool)]
+			if _, err := s.Embed(context.Background(), []table.Column{col}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}

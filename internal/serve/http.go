@@ -1,0 +1,171 @@
+package serve
+
+// HTTP JSON front end. /embed responses carry no cache flags, timings or
+// any other request-varying field: the body is a pure function of the
+// request payload, which is what lets the determinism tests (and the CI
+// smoke) assert byte-identical answers across the cold, cached and
+// coalesced paths. Operational signals live on /stats instead.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// columnJSON is the wire form of one incoming column.
+type columnJSON struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+func (c columnJSON) column() table.Column {
+	return table.Column{Name: c.Name, Values: c.Values}
+}
+
+// embedRequest is the POST /embed payload.
+type embedRequest struct {
+	// Table optionally names the source table (informational).
+	Table   string       `json:"table,omitempty"`
+	Columns []columnJSON `json:"columns"`
+}
+
+// embedResponse is the POST /embed answer: one row per requested column, in
+// request order.
+type embedResponse struct {
+	Dim        int             `json:"dim"`
+	Embeddings []embeddingJSON `json:"embeddings"`
+}
+
+type embeddingJSON struct {
+	Column    string    `json:"column"`
+	Embedding []float64 `json:"embedding"`
+}
+
+// searchRequest is the POST /search payload.
+type searchRequest struct {
+	Column columnJSON `json:"column"`
+	K      int        `json:"k"`
+}
+
+type searchResponse struct {
+	Results []Hit `json:"results"`
+}
+
+type healthResponse struct {
+	Status      string `json:"status"`
+	Fingerprint string `json:"fingerprint"`
+	Components  int    `json:"components"`
+	Dim         int    `json:"dim"`
+	IndexSize   int    `json:"index_size"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /embed    {"columns":[{"name":...,"values":[...]}]} → embeddings
+//	POST /search   {"column":{...},"k":10}                   → nearest indexed columns
+//	GET  /healthz                                            → liveness + model identity
+//	GET  /stats                                              → cache/batch/latency counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/embed", s.handleEmbed)
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req embedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	cols := make([]table.Column, len(req.Columns))
+	for i, c := range req.Columns {
+		cols[i] = c.column()
+	}
+	rows, err := s.Embed(r.Context(), cols)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	resp := embedResponse{Dim: s.dim, Embeddings: make([]embeddingJSON, len(rows))}
+	for i, row := range rows {
+		resp.Embeddings[i] = embeddingJSON{Column: cols[i].Name, Embedding: row}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	hits, err := s.Search(r.Context(), req.Column.column(), req.K)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	if hits == nil {
+		hits = []Hit{}
+	}
+	writeJSON(w, searchResponse{Results: hits})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, healthResponse{
+		Status:      "ok",
+		Fingerprint: s.fp,
+		Components:  s.emb.Model().K(),
+		Dim:         s.dim,
+		IndexSize:   s.IndexLen(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNoIndex):
+		return http.StatusNotImplemented
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}

@@ -1,0 +1,528 @@
+// Package serve is Gem's warm-model embedding server: a fitted
+// core.Embedder held in memory answers Embed requests for incoming columns
+// without refitting — the paper's deployment mode (§3.1), where one
+// corpus-level mixture serves many tables.
+//
+// Three mechanisms make the hot path cheap:
+//
+//   - A content-hash cache: each column embedding is keyed by SHA-256 of
+//     (embedder fingerprint, header, value bits), so a repeated column is
+//     answered without touching the GMM at all.
+//   - Micro-batching: cache misses from concurrently arriving requests are
+//     coalesced into one pooled Signatures pass over the shared
+//     internal/pool worker pool — tables stream in incrementally and are
+//     embedded in batch-sized strides, not via whole-catalog calls.
+//   - An optional warm-index hook: every fresh embedding is appended to an
+//     internal/ann index, so similarity search stays current as columns
+//     stream through.
+//
+// Determinism contract: an embedding is a pure function of (column values,
+// header, fitted embedder). Responses are therefore byte-identical whether
+// they are served cold, from the cache, from a batch of one, or from a
+// coalesced batch, at every worker-pool width. This is inherited from
+// core.EmbedSignature, which standardizes statistical features against the
+// corpus moments frozen at Fit time rather than against the incoming batch;
+// request isolation follows too — a malformed column is rejected before it
+// can poison a coalesced batch.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/stats"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// ErrClosed is returned for requests against a closed server.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrInput is returned for malformed requests.
+var ErrInput = errors.New("serve: invalid input")
+
+// ErrNoIndex is returned by Search when the server runs without an index.
+var ErrNoIndex = errors.New("serve: no search index configured")
+
+// Config parametrizes a Server.
+type Config struct {
+	// MaxBatch caps how many cache-missed columns one coalesced signature
+	// pass embeds. Default 64.
+	MaxBatch int
+	// BatchWindow is how long the dispatcher waits after a batch opens for
+	// more columns to coalesce. Default 200µs; negative disables waiting
+	// (each pass takes only what is already queued).
+	BatchWindow time.Duration
+	// CacheSize bounds the column-embedding LRU cache. Default 4096;
+	// negative disables caching.
+	CacheSize int
+	// QueueDepth bounds the miss queue; submitters block (backpressure)
+	// when it is full. Default 1024.
+	QueueDepth int
+	// Index, when set, receives every fresh embedding (metric-normalized
+	// like core.EmbedVectors) so the search layer stays warm. The server
+	// owns all access to it from New on.
+	Index ann.Index
+	// IndexNames are the column names behind any entries already in Index,
+	// aligned by id; missing names render as "@i".
+	IndexNames []string
+	// LatencyWindow is how many recent request latencies the percentile
+	// report keeps. Default 2048.
+	LatencyWindow int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 2048
+	}
+}
+
+// Server hosts one warm embedder. Safe for concurrent use; create with New,
+// release with Close.
+type Server struct {
+	emb *core.Embedder
+	fp  string
+	dim int
+	// nameInKey records whether the column name enters the embedding
+	// (contextual features): only then does it belong in the cache key.
+	nameInKey bool
+	cfg       Config
+	cache     *cache
+	b         *batcher
+
+	idxMu    sync.RWMutex
+	idx      ann.Index
+	idxNames []string
+	idxKeys  map[cacheKey]bool
+	idxKeyOf []cacheKey // aligned with index ids; zero key for preloaded entries
+
+	start time.Time
+	ctr   counters
+	lat   *latencyRing
+}
+
+// New validates that e can serve single columns (fitted, frozen moments
+// when statistical features are selected, non-AE composition) and starts
+// the dispatcher.
+func New(e *core.Embedder, cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	fp, err := e.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("serve: embedder not servable: %w", err)
+	}
+	// Probe the single-column path once with a shaped zero signature: this
+	// surfaces AE composition and missing moments at startup instead of on
+	// the first request, and fixes the embedding dimensionality.
+	probe := core.Signature{Column: "__probe__", MeanProbs: make([]float64, e.Model().K())}
+	if m := e.Moments(); m != nil {
+		probe.Stats = make([]float64, len(m.Mean))
+	}
+	row, err := e.EmbedSignature(probe)
+	if err != nil {
+		return nil, fmt.Errorf("serve: embedder not servable: %w", err)
+	}
+	s := &Server{
+		emb:       e,
+		fp:        fp,
+		dim:       len(row),
+		nameInKey: e.Config().Features.Has(core.Contextual),
+		cfg:       cfg,
+		cache:     newCache(cfg.CacheSize),
+		b:         newBatcher(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow),
+		start:     time.Now(),
+		lat:       newLatencyRing(cfg.LatencyWindow),
+	}
+	if cfg.Index != nil {
+		// A preloaded index must hold vectors of the served dimensionality,
+		// or the warm-index hook would silently drop every Add and /search
+		// would 500 on each request — fail at startup instead.
+		if d := cfg.Index.Dim(); d != 0 && d != s.dim {
+			return nil, fmt.Errorf("%w: index holds vectors of dim %d, embedder serves dim %d — was it built from this model and configuration?",
+				ErrInput, d, s.dim)
+		}
+		s.idx = cfg.Index
+		s.idxKeys = make(map[cacheKey]bool)
+		s.idxKeyOf = make([]cacheKey, s.idx.Len())
+		s.idxNames = make([]string, s.idx.Len())
+		for i := range s.idxNames {
+			if i < len(cfg.IndexNames) {
+				s.idxNames[i] = cfg.IndexNames[i]
+			} else {
+				s.idxNames[i] = fmt.Sprintf("@%d", i)
+			}
+		}
+	}
+	go s.b.run(s.process)
+	return s, nil
+}
+
+// Fingerprint returns the warm embedder's stable fingerprint (the cache-key
+// component).
+func (s *Server) Fingerprint() string { return s.fp }
+
+// Dim returns the embedding dimensionality served.
+func (s *Server) Dim() int { return s.dim }
+
+// Close stops the dispatcher; queued and subsequent requests fail with
+// ErrClosed.
+func (s *Server) Close() { s.b.close() }
+
+// Embed returns one embedding row per column, in request order. Rows are
+// shared with the cache and must be treated as immutable. Cache-missed
+// values are snapshotted at submission, so the caller may reuse its
+// buffers as soon as the call returns — including after a context
+// cancellation that abandons in-flight jobs. The whole request fails on
+// the first malformed column (reported by name); columns are validated up
+// front so a bad one is rejected before it can enter — and poison — a
+// coalesced batch shared with other requests.
+// key content-addresses one column for this server.
+func (s *Server) key(col table.Column) cacheKey {
+	name := ""
+	if s.nameInKey {
+		name = col.Name
+	}
+	return keyFor(s.fp, name, col)
+}
+
+func (s *Server) Embed(ctx context.Context, cols []table.Column) ([][]float64, error) {
+	start := time.Now()
+	if s.b.isClosed() {
+		// Checked up front so even fully cached requests honour the Close
+		// contract instead of quietly succeeding forever.
+		return nil, ErrClosed
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("%w: no columns", ErrInput)
+	}
+	for _, col := range cols {
+		if err := validateColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]float64, len(cols))
+	type pending struct {
+		slot int
+		j    *job
+	}
+	var waits []pending
+	for i, col := range cols {
+		key := s.key(col)
+		if vec, ok := s.cache.get(key); ok {
+			s.ctr.hits.Add(1)
+			out[i] = vec
+			continue
+		}
+		s.ctr.misses.Add(1)
+		// Snapshot the values: the dispatcher may read them after this
+		// call has returned (ctx cancellation abandons the job, not the
+		// batch), and a caller-mutated slice would race AND be cached
+		// under the key of the old bytes.
+		vals := append([]float64(nil), col.Values...)
+		j := &job{col: columnWork{name: col.Name, values: vals}, key: key, done: make(chan struct{})}
+		if err := s.b.submit(ctx, j); err != nil {
+			return nil, err
+		}
+		waits = append(waits, pending{slot: i, j: j})
+	}
+	for _, p := range waits {
+		select {
+		case <-p.j.done:
+			if p.j.err != nil {
+				return nil, fmt.Errorf("serve: column %q: %w", cols[p.slot].Name, p.j.err)
+			}
+			out[p.slot] = p.j.vec
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.ctr.requests.Add(1)
+	s.ctr.columns.Add(int64(len(cols)))
+	s.lat.record(time.Since(start).Seconds())
+	return out, nil
+}
+
+// validateColumn enforces the request-isolation precondition.
+func validateColumn(col table.Column) error {
+	if len(col.Values) == 0 {
+		return fmt.Errorf("%w: column %q is empty", ErrInput, col.Name)
+	}
+	for i, v := range col.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: column %q value %d is not finite", ErrInput, col.Name, i)
+		}
+	}
+	return nil
+}
+
+// process embeds one coalesced batch: jobs are deduplicated by content key
+// (concurrent identical misses are computed once), the unique columns go
+// through one pooled Signatures pass, and every fresh row is cached and fed
+// to the warm index. Each column's embedding is a pure per-column function
+// (see the package comment), so splitting or merging batches cannot change
+// any byte of any result.
+func (s *Server) process(batch []*job) {
+	groups := make(map[cacheKey][]*job, len(batch))
+	var uniq []*job // first job per distinct key, in arrival order
+	for _, j := range batch {
+		if _, seen := groups[j.key]; !seen {
+			uniq = append(uniq, j)
+		}
+		groups[j.key] = append(groups[j.key], j)
+	}
+	s.ctr.batches.Add(1)
+	s.ctr.batchCols.Add(int64(len(uniq)))
+	s.ctr.maxBatchObserved(int64(len(uniq)))
+
+	sigs := make([]core.Signature, len(uniq))
+	sigErrs := make([]error, len(uniq))
+	if len(uniq) == 1 {
+		// The single-column signature path: no dataset wrapping for the
+		// common low-traffic case.
+		sigs[0], sigErrs[0] = s.emb.ColumnSignature(table.Column{Name: uniq[0].col.name, Values: uniq[0].col.values})
+	} else {
+		ds := &table.Dataset{Name: "serve-batch", Columns: make([]table.Column, len(uniq))}
+		for i, j := range uniq {
+			ds.Columns[i] = table.Column{Name: j.col.name, Values: j.col.values}
+		}
+		batchSigs, err := s.emb.Signatures(ds)
+		if err != nil {
+			// The batched pass reports only its first failure; re-run each
+			// column through the single-column path so every job gets its
+			// own result or error and no column is failed by a neighbour.
+			for i, j := range uniq {
+				sigs[i], sigErrs[i] = s.emb.ColumnSignature(table.Column{Name: j.col.name, Values: j.col.values})
+			}
+		} else {
+			copy(sigs, batchSigs)
+		}
+	}
+
+	for i, j := range uniq {
+		var vec []float64
+		err := sigErrs[i]
+		if err == nil {
+			vec, err = s.emb.EmbedSignature(sigs[i])
+		}
+		if err == nil {
+			s.cache.put(j.key, vec)
+			s.feedIndex(j.key, j.col.name, vec)
+		} else {
+			s.ctr.errors.Add(1)
+		}
+		for _, dup := range groups[j.key] {
+			dup.finish(vec, err)
+		}
+	}
+}
+
+// feedIndex appends a fresh embedding to the warm index (once per content
+// key), normalized for the index metric the way core.EmbedVectors does.
+func (s *Server) feedIndex(key cacheKey, name string, vec []float64) {
+	if s.idx == nil {
+		return
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.idxKeys[key] {
+		return
+	}
+	v := vec
+	if s.idx.Metric() == ann.Cosine {
+		v = stats.L2Normalize(vec)
+	}
+	if err := s.idx.Add(v); err != nil {
+		s.ctr.indexErrors.Add(1)
+		return
+	}
+	s.idxKeys[key] = true
+	s.idxNames = append(s.idxNames, name)
+	s.idxKeyOf = append(s.idxKeyOf, key)
+}
+
+// Hit is one search result: an indexed column and its metric distance to
+// the query.
+type Hit struct {
+	ID   int     `json:"id"`
+	Name string  `json:"name"`
+	Dist float64 `json:"dist"`
+}
+
+// Search embeds the query column (through the cache and batcher like any
+// Embed) and returns its k nearest indexed columns. Since serving a column
+// feeds it into the warm index, the query's own content is excluded from
+// its result.
+func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, error) {
+	if s.idx == nil {
+		return nil, ErrNoIndex
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k = %d", ErrInput, k)
+	}
+	rows, err := s.Embed(ctx, []table.Column{col})
+	if err != nil {
+		return nil, err
+	}
+	q := rows[0]
+	if s.idx.Metric() == ann.Cosine {
+		q = stats.L2Normalize(q)
+	}
+	qKey := s.key(col)
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	// k+1 covers the query's own indexed copy being among the nearest.
+	res, err := s.idx.Search(q, k+1)
+	if err != nil {
+		return nil, fmt.Errorf("serve: search: %w", err)
+	}
+	hits := make([]Hit, 0, k)
+	for _, r := range res {
+		if r.ID < len(s.idxKeyOf) && s.idxKeyOf[r.ID] == qKey {
+			continue
+		}
+		hits = append(hits, Hit{ID: r.ID, Name: s.idxNames[r.ID], Dist: r.Dist})
+		if len(hits) == k {
+			break
+		}
+	}
+	return hits, nil
+}
+
+// IndexLen returns the number of indexed columns (0 without an index).
+func (s *Server) IndexLen() int {
+	if s.idx == nil {
+		return 0
+	}
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	return s.idx.Len()
+}
+
+// counters aggregates the hot-path statistics lock-free.
+type counters struct {
+	requests, columns   atomic.Int64
+	hits, misses        atomic.Int64
+	batches, batchCols  atomic.Int64
+	maxBatch            atomic.Int64
+	errors, indexErrors atomic.Int64
+}
+
+func (c *counters) maxBatchObserved(n int64) {
+	for {
+		cur := c.maxBatch.Load()
+		if n <= cur || c.maxBatch.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's operational counters —
+// everything deliberately kept OUT of /embed responses so those stay a pure
+// function of the request.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Columns       int64   `json:"columns"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Batches       int64   `json:"batches"`
+	MeanBatch     float64 `json:"mean_batch"`
+	MaxBatch      int64   `json:"max_batch"`
+	Errors        int64   `json:"errors"`
+	IndexErrors   int64   `json:"index_errors"`
+	CacheEntries  int     `json:"cache_entries"`
+	IndexSize     int     `json:"index_size"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	hits, misses := s.ctr.hits.Load(), s.ctr.misses.Load()
+	var hitRate float64
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	batches, batchCols := s.ctr.batches.Load(), s.ctr.batchCols.Load()
+	var meanBatch float64
+	if batches > 0 {
+		meanBatch = float64(batchCols) / float64(batches)
+	}
+	p50, p90, p99 := s.lat.percentiles()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.ctr.requests.Load(),
+		Columns:       s.ctr.columns.Load(),
+		Hits:          hits,
+		Misses:        misses,
+		HitRate:       hitRate,
+		Batches:       batches,
+		MeanBatch:     meanBatch,
+		MaxBatch:      s.ctr.maxBatch.Load(),
+		Errors:        s.ctr.errors.Load(),
+		IndexErrors:   s.ctr.indexErrors.Load(),
+		CacheEntries:  s.cache.len(),
+		IndexSize:     s.IndexLen(),
+		LatencyP50Ms:  p50 * 1000,
+		LatencyP90Ms:  p90 * 1000,
+		LatencyP99Ms:  p99 * 1000,
+	}
+}
+
+// latencyRing keeps the last n request latencies for percentile reporting.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	count int
+}
+
+func newLatencyRing(n int) *latencyRing {
+	return &latencyRing{buf: make([]float64, n)}
+}
+
+func (r *latencyRing) record(seconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = seconds
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+func (r *latencyRing) percentiles() (p50, p90, p99 float64) {
+	r.mu.Lock()
+	snap := make([]float64, r.count)
+	copy(snap, r.buf[:r.count])
+	r.mu.Unlock()
+	if len(snap) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(snap)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(snap)-1))
+		return snap[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}

@@ -109,8 +109,12 @@ func (d *Dataset) TotalValues() int {
 }
 
 // Subset returns a new dataset containing only the first n columns (or all
-// if n exceeds the count). Columns are shared, not copied.
+// if n exceeds the count; none if n is negative). Columns are shared, not
+// copied.
 func (d *Dataset) Subset(n int) *Dataset {
+	if n < 0 {
+		n = 0
+	}
 	if n > len(d.Columns) {
 		n = len(d.Columns)
 	}
@@ -139,9 +143,14 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 	headers := records[0]
 	body := records[1:]
 	types := make([]string, len(headers))
-	if len(body) > 0 && len(body[0]) > 0 && strings.HasPrefix(body[0][0], "#type:") {
+	// The type row is recognized when ANY cell carries the "#type:" prefix,
+	// not just the first: a labeled CSV whose first column has a blank label
+	// must still have its type row consumed, or the row's cells would be
+	// parsed as data and break numeric detection. Cells without the prefix
+	// contribute an empty label rather than passing through as a bogus one.
+	if len(body) > 0 && isTypeRow(body[0]) {
 		for i, cell := range body[0] {
-			if i < len(types) {
+			if i < len(types) && strings.HasPrefix(cell, "#type:") {
 				types[i] = strings.TrimPrefix(cell, "#type:")
 			}
 		}
@@ -178,6 +187,17 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: csv contains no numeric columns", ErrInput)
 	}
 	return ds, nil
+}
+
+// isTypeRow reports whether row is a ground-truth label row: at least one
+// cell carries the "#type:" prefix.
+func isTypeRow(row []string) bool {
+	for _, cell := range row {
+		if strings.HasPrefix(cell, "#type:") {
+			return true
+		}
+	}
+	return false
 }
 
 // WriteCSV writes the dataset in the format ReadCSV parses: header row,

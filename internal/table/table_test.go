@@ -77,6 +77,17 @@ func TestSubset(t *testing.T) {
 	if len(big.Columns) != 3 {
 		t.Errorf("Subset beyond size should clamp, got %d", len(big.Columns))
 	}
+	neg := ds.Subset(-3)
+	if len(neg.Columns) != 0 {
+		t.Errorf("Subset(-3) should clamp to an empty dataset, got %d columns", len(neg.Columns))
+	}
+	if neg.Name != ds.Name {
+		t.Errorf("Subset(-3) lost the name: %q", neg.Name)
+	}
+	zero := ds.Subset(0)
+	if len(zero.Columns) != 0 {
+		t.Errorf("Subset(0) has %d columns", len(zero.Columns))
+	}
 }
 
 func TestReadCSVBasic(t *testing.T) {
@@ -108,6 +119,72 @@ func TestReadCSVWithTypeRow(t *testing.T) {
 	}
 	if len(ds.Columns[0].Values) != 2 {
 		t.Errorf("type row leaked into values: %v", ds.Columns[0].Values)
+	}
+}
+
+func TestReadCSVTypeRowBlankFirstLabel(t *testing.T) {
+	// The first column's label cell is blank: the row must still be
+	// recognized as the type row (the prefix appears in a later cell), not
+	// parsed as data — which would poison numeric detection for column a.
+	csvText := "a,b\n,#type:count\n1,5\n2,30\n"
+	ds, err := ReadCSV(strings.NewReader(csvText), "blanklabel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Columns) != 2 {
+		t.Fatalf("got %d numeric columns, want 2", len(ds.Columns))
+	}
+	if ds.Columns[0].Type != "" || ds.Columns[1].Type != "count" {
+		t.Errorf("types = %q, %q, want \"\", \"count\"", ds.Columns[0].Type, ds.Columns[1].Type)
+	}
+	if len(ds.Columns[0].Values) != 2 {
+		t.Errorf("type row leaked into values: %v", ds.Columns[0].Values)
+	}
+}
+
+func TestReadCSVTypeRowUnprefixedCell(t *testing.T) {
+	// A recognized type row with one non-prefixed cell: that cell yields an
+	// empty label, never a bogus one (previously "9.99" would have become
+	// column a's ground-truth type).
+	csvText := "a,b\n9.99,#type:count\n1,5\n2,30\n"
+	ds, err := ReadCSV(strings.NewReader(csvText), "bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Columns[0].Type != "" {
+		t.Errorf("non-prefixed type cell produced label %q, want empty", ds.Columns[0].Type)
+	}
+	if ds.Columns[1].Type != "count" {
+		t.Errorf("type = %q, want count", ds.Columns[1].Type)
+	}
+	if len(ds.Columns[0].Values) != 2 {
+		t.Errorf("type row leaked into values: %v", ds.Columns[0].Values)
+	}
+}
+
+func TestWriteReadRoundTripPartialLabels(t *testing.T) {
+	// WriteCSV emits "#type:" for unlabeled columns of a partially labeled
+	// dataset; ReadCSV must bring the empty labels back unchanged.
+	ds := &Dataset{Name: "partial", Columns: []Column{
+		{Name: "u", Values: []float64{1, 2, 3}},
+		{Name: "v", Values: []float64{4, 5, 6}, Type: "count"},
+	}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Columns) != 2 {
+		t.Fatalf("round trip lost columns: %d", len(back.Columns))
+	}
+	if back.Columns[0].Type != "" || back.Columns[1].Type != "count" {
+		t.Errorf("types = %q, %q, want \"\", \"count\"", back.Columns[0].Type, back.Columns[1].Type)
+	}
+	if len(back.Columns[0].Values) != 3 {
+		t.Errorf("values lost in round trip: %v", back.Columns[0].Values)
 	}
 }
 
