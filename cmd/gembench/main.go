@@ -6,9 +6,13 @@
 //	gembench -exp all                 # every table and figure
 //	gembench -exp table2 -scale 1.0   # paper-sized numeric-only comparison
 //	gembench -exp fig4 -seed 7
+//	gembench -exp search,serve -json BENCH_5.json
 //
 // Experiments: table1, table2, table3, table4, fig3, fig4, fig5, search,
-// serve, all.
+// serve, all — or a comma-separated list. -json additionally writes the
+// machine-readable results (QPS, recall@k, latency percentiles) of the
+// search and serve experiments; CI uploads that file as the BENCH_5.json
+// perf-trajectory artifact.
 package main
 
 import (
@@ -27,7 +31,7 @@ func main() {
 	log.SetPrefix("gembench: ")
 
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig3|fig4|fig5|search|serve|all")
+		exp        = flag.String("exp", "all", "experiment(s) to run, comma separated: table1|table2|table3|table4|fig3|fig4|fig5|search|serve|all")
 		seed       = flag.Int64("seed", 1, "random seed for corpora and models")
 		scale      = flag.Float64("scale", 0.25, "corpus scale (1.0 = paper-sized)")
 		components = flag.Int("components", 50, "Gem GMM components (m)")
@@ -35,6 +39,7 @@ func main() {
 		reps       = flag.Int("reps", 3, "timed repetitions per point (fig5)")
 		workers    = flag.Int("workers", 0, "worker-pool width shared by column fan-out and EM (0 = GOMAXPROCS; results are identical for every value)")
 		out        = flag.String("out", "", "optional output file (default stdout)")
+		jsonOut    = flag.String("json", "", "write machine-readable search/serve results (BENCH_5.json format) to this file")
 	)
 	flag.Parse()
 
@@ -60,89 +65,163 @@ func main() {
 		w = f
 	}
 
-	if err := run(w, strings.ToLower(*exp), opts, *reps); err != nil {
+	// Validate -json against the selection BEFORE running anything: a
+	// paper-sized experiment can take hours, and failing afterwards would
+	// throw that work away.
+	if *jsonOut != "" && !selectsReporting(strings.ToLower(*exp)) {
+		log.Fatalf("-json needs a reporting experiment: add search and/or serve to -exp %s", *exp)
+	}
+	report, err := run(w, strings.ToLower(*exp), opts, *reps)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *jsonOut, err)
+		}
+		err = report.Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("writing %s: %v", *jsonOut, err)
+		}
 	}
 }
 
-func run(w io.Writer, exp string, opts experiments.Options, reps int) error {
-	all := exp == "all"
+// experimentNames is the single authoritative list of experiments; the
+// selection map, the error messages and the -json compatibility check all
+// derive from it so a new experiment is added in exactly one place (plus
+// its run branch).
+var experimentNames = []string{
+	"table1", "table2", "table3", "table4",
+	"fig3", "fig4", "fig5", "search", "serve",
+}
+
+// reportingExperiments fill the machine-readable -json report.
+var reportingExperiments = map[string]bool{"search": true, "serve": true}
+
+func wantExperiments() string {
+	return strings.Join(experimentNames, "|") + "|all"
+}
+
+// selectsReporting reports whether the -exp selection includes an
+// experiment that fills the machine-readable report.
+func selectsReporting(exp string) bool {
+	for _, part := range strings.Split(exp, ",") {
+		name := strings.TrimSpace(part)
+		if name == "all" || reportingExperiments[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the selected experiments (a comma-separated list, or
+// "all") and returns the machine-readable report of those that have one.
+func run(w io.Writer, exp string, opts experiments.Options, reps int) (*experiments.BenchReport, error) {
+	report := &experiments.BenchReport{
+		Schema:  experiments.BenchSchemaVersion,
+		Seed:    opts.Seed,
+		Scale:   opts.Scale,
+		Workers: opts.Workers,
+	}
+	selected := make(map[string]bool)
+	for _, part := range strings.Split(exp, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			selected[part] = true
+		}
+	}
+	all := selected["all"]
 	ran := false
 
-	if all || exp == "table1" {
+	known := map[string]bool{"all": true}
+	for _, name := range experimentNames {
+		known[name] = true
+	}
+	for name := range selected {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown experiment %q (want %s, comma separated)", name, wantExperiments())
+		}
+	}
+
+	if all || selected["table1"] {
 		rows, err := experiments.Table1(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, experiments.RenderTable1(rows))
 		ran = true
 	}
-	if all || exp == "table2" {
+	if all || selected["table2"] {
 		res, err := experiments.Table2(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, res)
 		ran = true
 	}
-	if all || exp == "table3" {
+	if all || selected["table3"] {
 		res, err := experiments.Table3(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, res)
 		ran = true
 	}
-	if all || exp == "table4" {
+	if all || selected["table4"] {
 		res, err := experiments.Table4(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, res)
 		ran = true
 	}
-	if all || exp == "fig3" {
+	if all || selected["fig3"] {
 		res, err := experiments.Figure3(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, res)
 		ran = true
 	}
-	if all || exp == "fig4" {
+	if all || selected["fig4"] {
 		res, err := experiments.Figure4(opts, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, res)
 		ran = true
 	}
-	if all || exp == "fig5" {
+	if all || selected["fig5"] {
 		res, err := experiments.Figure5(opts, nil, reps)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, res)
 		ran = true
 	}
-	if all || exp == "search" {
+	if all || selected["search"] {
 		res, err := experiments.SearchEval(experiments.SearchOptions{Options: opts})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, res)
+		report.Search = experiments.NewSearchReport(res)
 		ran = true
 	}
-	if all || exp == "serve" {
+	if all || selected["serve"] {
 		res, err := experiments.ServeEval(experiments.ServeOptions{Options: opts})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, res)
+		report.Serve = experiments.NewServeReport(res)
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1|table2|table3|table4|fig3|fig4|fig5|search|serve|all)", exp)
+		return nil, fmt.Errorf("no experiment selected (want %s, comma separated)", wantExperiments())
 	}
-	return nil
+	return report, nil
 }

@@ -21,7 +21,7 @@ func tinyOpts() experiments.Options {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "bogus", tinyOpts(), 1)
+	_, err := run(&buf, "bogus", tinyOpts(), 1)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("want unknown-experiment error, got %v", err)
 	}
@@ -29,7 +29,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "table1", tinyOpts(), 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -42,7 +42,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunTable2(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table2", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "table2", tinyOpts(), 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -55,7 +55,7 @@ func TestRunTable2(t *testing.T) {
 
 func TestRunFig3(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "fig3", tinyOpts(), 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -66,7 +66,7 @@ func TestRunFig3(t *testing.T) {
 
 func TestRunServe(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "serve", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "serve", tinyOpts(), 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -79,7 +79,7 @@ func TestRunServe(t *testing.T) {
 
 func TestRunSearch(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "search", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "search", tinyOpts(), 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -87,5 +87,42 @@ func TestRunSearch(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunCommaListAndReport: a comma-separated experiment list runs each
+// entry once and fills the machine-readable report for search and serve.
+func TestRunCommaListAndReport(t *testing.T) {
+	var buf bytes.Buffer
+	report, err := run(&buf, "search,serve", tinyOpts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ANN search") || !strings.Contains(out, "serve eval") {
+		t.Errorf("list run missing an experiment:\n%s", out)
+	}
+	if report.Schema != experiments.BenchSchemaVersion {
+		t.Errorf("schema %d", report.Schema)
+	}
+	if report.Search == nil || report.Search.RecallAtK <= 0 || report.Search.FlatQPS <= 0 {
+		t.Errorf("search report not filled: %+v", report.Search)
+	}
+	if report.Serve == nil || len(report.Serve.Points) == 0 || report.Serve.Points[0].QPS <= 0 {
+		t.Errorf("serve report not filled: %+v", report.Serve)
+	}
+	var js bytes.Buffer
+	if err := report.Write(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"recall_at_k"`, `"hnsw_qps"`, `"latency_p99_ms"`, `"schema": 1`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON report missing %s:\n%s", want, js.String())
+		}
+	}
+	// A list with an unknown entry fails loudly instead of half-running.
+	if _, err := run(&buf, "search,bogus", tinyOpts(), 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown entry in list: got %v", err)
 	}
 }

@@ -1,14 +1,18 @@
 // Command gemembed computes Gem embeddings for the numeric columns of a CSV
-// file and writes them as CSV or JSON.
+// catalog and writes them as CSV or JSON.
 //
 // The input format is a header row followed by data rows; only columns whose
 // cells all parse as numbers are embedded. An optional second row prefixed
 // with "#type:" carries ground-truth labels (ignored by embedding, copied to
-// the output for convenience).
+// the output for convenience). Input resolution goes through the shared
+// internal/catalog ingest layer, so -in also accepts a directory or glob of
+// CSVs, and -synthetic generates the standard synthetic catalog.
 //
 // Usage:
 //
 //	gemembed -in data.csv -components 50 -features D,S -format csv
+//	gemembed -in 'lake/*.csv' -format json
+//	gemembed -synthetic 200 -format csv
 //	cat data.csv | gemembed -features D,S,C -composition concat -format json
 package main
 
@@ -23,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
 	"github.com/gem-embeddings/gem/internal/table"
 )
@@ -32,7 +37,8 @@ func main() {
 	log.SetPrefix("gemembed: ")
 
 	var (
-		in          = flag.String("in", "", "input CSV file (default stdin)")
+		in          = flag.String("in", "", "input CSV file, directory or glob (default stdin)")
+		synthetic   = flag.Int("synthetic", 0, "embed an N-column synthetic catalog instead of reading input")
 		outPath     = flag.String("out", "", "output file (default stdout)")
 		components  = flag.Int("components", 50, "GMM components (m)")
 		restarts    = flag.Int("restarts", 10, "EM restarts")
@@ -54,18 +60,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var r io.Reader = os.Stdin
-	name := "stdin"
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatalf("opening input: %v", err)
-		}
-		defer f.Close()
-		r = f
-		name = *in
+	src, err := catalog.Spec{Path: *in, Synthetic: *synthetic, Seed: *seed, Stdin: os.Stdin}.Source()
+	if err != nil {
+		log.Fatal(err)
 	}
-	ds, err := table.ReadCSV(r, name)
+	ds, err := src.Load()
 	if err != nil {
 		log.Fatalf("reading input: %v", err)
 	}

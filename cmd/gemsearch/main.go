@@ -13,11 +13,15 @@
 //	gemsearch -in catalog.csv -index-in catalog.idx -query "@17"
 //
 // The catalog is a CSV in the gemembed format (header row, optional
-// "#type:" ground-truth row, data rows); -synthetic N generates an
-// N-column synthetic catalog instead. A query names a column header (first
-// match wins) or addresses a column by position with "@i". -min-recall
-// turns the recall report into a gate: the command fails when HNSW
-// recall@k falls below the bound (CI uses this as the smoke check).
+// "#type:" ground-truth row, data rows), a directory or glob of such CSVs,
+// or -synthetic N for an N-column synthetic catalog — all resolved through
+// the shared internal/catalog ingest layer. With -catalog DIR the command
+// instead searches the embeddings recorded in a gemserve catalog store:
+// no model, no fitting — the stored rows are indexed directly. A query
+// names a column header (first match wins) or addresses a column by
+// position with "@i". -min-recall turns the recall report into a gate:
+// the command fails when HNSW recall@k falls below the bound (CI uses
+// this as the smoke check).
 package main
 
 import (
@@ -31,10 +35,11 @@ import (
 	"time"
 
 	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
-	"github.com/gem-embeddings/gem/internal/data"
 	"github.com/gem-embeddings/gem/internal/experiments"
 	"github.com/gem-embeddings/gem/internal/pool"
+	"github.com/gem-embeddings/gem/internal/stats"
 	"github.com/gem-embeddings/gem/internal/table"
 )
 
@@ -43,6 +48,7 @@ import (
 type cliConfig struct {
 	in         string
 	synthetic  int
+	catalogDir string
 	seed       int64
 	components int
 	restarts   int
@@ -65,8 +71,9 @@ func main() {
 	log.SetPrefix("gemsearch: ")
 
 	var cfg cliConfig
-	flag.StringVar(&cfg.in, "in", "", "catalog CSV file (gemembed format)")
+	flag.StringVar(&cfg.in, "in", "", "catalog CSV file, directory or glob (gemembed format)")
 	flag.IntVar(&cfg.synthetic, "synthetic", 0, "generate an N-column synthetic catalog instead of reading -in")
+	flag.StringVar(&cfg.catalogDir, "catalog", "", "search the embeddings recorded in a gemserve catalog store directory (no model, no fitting)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed (corpus, EM and index levels)")
 	flag.IntVar(&cfg.components, "components", 50, "GMM components (m)")
 	flag.IntVar(&cfg.restarts, "restarts", 3, "EM restarts")
@@ -97,40 +104,24 @@ func run(cfg cliConfig, w io.Writer) error {
 	if cfg.k < 1 {
 		return fmt.Errorf("-k must be positive, got %d", cfg.k)
 	}
-	ds, err := loadCatalog(cfg)
-	if err != nil {
+
+	var (
+		vs      *core.VectorSet
+		ds      *table.Dataset
+		workers = cfg.workers
+	)
+	if cfg.catalogDir != "" {
+		if cfg.in != "" || cfg.synthetic > 0 {
+			return fmt.Errorf("-catalog searches stored embeddings; it cannot be combined with -in or -synthetic")
+		}
+		if vs, err = loadStoredVectors(cfg.catalogDir, metric, w); err != nil {
+			return err
+		}
+	} else if vs, ds, err = embedCatalog(cfg, metric, w); err != nil {
 		return err
 	}
 
-	// One Options value carries the worker bound end to end: the embedder's
-	// shared pool via GemConfig, and the HNSW build pool below.
-	opts := experiments.Options{
-		Seed:           cfg.seed,
-		Components:     cfg.components,
-		Restarts:       cfg.restarts,
-		SubsampleStack: cfg.subsample,
-		Workers:        cfg.workers,
-	}
-	opts.FillDefaults()
-	if cfg.subsample <= 0 {
-		opts.SubsampleStack = 0 // explicit "fit on everything"
-	}
-	embedder, err := core.NewEmbedder(opts.GemConfig(core.Distributional|core.Statistical, core.Concatenation))
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	if err := embedder.Fit(ds); err != nil {
-		return err
-	}
-	vs, err := embedder.EmbedVectors(ds, metric)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "embedded %d columns (dim %d) in %.2fs\n",
-		len(vs.Vectors), len(vs.Vectors[0]), time.Since(start).Seconds())
-
-	p := pool.New(opts.Workers)
+	p := pool.New(workers)
 	idx, err := obtainIndex(cfg, metric, p, vs, w)
 	if err != nil {
 		return err
@@ -155,23 +146,74 @@ func run(cfg cliConfig, w io.Writer) error {
 	return nil
 }
 
-// loadCatalog reads -in or generates -synthetic columns.
-func loadCatalog(cfg cliConfig) (*table.Dataset, error) {
-	switch {
-	case cfg.in != "" && cfg.synthetic > 0:
-		return nil, fmt.Errorf("-in and -synthetic are mutually exclusive")
-	case cfg.in != "":
-		f, err := os.Open(cfg.in)
-		if err != nil {
-			return nil, fmt.Errorf("opening catalog: %w", err)
-		}
-		defer f.Close()
-		return table.ReadCSV(f, cfg.in)
-	case cfg.synthetic > 0:
-		return data.ScalabilityDataset(cfg.synthetic, cfg.seed), nil
-	default:
-		return nil, fmt.Errorf("need a catalog: -in file.csv or -synthetic N")
+// embedCatalog loads the -in/-synthetic catalog through the shared ingest
+// layer, fits a Gem embedder and embeds every column.
+func embedCatalog(cfg cliConfig, metric ann.Metric, w io.Writer) (*core.VectorSet, *table.Dataset, error) {
+	src, err := catalog.Spec{Path: cfg.in, Synthetic: cfg.synthetic, Seed: cfg.seed}.Source()
+	if err != nil {
+		return nil, nil, err
 	}
+	ds, err := src.Load()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// One Options value carries the worker bound end to end: the embedder's
+	// shared pool via GemConfig, and the HNSW build pool in run.
+	opts := experiments.Options{
+		Seed:           cfg.seed,
+		Components:     cfg.components,
+		Restarts:       cfg.restarts,
+		SubsampleStack: cfg.subsample,
+		Workers:        cfg.workers,
+	}
+	opts.FillDefaults()
+	if cfg.subsample <= 0 {
+		opts.SubsampleStack = 0 // explicit "fit on everything"
+	}
+	embedder, err := core.NewEmbedder(opts.GemConfig(core.Distributional|core.Statistical, core.Concatenation))
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	if err := embedder.Fit(ds); err != nil {
+		return nil, nil, err
+	}
+	vs, err := embedder.EmbedVectors(ds, metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(w, "embedded %d columns (dim %d) in %.2fs\n",
+		len(vs.Vectors), len(vs.Vectors[0]), time.Since(start).Seconds())
+	return vs, ds, nil
+}
+
+// loadStoredVectors reads the live entries of a gemserve catalog store and
+// prepares them for the requested metric the way core.EmbedVectors does
+// (the store records raw rows; cosine indexes want them normalized).
+func loadStoredVectors(dir string, metric ann.Metric, w io.Writer) (*core.VectorSet, error) {
+	fp, entries, err := catalog.Read(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("catalog store %s has no live columns", dir)
+	}
+	vs := &core.VectorSet{
+		Names:   make([]string, len(entries)),
+		Vectors: make([][]float64, len(entries)),
+	}
+	for i, e := range entries {
+		vs.Names[i] = e.Name
+		if metric == ann.Cosine {
+			vs.Vectors[i] = stats.L2Normalize(e.Vec)
+		} else {
+			vs.Vectors[i] = e.Vec
+		}
+	}
+	fmt.Fprintf(w, "catalog store %s: %d live columns (dim %d, embedder %.12s…)\n",
+		dir, len(entries), len(entries[0].Vec), fp)
+	return vs, nil
 }
 
 // obtainIndex loads -index-in (validating it against the embedded catalog)
@@ -256,18 +298,25 @@ func resolveQuery(q string, vs *core.VectorSet) (int, error) {
 	return i, nil
 }
 
-// runQuery prints the top-k neighbours of the query column.
+// runQuery prints the top-k neighbours of the query column. ds is nil in
+// -catalog mode, where no ground-truth types exist.
 func runQuery(cfg cliConfig, idx ann.Index, vs *core.VectorSet, ds *table.Dataset, w io.Writer) error {
 	qi, err := resolveQuery(cfg.query, vs)
 	if err != nil {
 		return err
+	}
+	typeOf := func(i int) string {
+		if ds == nil {
+			return ""
+		}
+		return ds.Columns[i].Type
 	}
 	// k+1 so the query column itself can be dropped from its own result.
 	res, err := idx.Search(vs.Vectors[qi], cfg.k+1)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\ntop %d for column %d (%q, type %q):\n", cfg.k, qi, vs.Names[qi], ds.Columns[qi].Type)
+	fmt.Fprintf(w, "\ntop %d for column %d (%q, type %q):\n", cfg.k, qi, vs.Names[qi], typeOf(qi))
 	fmt.Fprintf(w, "%4s  %8s  %-28s %s\n", "rank", "dist", "column", "type")
 	rank := 0
 	for _, r := range res {
@@ -278,7 +327,7 @@ func runQuery(cfg cliConfig, idx ann.Index, vs *core.VectorSet, ds *table.Datase
 		if rank > cfg.k {
 			break
 		}
-		fmt.Fprintf(w, "%4d  %8.5f  %-28s %s\n", rank, r.Dist, vs.Names[r.ID], ds.Columns[r.ID].Type)
+		fmt.Fprintf(w, "%4d  %8.5f  %-28s %s\n", rank, r.Dist, vs.Names[r.ID], typeOf(r.ID))
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/gem-embeddings/gem/internal/catalog"
 )
 
 // tinyCfg embeds a small synthetic catalog fast; recall numbers are about
@@ -166,5 +168,76 @@ func TestRunFlagValidation(t *testing.T) {
 	cfg.in = "x.csv"
 	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Errorf("in+synthetic err = %v", err)
+	}
+}
+
+// TestRunCatalogStoreMode: gemsearch -catalog searches the embeddings a
+// gemserve store recorded, without a model or any fitting.
+func TestRunCatalogStoreMode(t *testing.T) {
+	dir := t.TempDir()
+	st, err := catalog.Open(dir, "model-fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three tight neighbours and one outlier, recorded as raw rows the way
+	// gemserve journals them.
+	vecs := map[string][]float64{
+		"price_a": {1, 0, 0.1},
+		"price_b": {1, 0.02, 0.1},
+		"price_c": {0.9, 0, 0.12},
+		"year":    {-5, 9, 2},
+	}
+	for _, name := range []string{"price_a", "price_b", "price_c", "year"} {
+		var key catalog.Key
+		copy(key[:], name)
+		op := catalog.Op{Kind: catalog.OpAdd, Entry: catalog.Entry{Key: key, Name: name, Vec: vecs[name]}}
+		if err := st.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := cliConfig{
+		catalogDir: dir,
+		metricSpec: "cosine",
+		k:          2,
+		query:      "price_a",
+		recall:     true,
+		minRecall:  1.0,
+		efs:        64,
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"4 live columns", "price_b", "recall@2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(strings.SplitN(out, "rank", 2)[1], "year") {
+		t.Errorf("outlier ranked into top-2:\n%s", out)
+	}
+
+	// Mutual exclusion with the embedding sources.
+	bad := tinyCfg()
+	bad.catalogDir = dir
+	if err := run(bad, &buf); err == nil || !strings.Contains(err.Error(), "cannot be combined") {
+		t.Errorf("-catalog with -synthetic: got %v", err)
+	}
+
+	// An empty store is a clear error, not a zero-column index.
+	empty := t.TempDir()
+	es, err := catalog.Open(empty, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.Close()
+	bad2 := cliConfig{catalogDir: empty, metricSpec: "cosine", k: 1, query: "x"}
+	if err := run(bad2, &buf); err == nil || !strings.Contains(err.Error(), "no live columns") {
+		t.Errorf("empty store: got %v", err)
 	}
 }

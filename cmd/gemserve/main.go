@@ -12,10 +12,15 @@
 //	gemserve -model gem.model -addr :8080                      # serve the persisted embedder
 //	gemserve -model gem.model -search -addr :8080              # + warm similarity search
 //	gemserve -fit-synthetic 500 -addr 127.0.0.1:0              # fit a synthetic catalog and serve
+//	gemserve -model gem.model -catalog ./store -addr :8080     # durable mutable catalog
 //
-// Endpoints: POST /embed, POST /search, GET /healthz, GET /stats. An
-// /embed response is a pure function of the request body: repeated posts
-// return byte-identical answers whether served cold, cached or coalesced.
+// Endpoints: POST /embed, POST /search, GET/POST/DELETE /columns,
+// POST /columns/compact, GET /healthz, GET /stats. An /embed response is a
+// pure function of the request body: repeated posts return byte-identical
+// answers whether served cold, cached or coalesced. With -catalog DIR the
+// index is durable: adds and removes are journaled to a snapshot+journal
+// store, and a restarted server replays them — byte-identical /embed and
+// /search answers, no re-embedding.
 package main
 
 import (
@@ -29,11 +34,10 @@ import (
 	"time"
 
 	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
-	"github.com/gem-embeddings/gem/internal/data"
 	"github.com/gem-embeddings/gem/internal/pool"
 	"github.com/gem-embeddings/gem/internal/serve"
-	"github.com/gem-embeddings/gem/internal/table"
 )
 
 // cliConfig carries the parsed flags; the build/run helpers are pure in it
@@ -52,6 +56,8 @@ type cliConfig struct {
 	search       bool
 	indexIn      string
 	indexCatalog string
+	catalogDir   string
+	compactEvery int
 	metricSpec   string
 	maxBatch     int
 	batchWindow  time.Duration
@@ -64,7 +70,7 @@ func main() {
 
 	var cfg cliConfig
 	flag.StringVar(&cfg.model, "model", "", "load a persisted embedder (from -save-model or core.Save)")
-	flag.StringVar(&cfg.fit, "fit", "", "fit a fresh embedder on a catalog CSV (gemembed format)")
+	flag.StringVar(&cfg.fit, "fit", "", "fit a fresh embedder on a catalog CSV, directory or glob (gemembed format)")
 	flag.IntVar(&cfg.fitSynthetic, "fit-synthetic", 0, "fit a fresh embedder on an N-column synthetic catalog")
 	flag.StringVar(&cfg.saveModel, "save-model", "", "persist the embedder after fitting")
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address; empty to exit after -save-model")
@@ -76,6 +82,8 @@ func main() {
 	flag.BoolVar(&cfg.search, "search", false, "keep a warm HNSW index fed by served embeddings (enables /search)")
 	flag.StringVar(&cfg.indexIn, "index-in", "", "preload a persisted ann index (implies -search)")
 	flag.StringVar(&cfg.indexCatalog, "index-catalog", "", "catalog CSV the -index-in index was built from; its numeric headers name the preloaded entries in /search results (otherwise they render as @i)")
+	flag.StringVar(&cfg.catalogDir, "catalog", "", "durable catalog store directory (snapshot+journal); implies -search, enables the mutable /columns API and replays the store on restart")
+	flag.IntVar(&cfg.compactEvery, "compact-every", 1024, "auto-compact the catalog once this many removes accumulate (search beams widen with uncompacted tombstones, so unbounded churn without compaction degrades /search; <= 0 = only via POST /columns/compact)")
 	flag.StringVar(&cfg.metricSpec, "metric", "cosine", "index distance: cosine|l2")
 	flag.IntVar(&cfg.maxBatch, "max-batch", 0, "max columns per coalesced signature pass (0 = default 64)")
 	flag.DurationVar(&cfg.batchWindow, "batch-window", 0, "how long a batch waits to coalesce (0 = default 200µs)")
@@ -91,11 +99,11 @@ func run(cfg cliConfig, w io.Writer) error {
 	if cfg.addr == "" && cfg.saveModel == "" {
 		return fmt.Errorf("empty -addr without -save-model does nothing")
 	}
-	srv, err := buildServer(cfg, w)
+	srv, cleanup, err := buildServer(cfg, w)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
+	defer cleanup()
 	if cfg.addr == "" {
 		return nil
 	}
@@ -103,47 +111,79 @@ func run(cfg cliConfig, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
 	}
-	fmt.Fprintf(w, "listening on http://%s (POST /embed, POST /search, GET /healthz, GET /stats)\n", ln.Addr())
+	fmt.Fprintf(w, "listening on http://%s (POST /embed, POST /search, /columns, GET /healthz, GET /stats)\n", ln.Addr())
 	return (&http.Server{Handler: srv.Handler()}).Serve(ln)
 }
 
 // buildServer assembles the warm server: embedder (loaded or freshly
-// fitted, optionally persisted), optional search index, serve config.
-func buildServer(cfg cliConfig, w io.Writer) (*serve.Server, error) {
+// fitted, optionally persisted), optional search index or durable catalog
+// store, serve config. cleanup closes the server and, after it, the store
+// whose journal the server writes.
+func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(), err error) {
 	emb, err := buildEmbedder(cfg, w)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	scfg := serve.Config{
-		MaxBatch:    cfg.maxBatch,
-		BatchWindow: cfg.batchWindow,
-		CacheSize:   cfg.cacheSize,
+		MaxBatch:     cfg.maxBatch,
+		BatchWindow:  cfg.batchWindow,
+		CacheSize:    cfg.cacheSize,
+		CompactEvery: cfg.compactEvery,
 	}
 	if cfg.indexCatalog != "" && cfg.indexIn == "" {
-		return nil, fmt.Errorf("-index-catalog names the entries of a preloaded index; it requires -index-in")
+		return nil, nil, fmt.Errorf("-index-catalog names the entries of a preloaded index; it requires -index-in")
 	}
-	if cfg.search || cfg.indexIn != "" {
+	if cfg.catalogDir != "" && cfg.indexIn != "" {
+		return nil, nil, fmt.Errorf("-catalog replays its own index; it cannot be combined with -index-in")
+	}
+	if cfg.search || cfg.indexIn != "" || cfg.catalogDir != "" {
 		idx, err := buildIndex(cfg, emb.Config().Workers)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		scfg.Index = idx
 		if cfg.indexCatalog != "" {
 			names, err := catalogHeaders(cfg.indexCatalog)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			scfg.IndexNames = names
 		}
 	}
-	srv, err := serve.New(emb, scfg)
+	var st *catalog.Store
+	if cfg.catalogDir != "" {
+		fp, err := emb.Fingerprint()
+		if err != nil {
+			return nil, nil, err
+		}
+		// The store is bound to the embedder AND the index configuration:
+		// replaying a journal into an index with a different metric or
+		// seed would silently change /search, so it must fail instead.
+		if st, err = catalog.Open(cfg.catalogDir, serve.StoreIdentity(fp, scfg.Index)); err != nil {
+			return nil, nil, err
+		}
+		scfg.Store = st
+		fmt.Fprintf(w, "catalog store %s: %d live columns\n", cfg.catalogDir, st.Len())
+	}
+	srv, err = serve.New(emb, scfg)
 	if err != nil {
-		return nil, err
+		if st != nil {
+			st.Close()
+		}
+		return nil, nil, err
+	}
+	cleanup = func() {
+		srv.Close()
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("closing catalog store: %v", err)
+			}
+		}
 	}
 	fp := srv.Fingerprint()
 	fmt.Fprintf(w, "warm embedder ready: %d components, dim %d, fingerprint %s\n",
 		emb.Model().K(), srv.Dim(), fp[:12])
-	return srv, nil
+	return srv, cleanup, nil
 }
 
 func buildEmbedder(cfg cliConfig, w io.Writer) (*core.Embedder, error) {
@@ -175,18 +215,13 @@ func buildEmbedder(cfg cliConfig, w io.Writer) (*core.Embedder, error) {
 		return emb, nil
 	}
 
-	var ds *table.Dataset
-	if cfg.fit != "" {
-		f, err := os.Open(cfg.fit)
-		if err != nil {
-			return nil, fmt.Errorf("opening catalog: %w", err)
-		}
-		defer f.Close()
-		if ds, err = table.ReadCSV(f, cfg.fit); err != nil {
-			return nil, err
-		}
-	} else {
-		ds = data.ScalabilityDataset(cfg.fitSynthetic, cfg.seed)
+	src, err := catalog.Spec{Path: cfg.fit, Synthetic: cfg.fitSynthetic, Seed: cfg.seed}.Source()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := src.Load()
+	if err != nil {
+		return nil, err
 	}
 	emb, err := core.NewEmbedder(core.Config{
 		Components:     cfg.components,
@@ -224,12 +259,7 @@ func buildEmbedder(cfg cliConfig, w io.Writer) (*core.Embedder, error) {
 // catalogHeaders reads the numeric-column headers of a catalog CSV, in the
 // order gemsearch indexes them, to name preloaded index entries.
 func catalogHeaders(path string) ([]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("opening index catalog: %w", err)
-	}
-	defer f.Close()
-	ds, err := table.ReadCSV(f, path)
+	ds, err := catalog.File(path).Load()
 	if err != nil {
 		return nil, err
 	}

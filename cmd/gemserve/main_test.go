@@ -55,11 +55,11 @@ func TestPersistThenServeModel(t *testing.T) {
 	scfg.model = model
 	scfg.search = true
 	buf.Reset()
-	srv, err := buildServer(scfg, &buf)
+	srv, cleanup, err := buildServer(scfg, &buf)
 	if err != nil {
 		t.Fatalf("buildServer: %v", err)
 	}
-	defer srv.Close()
+	defer cleanup()
 	if !strings.Contains(buf.String(), "model loaded from") ||
 		!strings.Contains(buf.String(), "warm embedder ready") {
 		t.Errorf("startup output:\n%s", buf.String())
@@ -167,11 +167,11 @@ func TestPreloadedIndexWithCatalogNames(t *testing.T) {
 	scfg.indexIn = index
 	scfg.indexCatalog = catalog
 	buf.Reset()
-	srv, err := buildServer(scfg, &buf)
+	srv, cleanup, err := buildServer(scfg, &buf)
 	if err != nil {
 		t.Fatalf("buildServer: %v", err)
 	}
-	defer srv.Close()
+	defer cleanup()
 	hits, err := srv.Search(context.Background(), parsed.Columns[3], 2)
 	if err != nil {
 		t.Fatal(err)
@@ -243,5 +243,105 @@ func TestRunFlagValidation(t *testing.T) {
 	cfg4.metricSpec = "manhattan"
 	if err := run(cfg4, &buf); err == nil || !strings.Contains(err.Error(), "unknown metric") {
 		t.Errorf("bad metric: got %v", err)
+	}
+}
+
+// TestDurableCatalogAcrossRestart drives the CLI's -catalog mode: a server
+// enrolls and removes columns via the /columns API, a second server built
+// on the same model and store directory replays them, and /search answers
+// byte-identically across the restart.
+func TestDurableCatalogAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "gem.model")
+	store := filepath.Join(dir, "store")
+
+	cfg := tinyCfg()
+	cfg.saveModel = model
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("persist run: %v\n%s", err, buf.String())
+	}
+
+	scfg := tinyCfg()
+	scfg.fitSynthetic = 0
+	scfg.model = model
+	scfg.catalogDir = store
+
+	searchBody := func(ts *httptest.Server) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/search", "application/json",
+			strings.NewReader(`{"column":{"name":"probe","values":[2,4,6,8,10,12]},"k":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search: %d %s", resp.StatusCode, b)
+		}
+		return b
+	}
+
+	// Server A: enroll 6 columns, remove 2.
+	buf.Reset()
+	srv, cleanup, err := buildServer(scfg, &buf)
+	if err != nil {
+		t.Fatalf("buildServer: %v\n%s", err, buf.String())
+	}
+	ds := data.ScalabilityDataset(12, 9)
+	if _, err := srv.AddColumns(context.Background(), ds.Columns[:6]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.RemoveColumns("@1", "@4"); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srv.Handler())
+	want := searchBody(tsA)
+	tsA.Close()
+	cleanup()
+
+	// With the store closed (and its lock released): a refitted model must
+	// be rejected against the old store.
+	other := tinyCfg()
+	other.seed = 99
+	other.catalogDir = store
+	other.addr = "127.0.0.1:0"
+	var obuf bytes.Buffer
+	if err := run(other, &obuf); err == nil || !strings.Contains(err.Error(), "store belongs to embedder") {
+		t.Errorf("mismatched model vs store: got %v", err)
+	}
+
+	// -catalog cannot be combined with -index-in.
+	bad := tinyCfg()
+	bad.catalogDir = store
+	bad.indexIn = filepath.Join(dir, "x.idx")
+	bad.addr = "127.0.0.1:0"
+	if err := run(bad, &obuf); err == nil || !strings.Contains(err.Error(), "cannot be combined with -index-in") {
+		t.Errorf("-catalog + -index-in: got %v", err)
+	}
+
+	// Server B: same model, same store.
+	buf.Reset()
+	srv2, cleanup2, err := buildServer(scfg, &buf)
+	if err != nil {
+		t.Fatalf("restart buildServer: %v\n%s", err, buf.String())
+	}
+	defer cleanup2()
+	if !strings.Contains(buf.String(), "4 live columns") {
+		t.Errorf("restart output missing replayed store:\n%s", buf.String())
+	}
+	if srv2.IndexLen() != 4 {
+		t.Fatalf("restarted live %d, want 4", srv2.IndexLen())
+	}
+	tsB := httptest.NewServer(srv2.Handler())
+	defer tsB.Close()
+	if got := searchBody(tsB); !bytes.Equal(want, got) {
+		t.Errorf("search changed across restart:\npre:  %s\npost: %s", want, got)
+	}
+
+	// While B holds the store, a concurrent server on the same directory
+	// is locked out.
+	if err := run(other, &obuf); err == nil || !strings.Contains(err.Error(), "locked by another process") {
+		t.Errorf("concurrent open of a held store: got %v", err)
 	}
 }

@@ -141,20 +141,66 @@ type Result struct {
 // Vectors are identified by insertion order; Search returns the k stored
 // vectors closest to the query under the index metric, nearest first, with
 // exact distance ties broken by lower id.
+//
+// Indexes are mutable: Remove tombstones a vector (its id keeps its slot
+// but stops appearing in results) and Rebuild compacts the tombstones away
+// deterministically — the rebuilt index is byte-identical to one freshly
+// built from the surviving vectors in id order, at every worker-pool width.
+// This incremental add/remove/compact regime is what lets a catalog stay
+// live while columns join and leave it.
 type Index interface {
 	// Add appends vectors to the index. All vectors of an index must share
 	// one dimensionality, fixed by the first Add.
 	Add(vecs ...[]float64) error
-	// Search returns up to k nearest stored vectors, nearest first.
+	// Remove tombstones the vector with the given id. The id keeps its
+	// slot (Len is unchanged, later ids do not shift) but the vector no
+	// longer appears in Search results. Removing an out-of-range or
+	// already-removed id fails with ErrInput.
+	Remove(id int) error
+	// Search returns up to k nearest live stored vectors, nearest first.
 	Search(q []float64, k int) ([]Result, error)
-	// Len returns the number of stored vectors.
+	// Len returns the number of stored vector slots, including tombstones.
 	Len() int
+	// Live returns the number of live (non-tombstoned) vectors.
+	Live() int
 	// Dim returns the vector dimensionality (0 while empty).
 	Dim() int
 	// Metric returns the index's distance metric.
 	Metric() Metric
+	// Rebuild compacts tombstones away: survivors are re-inserted in id
+	// order under the same configuration, producing an index byte-identical
+	// to a fresh build of the surviving vectors. It returns the id
+	// remapping, mapping[oldID] = newID, with -1 for removed ids.
+	Rebuild() ([]int, error)
 	// Save writes the index in the binary format Load reads.
 	Save(w io.Writer) error
+}
+
+// checkRemove validates a tombstone request against the current id space.
+func checkRemove(deleted []bool, id int) error {
+	if id < 0 || id >= len(deleted) {
+		return fmt.Errorf("%w: remove id %d out of range [0, %d)", ErrInput, id, len(deleted))
+	}
+	if deleted[id] {
+		return fmt.Errorf("%w: id %d already removed", ErrInput, id)
+	}
+	return nil
+}
+
+// liveMapping computes the Rebuild id remapping and the surviving vectors
+// in id order.
+func liveMapping(vecs [][]float64, deleted []bool) (mapping []int, live [][]float64) {
+	mapping = make([]int, len(vecs))
+	live = make([][]float64, 0, len(vecs))
+	for id := range vecs {
+		if deleted[id] {
+			mapping[id] = -1
+			continue
+		}
+		mapping[id] = len(live)
+		live = append(live, vecs[id])
+	}
+	return mapping, live
 }
 
 // checkAdd validates a batch of vectors against an index's current

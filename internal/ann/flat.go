@@ -9,10 +9,12 @@ import (
 // It is the recall reference for HNSW and the right choice for small
 // catalogs where an O(n·d) scan is already fast.
 type Flat struct {
-	metric Metric
-	dim    int
-	vecs   [][]float64
-	norms  []float64 // cached L2 norms (used by the cosine metric)
+	metric   Metric
+	dim      int
+	vecs     [][]float64
+	norms    []float64 // cached L2 norms (used by the cosine metric)
+	deleted  []bool    // tombstones; Search skips marked slots
+	nDeleted int
 }
 
 // NewFlat returns an empty exact index under the given metric.
@@ -32,12 +34,26 @@ func (f *Flat) Add(vecs ...[]float64) error {
 		copy(cp, v)
 		f.vecs = append(f.vecs, cp)
 		f.norms = append(f.norms, Norm(cp))
+		f.deleted = append(f.deleted, false)
 	}
+	return nil
+}
+
+// Remove implements Index: the slot is tombstoned, not reclaimed.
+func (f *Flat) Remove(id int) error {
+	if err := checkRemove(f.deleted, id); err != nil {
+		return err
+	}
+	f.deleted[id] = true
+	f.nDeleted++
 	return nil
 }
 
 // Len implements Index.
 func (f *Flat) Len() int { return len(f.vecs) }
+
+// Live implements Index.
+func (f *Flat) Live() int { return len(f.vecs) - f.nDeleted }
 
 // Dim implements Index.
 func (f *Flat) Dim() int { return f.dim }
@@ -45,21 +61,37 @@ func (f *Flat) Dim() int { return f.dim }
 // Metric implements Index.
 func (f *Flat) Metric() Metric { return f.metric }
 
-// Search implements Index: an exact scan, sorted by (distance, id).
+// Rebuild implements Index: survivors are re-added in id order, so the
+// result is byte-identical to a fresh Flat built from them.
+func (f *Flat) Rebuild() ([]int, error) {
+	mapping, live := liveMapping(f.vecs, f.deleted)
+	nf := NewFlat(f.metric)
+	if err := nf.Add(live...); err != nil {
+		return nil, err
+	}
+	*f = *nf
+	return mapping, nil
+}
+
+// Search implements Index: an exact scan over the live vectors, sorted by
+// (distance, id).
 func (f *Flat) Search(q []float64, k int) ([]Result, error) {
 	if err := checkQuery(f.dim, q, k); err != nil {
 		return nil, err
 	}
-	if k > len(f.vecs) {
-		k = len(f.vecs)
+	if k > f.Live() {
+		k = f.Live()
 	}
 	if k == 0 {
 		return nil, nil
 	}
 	qn := Norm(q)
-	out := make([]Result, len(f.vecs))
+	out := make([]Result, 0, f.Live())
 	for i, v := range f.vecs {
-		out[i] = Result{ID: i, Dist: f.metric.distNormed(q, qn, v, f.norms[i])}
+		if f.deleted[i] {
+			continue
+		}
+		out = append(out, Result{ID: i, Dist: f.metric.distNormed(q, qn, v, f.norms[i])})
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Dist != out[b].Dist {

@@ -1,0 +1,69 @@
+package ann
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the index loader. The contract under
+// test is "corrupt input errors, never panics": whatever the mutation —
+// bad magic, truncated records, implausible counts, broken adjacency — Load
+// must either return an error or an index whose basic operations work.
+func FuzzLoad(f *testing.F) {
+	// Seed with real saves of both kinds, with and without tombstones, so
+	// the fuzzer starts from structurally valid inputs and mutates inward.
+	seedIndex := func(idx Index) {
+		var buf bytes.Buffer
+		if err := idx.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	vecs := randomVectors(30, 5, 77)
+	flat := NewFlat(Cosine)
+	if err := flat.Add(vecs...); err != nil {
+		f.Fatal(err)
+	}
+	seedIndex(flat)
+	if err := flat.Remove(3); err != nil {
+		f.Fatal(err)
+	}
+	seedIndex(flat)
+	h, err := NewHNSW(HNSWConfig{Metric: Euclidean, Seed: 4, M: 4, EfConstruction: 20, BatchSize: 8}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := h.Add(vecs...); err != nil {
+		f.Fatal(err)
+	}
+	seedIndex(h)
+	for _, id := range []int{0, 7, 29} {
+		if err := h.Remove(id); err != nil {
+			f.Fatal(err)
+		}
+	}
+	seedIndex(h)
+	f.Add([]byte{})
+	f.Add([]byte("gemann\x00\x02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := Load(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		// A load that succeeds must hand back a usable index: searching and
+		// a save round trip must not panic either.
+		if idx.Live() < 0 || idx.Live() > idx.Len() {
+			t.Fatalf("live %d out of range [0, %d]", idx.Live(), idx.Len())
+		}
+		if idx.Dim() > 0 {
+			q := make([]float64, idx.Dim())
+			if _, err := idx.Search(q, 3); err != nil {
+				t.Fatalf("search on loaded index: %v", err)
+			}
+		}
+		if err := idx.Save(&bytes.Buffer{}); err != nil {
+			t.Fatalf("re-save of loaded index: %v", err)
+		}
+	})
+}

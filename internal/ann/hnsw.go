@@ -74,6 +74,13 @@ type HNSW struct {
 	links  [][][]int32
 	entry  int // id of the entry point, -1 while empty
 	maxLvl int
+
+	// deleted tombstones removed ids. The graph keeps tombstoned nodes as
+	// routing waypoints (standard mark-delete HNSW); Search widens its beam
+	// by the tombstone count and filters them from results, and Rebuild
+	// compacts them away deterministically.
+	deleted  []bool
+	nDeleted int
 }
 
 // NewHNSW returns an empty HNSW index. The pool bounds the parallelism of
@@ -108,8 +115,41 @@ func (h *HNSW) SetEfSearch(ef int) {
 // Len implements Index.
 func (h *HNSW) Len() int { return len(h.vecs) }
 
+// Live implements Index.
+func (h *HNSW) Live() int { return len(h.vecs) - h.nDeleted }
+
 // Dim implements Index.
 func (h *HNSW) Dim() int { return h.dim }
+
+// Remove implements Index. The node stays in the graph as a routing
+// waypoint — unlinking it would degrade the neighbourhoods of every node it
+// connects — but it stops appearing in Search results. Rebuild reclaims the
+// space once tombstones accumulate.
+func (h *HNSW) Remove(id int) error {
+	if err := checkRemove(h.deleted, id); err != nil {
+		return err
+	}
+	h.deleted[id] = true
+	h.nDeleted++
+	return nil
+}
+
+// Rebuild implements Index: the surviving vectors are re-inserted in id
+// order into a fresh graph under the same configuration and pool, so the
+// result is byte-identical to a fresh HNSW built from the survivors — the
+// same determinism contract as the batched build, at every pool width.
+func (h *HNSW) Rebuild() ([]int, error) {
+	mapping, live := liveMapping(h.vecs, h.deleted)
+	nh, err := NewHNSW(h.cfg, h.pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := nh.Add(live...); err != nil {
+		return nil, err
+	}
+	*h = *nh
+	return mapping, nil
+}
 
 // Metric implements Index.
 func (h *HNSW) Metric() Metric { return h.cfg.Metric }
@@ -337,6 +377,7 @@ func (h *HNSW) Add(vecs ...[]float64) error {
 		h.norms = append(h.norms, Norm(cp))
 		h.levels = append(h.levels, lvl)
 		h.links = append(h.links, make([][]int32, lvl+1))
+		h.deleted = append(h.deleted, false)
 	}
 	for bs := start; bs < len(h.vecs); bs += h.cfg.BatchSize {
 		be := bs + h.cfg.BatchSize
@@ -456,13 +497,15 @@ func (h *HNSW) prune(id int32, l, limit int) {
 
 // Search implements Index: greedy descent from the entry point through the
 // upper layers, then a beam search of the base layer with
-// ef = max(EfSearch, k).
+// ef = max(EfSearch, k) widened by the tombstone count, so the beam keeps
+// at least as many live candidates as a tombstone-free search would.
+// Tombstoned nodes route but never appear in the result.
 func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
 	if err := checkQuery(h.dim, q, k); err != nil {
 		return nil, err
 	}
-	if k > len(h.vecs) {
-		k = len(h.vecs)
+	if k > h.Live() {
+		k = h.Live()
 	}
 	if k == 0 || h.entry < 0 {
 		return nil, nil
@@ -476,14 +519,18 @@ func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
 	if k > ef {
 		ef = k
 	}
+	ef += h.nDeleted
 	visited := make([]bool, len(h.vecs))
 	res := h.searchLayer(q, qn, []cand{cur}, ef, 0, visited)
-	if len(res) > k {
-		res = res[:k]
-	}
-	out := make([]Result, len(res))
-	for i, c := range res {
-		out[i] = Result{ID: int(c.id), Dist: c.dist}
+	out := make([]Result, 0, k)
+	for _, c := range res {
+		if h.deleted[c.id] {
+			continue
+		}
+		out = append(out, Result{ID: int(c.id), Dist: c.dist})
+		if len(out) == k {
+			break
+		}
 	}
 	return out, nil
 }

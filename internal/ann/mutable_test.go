@@ -1,0 +1,299 @@
+package ann
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// removeEvery tombstones every step-th id and returns the removed set.
+func removeEvery(t *testing.T, idx Index, step int) map[int]bool {
+	t.Helper()
+	removed := make(map[int]bool)
+	for id := 0; id < idx.Len(); id += step {
+		if err := idx.Remove(id); err != nil {
+			t.Fatalf("remove %d: %v", id, err)
+		}
+		removed[id] = true
+	}
+	return removed
+}
+
+// TestRemoveBasics: tombstone bookkeeping and input validation, for both
+// index kinds.
+func TestRemoveBasics(t *testing.T) {
+	vecs := randomVectors(60, 8, 3)
+	h, err := NewHNSW(HNSWConfig{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, idx := range map[string]Index{"flat": NewFlat(Cosine), "hnsw": h} {
+		t.Run(name, func(t *testing.T) {
+			if err := idx.Add(vecs...); err != nil {
+				t.Fatal(err)
+			}
+			if idx.Live() != 60 || idx.Len() != 60 {
+				t.Fatalf("live %d / len %d, want 60/60", idx.Live(), idx.Len())
+			}
+			if err := idx.Remove(-1); !errors.Is(err, ErrInput) {
+				t.Errorf("remove -1: %v", err)
+			}
+			if err := idx.Remove(60); !errors.Is(err, ErrInput) {
+				t.Errorf("remove 60: %v", err)
+			}
+			if err := idx.Remove(7); err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.Remove(7); !errors.Is(err, ErrInput) {
+				t.Errorf("double remove: %v", err)
+			}
+			if idx.Live() != 59 || idx.Len() != 60 {
+				t.Fatalf("after remove: live %d / len %d, want 59/60", idx.Live(), idx.Len())
+			}
+			// The removed id never appears, even when k asks for everything.
+			res, err := idx.Search(vecs[7], idx.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != 59 {
+				t.Fatalf("got %d results, want 59", len(res))
+			}
+			for _, r := range res {
+				if r.ID == 7 {
+					t.Fatal("tombstoned id 7 appeared in results")
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveRebuildMatchesFreshBuild pins the acceptance criterion: an
+// index that has seen N inserts and M removes, then a compaction, is
+// byte-identical to a fresh build of the surviving vectors — at every
+// worker-pool width.
+func TestRemoveRebuildMatchesFreshBuild(t *testing.T) {
+	vecs := randomVectors(300, 10, 11)
+	cfg := HNSWConfig{Metric: Cosine, Seed: 5, M: 8, EfConstruction: 60, BatchSize: 32}
+	for _, workers := range []int{1, 2, 8} {
+		p := pool.New(workers)
+
+		churned, err := NewHNSW(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interleave adds and removes: two insert waves with removes between.
+		if err := churned.Add(vecs[:200]...); err != nil {
+			t.Fatal(err)
+		}
+		removed := removeEvery(t, churned, 5)
+		if err := churned.Add(vecs[200:]...); err != nil {
+			t.Fatal(err)
+		}
+		mapping, err := churned.Rebuild()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var survivors [][]float64
+		for id, v := range vecs {
+			if !removed[id] {
+				survivors = append(survivors, v)
+			}
+		}
+		fresh, err := NewHNSW(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Add(survivors...); err != nil {
+			t.Fatal(err)
+		}
+
+		var got, want bytes.Buffer
+		if err := churned.Save(&got); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Save(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("workers=%d: rebuilt index differs from fresh build of survivors", workers)
+		}
+
+		// The mapping is dense over survivors and -1 on the removed.
+		next := 0
+		for id := range vecs {
+			switch {
+			case removed[id] && mapping[id] != -1:
+				t.Fatalf("workers=%d: removed id %d mapped to %d", workers, id, mapping[id])
+			case !removed[id]:
+				if mapping[id] != next {
+					t.Fatalf("workers=%d: id %d mapped to %d, want %d", workers, id, mapping[id], next)
+				}
+				next++
+			}
+		}
+	}
+}
+
+// TestRebuildByteIdenticalAcrossWorkers: one churn history, rebuilt under
+// pools of different widths, yields one graph.
+func TestRebuildByteIdenticalAcrossWorkers(t *testing.T) {
+	vecs := randomVectors(250, 8, 21)
+	cfg := HNSWConfig{Seed: 9, M: 8, EfConstruction: 50, BatchSize: 16}
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		h, err := NewHNSW(cfg, pool.New(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Add(vecs...); err != nil {
+			t.Fatal(err)
+		}
+		removeEvery(t, h, 3)
+		if _, err := h.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := h.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("workers=%d: rebuild not byte-identical to workers=1", workers)
+		}
+	}
+}
+
+// TestTombstoneSearchExactAgainstFlat: with the beam wider than the
+// catalog the HNSW base-layer search is exhaustive, so its filtered
+// results must equal the exact scan's under the same tombstone set.
+func TestTombstoneSearchExactAgainstFlat(t *testing.T) {
+	vecs := randomVectors(120, 6, 31)
+	qs := randomVectors(25, 6, 32)
+	h, err := NewHNSW(HNSWConfig{Seed: 2, EfSearch: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewFlat(Cosine)
+	for _, idx := range []Index{flat, h} {
+		if err := idx.Add(vecs...); err != nil {
+			t.Fatal(err)
+		}
+		removeEvery(t, idx, 4)
+	}
+	for qi, q := range qs {
+		want, err := flat.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rank %d: hnsw %+v, flat %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPersistTombstonesRoundTrip: a save/load mid-churn preserves the
+// tombstone set — searches stay bit-identical and a rebuild of the loaded
+// index still matches a fresh build of the survivors.
+func TestPersistTombstonesRoundTrip(t *testing.T) {
+	vecs := randomVectors(150, 7, 41)
+	qs := randomVectors(20, 7, 42)
+	h, err := NewHNSW(HNSWConfig{Seed: 3, M: 6, EfConstruction: 60}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewFlat(Euclidean)
+	for name, idx := range map[string]Index{"flat": flat, "hnsw": h} {
+		t.Run(name, func(t *testing.T) {
+			if err := idx.Add(vecs...); err != nil {
+				t.Fatal(err)
+			}
+			removed := removeEvery(t, idx, 6)
+			loaded := roundTrip(t, idx)
+			if loaded.Live() != idx.Live() || loaded.Len() != idx.Len() {
+				t.Fatalf("loaded live/len %d/%d, want %d/%d",
+					loaded.Live(), loaded.Len(), idx.Live(), idx.Len())
+			}
+			for qi, q := range qs {
+				want, err := idx.Search(q, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := loaded.Search(q, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("query %d: %d vs %d results", qi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("query %d rank %d: loaded %+v, original %+v", qi, i, got[i], want[i])
+					}
+				}
+			}
+			// A removed id must stay removed across the round trip.
+			for id := range removed {
+				if err := loaded.Remove(id); !errors.Is(err, ErrInput) {
+					t.Fatalf("re-remove of persisted tombstone %d: %v", id, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveAllThenSearch: an index whose every vector is tombstoned
+// returns empty results, and Add after Rebuild restarts the id space.
+func TestRemoveAllThenSearch(t *testing.T) {
+	vecs := randomVectors(20, 5, 51)
+	h, err := NewHNSW(HNSWConfig{Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, idx := range map[string]Index{"flat": NewFlat(Cosine), "hnsw": h} {
+		t.Run(name, func(t *testing.T) {
+			if err := idx.Add(vecs...); err != nil {
+				t.Fatal(err)
+			}
+			removeEvery(t, idx, 1)
+			if idx.Live() != 0 {
+				t.Fatalf("live %d, want 0", idx.Live())
+			}
+			res, err := idx.Search(vecs[0], 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != 0 {
+				t.Fatalf("got %d results from an all-tombstoned index", len(res))
+			}
+			if _, err := idx.Rebuild(); err != nil {
+				t.Fatal(err)
+			}
+			if idx.Len() != 0 || idx.Dim() != 0 {
+				t.Fatalf("after rebuild of empty survivors: len %d dim %d", idx.Len(), idx.Dim())
+			}
+			if err := idx.Add(vecs[0]); err != nil {
+				t.Fatal(err)
+			}
+			res, err = idx.Search(vecs[0], 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != 1 || res[0].ID != 0 {
+				t.Fatalf("fresh add after empty rebuild: %+v", res)
+			}
+		})
+	}
+}

@@ -2,14 +2,17 @@ package ann
 
 // Binary persistence for the index types. The format is little-endian:
 //
-//	magic   [8]byte  "gemann\x00\x01" (name + format version)
+//	magic   [8]byte  "gemann\x00\x02" (name + format version)
 //	kind    uint8    1 = Flat, 2 = HNSW
 //	metric  uint8
 //
-// followed by the kind-specific body. Vectors are stored as raw float64
-// bits, so a loaded index returns bit-identical search results: derived
-// quantities (norms) are recomputed on load with the same summation order
-// used at build time, and the HNSW adjacency is stored verbatim.
+// followed by the kind-specific body and a tombstone section (a count and
+// the strictly increasing removed ids) — format version 2 added the
+// tombstones so a mutable index survives a save/load round trip mid-churn.
+// Vectors are stored as raw float64 bits, so a loaded index returns
+// bit-identical search results: derived quantities (norms) are recomputed
+// on load with the same summation order used at build time, and the HNSW
+// adjacency is stored verbatim.
 
 import (
 	"bufio"
@@ -21,11 +24,16 @@ import (
 	"github.com/gem-embeddings/gem/internal/pool"
 )
 
-var magic = [8]byte{'g', 'e', 'm', 'a', 'n', 'n', 0, 1}
+var magic = [8]byte{'g', 'e', 'm', 'a', 'n', 'n', 0, 2}
 
 const (
 	kindFlat uint8 = 1
 	kindHNSW uint8 = 2
+
+	// formatV1 is the pre-tombstone layout; Load still reads it (as an
+	// index with no removals) so indexes saved by older builds keep
+	// working. Save always writes the current version.
+	formatV1 uint8 = 1
 )
 
 // maxPersistCount caps counts read from index bytes (vectors, dimensions,
@@ -33,15 +41,20 @@ const (
 const maxPersistCount = 1 << 28
 
 // Load reads an index saved by Flat.Save or HNSW.Save, dispatching on the
-// header. The pool bounds the parallelism of future Add calls on a loaded
-// HNSW (Flat ignores it); nil is valid and means serial.
+// header. Both the current format and the pre-tombstone v1 layout are
+// accepted (a v1 file loads with zero removals). The pool bounds the
+// parallelism of future Add calls on a loaded HNSW (Flat ignores it); nil
+// is valid and means serial.
 func Load(r io.Reader, p *pool.Pool) (Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("%w: reading magic: %v", ErrFormat, err)
 	}
-	if m != magic {
+	version := m[7]
+	m[7] = magic[7]
+	if m != magic || version < formatV1 || version > magic[7] {
+		m[7] = version
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, m[:])
 	}
 	var kind, metric uint8
@@ -53,9 +66,9 @@ func Load(r io.Reader, p *pool.Pool) (Index, error) {
 	}
 	switch kind {
 	case kindFlat:
-		return loadFlat(br, Metric(metric))
+		return loadFlat(br, Metric(metric), version)
 	case kindHNSW:
-		return loadHNSW(br, Metric(metric), p)
+		return loadHNSW(br, Metric(metric), version, p)
 	default:
 		return nil, fmt.Errorf("%w: unknown index kind %d", ErrFormat, kind)
 	}
@@ -137,6 +150,52 @@ func readVectors(r io.Reader) (dim int, vecs [][]float64, err error) {
 	return dim, vecs, nil
 }
 
+// writeTombstones writes the removed-id section: a count followed by the
+// removed ids in increasing order.
+func writeTombstones(w io.Writer, deleted []bool, nDeleted int) error {
+	if err := writeLE(w, uint32(nDeleted)); err != nil {
+		return err
+	}
+	for id, dead := range deleted {
+		if dead {
+			if err := writeLE(w, uint32(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readTombstones reads the section written by writeTombstones, validating
+// that ids are strictly increasing and in range. Version-1 files predate
+// the section: they decode as "no removals".
+func readTombstones(r io.Reader, n int, version uint8) (deleted []bool, nDeleted int, err error) {
+	if version < 2 {
+		return make([]bool, n), 0, nil
+	}
+	cnt, err := readCount(r, "tombstone")
+	if err != nil {
+		return nil, 0, err
+	}
+	if cnt > n {
+		return nil, 0, fmt.Errorf("%w: %d tombstones for %d vectors", ErrFormat, cnt, n)
+	}
+	deleted = make([]bool, n)
+	prev := -1
+	for i := 0; i < cnt; i++ {
+		var id uint32
+		if err := readLE(r, &id); err != nil {
+			return nil, 0, err
+		}
+		if int(id) >= n || int(id) <= prev {
+			return nil, 0, fmt.Errorf("%w: tombstone id %d out of order or range (n=%d)", ErrFormat, id, n)
+		}
+		deleted[id] = true
+		prev = int(id)
+	}
+	return deleted, cnt, nil
+}
+
 // saveFlat writes a Flat index.
 func saveFlat(w io.Writer, f *Flat) error {
 	bw := bufio.NewWriter(w)
@@ -146,6 +205,9 @@ func saveFlat(w io.Writer, f *Flat) error {
 	if err := writeVectors(bw, f.dim, f.vecs); err != nil {
 		return err
 	}
+	if err := writeTombstones(bw, f.deleted, f.nDeleted); err != nil {
+		return err
+	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("ann: writing index: %w", err)
 	}
@@ -153,7 +215,7 @@ func saveFlat(w io.Writer, f *Flat) error {
 }
 
 // loadFlat reads a Flat body (header already consumed).
-func loadFlat(r io.Reader, metric Metric) (*Flat, error) {
+func loadFlat(r io.Reader, metric Metric, version uint8) (*Flat, error) {
 	dim, vecs, err := readVectors(r)
 	if err != nil {
 		return nil, err
@@ -163,6 +225,9 @@ func loadFlat(r io.Reader, metric Metric) (*Flat, error) {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
 	f.dim = dim
+	if f.deleted, f.nDeleted, err = readTombstones(r, len(vecs), version); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -191,6 +256,9 @@ func saveHNSW(w io.Writer, h *HNSW) error {
 			}
 		}
 	}
+	if err := writeTombstones(bw, h.deleted, h.nDeleted); err != nil {
+		return err
+	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("ann: writing index: %w", err)
 	}
@@ -199,7 +267,7 @@ func saveHNSW(w io.Writer, h *HNSW) error {
 
 // loadHNSW reads an HNSW body (header already consumed) and validates the
 // graph invariants so a corrupt adjacency cannot cause out-of-range panics.
-func loadHNSW(r io.Reader, metric Metric, p *pool.Pool) (*HNSW, error) {
+func loadHNSW(r io.Reader, metric Metric, version uint8, p *pool.Pool) (*HNSW, error) {
 	var mM, efC, efS, batch uint32
 	var seed int64
 	if err := readLE(r, &mM, &efC, &efS, &batch, &seed); err != nil {
@@ -227,6 +295,9 @@ func loadHNSW(r io.Reader, metric Metric, p *pool.Pool) (*HNSW, error) {
 	if n == 0 {
 		if entry != -1 {
 			return nil, fmt.Errorf("%w: empty index with entry %d", ErrFormat, entry)
+		}
+		if _, _, err := readTombstones(r, 0, version); err != nil {
+			return nil, err
 		}
 		return h, nil
 	}
@@ -275,6 +346,9 @@ func loadHNSW(r io.Reader, metric Metric, p *pool.Pool) (*HNSW, error) {
 	}
 	if h.levels[entry] < int(maxLvl) {
 		return nil, fmt.Errorf("%w: entry %d has level %d, max level is %d", ErrFormat, entry, h.levels[entry], maxLvl)
+	}
+	if h.deleted, h.nDeleted, err = readTombstones(r, n, version); err != nil {
+		return nil, err
 	}
 	h.entry = int(entry)
 	h.maxLvl = int(maxLvl)

@@ -179,3 +179,54 @@ func TestPersistCorruptGraph(t *testing.T) {
 		t.Errorf("out-of-range neighbour: Load err = %v, want ErrFormat", err)
 	}
 }
+
+// TestLoadV1Compat: indexes saved before the tombstone section (format
+// v1) must still load, as fully-live indexes. A v1 file is byte-wise a v2
+// file minus its trailing zero-count tombstone section, with the version
+// byte set to 1.
+func TestLoadV1Compat(t *testing.T) {
+	vecs := randomVectors(40, 6, 91)
+	h, err := NewHNSW(HNSWConfig{Seed: 2, M: 6, EfConstruction: 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, idx := range map[string]Index{"flat": NewFlat(Cosine), "hnsw": h} {
+		t.Run(name, func(t *testing.T) {
+			if err := idx.Add(vecs...); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := idx.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			v1 := buf.Bytes()[:buf.Len()-4] // drop the empty tombstone section
+			v1[7] = 1
+			loaded, err := Load(bytes.NewReader(v1), nil)
+			if err != nil {
+				t.Fatalf("v1 load: %v", err)
+			}
+			if loaded.Len() != 40 || loaded.Live() != 40 {
+				t.Fatalf("v1 loaded %d/%d live", loaded.Live(), loaded.Len())
+			}
+			want, err := idx.Search(vecs[3], 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Search(vecs[3], 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("rank %d: %+v vs %+v", i, got[i], want[i])
+				}
+			}
+			// Unknown future versions still fail loudly.
+			v9 := append([]byte(nil), buf.Bytes()...)
+			v9[7] = 9
+			if _, err := Load(bytes.NewReader(v9), nil); !errors.Is(err, ErrFormat) {
+				t.Fatalf("v9 load: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Package catalog owns the column lifecycle of a Gem deployment: where
+// columns come from (the ingest layer) and how their embeddings persist
+// across restarts (the versioned store).
+//
+// The ingest layer is one Source interface with file, directory-glob,
+// reader, synthetic and in-memory implementations, plus a Spec resolver for
+// the flag convention every CLI shares (-in/-fit file-or-glob, -synthetic
+// N). Before this package each CLI re-implemented that dispatch; now they
+// all delegate here.
+//
+// The store is a snapshot file plus an append-only journal of add/remove
+// records keyed by content hash. Mutations go to the journal; compaction
+// folds the journal into a fresh snapshot. Replay is crash-safe: a torn
+// final record (a process killed mid-append) is truncated away on the next
+// open, while any other corruption — bad magic, mismatched checksum, an
+// implausible length — is an error, never a panic. A generation number
+// shared by snapshot and journal makes compaction itself crash-safe: if
+// the process dies between the snapshot rename and the journal reset, the
+// stale journal (older generation) is discarded on the next open instead
+// of being double-applied.
+//
+// The store deliberately records raw (un-normalized) embedding rows and
+// the exact order of operations. Both matter downstream: internal/serve
+// normalizes per index metric at feed time, and replaying the same op
+// sequence into internal/ann's deterministic mutable index reconstructs a
+// byte-identical graph — which is what makes a restarted server answer
+// /search exactly like the one that wrote the journal.
+package catalog
+
+import (
+	"encoding/hex"
+	"errors"
+)
+
+// ErrInput is returned for malformed specs, sources and store operations.
+var ErrInput = errors.New("catalog: invalid input")
+
+// ErrFormat is returned when persisted store bytes cannot be decoded.
+var ErrFormat = errors.New("catalog: invalid store data")
+
+// Key content-addresses one column embedding: SHA-256 over the embedder
+// fingerprint and the column inputs the embedding depends on. The serve
+// layer computes it; the store only requires that equal content means
+// equal key.
+type Key [32]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, errors.Join(ErrInput, errors.New("catalog: key must be 64 hex chars"))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Entry is one live column of the catalog: its content key, header name
+// and raw embedding row.
+type Entry struct {
+	Key  Key
+	Name string
+	Vec  []float64
+}
+
+// OpKind discriminates journal operations.
+type OpKind uint8
+
+const (
+	// OpAdd introduces a column (Entry fully populated).
+	OpAdd OpKind = 1
+	// OpRemove retires a column (only Entry.Key is meaningful).
+	OpRemove OpKind = 2
+)
+
+// Op is one journal record: a column joining or leaving the catalog.
+type Op struct {
+	Kind  OpKind
+	Entry Entry
+}

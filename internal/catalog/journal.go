@@ -1,0 +1,190 @@
+package catalog
+
+// The append-only journal. Layout, little-endian:
+//
+//	magic       [8]byte  "gemjnl\x00\x01"
+//	generation  uint64   must match the snapshot's generation
+//	fpLen       uint32   followed by the embedder fingerprint bytes
+//	records...
+//
+// One record:
+//
+//	payloadLen  uint32
+//	payload     payloadLen bytes
+//	crc         uint32    IEEE CRC-32 of the payload
+//
+// Payload:
+//
+//	kind   uint8   1 = add, 2 = remove
+//	key    [32]byte
+//	add only:
+//	  nameLen uint32, name, dim uint32, dim float64s (raw bits)
+//
+// Replay distinguishes a torn tail from corruption. A record cut short by
+// the end of the stream is how a crash mid-append looks, so it is reported
+// (and the store truncates it away); anything else — an implausible
+// length, a checksum mismatch, a malformed payload — fails with ErrFormat.
+// Replay never panics on arbitrary bytes; FuzzReplayJournal pins that.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+var journalMagic = [8]byte{'g', 'e', 'm', 'j', 'n', 'l', 0, 1}
+
+const (
+	// maxJournalName bounds a column name read from journal bytes.
+	maxJournalName = 1 << 16
+	// maxJournalDim bounds an embedding dimensionality read from journal
+	// bytes.
+	maxJournalDim = 1 << 20
+	// maxJournalPayload bounds one record payload: kind + key + name and
+	// vector sections at their own caps.
+	maxJournalPayload = 1 + 32 + 4 + maxJournalName + 4 + 8*maxJournalDim
+)
+
+// appendJournalHeader encodes the journal file header.
+func appendJournalHeader(buf []byte, generation uint64, fingerprint string) []byte {
+	buf = append(buf, journalMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, generation)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fingerprint)))
+	return append(buf, fingerprint...)
+}
+
+// appendRecord encodes one framed journal record.
+func appendRecord(buf []byte, op Op) []byte {
+	payload := make([]byte, 0, 64+8*len(op.Entry.Vec))
+	payload = append(payload, byte(op.Kind))
+	payload = append(payload, op.Entry.Key[:]...)
+	if op.Kind == OpAdd {
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(op.Entry.Name)))
+		payload = append(payload, op.Entry.Name...)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(op.Entry.Vec)))
+		for _, v := range op.Entry.Vec {
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+}
+
+// decodePayload parses one record payload into an Op.
+func decodePayload(p []byte) (Op, error) {
+	if len(p) < 1+32 {
+		return Op{}, fmt.Errorf("%w: journal payload of %d bytes", ErrFormat, len(p))
+	}
+	var op Op
+	op.Kind = OpKind(p[0])
+	copy(op.Entry.Key[:], p[1:33])
+	rest := p[33:]
+	switch op.Kind {
+	case OpRemove:
+		if len(rest) != 0 {
+			return Op{}, fmt.Errorf("%w: remove record with %d trailing bytes", ErrFormat, len(rest))
+		}
+		return op, nil
+	case OpAdd:
+		if len(rest) < 4 {
+			return Op{}, fmt.Errorf("%w: add record truncated before name", ErrFormat)
+		}
+		nameLen := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if nameLen > maxJournalName || int(nameLen) > len(rest) {
+			return Op{}, fmt.Errorf("%w: add record name length %d", ErrFormat, nameLen)
+		}
+		op.Entry.Name = string(rest[:nameLen])
+		rest = rest[nameLen:]
+		if len(rest) < 4 {
+			return Op{}, fmt.Errorf("%w: add record truncated before vector", ErrFormat)
+		}
+		dim := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if dim == 0 || dim > maxJournalDim || len(rest) != 8*int(dim) {
+			return Op{}, fmt.Errorf("%w: add record vector length %d (have %d bytes)", ErrFormat, dim, len(rest))
+		}
+		op.Entry.Vec = make([]float64, dim)
+		for i := range op.Entry.Vec {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Op{}, fmt.Errorf("%w: add record component %d is not finite", ErrFormat, i)
+			}
+			op.Entry.Vec[i] = v
+		}
+		return op, nil
+	default:
+		return Op{}, fmt.Errorf("%w: unknown journal op kind %d", ErrFormat, op.Kind)
+	}
+}
+
+// replayJournal reads a journal stream. It returns the decoded ops, the
+// stream's generation and fingerprint, the byte offset of the end of the
+// last intact record, and whether a torn tail (truncated trailing record)
+// was dropped. Corruption other than a torn tail is an error.
+func replayJournal(r io.Reader) (ops []Op, generation uint64, fingerprint string, goodLen int64, torn bool, err error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, 0, "", 0, false, fmt.Errorf("%w: reading journal magic: %v", ErrFormat, err)
+	}
+	if m != journalMagic {
+		return nil, 0, "", 0, false, fmt.Errorf("%w: bad journal magic %q", ErrFormat, m[:])
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, "", 0, false, fmt.Errorf("%w: reading journal header: %v", ErrFormat, err)
+	}
+	generation = binary.LittleEndian.Uint64(hdr[:8])
+	fpLen := binary.LittleEndian.Uint32(hdr[8:])
+	if fpLen > maxJournalName {
+		return nil, 0, "", 0, false, fmt.Errorf("%w: journal fingerprint length %d", ErrFormat, fpLen)
+	}
+	fpBytes := make([]byte, fpLen)
+	if _, err := io.ReadFull(br, fpBytes); err != nil {
+		return nil, 0, "", 0, false, fmt.Errorf("%w: reading journal fingerprint: %v", ErrFormat, err)
+	}
+	fingerprint = string(fpBytes)
+	goodLen = int64(len(journalMagic)) + 12 + int64(fpLen)
+
+	frame := make([]byte, 0, 256)
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return ops, generation, fingerprint, goodLen, false, nil
+			}
+			// A partial length prefix at the end of the stream is a torn
+			// tail.
+			return ops, generation, fingerprint, goodLen, true, nil
+		}
+		payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
+		if payloadLen > maxJournalPayload {
+			return nil, 0, "", 0, false, fmt.Errorf("%w: journal record length %d exceeds limit", ErrFormat, payloadLen)
+		}
+		if cap(frame) < int(payloadLen)+4 {
+			frame = make([]byte, payloadLen+4)
+		}
+		frame = frame[:payloadLen+4]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			// Payload or checksum cut short by the end of the stream: torn
+			// tail.
+			return ops, generation, fingerprint, goodLen, true, nil
+		}
+		payload := frame[:payloadLen]
+		wantCRC := binary.LittleEndian.Uint32(frame[payloadLen:])
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return nil, 0, "", 0, false, fmt.Errorf("%w: journal record checksum mismatch", ErrFormat)
+		}
+		op, err := decodePayload(payload)
+		if err != nil {
+			return nil, 0, "", 0, false, err
+		}
+		ops = append(ops, op)
+		goodLen += 4 + int64(payloadLen) + 4
+	}
+}

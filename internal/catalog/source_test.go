@@ -1,0 +1,195 @@
+package catalog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// writeCSV drops a small catalog CSV into dir and returns its path.
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const csvA = "price,label\n#type:cost,\n9.99,x\n20,y\n35.5,z\n"
+const csvB = "quantity\n5\n30\n25\n"
+
+func TestFileSource(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCSV(t, dir, "a.csv", csvA)
+	ds, err := File(path).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Columns) != 1 || ds.Columns[0].Name != "price" || ds.Columns[0].Type != "cost" {
+		t.Fatalf("unexpected columns: %+v", ds.Columns)
+	}
+	if _, err := File(filepath.Join(dir, "missing.csv")).Load(); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestGlobSourceMergesSorted(t *testing.T) {
+	dir := t.TempDir()
+	// Written out of sorted order on purpose: the merge must sort paths.
+	writeCSV(t, dir, "b.csv", csvB)
+	writeCSV(t, dir, "a.csv", csvA)
+
+	for _, src := range []Source{Glob(filepath.Join(dir, "*.csv")), Glob(dir)} {
+		ds, err := src.Load()
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name(), err)
+		}
+		if len(ds.Columns) != 2 || ds.Columns[0].Name != "price" || ds.Columns[1].Name != "quantity" {
+			t.Fatalf("%s: merged columns %+v", src.Name(), ds.Headers())
+		}
+		// Provenance survives the merge.
+		if !strings.HasSuffix(ds.Columns[0].Table, "a.csv") || !strings.HasSuffix(ds.Columns[1].Table, "b.csv") {
+			t.Fatalf("%s: tables %q, %q", src.Name(), ds.Columns[0].Table, ds.Columns[1].Table)
+		}
+	}
+	if _, err := Glob(filepath.Join(dir, "*.tsv")).Load(); !errors.Is(err, ErrInput) {
+		t.Fatalf("empty glob: %v", err)
+	}
+}
+
+func TestSyntheticSourceDeterministic(t *testing.T) {
+	a, err := Synthetic(30, 7).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(30, 7).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Columns) != 30 || len(b.Columns) != 30 {
+		t.Fatalf("column counts %d, %d", len(a.Columns), len(b.Columns))
+	}
+	for i := range a.Columns {
+		if a.Columns[i].Name != b.Columns[i].Name {
+			t.Fatalf("column %d: %q vs %q", i, a.Columns[i].Name, b.Columns[i].Name)
+		}
+		for j := range a.Columns[i].Values {
+			if a.Columns[i].Values[j] != b.Columns[i].Values[j] {
+				t.Fatalf("column %d value %d differs", i, j)
+			}
+		}
+	}
+	if _, err := Synthetic(0, 1).Load(); !errors.Is(err, ErrInput) {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestMemoryAndReaderSources(t *testing.T) {
+	ds := &table.Dataset{Name: "mem", Columns: []table.Column{{Name: "c", Values: []float64{1, 2}}}}
+	got, err := Memory(ds).Load()
+	if err != nil || got != ds {
+		t.Fatalf("memory source: %v %v", got, err)
+	}
+	if _, err := Memory(nil).Load(); !errors.Is(err, ErrInput) {
+		t.Fatalf("nil memory: %v", err)
+	}
+	rds, err := Reader(strings.NewReader(csvA), "stream").Load()
+	if err != nil || rds.Name != "stream" || len(rds.Columns) != 1 {
+		t.Fatalf("reader source: %+v %v", rds, err)
+	}
+}
+
+func TestSpecResolution(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCSV(t, dir, "a.csv", csvA)
+
+	cases := []struct {
+		name    string
+		spec    Spec
+		wantErr bool
+		check   func(t *testing.T, src Source)
+	}{
+		{name: "file", spec: Spec{Path: path}, check: func(t *testing.T, src Source) {
+			if _, ok := src.(fileSource); !ok {
+				t.Fatalf("got %T", src)
+			}
+		}},
+		{name: "dir-as-glob", spec: Spec{Path: dir}, check: func(t *testing.T, src Source) {
+			if _, ok := src.(globSource); !ok {
+				t.Fatalf("got %T", src)
+			}
+		}},
+		{name: "pattern-as-glob", spec: Spec{Path: filepath.Join(dir, "*.csv")}, check: func(t *testing.T, src Source) {
+			if _, ok := src.(globSource); !ok {
+				t.Fatalf("got %T", src)
+			}
+		}},
+		{name: "synthetic", spec: Spec{Synthetic: 10, Seed: 3}, check: func(t *testing.T, src Source) {
+			if _, ok := src.(syntheticSource); !ok {
+				t.Fatalf("got %T", src)
+			}
+		}},
+		{name: "stdin-fallback", spec: Spec{Stdin: strings.NewReader(csvA)}, check: func(t *testing.T, src Source) {
+			if src.Name() != "stdin" {
+				t.Fatalf("name %q", src.Name())
+			}
+		}},
+		{name: "both", spec: Spec{Path: path, Synthetic: 5}, wantErr: true},
+		{name: "neither", spec: Spec{}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := tc.spec.Source()
+			if tc.wantErr {
+				if !errors.Is(err, ErrInput) {
+					t.Fatalf("want ErrInput, got %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, src)
+			if _, err := src.Load(); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+		})
+	}
+}
+
+// TestSpecLiteralPathBeatsGlob: a file literally named with glob
+// metacharacters opens directly when it exists; only non-existent paths
+// fall back to pattern interpretation.
+func TestSpecLiteralPathBeatsGlob(t *testing.T) {
+	dir := t.TempDir()
+	weird := writeCSV(t, dir, "data[1].csv", csvA)
+	writeCSV(t, dir, "data1.csv", csvB) // what the glob reading of [1] would match
+	src, err := Spec{Path: weird}.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Columns) != 1 || ds.Columns[0].Name != "price" {
+		t.Fatalf("literal bracket file misrouted: %+v", ds.Headers())
+	}
+	// The same spelling with no literal file present IS a pattern.
+	src, err = Spec{Path: filepath.Join(dir, "data[12].csv")}.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err = src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Columns) != 1 || ds.Columns[0].Name != "quantity" {
+		t.Fatalf("pattern fallback misrouted: %+v", ds.Headers())
+	}
+}

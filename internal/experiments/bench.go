@@ -1,0 +1,109 @@
+package experiments
+
+// Machine-readable benchmark reporting. gembench -json writes one
+// BenchReport per run (CI uploads it as the BENCH_5.json artifact), so the
+// performance trajectory — QPS, recall@k, latency percentiles — is
+// recorded per commit instead of scrolling away in build logs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BenchReport is the machine-readable result of one gembench run. Only
+// the experiments that actually ran are present.
+type BenchReport struct {
+	// Schema versions the report layout for downstream tooling.
+	Schema int `json:"schema"`
+	// Seed and Scale reproduce the run.
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	// Workers is the requested worker-pool bound (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+
+	Search *SearchReport `json:"search,omitempty"`
+	Serve  *ServeReport  `json:"serve,omitempty"`
+}
+
+// BenchSchemaVersion is the current BenchReport schema.
+const BenchSchemaVersion = 1
+
+// SearchReport is the JSON form of a SearchResult.
+type SearchReport struct {
+	Columns      int     `json:"columns"`
+	Dim          int     `json:"dim"`
+	K            int     `json:"k"`
+	Metric       string  `json:"metric"`
+	RecallAtK    float64 `json:"recall_at_k"`
+	EmbedSeconds float64 `json:"embed_seconds"`
+	BuildSeconds float64 `json:"build_seconds"`
+	FlatQPS      float64 `json:"flat_qps"`
+	HNSWQPS      float64 `json:"hnsw_qps"`
+}
+
+// NewSearchReport converts a SearchResult.
+func NewSearchReport(r *SearchResult) *SearchReport {
+	return &SearchReport{
+		Columns:      r.Columns,
+		Dim:          r.Dim,
+		K:            r.K,
+		Metric:       r.Metric.String(),
+		RecallAtK:    r.Recall,
+		EmbedSeconds: r.EmbedSeconds,
+		BuildSeconds: r.BuildSeconds,
+		FlatQPS:      r.FlatQPS,
+		HNSWQPS:      r.HNSWQPS,
+	}
+}
+
+// ServeReport is the JSON form of a ServeResult.
+type ServeReport struct {
+	Columns  int                `json:"columns"`
+	Requests int                `json:"requests"`
+	Clients  int                `json:"clients"`
+	Dim      int                `json:"dim"`
+	Points   []ServePointReport `json:"points"`
+}
+
+// ServePointReport is one duplicate-fraction sweep point.
+type ServePointReport struct {
+	DupFraction float64 `json:"dup_fraction"`
+	QPS         float64 `json:"qps"`
+	HitRate     float64 `json:"hit_rate"`
+	MeanBatch   float64 `json:"mean_batch"`
+	LatencyP50  float64 `json:"latency_p50_ms"`
+	LatencyP99  float64 `json:"latency_p99_ms"`
+}
+
+// NewServeReport converts a ServeResult.
+func NewServeReport(r *ServeResult) *ServeReport {
+	out := &ServeReport{
+		Columns:  r.Columns,
+		Requests: r.Requests,
+		Clients:  r.Clients,
+		Dim:      r.Dim,
+		Points:   make([]ServePointReport, len(r.Points)),
+	}
+	for i, p := range r.Points {
+		out.Points[i] = ServePointReport{
+			DupFraction: p.DupFraction,
+			QPS:         p.QPS,
+			HitRate:     p.HitRate,
+			MeanBatch:   p.MeanBatch,
+			LatencyP50:  p.P50Ms,
+			LatencyP99:  p.P99Ms,
+		}
+	}
+	return out
+}
+
+// Write renders the report as indented JSON.
+func (b *BenchReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("experiments: writing bench report: %w", err)
+	}
+	return nil
+}

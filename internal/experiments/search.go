@@ -14,8 +14,8 @@ import (
 	"time"
 
 	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
-	"github.com/gem-embeddings/gem/internal/data"
 	"github.com/gem-embeddings/gem/internal/pool"
 )
 
@@ -86,7 +86,10 @@ func (r *SearchResult) String() string {
 // worker count.
 func SearchEval(opts SearchOptions) (*SearchResult, error) {
 	opts.fillDefaults()
-	ds := data.ScalabilityDataset(opts.Columns, opts.Seed)
+	ds, err := catalog.Synthetic(opts.Columns, opts.Seed).Load()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
 	e, err := core.NewEmbedder(opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRun, err)

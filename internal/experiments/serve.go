@@ -18,8 +18,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
-	"github.com/gem-embeddings/gem/internal/data"
 	"github.com/gem-embeddings/gem/internal/serve"
 	"github.com/gem-embeddings/gem/internal/table"
 )
@@ -99,7 +99,10 @@ func (r *ServeResult) String() string {
 // fraction.
 func ServeEval(opts ServeOptions) (*ServeResult, error) {
 	opts.fillDefaults()
-	ds := data.ScalabilityDataset(opts.Columns, opts.Seed)
+	ds, err := catalog.Synthetic(opts.Columns, opts.Seed).Load()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
 	e, err := core.NewEmbedder(opts.gemConfig(core.Distributional|core.Statistical, core.Concatenation))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRun, err)

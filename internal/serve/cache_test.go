@@ -1,0 +1,67 @@
+package serve
+
+import "testing"
+
+func k(b byte) cacheKey {
+	var key cacheKey
+	key[0] = b
+	return key
+}
+
+// TestCacheEvictionOrderLRU pins the eviction policy byte for byte: the
+// least recently *used* entry goes first, where both get and put-of-an-
+// existing-key refresh recency.
+func TestCacheEvictionOrderLRU(t *testing.T) {
+	c := newCache(3)
+	vec := func(v float64) []float64 { return []float64{v} }
+	c.put(k(1), vec(1))
+	c.put(k(2), vec(2))
+	c.put(k(3), vec(3)) // recency: 3, 2, 1
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	} // recency: 1, 3, 2
+	c.put(k(4), vec(4)) // evicts 2
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("key 2 survived; eviction is not least-recently-used")
+	}
+	for _, b := range []byte{1, 3, 4} {
+		if _, ok := c.get(k(b)); !ok {
+			t.Fatalf("key %d evicted out of order", b)
+		}
+	}
+	// The loop got 1, 3, 4 in order → recency: 4, 3, 1.
+	c.put(k(1), vec(1)) // existing key: refresh only → recency: 1, 4, 3
+	c.put(k(5), vec(5)) // evicts 3
+	if _, ok := c.get(k(3)); ok {
+		t.Fatal("key 3 survived; put of an existing key must refresh recency")
+	}
+	for _, b := range []byte{1, 4, 5} {
+		if _, ok := c.get(k(b)); !ok {
+			t.Fatalf("key %d evicted out of order after refresh", b)
+		}
+	}
+	if c.len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", c.len())
+	}
+	// The idempotent put keeps the original row bytes.
+	c.put(k(5), vec(99))
+	if v, _ := c.get(k(5)); v[0] != 5 {
+		t.Fatalf("idempotent put replaced the stored row: %v", v)
+	}
+}
+
+// TestCacheDisabled: a nil cache (CacheSize < 0) never stores and never
+// hits.
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(-1)
+	if c != nil {
+		t.Fatal("negative size must disable the cache")
+	}
+	c.put(k(1), []float64{1})
+	if _, ok := c.get(k(1)); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}

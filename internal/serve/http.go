@@ -65,19 +65,97 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// columnsResponse is the GET /columns answer.
+type columnsResponse struct {
+	Columns []ColumnInfo `json:"columns"`
+	Live    int          `json:"live"`
+}
+
+// addColumnsRequest is the POST /columns payload (same column shape as
+// /embed).
+type addColumnsRequest struct {
+	Columns []columnJSON `json:"columns"`
+}
+
+type addColumnsResponse struct {
+	IDs []int `json:"ids"`
+	Dim int   `json:"dim"`
+}
+
+type removeColumnsResponse struct {
+	Removed []int `json:"removed"`
+}
+
+type compactResponse struct {
+	Live int `json:"live"`
+}
+
 // Handler returns the server's HTTP API:
 //
-//	POST /embed    {"columns":[{"name":...,"values":[...]}]} → embeddings
-//	POST /search   {"column":{...},"k":10}                   → nearest indexed columns
-//	GET  /healthz                                            → liveness + model identity
-//	GET  /stats                                              → cache/batch/latency counters
+//	POST /embed            {"columns":[{"name":...,"values":[...]}]} → embeddings
+//	POST /search           {"column":{...},"k":10}                   → nearest indexed columns
+//	GET  /columns                                                    → live catalog columns
+//	POST /columns          {"columns":[...]}                         → add (embed + index + journal)
+//	DELETE /columns/{ref}  ref = header name or @id                  → remove
+//	POST /columns/compact                                            → drop tombstones, snapshot the store
+//	GET  /healthz                                                    → liveness + model identity
+//	GET  /stats                                                      → cache/batch/catalog counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/embed", s.handleEmbed)
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("GET /columns", s.handleColumnsList)
+	mux.HandleFunc("POST /columns", s.handleColumnsAdd)
+	mux.HandleFunc("DELETE /columns/{ref}", s.handleColumnsRemove)
+	mux.HandleFunc("POST /columns/compact", s.handleCompact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
+}
+
+func (s *Server) handleColumnsList(w http.ResponseWriter, r *http.Request) {
+	cols, err := s.Columns()
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, columnsResponse{Columns: cols, Live: len(cols)})
+}
+
+func (s *Server) handleColumnsAdd(w http.ResponseWriter, r *http.Request) {
+	var req addColumnsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	cols := make([]table.Column, len(req.Columns))
+	for i, c := range req.Columns {
+		cols[i] = c.column()
+	}
+	ids, err := s.AddColumns(r.Context(), cols)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, addColumnsResponse{IDs: ids, Dim: s.dim})
+}
+
+func (s *Server) handleColumnsRemove(w http.ResponseWriter, r *http.Request) {
+	ids, err := s.RemoveColumns(r.PathValue("ref"))
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, removeColumnsResponse{Removed: ids})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	live, err := s.CompactCatalog()
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, compactResponse{Live: live})
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
@@ -148,6 +226,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrInput):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
 	case errors.Is(err, ErrNoIndex):
 		return http.StatusNotImplemented
 	case errors.Is(err, ErrClosed):

@@ -16,6 +16,18 @@
 //     internal/ann index, so similarity search stays current as columns
 //     stream through.
 //
+// With a catalog store configured the server stops being a cache and
+// becomes a durable, mutable catalog service: columns join and leave via
+// the explicit /columns API, every mutation is journaled to an
+// internal/catalog store, and a restarted server replays snapshot+journal
+// into the index and the embedding cache — no re-embedding, and
+// byte-identical /embed and /search responses to the server that wrote
+// the journal, because the replayed op sequence drives the deterministic
+// mutable index through the exact same states. In store mode /embed and
+// /search never enroll columns implicitly (the auto-feed of the plain
+// warm-index mode is off): enrollment must be deterministic in the store
+// alone, and whether an /embed was a cache hit or miss is not.
+//
 // Determinism contract: an embedding is a pure function of (column values,
 // header, fitted embedder). Responses are therefore byte-identical whether
 // they are served cold, from the cache, from a batch of one, or from a
@@ -32,11 +44,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
 	"github.com/gem-embeddings/gem/internal/stats"
 	"github.com/gem-embeddings/gem/internal/table"
@@ -48,8 +63,12 @@ var ErrClosed = errors.New("serve: server closed")
 // ErrInput is returned for malformed requests.
 var ErrInput = errors.New("serve: invalid input")
 
-// ErrNoIndex is returned by Search when the server runs without an index.
+// ErrNoIndex is returned by Search and the catalog mutators when the
+// server runs without an index.
 var ErrNoIndex = errors.New("serve: no search index configured")
+
+// ErrNotFound is returned when a catalog mutation names no live column.
+var ErrNotFound = errors.New("serve: column not found")
 
 // Config parametrizes a Server.
 type Config struct {
@@ -71,8 +90,20 @@ type Config struct {
 	// owns all access to it from New on.
 	Index ann.Index
 	// IndexNames are the column names behind any entries already in Index,
-	// aligned by id; missing names render as "@i".
+	// aligned by id; missing names render as "@i". Mutually exclusive with
+	// Store (a store replays its own names).
 	IndexNames []string
+	// Store, when set, makes the catalog durable: the store's recorded
+	// add/remove history is replayed into Index (which must be empty) and
+	// the embedding cache at startup, and every later index mutation is
+	// journaled. The caller opens the store (bound to this embedder's
+	// fingerprint) and closes it after Close.
+	Store *catalog.Store
+	// CompactEvery, when positive, compacts the catalog (index rebuild +
+	// store snapshot) automatically once that many removes have
+	// accumulated since the last compaction. 0 means compaction only via
+	// CompactCatalog.
+	CompactEvery int
 	// LatencyWindow is how many recent request latencies the percentile
 	// report keeps. Default 2048.
 	LatencyWindow int
@@ -111,9 +142,17 @@ type Server struct {
 
 	idxMu    sync.RWMutex
 	idx      ann.Index
+	store    *catalog.Store
 	idxNames []string
-	idxKeys  map[cacheKey]bool
 	idxKeyOf []cacheKey // aligned with index ids; zero key for preloaded entries
+	idxLive  []bool     // aligned with index ids; false once tombstoned
+	// idxSeen records every content key the auto-feed path has handled, so
+	// a column that was explicitly removed is not silently resurrected by a
+	// later /embed of the same content (only an explicit add brings it
+	// back). idxIDOf maps the keys that are currently live to their id.
+	idxSeen  map[cacheKey]bool
+	idxIDOf  map[cacheKey]int
+	removals int // removes since the last compaction (CompactEvery trigger)
 
 	start time.Time
 	ctr   counters
@@ -151,6 +190,9 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 		start:     time.Now(),
 		lat:       newLatencyRing(cfg.LatencyWindow),
 	}
+	if cfg.Store != nil && cfg.Index == nil {
+		return nil, fmt.Errorf("%w: a catalog store needs an index to replay into", ErrInput)
+	}
 	if cfg.Index != nil {
 		// A preloaded index must hold vectors of the served dimensionality,
 		// or the warm-index hook would silently drop every Add and /search
@@ -160,10 +202,13 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 				ErrInput, d, s.dim)
 		}
 		s.idx = cfg.Index
-		s.idxKeys = make(map[cacheKey]bool)
+		s.idxSeen = make(map[cacheKey]bool)
+		s.idxIDOf = make(map[cacheKey]int)
 		s.idxKeyOf = make([]cacheKey, s.idx.Len())
 		s.idxNames = make([]string, s.idx.Len())
+		s.idxLive = make([]bool, s.idx.Len())
 		for i := range s.idxNames {
+			s.idxLive[i] = true
 			if i < len(cfg.IndexNames) {
 				s.idxNames[i] = cfg.IndexNames[i]
 			} else {
@@ -171,8 +216,103 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 			}
 		}
 	}
+	if cfg.Store != nil {
+		if err := s.replayStore(cfg.Store, len(cfg.IndexNames) > 0); err != nil {
+			return nil, err
+		}
+	}
 	go s.b.run(s.process)
 	return s, nil
+}
+
+// StoreIdentity derives the binding string a catalog store must be opened
+// with for this (embedder fingerprint, index) pair: the fingerprint plus
+// everything that defines the index's graph — metric, and for HNSW the
+// construction parameters (EfSearch excluded: it is a pure query-time
+// knob). Binding the store to this composite makes a restart with a
+// different -metric or -seed fail loudly instead of silently replaying
+// the journal into a differently-shaped graph, which would break the
+// byte-identical restart contract.
+func StoreIdentity(fingerprint string, idx ann.Index) string {
+	id := fingerprint + "|metric=" + idx.Metric().String()
+	if h, ok := idx.(*ann.HNSW); ok {
+		c := h.Config()
+		id += fmt.Sprintf("|hnsw:m=%d,efc=%d,seed=%d,batch=%d", c.M, c.EfConstruction, c.Seed, c.BatchSize)
+	}
+	return id
+}
+
+// replayStore drives the index and cache through the store's recorded
+// history: snapshot entries first, then the journal ops, in order. Because
+// the mutable index is deterministic in its op sequence, the result is the
+// exact index state of the server that wrote the journal.
+func (s *Server) replayStore(st *catalog.Store, haveNames bool) error {
+	if haveNames {
+		return fmt.Errorf("%w: IndexNames and Store are mutually exclusive (the store replays its own names)", ErrInput)
+	}
+	if s.idx.Len() != 0 {
+		return fmt.Errorf("%w: store replay needs an empty index, got %d preloaded vectors", ErrInput, s.idx.Len())
+	}
+	if want := StoreIdentity(s.fp, s.idx); st.Fingerprint() != "" && st.Fingerprint() != want {
+		return fmt.Errorf("%w: store belongs to embedder+index %.24s…, server runs %.24s… — was the model refitted or the index reconfigured? use a fresh store directory",
+			ErrInput, st.Fingerprint(), want)
+	}
+	if d := st.Dim(); d != 0 && d != s.dim {
+		return fmt.Errorf("%w: store holds vectors of dim %d, embedder serves dim %d", ErrInput, d, s.dim)
+	}
+	s.store = st
+	// The snapshot section must be inserted with ONE batched Add: it was
+	// written by a compaction, whose index rebuild inserts all survivors
+	// in a single batched call, and HNSW graphs differ between batched and
+	// one-at-a-time insertion of the same vectors (batch boundaries are
+	// part of the graph definition). Journal ops, by contrast, were each
+	// applied as individual calls originally, so they replay one at a
+	// time. Mirroring the original call pattern is what makes the replayed
+	// graph byte-identical to the pre-restart one.
+	if snap := st.Snapshot(); len(snap) > 0 {
+		vecs := make([][]float64, len(snap))
+		for i, e := range snap {
+			v := e.Vec
+			if s.idx.Metric() == ann.Cosine {
+				v = stats.L2Normalize(e.Vec)
+			}
+			vecs[i] = v
+		}
+		if err := s.idx.Add(vecs...); err != nil {
+			return fmt.Errorf("serve: replaying store snapshot: %w", err)
+		}
+		for i, e := range snap {
+			key := cacheKey(e.Key)
+			// Warm the embedding cache too: a restarted server answers
+			// /embed for every stored column without re-embedding it.
+			s.cache.put(key, e.Vec)
+			s.idxSeen[key] = true
+			s.idxIDOf[key] = i
+			s.idxNames = append(s.idxNames, e.Name)
+			s.idxKeyOf = append(s.idxKeyOf, key)
+			s.idxLive = append(s.idxLive, true)
+		}
+	}
+	for _, op := range st.Ops() {
+		key := cacheKey(op.Entry.Key)
+		switch op.Kind {
+		case catalog.OpAdd:
+			s.cache.put(key, op.Entry.Vec)
+			s.idxSeen[key] = true
+			if _, err := s.indexAdd(key, op.Entry.Name, op.Entry.Vec, false); err != nil {
+				return fmt.Errorf("serve: replaying store journal: %w", err)
+			}
+		case catalog.OpRemove:
+			id, ok := s.idxIDOf[key]
+			if !ok {
+				return fmt.Errorf("serve: replaying store journal: remove of key %s that is not live", op.Entry.Key)
+			}
+			if err := s.removeID(id, false); err != nil {
+				return fmt.Errorf("serve: replaying store journal: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // Fingerprint returns the warm embedder's stable fingerprint (the cache-key
@@ -334,28 +474,281 @@ func (s *Server) process(batch []*job) {
 	}
 }
 
-// feedIndex appends a fresh embedding to the warm index (once per content
-// key), normalized for the index metric the way core.EmbedVectors does.
+// feedIndex appends a fresh embedding to the warm index, normalized for
+// the index metric the way core.EmbedVectors does. The auto-feed path adds
+// each content key at most once, ever: a column that was explicitly
+// removed stays removed until an explicit AddColumns brings it back, no
+// matter how often its content is re-embedded.
+//
+// With a store configured the auto-feed is disabled entirely: it only
+// fires on cache misses, and hit-or-miss is transient server state — a
+// restarted server would enroll a different column set. Durable catalogs
+// take members only through the explicit AddColumns path.
 func (s *Server) feedIndex(key cacheKey, name string, vec []float64) {
-	if s.idx == nil {
+	if s.idx == nil || s.store != nil {
 		return
 	}
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
-	if s.idxKeys[key] {
+	if s.idxSeen[key] {
 		return
+	}
+	s.idxSeen[key] = true
+	if _, err := s.indexAdd(key, name, vec, true); err != nil {
+		s.ctr.indexErrors.Add(1)
+	}
+}
+
+// indexAdd inserts one raw embedding into the index and, when journal is
+// set, appends the matching add record to the store — journal FIRST, so a
+// store failure aborts the mutation and the caller sees the error instead
+// of an index entry that silently vanishes on restart. The caller holds
+// idxMu (or is still inside New). Adding a key that is already live is a
+// no-op returning the existing id.
+func (s *Server) indexAdd(key cacheKey, name string, vec []float64, journal bool) (int, error) {
+	if id, live := s.idxIDOf[key]; live {
+		return id, nil
+	}
+	if journal && s.store != nil {
+		op := catalog.Op{Kind: catalog.OpAdd, Entry: catalog.Entry{Key: catalog.Key(key), Name: name, Vec: vec}}
+		if err := s.store.Append(op); err != nil {
+			s.ctr.storeErrors.Add(1)
+			return -1, fmt.Errorf("serve: journaling add: %w", err)
+		}
 	}
 	v := vec
 	if s.idx.Metric() == ann.Cosine {
 		v = stats.L2Normalize(vec)
 	}
 	if err := s.idx.Add(v); err != nil {
-		s.ctr.indexErrors.Add(1)
-		return
+		// The journal already has the add (the vector passed the store's
+		// own validation, so this is out-of-memory territory): record the
+		// divergence loudly rather than hiding it.
+		if journal && s.store != nil {
+			s.ctr.storeErrors.Add(1)
+		}
+		return -1, err
 	}
-	s.idxKeys[key] = true
+	id := s.idx.Len() - 1
+	s.idxIDOf[key] = id
 	s.idxNames = append(s.idxNames, name)
 	s.idxKeyOf = append(s.idxKeyOf, key)
+	s.idxLive = append(s.idxLive, true)
+	return id, nil
+}
+
+// removeID tombstones one live id and, when journal is set, first appends
+// the matching remove record (same journal-first contract as indexAdd).
+// The caller holds idxMu (or is inside New) and guarantees id is live.
+func (s *Server) removeID(id int, journal bool) error {
+	key := s.idxKeyOf[id]
+	if journal && s.store != nil {
+		op := catalog.Op{Kind: catalog.OpRemove, Entry: catalog.Entry{Key: catalog.Key(key)}}
+		if err := s.store.Append(op); err != nil {
+			s.ctr.storeErrors.Add(1)
+			return fmt.Errorf("serve: journaling remove: %w", err)
+		}
+	}
+	if err := s.idx.Remove(id); err != nil {
+		if journal && s.store != nil {
+			s.ctr.storeErrors.Add(1)
+		}
+		return err
+	}
+	s.idxLive[id] = false
+	if key != (cacheKey{}) {
+		delete(s.idxIDOf, key)
+	}
+	s.removals++
+	return nil
+}
+
+// ColumnInfo describes one live indexed column.
+type ColumnInfo struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	// Key is the hex content key; empty for entries preloaded from a bare
+	// index file (they have no recorded content).
+	Key string `json:"key,omitempty"`
+}
+
+// Columns lists the live indexed columns in id order.
+func (s *Server) Columns() ([]ColumnInfo, error) {
+	if s.idx == nil {
+		return nil, ErrNoIndex
+	}
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	out := make([]ColumnInfo, 0, s.idx.Live())
+	for id, live := range s.idxLive {
+		if !live {
+			continue
+		}
+		info := ColumnInfo{ID: id, Name: s.idxNames[id]}
+		if s.idxKeyOf[id] != (cacheKey{}) {
+			info.Key = catalog.Key(s.idxKeyOf[id]).String()
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// AddColumns embeds the given columns (through the cache and batcher like
+// any Embed) and ensures each is live in the catalog, journaling fresh
+// adds. It returns one index id per column, in request order. Unlike the
+// auto-feed of Embed, an explicit add resurrects previously removed
+// content.
+//
+// The catalog is content-addressed: a column whose content key matches a
+// live entry resolves to that entry's id — under a non-contextual
+// embedder two identically-valued columns are one catalog entry, listed
+// under the name it was first added with. The returned ids are therefore
+// the authoritative handle; remove by "@id" when names are ambiguous.
+//
+// On error, earlier columns of the batch may already be durably enrolled;
+// because enrollment is content-addressed and idempotent, retrying the
+// identical batch completes it without duplicates.
+func (s *Server) AddColumns(ctx context.Context, cols []table.Column) ([]int, error) {
+	if s.idx == nil {
+		return nil, ErrNoIndex
+	}
+	rows, err := s.Embed(ctx, cols)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(cols))
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	for i, col := range cols {
+		key := s.key(col)
+		s.idxSeen[key] = true
+		id, err := s.indexAdd(key, col.Name, rows[i], true)
+		if err != nil {
+			return nil, fmt.Errorf("serve: indexing column %q: %w", col.Name, err)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// RemoveColumns removes live columns by reference — a header name (every
+// live column with that name) or "@i" for a specific id — journaling each
+// remove, and returns the removed ids in ascending order. Unknown
+// references fail with ErrNotFound before anything is removed.
+func (s *Server) RemoveColumns(refs ...string) ([]int, error) {
+	if s.idx == nil {
+		return nil, ErrNoIndex
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	seen := make(map[int]bool)
+	var ids []int
+	for _, ref := range refs {
+		matched := false
+		claim := func(id int) {
+			// A ref that resolves to an id an earlier ref already claimed
+			// is a matched no-op, not a miss: every column it names IS
+			// being removed by this call.
+			matched = true
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		if strings.HasPrefix(ref, "@") {
+			id, err := strconv.Atoi(ref[1:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: column reference %q (want @i or a header name)", ErrInput, ref)
+			}
+			if id >= 0 && id < len(s.idxLive) && s.idxLive[id] {
+				claim(id)
+			}
+		} else {
+			for id, live := range s.idxLive {
+				if live && s.idxNames[id] == ref {
+					claim(id)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, ref)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := s.removeID(id, true); err != nil {
+			return nil, fmt.Errorf("serve: removing column %d: %w", id, err)
+		}
+	}
+	s.ctr.removes.Add(int64(len(ids)))
+	if s.cfg.CompactEvery > 0 && s.removals >= s.cfg.CompactEvery {
+		// Best-effort: the removals above are already journaled and
+		// applied, so a failed compaction must not turn this call into an
+		// error — it stays retriable via CompactCatalog, and store
+		// failures are counted inside compactLocked.
+		_ = s.compactLocked()
+		// Compaction reassigns ids; the returned ids refer to the
+		// pre-compaction numbering the caller observed.
+	}
+	return ids, nil
+}
+
+// CompactCatalog rebuilds the index without its tombstones and folds the
+// store journal into a fresh snapshot, keeping both aligned id-for-id. It
+// returns the live column count.
+func (s *Server) CompactCatalog() (int, error) {
+	if s.idx == nil {
+		return 0, ErrNoIndex
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if err := s.compactLocked(); err != nil {
+		return 0, err
+	}
+	return s.idx.Live(), nil
+}
+
+// compactLocked is CompactCatalog under an already-held idxMu. The
+// durable step runs FIRST: store.Compact only needs the live entries, so
+// a store failure (full disk, dead handle) aborts the compaction before
+// the in-memory index and id maps are touched — memory and disk never
+// diverge on the common failure path.
+func (s *Server) compactLocked() error {
+	if s.store != nil {
+		if s.store.Len() != s.idx.Live() {
+			// The store's live order is the contract that makes restart
+			// replay line up with the rebuilt index; a mismatch means a
+			// journal append failed earlier and the store lost a mutation.
+			s.ctr.storeErrors.Add(1)
+		}
+		if err := s.store.Compact(); err != nil {
+			s.ctr.storeErrors.Add(1)
+			return fmt.Errorf("serve: compacting store: %w", err)
+		}
+	}
+	mapping, err := s.idx.Rebuild()
+	if err != nil {
+		return fmt.Errorf("serve: rebuilding index: %w", err)
+	}
+	names := make([]string, s.idx.Len())
+	keys := make([]cacheKey, s.idx.Len())
+	live := make([]bool, s.idx.Len())
+	ids := make(map[cacheKey]int, s.idx.Len())
+	for oldID, newID := range mapping {
+		if newID < 0 {
+			continue
+		}
+		names[newID] = s.idxNames[oldID]
+		keys[newID] = s.idxKeyOf[oldID]
+		live[newID] = true
+		if keys[newID] != (cacheKey{}) {
+			ids[keys[newID]] = newID
+		}
+	}
+	s.idxNames, s.idxKeyOf, s.idxLive, s.idxIDOf = names, keys, live, ids
+	s.removals = 0
+	s.ctr.compactions.Add(1)
+	return nil
 }
 
 // Hit is one search result: an indexed column and its metric distance to
@@ -406,14 +799,25 @@ func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, er
 	return hits, nil
 }
 
-// IndexLen returns the number of indexed columns (0 without an index).
+// IndexLen returns the number of live indexed columns (0 without an
+// index).
 func (s *Server) IndexLen() int {
 	if s.idx == nil {
 		return 0
 	}
 	s.idxMu.RLock()
 	defer s.idxMu.RUnlock()
-	return s.idx.Len()
+	return s.idx.Live()
+}
+
+// indexShape snapshots (live, tombstones) under the read lock.
+func (s *Server) indexShape() (live, tombstones int) {
+	if s.idx == nil {
+		return 0, 0
+	}
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	return s.idx.Live(), s.idx.Len() - s.idx.Live()
 }
 
 // counters aggregates the hot-path statistics lock-free.
@@ -423,6 +827,9 @@ type counters struct {
 	batches, batchCols  atomic.Int64
 	maxBatch            atomic.Int64
 	errors, indexErrors atomic.Int64
+	removes             atomic.Int64
+	compactions         atomic.Int64
+	storeErrors         atomic.Int64
 }
 
 func (c *counters) maxBatchObserved(n int64) {
@@ -451,9 +858,18 @@ type Stats struct {
 	IndexErrors   int64   `json:"index_errors"`
 	CacheEntries  int     `json:"cache_entries"`
 	IndexSize     int     `json:"index_size"`
-	LatencyP50Ms  float64 `json:"latency_p50_ms"`
-	LatencyP90Ms  float64 `json:"latency_p90_ms"`
-	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	// IndexTombstones counts removed-but-not-yet-compacted slots.
+	IndexTombstones int   `json:"index_tombstones"`
+	Removes         int64 `json:"removes"`
+	Compactions     int64 `json:"compactions"`
+	// StoreColumns is the live size of the catalog store (0 without one);
+	// StoreErrors counts journal/compaction failures — any non-zero value
+	// means the durable catalog may be missing mutations.
+	StoreColumns int     `json:"store_columns"`
+	StoreErrors  int64   `json:"store_errors"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
 }
 
 // Stats snapshots the counters.
@@ -469,23 +885,33 @@ func (s *Server) Stats() Stats {
 		meanBatch = float64(batchCols) / float64(batches)
 	}
 	p50, p90, p99 := s.lat.percentiles()
+	live, tombstones := s.indexShape()
+	storeCols := 0
+	if s.store != nil {
+		storeCols = s.store.Len()
+	}
 	return Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.ctr.requests.Load(),
-		Columns:       s.ctr.columns.Load(),
-		Hits:          hits,
-		Misses:        misses,
-		HitRate:       hitRate,
-		Batches:       batches,
-		MeanBatch:     meanBatch,
-		MaxBatch:      s.ctr.maxBatch.Load(),
-		Errors:        s.ctr.errors.Load(),
-		IndexErrors:   s.ctr.indexErrors.Load(),
-		CacheEntries:  s.cache.len(),
-		IndexSize:     s.IndexLen(),
-		LatencyP50Ms:  p50 * 1000,
-		LatencyP90Ms:  p90 * 1000,
-		LatencyP99Ms:  p99 * 1000,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.ctr.requests.Load(),
+		Columns:         s.ctr.columns.Load(),
+		Hits:            hits,
+		Misses:          misses,
+		HitRate:         hitRate,
+		Batches:         batches,
+		MeanBatch:       meanBatch,
+		MaxBatch:        s.ctr.maxBatch.Load(),
+		Errors:          s.ctr.errors.Load(),
+		IndexErrors:     s.ctr.indexErrors.Load(),
+		CacheEntries:    s.cache.len(),
+		IndexSize:       live,
+		IndexTombstones: tombstones,
+		Removes:         s.ctr.removes.Load(),
+		Compactions:     s.ctr.compactions.Load(),
+		StoreColumns:    storeCols,
+		StoreErrors:     s.ctr.storeErrors.Load(),
+		LatencyP50Ms:    p50 * 1000,
+		LatencyP90Ms:    p90 * 1000,
+		LatencyP99Ms:    p99 * 1000,
 	}
 }
 
