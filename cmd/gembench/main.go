@@ -6,13 +6,18 @@
 //	gembench -exp all                 # every table and figure
 //	gembench -exp table2 -scale 1.0   # paper-sized numeric-only comparison
 //	gembench -exp fig4 -seed 7
-//	gembench -exp search,serve -json BENCH_5.json
+//	gembench -exp search,serve -json BENCH_6.json
+//	gembench -exp search,serve -json fresh.json -baseline BENCH_6.json
 //
 // Experiments: table1, table2, table3, table4, fig3, fig4, fig5, search,
 // serve, all — or a comma-separated list. -json additionally writes the
 // machine-readable results (QPS, recall@k, latency percentiles) of the
-// search and serve experiments; CI uploads that file as the BENCH_5.json
-// perf-trajectory artifact.
+// search and serve experiments; CI uploads that file as the BENCH_6
+// perf-trajectory artifact. -baseline diffs the fresh results against a
+// previously written report and fails on regressions (recall drops beyond
+// tolerance, order-of-magnitude throughput collapses, missing sections).
+// The search experiment sweeps the index precision tiers listed in
+// -precision against one exact float64 ground truth.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/gem-embeddings/gem/internal/ann"
 	"github.com/gem-embeddings/gem/internal/experiments"
 )
 
@@ -39,7 +45,9 @@ func main() {
 		reps       = flag.Int("reps", 3, "timed repetitions per point (fig5)")
 		workers    = flag.Int("workers", 0, "worker-pool width shared by column fan-out and EM (0 = GOMAXPROCS; results are identical for every value)")
 		out        = flag.String("out", "", "optional output file (default stdout)")
-		jsonOut    = flag.String("json", "", "write machine-readable search/serve results (BENCH_5.json format) to this file")
+		jsonOut    = flag.String("json", "", "write machine-readable search/serve results (BENCH_6.json format) to this file")
+		baseline   = flag.String("baseline", "", "diff the fresh search/serve results against this bench report and fail on regressions")
+		precList   = flag.String("precision", "", "comma-separated index scan precisions the search experiment sweeps (default float64,float32,int8)")
 	)
 	flag.Parse()
 
@@ -49,6 +57,10 @@ func main() {
 		Components: *components,
 		Restarts:   *restarts,
 		Workers:    *workers,
+	}
+	precisions, err := parsePrecisions(*precList)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var w io.Writer = os.Stdout
@@ -65,13 +77,26 @@ func main() {
 		w = f
 	}
 
-	// Validate -json against the selection BEFORE running anything: a
-	// paper-sized experiment can take hours, and failing afterwards would
-	// throw that work away.
-	if *jsonOut != "" && !selectsReporting(strings.ToLower(*exp)) {
-		log.Fatalf("-json needs a reporting experiment: add search and/or serve to -exp %s", *exp)
+	// Validate -json/-baseline against the selection BEFORE running
+	// anything: a paper-sized experiment can take hours, and failing
+	// afterwards would throw that work away. The baseline file is read up
+	// front for the same reason.
+	if (*jsonOut != "" || *baseline != "") && !selectsReporting(strings.ToLower(*exp)) {
+		log.Fatalf("-json and -baseline need a reporting experiment: add search and/or serve to -exp %s", *exp)
 	}
-	report, err := run(w, strings.ToLower(*exp), opts, *reps)
+	var base *experiments.BenchReport
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			log.Fatalf("opening baseline: %v", err)
+		}
+		base, err = experiments.ReadBenchReport(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading baseline %s: %v", *baseline, err)
+		}
+	}
+	report, err := run(w, strings.ToLower(*exp), opts, *reps, precisions)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,6 +113,32 @@ func main() {
 			log.Fatalf("writing %s: %v", *jsonOut, err)
 		}
 	}
+	if base != nil {
+		if violations := experiments.CompareBenchReports(base, report); len(violations) > 0 {
+			for _, v := range violations {
+				log.Printf("regression vs %s: %s", *baseline, v)
+			}
+			log.Fatalf("%d regression(s) against baseline %s", len(violations), *baseline)
+		}
+		fmt.Fprintf(w, "no regressions against baseline %s\n", *baseline)
+	}
+}
+
+// parsePrecisions parses the -precision sweep list; empty means the
+// SearchOptions default (all tiers).
+func parsePrecisions(spec string) ([]ann.Precision, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []ann.Precision
+	for _, part := range strings.Split(spec, ",") {
+		p, err := ann.ParsePrecision(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // experimentNames is the single authoritative list of experiments; the
@@ -120,7 +171,7 @@ func selectsReporting(exp string) bool {
 
 // run executes the selected experiments (a comma-separated list, or
 // "all") and returns the machine-readable report of those that have one.
-func run(w io.Writer, exp string, opts experiments.Options, reps int) (*experiments.BenchReport, error) {
+func run(w io.Writer, exp string, opts experiments.Options, reps int, precisions []ann.Precision) (*experiments.BenchReport, error) {
 	report := &experiments.BenchReport{
 		Schema:  experiments.BenchSchemaVersion,
 		Seed:    opts.Seed,
@@ -203,7 +254,7 @@ func run(w io.Writer, exp string, opts experiments.Options, reps int) (*experime
 		ran = true
 	}
 	if all || selected["search"] {
-		res, err := experiments.SearchEval(experiments.SearchOptions{Options: opts})
+		res, err := experiments.SearchEval(experiments.SearchOptions{Options: opts, Precisions: precisions})
 		if err != nil {
 			return nil, err
 		}

@@ -21,7 +21,7 @@ func tinyOpts() experiments.Options {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	_, err := run(&buf, "bogus", tinyOpts(), 1)
+	_, err := run(&buf, "bogus", tinyOpts(), 1, nil)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("want unknown-experiment error, got %v", err)
 	}
@@ -29,7 +29,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "table1", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "table1", tinyOpts(), 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -42,7 +42,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunTable2(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "table2", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "table2", tinyOpts(), 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -55,7 +55,7 @@ func TestRunTable2(t *testing.T) {
 
 func TestRunFig3(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "fig3", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "fig3", tinyOpts(), 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -66,7 +66,7 @@ func TestRunFig3(t *testing.T) {
 
 func TestRunServe(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "serve", tinyOpts(), 1); err != nil {
+	if _, err := run(&buf, "serve", tinyOpts(), 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -79,14 +79,50 @@ func TestRunServe(t *testing.T) {
 
 func TestRunSearch(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "search", tinyOpts(), 1); err != nil {
+	report, err := run(&buf, "search", tinyOpts(), 1, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"ANN search", "recall@10", "hnsw build"} {
+	for _, want := range []string{"ANN search", "recall@10", "hnsw build", "[float64]", "[float32]", "[int8]"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+	if got := len(report.Search.Tiers); got != 3 {
+		t.Errorf("default sweep produced %d tiers, want 3", got)
+	}
+}
+
+// TestRunSearchPrecisionSubset: -precision restricts the sweep.
+func TestRunSearchPrecisionSubset(t *testing.T) {
+	precs, err := parsePrecisions("f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report, err := run(&buf, "search", tinyOpts(), 1, precs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Search.Tiers) != 1 || report.Search.Tiers[0].Precision != "float32" {
+		t.Errorf("tiers = %+v, want single float32", report.Search.Tiers)
+	}
+	if strings.Contains(buf.String(), "[int8]") {
+		t.Error("restricted sweep still ran the int8 tier")
+	}
+}
+
+func TestParsePrecisions(t *testing.T) {
+	if got, err := parsePrecisions(""); err != nil || got != nil {
+		t.Errorf("empty spec: %v, %v", got, err)
+	}
+	got, err := parsePrecisions("float64, int8")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("parse: %v, %v", got, err)
+	}
+	if _, err := parsePrecisions("float64,bogus"); err == nil {
+		t.Error("bogus precision: want error")
 	}
 }
 
@@ -94,7 +130,7 @@ func TestRunSearch(t *testing.T) {
 // entry once and fills the machine-readable report for search and serve.
 func TestRunCommaListAndReport(t *testing.T) {
 	var buf bytes.Buffer
-	report, err := run(&buf, "search,serve", tinyOpts(), 1)
+	report, err := run(&buf, "search,serve", tinyOpts(), 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,13 +151,13 @@ func TestRunCommaListAndReport(t *testing.T) {
 	if err := report.Write(&js); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"recall_at_k"`, `"hnsw_qps"`, `"latency_p99_ms"`, `"schema": 1`} {
+	for _, want := range []string{`"recall_at_k"`, `"hnsw_qps"`, `"latency_p99_ms"`, `"schema": 2`} {
 		if !strings.Contains(js.String(), want) {
 			t.Errorf("JSON report missing %s:\n%s", want, js.String())
 		}
 	}
 	// A list with an unknown entry fails loudly instead of half-running.
-	if _, err := run(&buf, "search,bogus", tinyOpts(), 1); err == nil ||
+	if _, err := run(&buf, "search,bogus", tinyOpts(), 1, nil); err == nil ||
 		!strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("unknown entry in list: got %v", err)
 	}

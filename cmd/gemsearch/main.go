@@ -55,6 +55,7 @@ type cliConfig struct {
 	subsample  int
 	workers    int
 	metricSpec string
+	precSpec   string
 	m          int
 	efc        int
 	efs        int
@@ -64,7 +65,15 @@ type cliConfig struct {
 	minRecall  float64
 	indexIn    string
 	indexOut   string
+
+	// set records which flags were given explicitly on the command line
+	// (filled by flag.Visit), so conflicts with flags that merely have
+	// defaults can be told apart from flags the user actually asked for.
+	set map[string]bool
 }
+
+// isSet reports whether the named flag was explicitly given.
+func (c *cliConfig) isSet(name string) bool { return c.set[name] }
 
 func main() {
 	log.SetFlags(0)
@@ -80,6 +89,7 @@ func main() {
 	flag.IntVar(&cfg.subsample, "subsample", 8000, "cap on stacked values used to fit the GMM (0 = all)")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool width shared by the embedder and the index build (0 = GOMAXPROCS; results are identical for every value)")
 	flag.StringVar(&cfg.metricSpec, "metric", "cosine", "index distance: cosine|l2")
+	flag.StringVar(&cfg.precSpec, "precision", "float64", "index scan precision: float64|float32|int8 (reduced tiers re-rank exactly)")
 	flag.IntVar(&cfg.m, "m", 0, "HNSW M, max neighbours per layer (0 = default 16)")
 	flag.IntVar(&cfg.efc, "ef-construction", 0, "HNSW construction beam width (0 = default 200)")
 	flag.IntVar(&cfg.efs, "ef-search", 0, "HNSW search beam width (0 = default 100)")
@@ -90,6 +100,8 @@ func main() {
 	flag.StringVar(&cfg.indexIn, "index-in", "", "load a saved index instead of building one")
 	flag.StringVar(&cfg.indexOut, "index-out", "", "save the index after building")
 	flag.Parse()
+	cfg.set = map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { cfg.set[f.Name] = true })
 
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
@@ -101,8 +113,27 @@ func run(cfg cliConfig, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	prec := ann.Float64
+	if cfg.precSpec != "" {
+		if prec, err = ann.ParsePrecision(cfg.precSpec); err != nil {
+			return err
+		}
+	}
 	if cfg.k < 1 {
 		return fmt.Errorf("-k must be positive, got %d", cfg.k)
+	}
+	// Cross-flag conflicts fail before any fitting: a paper-sized catalog
+	// embed takes minutes, and the conflicting flag would otherwise be
+	// silently ignored after that work is done.
+	if cfg.indexIn != "" {
+		// Build-time parameters are baked into a saved graph; accepting
+		// them alongside -index-in would silently drop them.
+		if cfg.m != 0 || cfg.efc != 0 {
+			return fmt.Errorf("-m and -ef-construction apply when building an index; they cannot change one loaded with -index-in")
+		}
+		if cfg.isSet("precision") {
+			return fmt.Errorf("-precision is baked into a saved index at build time; it cannot change one loaded with -index-in")
+		}
 	}
 
 	var (
@@ -114,6 +145,13 @@ func run(cfg cliConfig, w io.Writer) error {
 		if cfg.in != "" || cfg.synthetic > 0 {
 			return fmt.Errorf("-catalog searches stored embeddings; it cannot be combined with -in or -synthetic")
 		}
+		// The stored rows are indexed directly: no model is fitted, so fit
+		// parameters given explicitly would be silently ignored.
+		for _, f := range []string{"components", "restarts", "subsample"} {
+			if cfg.isSet(f) {
+				return fmt.Errorf("-%s tunes the model fit; -catalog searches stored embeddings without fitting, so it cannot be combined with -%s", f, f)
+			}
+		}
 		if vs, err = loadStoredVectors(cfg.catalogDir, metric, w); err != nil {
 			return err
 		}
@@ -122,7 +160,7 @@ func run(cfg cliConfig, w io.Writer) error {
 	}
 
 	p := pool.New(workers)
-	idx, err := obtainIndex(cfg, metric, p, vs, w)
+	idx, err := obtainIndex(cfg, metric, prec, p, vs, w)
 	if err != nil {
 		return err
 	}
@@ -218,13 +256,8 @@ func loadStoredVectors(dir string, metric ann.Metric, w io.Writer) (*core.Vector
 
 // obtainIndex loads -index-in (validating it against the embedded catalog)
 // or builds a fresh HNSW graph on the shared pool.
-func obtainIndex(cfg cliConfig, metric ann.Metric, p *pool.Pool, vs *core.VectorSet, w io.Writer) (ann.Index, error) {
+func obtainIndex(cfg cliConfig, metric ann.Metric, prec ann.Precision, p *pool.Pool, vs *core.VectorSet, w io.Writer) (ann.Index, error) {
 	if cfg.indexIn != "" {
-		// Build-time parameters are baked into a saved graph; accepting
-		// them alongside -index-in would silently drop them.
-		if cfg.m != 0 || cfg.efc != 0 {
-			return nil, fmt.Errorf("-m and -ef-construction apply when building an index; they cannot change one loaded with -index-in")
-		}
 		f, err := os.Open(cfg.indexIn)
 		if err != nil {
 			return nil, fmt.Errorf("opening index: %w", err)
@@ -252,7 +285,7 @@ func obtainIndex(cfg cliConfig, metric ann.Metric, p *pool.Pool, vs *core.Vector
 	}
 	h, err := ann.NewHNSW(ann.HNSWConfig{
 		Metric: metric, M: cfg.m, EfConstruction: cfg.efc,
-		EfSearch: cfg.efs, Seed: cfg.seed,
+		EfSearch: cfg.efs, Seed: cfg.seed, Precision: prec,
 	}, p)
 	if err != nil {
 		return nil, err
@@ -261,8 +294,8 @@ func obtainIndex(cfg cliConfig, metric ann.Metric, p *pool.Pool, vs *core.Vector
 	if err := h.Add(vs.Vectors...); err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(w, "hnsw index built in %.2fs (M=%d, efConstruction=%d)\n",
-		time.Since(start).Seconds(), h.Config().M, h.Config().EfConstruction)
+	fmt.Fprintf(w, "hnsw index built in %.2fs (M=%d, efConstruction=%d, precision=%s)\n",
+		time.Since(start).Seconds(), h.Config().M, h.Config().EfConstruction, h.Precision())
 	return h, nil
 }
 

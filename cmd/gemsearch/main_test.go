@@ -148,6 +148,76 @@ func TestRunIndexSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunFlagConflicts: combinations where one flag would silently
+// override or ignore another are rejected up front, before any fitting.
+// cfg.set simulates flags given explicitly on the command line.
+func TestRunFlagConflicts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  cliConfig
+		want string // substring of the expected error
+	}{
+		{
+			name: "catalog+components",
+			cfg: cliConfig{catalogDir: "store", metricSpec: "cosine", k: 1,
+				components: 25, set: map[string]bool{"components": true}},
+			want: "-components tunes the model fit",
+		},
+		{
+			name: "catalog+restarts",
+			cfg: cliConfig{catalogDir: "store", metricSpec: "cosine", k: 1,
+				restarts: 5, set: map[string]bool{"restarts": true}},
+			want: "-restarts tunes the model fit",
+		},
+		{
+			name: "catalog+subsample",
+			cfg: cliConfig{catalogDir: "store", metricSpec: "cosine", k: 1,
+				subsample: 100, set: map[string]bool{"subsample": true}},
+			want: "-subsample tunes the model fit",
+		},
+		{
+			name: "catalog+synthetic",
+			cfg: cliConfig{catalogDir: "store", metricSpec: "cosine", k: 1,
+				synthetic: 100},
+			want: "cannot be combined with -in or -synthetic",
+		},
+		{
+			name: "in+synthetic",
+			cfg: cliConfig{in: "x.csv", synthetic: 100, metricSpec: "cosine",
+				k: 1},
+			want: "mutually exclusive",
+		},
+		{
+			name: "index-in+precision",
+			cfg: cliConfig{synthetic: 100, metricSpec: "cosine", k: 1,
+				indexIn: "x.idx", precSpec: "int8",
+				set: map[string]bool{"precision": true}},
+			want: "cannot change one loaded with -index-in",
+		},
+		{
+			name: "index-in+m",
+			cfg: cliConfig{synthetic: 100, metricSpec: "cosine", k: 1,
+				indexIn: "x.idx", m: 8},
+			want: "cannot change one loaded with -index-in",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.cfg, &bytes.Buffer{})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	// Defaults are not conflicts: the same values without cfg.set pass the
+	// conflict gate (and fail later on the nonexistent store instead).
+	cfg := cliConfig{catalogDir: "no-such-store", metricSpec: "cosine", k: 1,
+		components: 25}
+	err := run(cfg, &bytes.Buffer{})
+	if err == nil || strings.Contains(err.Error(), "tunes the model fit") {
+		t.Errorf("default-valued flag treated as conflict: %v", err)
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.metricSpec = "hamming"

@@ -59,10 +59,19 @@ type cliConfig struct {
 	catalogDir   string
 	compactEvery int
 	metricSpec   string
+	precSpec     string
 	maxBatch     int
 	batchWindow  time.Duration
 	cacheSize    int
+
+	// set records which flags were given explicitly on the command line
+	// (filled by flag.Visit), so conflicts with flags that merely have
+	// defaults can be told apart from flags the user actually asked for.
+	set map[string]bool
 }
+
+// isSet reports whether the named flag was explicitly given.
+func (c *cliConfig) isSet(name string) bool { return c.set[name] }
 
 func main() {
 	log.SetFlags(0)
@@ -85,10 +94,13 @@ func main() {
 	flag.StringVar(&cfg.catalogDir, "catalog", "", "durable catalog store directory (snapshot+journal); implies -search, enables the mutable /columns API and replays the store on restart")
 	flag.IntVar(&cfg.compactEvery, "compact-every", 1024, "auto-compact the catalog once this many removes accumulate (search beams widen with uncompacted tombstones, so unbounded churn without compaction degrades /search; <= 0 = only via POST /columns/compact)")
 	flag.StringVar(&cfg.metricSpec, "metric", "cosine", "index distance: cosine|l2")
+	flag.StringVar(&cfg.precSpec, "precision", "float64", "index scan precision: float64|float32|int8 (reduced tiers re-rank exactly)")
 	flag.IntVar(&cfg.maxBatch, "max-batch", 0, "max columns per coalesced signature pass (0 = default 64)")
 	flag.DurationVar(&cfg.batchWindow, "batch-window", 0, "how long a batch waits to coalesce (0 = default 200µs)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "column-embedding cache entries (0 = default 4096, negative disables)")
 	flag.Parse()
+	cfg.set = map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { cfg.set[f.Name] = true })
 
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
@@ -120,6 +132,18 @@ func run(cfg cliConfig, w io.Writer) error {
 // store, serve config. cleanup closes the server and, after it, the store
 // whose journal the server writes.
 func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(), err error) {
+	// Cross-flag conflicts fail before the embedder is loaded or fitted:
+	// a paper-sized fit takes minutes, and the conflicting flag would
+	// otherwise be silently ignored after that work is done.
+	if cfg.indexCatalog != "" && cfg.indexIn == "" {
+		return nil, nil, fmt.Errorf("-index-catalog names the entries of a preloaded index; it requires -index-in")
+	}
+	if cfg.catalogDir != "" && cfg.indexIn != "" {
+		return nil, nil, fmt.Errorf("-catalog replays its own index; it cannot be combined with -index-in")
+	}
+	if cfg.indexIn != "" && cfg.isSet("precision") {
+		return nil, nil, fmt.Errorf("-precision is baked into a saved index at build time; it cannot change one loaded with -index-in")
+	}
 	emb, err := buildEmbedder(cfg, w)
 	if err != nil {
 		return nil, nil, err
@@ -129,12 +153,6 @@ func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(),
 		BatchWindow:  cfg.batchWindow,
 		CacheSize:    cfg.cacheSize,
 		CompactEvery: cfg.compactEvery,
-	}
-	if cfg.indexCatalog != "" && cfg.indexIn == "" {
-		return nil, nil, fmt.Errorf("-index-catalog names the entries of a preloaded index; it requires -index-in")
-	}
-	if cfg.catalogDir != "" && cfg.indexIn != "" {
-		return nil, nil, fmt.Errorf("-catalog replays its own index; it cannot be combined with -index-in")
 	}
 	if cfg.search || cfg.indexIn != "" || cfg.catalogDir != "" {
 		idx, err := buildIndex(cfg, emb.Config().Workers)
@@ -198,6 +216,15 @@ func buildEmbedder(cfg cliConfig, w io.Writer) (*core.Embedder, error) {
 	}
 	if cfg.saveModel != "" && cfg.model != "" {
 		return nil, fmt.Errorf("-save-model persists a freshly fitted embedder; it cannot be combined with -model (the file already exists)")
+	}
+	if cfg.model != "" {
+		// A persisted model is already fitted: fit parameters given
+		// explicitly alongside it would be silently ignored.
+		for _, f := range []string{"components", "restarts", "subsample"} {
+			if cfg.isSet(f) {
+				return nil, fmt.Errorf("-%s tunes the model fit; it cannot change a model loaded with -model", f)
+			}
+		}
 	}
 
 	if cfg.model != "" {
@@ -271,6 +298,12 @@ func buildIndex(cfg cliConfig, workers int) (ann.Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	prec := ann.Float64
+	if cfg.precSpec != "" {
+		if prec, err = ann.ParsePrecision(cfg.precSpec); err != nil {
+			return nil, err
+		}
+	}
 	p := pool.New(workers)
 	if cfg.indexIn != "" {
 		f, err := os.Open(cfg.indexIn)
@@ -288,5 +321,5 @@ func buildIndex(cfg cliConfig, workers int) (ann.Index, error) {
 		}
 		return idx, nil
 	}
-	return ann.NewHNSW(ann.HNSWConfig{Metric: metric, Seed: cfg.seed}, p)
+	return ann.NewHNSW(ann.HNSWConfig{Metric: metric, Seed: cfg.seed, Precision: prec}, p)
 }

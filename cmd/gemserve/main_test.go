@@ -198,6 +198,76 @@ func TestPreloadedIndexWithCatalogNames(t *testing.T) {
 	}
 }
 
+// TestRunFlagConflicts: combinations where one flag would silently
+// override or ignore another are rejected up front, before the embedder
+// is loaded or fitted. cfg.set simulates flags given explicitly on the
+// command line.
+func TestRunFlagConflicts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  cliConfig
+		want string // substring of the expected error
+	}{
+		{
+			name: "model+components",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				components: 25, set: map[string]bool{"components": true}},
+			want: "-components tunes the model fit",
+		},
+		{
+			name: "model+restarts",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				restarts: 5, set: map[string]bool{"restarts": true}},
+			want: "-restarts tunes the model fit",
+		},
+		{
+			name: "model+subsample",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				subsample: 100, set: map[string]bool{"subsample": true}},
+			want: "-subsample tunes the model fit",
+		},
+		{
+			name: "model+save-model",
+			cfg: cliConfig{model: "x.model", saveModel: "y.model",
+				addr: "127.0.0.1:0"},
+			want: "cannot be combined with -model",
+		},
+		{
+			name: "index-in+precision",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				indexIn: "x.idx", precSpec: "int8",
+				set: map[string]bool{"precision": true}},
+			want: "cannot change one loaded with -index-in",
+		},
+		{
+			name: "catalog+index-in",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				catalogDir: "store", indexIn: "x.idx"},
+			want: "cannot be combined with -index-in",
+		},
+		{
+			name: "index-catalog-without-index-in",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				indexCatalog: "x.csv"},
+			want: "requires -index-in",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.cfg, &bytes.Buffer{})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	// Defaults are not conflicts: the same values without cfg.set pass the
+	// conflict gate (and fail later on the missing model file instead).
+	cfg := cliConfig{model: "no-such.model", addr: "127.0.0.1:0", components: 25}
+	err := run(cfg, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "opening model") {
+		t.Errorf("default-valued flag treated as conflict: %v", err)
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 

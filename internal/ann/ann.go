@@ -69,22 +69,42 @@ func ParseMetric(s string) (Metric, error) {
 	}
 }
 
-// Dot returns the inner product of equal-length vectors.
+// Dot returns the inner product of equal-length vectors. Like every
+// kernel in this package it runs in fixed-width blocks with four
+// independent accumulator chains: the FP adds of different chains overlap
+// instead of serializing on one accumulator's latency, and the fixed chain
+// assignment keeps the summation order — and therefore every bit of the
+// result — independent of anything but the inputs.
 func Dot(a, b []float64) float64 {
-	var dot float64
-	for i := range a {
-		dot += a[i] * b[i]
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return dot
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
-// Norm returns the L2 norm of v.
+// Norm returns the L2 norm of v (blocked like Dot).
 func Norm(v []float64) float64 {
-	var ss float64
-	for _, x := range v {
-		ss += x * x
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(v); i += 4 {
+		s0 += v[i] * v[i]
+		s1 += v[i+1] * v[i+1]
+		s2 += v[i+2] * v[i+2]
+		s3 += v[i+3] * v[i+3]
 	}
-	return math.Sqrt(ss)
+	for ; i < len(v); i++ {
+		s0 += v[i] * v[i]
+	}
+	return math.Sqrt((s0 + s1) + (s2 + s3))
 }
 
 // CosineSimilarity returns the cosine of the angle between equal-length
@@ -99,14 +119,27 @@ func CosineSimilarity(a, b []float64) float64 {
 	return dot / (na * nb)
 }
 
-// EuclideanDistance returns the L2 distance between equal-length vectors.
+// EuclideanDistance returns the L2 distance between equal-length vectors
+// (blocked like Dot).
 func EuclideanDistance(a, b []float64) float64 {
-	var ss float64
-	for i := range a {
-		d := a[i] - b[i]
-		ss += d * d
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return math.Sqrt(ss)
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return math.Sqrt((s0 + s1) + (s2 + s3))
 }
 
 // Distance returns the metric's distance between equal-length vectors:
@@ -167,6 +200,10 @@ type Index interface {
 	Dim() int
 	// Metric returns the index's distance metric.
 	Metric() Metric
+	// Precision returns the scan precision of the index's distance
+	// kernels. Reduced precisions re-rank their top candidates in exact
+	// float64 (see Precision).
+	Precision() Precision
 	// Rebuild compacts tombstones away: survivors are re-inserted in id
 	// order under the same configuration, producing an index byte-identical
 	// to a fresh build of the surviving vectors. It returns the id

@@ -7,49 +7,46 @@ import (
 	"github.com/gem-embeddings/gem/internal/pool"
 )
 
+// allPrecisions is the sweep every determinism test runs: the bit-identity
+// contract holds per precision tier, not just for the float64 path.
+var allPrecisions = []Precision{Float64, Float32, Int8}
+
 // TestHNSWDeterministicAcrossWorkers is the construction-determinism pin:
 // the same vectors, config and seed must yield a byte-identical graph (and
 // therefore bit-identical search results) at every worker-pool width,
-// including nil (serial). Serialized bytes capture the full graph state —
-// vectors, levels, adjacency, entry point — so comparing them compares
-// everything.
+// including nil (serial) — at every precision tier, since the reduced-
+// precision kernels drive candidate selection during construction.
+// Serialized bytes capture the full graph state — vectors, levels,
+// adjacency, entry point — so comparing them compares everything.
 func TestHNSWDeterministicAcrossWorkers(t *testing.T) {
 	vecs := randomVectors(600, 16, 21)
-	var ref []byte
-	for _, workers := range []int{1, 2, 8} {
-		h, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 42}, pool.New(workers))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := h.Add(vecs...); err != nil {
-			t.Fatal(err)
-		}
-		var buf bytes.Buffer
-		if err := h.Save(&buf); err != nil {
-			t.Fatal(err)
-		}
-		if ref == nil {
-			ref = buf.Bytes()
-			continue
-		}
-		if !bytes.Equal(ref, buf.Bytes()) {
-			t.Fatalf("workers=%d built a different graph than workers=1", workers)
-		}
-	}
-	// nil pool (serial fallback) must agree too.
-	h, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 42}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := h.Add(vecs...); err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := h.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(ref, buf.Bytes()) {
-		t.Fatal("nil-pool build differs from pooled builds")
+	for _, prec := range allPrecisions {
+		t.Run(prec.String(), func(t *testing.T) {
+			build := func(p *pool.Pool) []byte {
+				h, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 42, Precision: prec}, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := h.Add(vecs...); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := h.Save(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			ref := build(pool.New(1))
+			for _, workers := range []int{2, 8} {
+				if got := build(pool.New(workers)); !bytes.Equal(ref, got) {
+					t.Fatalf("workers=%d built a different graph than workers=1", workers)
+				}
+			}
+			// nil pool (serial fallback) must agree too.
+			if got := build(nil); !bytes.Equal(ref, got) {
+				t.Fatal("nil-pool build differs from pooled builds")
+			}
+		})
 	}
 }
 
@@ -82,33 +79,38 @@ func TestHNSWSeedPinned(t *testing.T) {
 }
 
 // TestHNSWSearchDeterministic: repeated identical queries return identical
-// results (no map-iteration or scheduling dependence in the search path).
+// results (no map-iteration or scheduling dependence in the search path),
+// at every precision tier — the re-rank path included.
 func TestHNSWSearchDeterministic(t *testing.T) {
 	vecs := randomVectors(400, 12, 13)
-	h, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 3}, pool.New(8))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := h.Add(vecs...); err != nil {
-		t.Fatal(err)
-	}
 	q := randomVectors(1, 12, 99)[0]
-	first, err := h.Search(q, 20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for rep := 0; rep < 10; rep++ {
-		got, err := h.Search(q, 20)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(got) != len(first) {
-			t.Fatalf("rep %d: %d results, want %d", rep, len(got), len(first))
-		}
-		for i := range got {
-			if got[i] != first[i] {
-				t.Fatalf("rep %d rank %d: %+v != %+v", rep, i, got[i], first[i])
+	for _, prec := range allPrecisions {
+		t.Run(prec.String(), func(t *testing.T) {
+			h, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 3, Precision: prec}, pool.New(8))
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			if err := h.Add(vecs...); err != nil {
+				t.Fatal(err)
+			}
+			first, err := h.Search(q, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 10; rep++ {
+				got, err := h.Search(q, 20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(first) {
+					t.Fatalf("rep %d: %d results, want %d", rep, len(got), len(first))
+				}
+				for i := range got {
+					if got[i] != first[i] {
+						t.Fatalf("rep %d rank %d: %+v != %+v", rep, i, got[i], first[i])
+					}
+				}
+			}
+		})
 	}
 }

@@ -7,33 +7,40 @@ import (
 
 // Flat is the exact brute-force index: Search scans every stored vector.
 // It is the recall reference for HNSW and the right choice for small
-// catalogs where an O(n·d) scan is already fast.
+// catalogs where an O(n·d) scan is already fast. At a reduced precision
+// the scan runs on the quantized copy and the top candidates are re-scored
+// in exact float64, so reported distances are always exact.
 type Flat struct {
-	metric   Metric
-	dim      int
-	vecs     [][]float64
-	norms    []float64 // cached L2 norms (used by the cosine metric)
-	deleted  []bool    // tombstones; Search skips marked slots
+	st       vecStore
+	deleted  []bool // tombstones; Search skips marked slots
 	nDeleted int
 }
 
-// NewFlat returns an empty exact index under the given metric.
+// NewFlat returns an empty exact index under the given metric, scanning
+// in full float64 precision.
 func NewFlat(metric Metric) *Flat {
-	return &Flat{metric: metric}
+	return &Flat{st: newVecStore(metric, Float64)}
+}
+
+// NewFlatAt returns an empty index under the given metric whose scans run
+// at the given precision. An invalid precision falls back to Float64 at
+// the first Add — use checkPrecision-validating constructors (HNSWConfig)
+// when the precision comes from user input.
+func NewFlatAt(metric Metric, prec Precision) (*Flat, error) {
+	if err := checkPrecision(prec); err != nil {
+		return nil, err
+	}
+	return &Flat{st: newVecStore(metric, prec)}, nil
 }
 
 // Add implements Index.
 func (f *Flat) Add(vecs ...[]float64) error {
-	dim, err := checkAdd(f.dim, len(f.vecs), vecs)
+	dim, err := checkAdd(f.st.dim, f.st.len(), vecs)
 	if err != nil {
 		return err
 	}
-	f.dim = dim
-	for _, v := range vecs {
-		cp := make([]float64, len(v))
-		copy(cp, v)
-		f.vecs = append(f.vecs, cp)
-		f.norms = append(f.norms, Norm(cp))
+	f.st.add(dim, vecs)
+	for range vecs {
 		f.deleted = append(f.deleted, false)
 	}
 	return nil
@@ -50,22 +57,25 @@ func (f *Flat) Remove(id int) error {
 }
 
 // Len implements Index.
-func (f *Flat) Len() int { return len(f.vecs) }
+func (f *Flat) Len() int { return f.st.len() }
 
 // Live implements Index.
-func (f *Flat) Live() int { return len(f.vecs) - f.nDeleted }
+func (f *Flat) Live() int { return f.st.len() - f.nDeleted }
 
 // Dim implements Index.
-func (f *Flat) Dim() int { return f.dim }
+func (f *Flat) Dim() int { return f.st.dim }
 
 // Metric implements Index.
-func (f *Flat) Metric() Metric { return f.metric }
+func (f *Flat) Metric() Metric { return f.st.metric }
+
+// Precision implements Index.
+func (f *Flat) Precision() Precision { return f.st.prec }
 
 // Rebuild implements Index: survivors are re-added in id order, so the
 // result is byte-identical to a fresh Flat built from them.
 func (f *Flat) Rebuild() ([]int, error) {
-	mapping, live := liveMapping(f.vecs, f.deleted)
-	nf := NewFlat(f.metric)
+	mapping, live := liveMapping(f.st.vecs, f.deleted)
+	nf := &Flat{st: newVecStore(f.st.metric, f.st.prec)}
 	if err := nf.Add(live...); err != nil {
 		return nil, err
 	}
@@ -74,9 +84,11 @@ func (f *Flat) Rebuild() ([]int, error) {
 }
 
 // Search implements Index: an exact scan over the live vectors, sorted by
-// (distance, id).
+// (distance, id). At a reduced precision the scan keeps the rerankDepth(k)
+// nearest candidates under the quantized kernel and re-scores them in
+// float64, so the returned distances are the exact metric distances.
 func (f *Flat) Search(q []float64, k int) ([]Result, error) {
-	if err := checkQuery(f.dim, q, k); err != nil {
+	if err := checkQuery(f.st.dim, q, k); err != nil {
 		return nil, err
 	}
 	if k > f.Live() {
@@ -85,21 +97,52 @@ func (f *Flat) Search(q []float64, k int) ([]Result, error) {
 	if k == 0 {
 		return nil, nil
 	}
-	qn := Norm(q)
-	out := make([]Result, 0, f.Live())
-	for i, v := range f.vecs {
+	sq := f.st.query(q)
+	if f.st.prec == Float64 {
+		out := make([]Result, 0, f.Live())
+		for i := range f.st.vecs {
+			if f.deleted[i] {
+				continue
+			}
+			out = append(out, Result{ID: i, Dist: f.st.scanDist(&sq, i)})
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].Dist != out[b].Dist {
+				return out[a].Dist < out[b].Dist
+			}
+			return out[a].ID < out[b].ID
+		})
+		return out[:k:k], nil
+	}
+	// Reduced precision: bounded selection under the scan kernel (a
+	// farthest-first heap of the best rerankDepth(k) candidates beats
+	// sorting the full scan), then the exact float64 re-rank.
+	r := rerankDepth(k)
+	best := &candHeap{min: false}
+	for i := range f.st.vecs {
 		if f.deleted[i] {
 			continue
 		}
-		out = append(out, Result{ID: i, Dist: f.metric.distNormed(q, qn, v, f.norms[i])})
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
+		c := cand{id: int32(i), dist: f.st.scanDist(&sq, i)}
+		if best.len() < r {
+			best.push(c)
+			continue
 		}
-		return out[a].ID < out[b].ID
-	})
-	return out[:k:k], nil
+		if candBefore(c, best.peek()) {
+			best.pop()
+			best.push(c)
+		}
+	}
+	cands := make([]Result, best.len())
+	for i := range cands {
+		c := best.pop()
+		cands[i] = Result{ID: int(c.id), Dist: c.dist}
+	}
+	out := f.st.rerank(&sq, cands)
+	if len(out) > k {
+		out = out[:k:k]
+	}
+	return out, nil
 }
 
 // Save implements Index; see persist.go for the format.

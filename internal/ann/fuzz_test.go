@@ -43,8 +43,32 @@ func FuzzLoad(f *testing.F) {
 		}
 	}
 	seedIndex(h)
+	// Reduced-precision saves: v3 headers plus, for int8, the per-vector
+	// scale section — the fuzzer mutates into truncated and corrupt scales.
+	for _, prec := range []Precision{Float32, Int8} {
+		pf, err := NewFlatAt(Euclidean, prec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := pf.Add(vecs...); err != nil {
+			f.Fatal(err)
+		}
+		seedIndex(pf)
+		ph, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 5, M: 4, EfConstruction: 20, Precision: prec}, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := ph.Add(vecs...); err != nil {
+			f.Fatal(err)
+		}
+		if err := ph.Remove(11); err != nil {
+			f.Fatal(err)
+		}
+		seedIndex(ph)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("gemann\x00\x02"))
+	f.Add([]byte("gemann\x00\x03"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		idx, err := Load(bytes.NewReader(data), nil)

@@ -31,6 +31,12 @@ type HNSWConfig struct {
 	// (deterministically), changing the worker-pool width never does.
 	// Default 64.
 	BatchSize int
+	// Precision selects the scan precision of the distance kernels
+	// (default Float64). Like M and Seed it is part of the index
+	// definition: construction scores candidates with the scan kernels, so
+	// each precision builds its own (deterministic) graph. Searches at a
+	// reduced precision re-rank their candidates in exact float64.
+	Precision Precision
 }
 
 func (c *HNSWConfig) fillDefaults() {
@@ -63,9 +69,7 @@ type HNSW struct {
 	pool *pool.Pool
 	mL   float64 // level multiplier 1/ln(M)
 
-	dim    int
-	vecs   [][]float64
-	norms  []float64
+	st     vecStore
 	levels []int
 	// links[id][lvl] lists the out-neighbours of id at layer lvl
 	// (0 <= lvl <= levels[id]). Edges are created in both directions at
@@ -77,8 +81,8 @@ type HNSW struct {
 
 	// deleted tombstones removed ids. The graph keeps tombstoned nodes as
 	// routing waypoints (standard mark-delete HNSW); Search widens its beam
-	// by the tombstone count and filters them from results, and Rebuild
-	// compacts them away deterministically.
+	// by the tombstone count (clamped, see widenEf) and filters them from
+	// results, and Rebuild compacts them away deterministically.
 	deleted  []bool
 	nDeleted int
 }
@@ -91,10 +95,14 @@ func NewHNSW(cfg HNSWConfig, p *pool.Pool) (*HNSW, error) {
 	if cfg.M < 2 {
 		return nil, fmt.Errorf("%w: M = %d (need >= 2)", ErrInput, cfg.M)
 	}
+	if err := checkPrecision(cfg.Precision); err != nil {
+		return nil, err
+	}
 	return &HNSW{
 		cfg:   cfg,
 		pool:  p,
 		mL:    1 / math.Log(float64(cfg.M)),
+		st:    newVecStore(cfg.Metric, cfg.Precision),
 		entry: -1,
 	}, nil
 }
@@ -113,13 +121,16 @@ func (h *HNSW) SetEfSearch(ef int) {
 }
 
 // Len implements Index.
-func (h *HNSW) Len() int { return len(h.vecs) }
+func (h *HNSW) Len() int { return h.st.len() }
 
 // Live implements Index.
-func (h *HNSW) Live() int { return len(h.vecs) - h.nDeleted }
+func (h *HNSW) Live() int { return h.st.len() - h.nDeleted }
 
 // Dim implements Index.
-func (h *HNSW) Dim() int { return h.dim }
+func (h *HNSW) Dim() int { return h.st.dim }
+
+// Precision implements Index.
+func (h *HNSW) Precision() Precision { return h.st.prec }
 
 // Remove implements Index. The node stays in the graph as a routing
 // waypoint — unlinking it would degrade the neighbourhoods of every node it
@@ -139,7 +150,7 @@ func (h *HNSW) Remove(id int) error {
 // result is byte-identical to a fresh HNSW built from the survivors — the
 // same determinism contract as the batched build, at every pool width.
 func (h *HNSW) Rebuild() ([]int, error) {
-	mapping, live := liveMapping(h.vecs, h.deleted)
+	mapping, live := liveMapping(h.st.vecs, h.deleted)
 	nh, err := NewHNSW(h.cfg, h.pool)
 	if err != nil {
 		return nil, err
@@ -184,15 +195,19 @@ func (h *HNSW) maxM(lvl int) int {
 	return h.cfg.M
 }
 
-// distIDs returns the metric distance between two stored vectors.
+// distIDs returns the scan-precision distance between two stored vectors
+// — construction scores candidates with the same kernels a search scans
+// with, so the graph is a pure function of (vectors, config, seed) per
+// precision tier.
 func (h *HNSW) distIDs(a, b int32) float64 {
-	return h.cfg.Metric.distNormed(h.vecs[a], h.norms[a], h.vecs[b], h.norms[b])
+	sq := h.st.queryOf(int(a))
+	return h.st.scanDist(&sq, int(b))
 }
 
-// distQ returns the metric distance from a query (with precomputed norm)
-// to a stored vector.
-func (h *HNSW) distQ(q []float64, qn float64, id int32) float64 {
-	return h.cfg.Metric.distNormed(q, qn, h.vecs[id], h.norms[id])
+// distQ returns the scan-precision distance from a prepared query to a
+// stored vector.
+func (h *HNSW) distQ(q *scanQuery, id int32) float64 {
+	return h.st.scanDist(q, int(id))
 }
 
 // cand is a candidate neighbour during construction and search.
@@ -268,11 +283,11 @@ func (ch *candHeap) pop() cand {
 
 // greedyStep walks layer lvl greedily from cur towards q until no
 // neighbour improves, and returns the local minimum.
-func (h *HNSW) greedyStep(q []float64, qn float64, cur cand, lvl int) cand {
+func (h *HNSW) greedyStep(q *scanQuery, cur cand, lvl int) cand {
 	for {
 		improved := false
 		for _, nb := range h.links[cur.id][lvl] {
-			c := cand{id: nb, dist: h.distQ(q, qn, nb)}
+			c := cand{id: nb, dist: h.distQ(q, nb)}
 			if candBefore(c, cur) {
 				cur = c
 				improved = true
@@ -289,7 +304,7 @@ func (h *HNSW) greedyStep(q []float64, qn float64, cur cand, lvl int) cand {
 // nearest unexpanded candidate until no candidate can improve the result
 // set. visited must be a caller-owned scratch slice of at least Len()
 // false values; it is left dirty.
-func (h *HNSW) searchLayer(q []float64, qn float64, eps []cand, ef, lvl int, visited []bool) []cand {
+func (h *HNSW) searchLayer(q *scanQuery, eps []cand, ef, lvl int, visited []bool) []cand {
 	frontier := &candHeap{min: true}
 	results := &candHeap{min: false}
 	for _, e := range eps {
@@ -313,7 +328,7 @@ func (h *HNSW) searchLayer(q []float64, qn float64, eps []cand, ef, lvl int, vis
 				continue
 			}
 			visited[nb] = true
-			d := cand{id: nb, dist: h.distQ(q, qn, nb)}
+			d := cand{id: nb, dist: h.distQ(q, nb)}
 			if results.len() < ef || candBefore(d, results.peek()) {
 				frontier.push(d)
 				results.push(d)
@@ -362,27 +377,23 @@ func (h *HNSW) selectNeighbors(cands []cand, m int) []cand {
 // therefore never depends on the pool width, only on the insertion order,
 // config and seed.
 func (h *HNSW) Add(vecs ...[]float64) error {
-	dim, err := checkAdd(h.dim, len(h.vecs), vecs)
+	dim, err := checkAdd(h.st.dim, h.st.len(), vecs)
 	if err != nil {
 		return err
 	}
-	h.dim = dim
-	start := len(h.vecs)
-	for i, v := range vecs {
-		cp := make([]float64, len(v))
-		copy(cp, v)
+	start := h.st.len()
+	h.st.add(dim, vecs)
+	for i := range vecs {
 		id := start + i
 		lvl := h.levelFor(id)
-		h.vecs = append(h.vecs, cp)
-		h.norms = append(h.norms, Norm(cp))
 		h.levels = append(h.levels, lvl)
 		h.links = append(h.links, make([][]int32, lvl+1))
 		h.deleted = append(h.deleted, false)
 	}
-	for bs := start; bs < len(h.vecs); bs += h.cfg.BatchSize {
+	for bs := start; bs < h.st.len(); bs += h.cfg.BatchSize {
 		be := bs + h.cfg.BatchSize
-		if be > len(h.vecs) {
-			be = len(h.vecs)
+		if be > h.st.len() {
+			be = h.st.len()
 		}
 		h.insertBatch(bs, be)
 	}
@@ -402,10 +413,10 @@ func (h *HNSW) insertBatch(bs, be int) {
 		// own cands slot, so the collected candidates are order-independent.
 		_ = h.pool.For(be-bs, func(i int) error {
 			id := bs + i
-			q, qn, lvl := h.vecs[id], h.norms[id], h.levels[id]
-			cur := cand{id: int32(snapEntry), dist: h.distQ(q, qn, int32(snapEntry))}
+			q, lvl := h.st.queryOf(id), h.levels[id]
+			cur := cand{id: int32(snapEntry), dist: h.distQ(&q, int32(snapEntry))}
 			for l := snapMax; l > lvl; l-- {
-				cur = h.greedyStep(q, qn, cur, l)
+				cur = h.greedyStep(&q, cur, l)
 			}
 			top := lvl
 			if snapMax < top {
@@ -418,7 +429,7 @@ func (h *HNSW) insertBatch(bs, be int) {
 				for v := range visited {
 					visited[v] = false
 				}
-				res := h.searchLayer(q, qn, eps, h.cfg.EfConstruction, l, visited)
+				res := h.searchLayer(&q, eps, h.cfg.EfConstruction, l, visited)
 				perLvl[l] = res
 				eps = res
 			}
@@ -495,13 +506,30 @@ func (h *HNSW) prune(id int32, l, limit int) {
 	h.links[id][l] = nbs
 }
 
+// widenEf widens a search beam to absorb tombstoned candidates: dead
+// nodes still route and occupy beam slots, so without widening a churned
+// index would return fewer (or worse) live results. The widening is
+// clamped at twice the base beam — a bound on the quality degradation a
+// tombstone pile can cause — so the total beam never exceeds 3×base and
+// unbounded churn without compaction cannot degrade Search to a
+// near-brute-force scan of the whole graph.
+func widenEf(base, nDeleted int) int {
+	w := nDeleted
+	if w > 2*base {
+		w = 2 * base
+	}
+	return base + w
+}
+
 // Search implements Index: greedy descent from the entry point through the
 // upper layers, then a beam search of the base layer with
-// ef = max(EfSearch, k) widened by the tombstone count, so the beam keeps
-// at least as many live candidates as a tombstone-free search would.
-// Tombstoned nodes route but never appear in the result.
+// ef = max(EfSearch, k) widened by the tombstone count (clamped, see
+// widenEf). Tombstoned nodes route but never appear in the result. At a
+// reduced precision the beam runs on the scan kernels and the surviving
+// candidates are re-scored in exact float64, so the returned distances are
+// the exact metric distances in every mode.
 func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
-	if err := checkQuery(h.dim, q, k); err != nil {
+	if err := checkQuery(h.st.dim, q, k); err != nil {
 		return nil, err
 	}
 	if k > h.Live() {
@@ -510,27 +538,46 @@ func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
 	if k == 0 || h.entry < 0 {
 		return nil, nil
 	}
-	qn := Norm(q)
-	cur := cand{id: int32(h.entry), dist: h.distQ(q, qn, int32(h.entry))}
+	sq := h.st.query(q)
+	cur := cand{id: int32(h.entry), dist: h.distQ(&sq, int32(h.entry))}
 	for l := h.maxLvl; l >= 1; l-- {
-		cur = h.greedyStep(q, qn, cur, l)
+		cur = h.greedyStep(&sq, cur, l)
 	}
-	ef := h.cfg.EfSearch
-	if k > ef {
-		ef = k
+	base := h.cfg.EfSearch
+	if k > base {
+		base = k
 	}
-	ef += h.nDeleted
-	visited := make([]bool, len(h.vecs))
-	res := h.searchLayer(q, qn, []cand{cur}, ef, 0, visited)
-	out := make([]Result, 0, k)
+	ef := widenEf(base, h.nDeleted)
+	visited := make([]bool, h.st.len())
+	res := h.searchLayer(&sq, []cand{cur}, ef, 0, visited)
+	if h.st.prec == Float64 {
+		out := make([]Result, 0, k)
+		for _, c := range res {
+			if h.deleted[c.id] {
+				continue
+			}
+			out = append(out, Result{ID: int(c.id), Dist: c.dist})
+			if len(out) == k {
+				break
+			}
+		}
+		return out, nil
+	}
+	// Reduced precision: collect the nearest live scan candidates up to the
+	// re-rank depth, then re-score them exactly.
+	cands := make([]Result, 0, rerankDepth(k))
 	for _, c := range res {
 		if h.deleted[c.id] {
 			continue
 		}
-		out = append(out, Result{ID: int(c.id), Dist: c.dist})
-		if len(out) == k {
+		cands = append(cands, Result{ID: int(c.id), Dist: c.dist})
+		if len(cands) == cap(cands) {
 			break
 		}
+	}
+	out := h.st.rerank(&sq, cands)
+	if len(out) > k {
+		out = out[:k:k]
 	}
 	return out, nil
 }

@@ -2,17 +2,23 @@ package ann
 
 // Binary persistence for the index types. The format is little-endian:
 //
-//	magic   [8]byte  "gemann\x00\x02" (name + format version)
-//	kind    uint8    1 = Flat, 2 = HNSW
-//	metric  uint8
+//	magic     [8]byte  "gemann\x00\x03" (name + format version)
+//	kind      uint8    1 = Flat, 2 = HNSW
+//	metric    uint8
+//	precision uint8    (format version 3+)
 //
 // followed by the kind-specific body and a tombstone section (a count and
-// the strictly increasing removed ids) — format version 2 added the
-// tombstones so a mutable index survives a save/load round trip mid-churn.
-// Vectors are stored as raw float64 bits, so a loaded index returns
-// bit-identical search results: derived quantities (norms) are recomputed
-// on load with the same summation order used at build time, and the HNSW
-// adjacency is stored verbatim.
+// the strictly increasing removed ids). Format version 2 added the
+// tombstones so a mutable index survives a save/load round trip mid-churn;
+// version 3 added the precision tag and, for int8 indexes, a per-vector
+// scale section directly after the vectors. Vectors are always stored as
+// raw float64 bits — the authoritative form in every precision mode — so a
+// loaded index returns bit-identical search results: derived quantities
+// (norms, float32 copies, int8 codes) are recomputed on load with the same
+// deterministic procedure used at build time, and the HNSW adjacency is
+// stored verbatim. The int8 scales are recomputable too; storing them
+// makes the file self-describing and lets Load cross-check a corrupt or
+// truncated scale section against the vectors (ErrFormat on any mismatch).
 
 import (
 	"bufio"
@@ -24,7 +30,7 @@ import (
 	"github.com/gem-embeddings/gem/internal/pool"
 )
 
-var magic = [8]byte{'g', 'e', 'm', 'a', 'n', 'n', 0, 2}
+var magic = [8]byte{'g', 'e', 'm', 'a', 'n', 'n', 0, 3}
 
 const (
 	kindFlat uint8 = 1
@@ -34,17 +40,25 @@ const (
 	// index with no removals) so indexes saved by older builds keep
 	// working. Save always writes the current version.
 	formatV1 uint8 = 1
+	// formatV3 added the precision header byte and the int8 scale section.
+	// Older files decode as Float64.
+	formatV3 uint8 = 3
 )
 
-// maxPersistCount caps counts read from index bytes (vectors, dimensions,
-// neighbours) so a corrupt length cannot drive a huge allocation.
+// maxPersistCount caps counts read from index bytes (vectors, neighbours)
+// so a corrupt length cannot drive a huge allocation.
 const maxPersistCount = 1 << 28
 
+// maxPersistDim caps the vector dimensionality, far above any real
+// embedding width: one decoded row must stay a modest allocation even on
+// adversarial input.
+const maxPersistDim = 1 << 20
+
 // Load reads an index saved by Flat.Save or HNSW.Save, dispatching on the
-// header. Both the current format and the pre-tombstone v1 layout are
-// accepted (a v1 file loads with zero removals). The pool bounds the
-// parallelism of future Add calls on a loaded HNSW (Flat ignores it); nil
-// is valid and means serial.
+// header. The current format and the older layouts are accepted (a v1 file
+// loads with zero removals, pre-v3 files load as Float64). The pool bounds
+// the parallelism of future Add calls on a loaded HNSW (Flat ignores it);
+// nil is valid and means serial.
 func Load(r io.Reader, p *pool.Pool) (Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
@@ -64,11 +78,22 @@ func Load(r io.Reader, p *pool.Pool) (Index, error) {
 	if metric > uint8(Euclidean) {
 		return nil, fmt.Errorf("%w: unknown metric %d", ErrFormat, metric)
 	}
+	prec := Float64
+	if version >= formatV3 {
+		var pb uint8
+		if err := readLE(br, &pb); err != nil {
+			return nil, err
+		}
+		if pb > uint8(Int8) {
+			return nil, fmt.Errorf("%w: unknown precision %d", ErrFormat, pb)
+		}
+		prec = Precision(pb)
+	}
 	switch kind {
 	case kindFlat:
-		return loadFlat(br, Metric(metric), version)
+		return loadFlat(br, Metric(metric), prec, version)
 	case kindHNSW:
-		return loadHNSW(br, Metric(metric), version, p)
+		return loadHNSW(br, Metric(metric), prec, version, p)
 	default:
 		return nil, fmt.Errorf("%w: unknown index kind %d", ErrFormat, kind)
 	}
@@ -132,22 +157,62 @@ func readVectors(r io.Reader) (dim int, vecs [][]float64, err error) {
 	if n > 0 && dim == 0 {
 		return 0, nil, fmt.Errorf("%w: %d vectors with dimension 0", ErrFormat, n)
 	}
-	vecs = make([][]float64, n)
-	for i := range vecs {
-		vecs[i] = make([]float64, dim)
-		if err := readLE(r, vecs[i]); err != nil {
+	if dim > maxPersistDim {
+		return 0, nil, fmt.Errorf("%w: dimension %d exceeds limit", ErrFormat, dim)
+	}
+	// Grow incrementally rather than preallocating n slots: a corrupt
+	// header can claim millions of vectors it does not contain, and memory
+	// use must track the bytes actually present, not the claim.
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		if err := readLE(r, v); err != nil {
 			return 0, nil, err
 		}
 		// Reject non-finite payloads here, for both index kinds: Add and
 		// Search refuse NaN/Inf because they break the strict distance
 		// order, so a corrupt payload must not sneak them in via Load.
-		for j, x := range vecs[i] {
+		for j, x := range v {
 			if math.IsNaN(x) || math.IsInf(x, 0) {
 				return 0, nil, fmt.Errorf("%w: vector %d component %d is not finite", ErrFormat, i, j)
 			}
 		}
+		vecs = append(vecs, v)
 	}
 	return dim, vecs, nil
+}
+
+// writeScales writes the int8 scale section: a count (the vector count)
+// followed by the per-vector quantization scales.
+func writeScales(w io.Writer, scales []float32) error {
+	return writeLE(w, uint32(len(scales)), scales)
+}
+
+// readScales reads the section written by writeScales and validates it
+// against the scales recomputed from the vectors: quantization is
+// deterministic in the vector alone, so any divergence — wrong count,
+// truncation, a flipped or non-finite value — is corruption, and the one
+// consumer of the section (the scan kernels) must never see it.
+func readScales(r io.Reader, want []float32) error {
+	cnt, err := readCount(r, "scale")
+	if err != nil {
+		return err
+	}
+	if cnt != len(want) {
+		return fmt.Errorf("%w: %d scales for %d vectors", ErrFormat, cnt, len(want))
+	}
+	got := make([]float32, cnt)
+	if err := readLE(r, got); err != nil {
+		return err
+	}
+	for i, s := range got {
+		if math.IsNaN(float64(s)) || math.IsInf(float64(s), 0) {
+			return fmt.Errorf("%w: scale %d is not finite", ErrFormat, i)
+		}
+		if s != want[i] {
+			return fmt.Errorf("%w: scale %d does not match its vector (%g, want %g)", ErrFormat, i, s, want[i])
+		}
+	}
+	return nil
 }
 
 // writeTombstones writes the removed-id section: a count followed by the
@@ -199,11 +264,16 @@ func readTombstones(r io.Reader, n int, version uint8) (deleted []bool, nDeleted
 // saveFlat writes a Flat index.
 func saveFlat(w io.Writer, f *Flat) error {
 	bw := bufio.NewWriter(w)
-	if err := writeLE(bw, magic, kindFlat, uint8(f.metric)); err != nil {
+	if err := writeLE(bw, magic, kindFlat, uint8(f.st.metric), uint8(f.st.prec)); err != nil {
 		return err
 	}
-	if err := writeVectors(bw, f.dim, f.vecs); err != nil {
+	if err := writeVectors(bw, f.st.dim, f.st.vecs); err != nil {
 		return err
+	}
+	if f.st.prec == Int8 {
+		if err := writeScales(bw, f.st.scales); err != nil {
+			return err
+		}
 	}
 	if err := writeTombstones(bw, f.deleted, f.nDeleted); err != nil {
 		return err
@@ -214,39 +284,51 @@ func saveFlat(w io.Writer, f *Flat) error {
 	return nil
 }
 
-// loadFlat reads a Flat body (header already consumed).
-func loadFlat(r io.Reader, metric Metric, version uint8) (*Flat, error) {
+// loadFlat reads a Flat body (header already consumed). The scan copies
+// are rebuilt from the float64 vectors through the same Add path a fresh
+// build uses; the persisted int8 scales only cross-check that rebuild.
+func loadFlat(r io.Reader, metric Metric, prec Precision, version uint8) (*Flat, error) {
 	dim, vecs, err := readVectors(r)
 	if err != nil {
 		return nil, err
 	}
-	f := NewFlat(metric)
+	f := &Flat{st: newVecStore(metric, prec)}
 	if err := f.Add(vecs...); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	f.dim = dim
+	f.st.dim = dim
+	if prec == Int8 {
+		if err := readScales(r, f.st.scales); err != nil {
+			return nil, err
+		}
+	}
 	if f.deleted, f.nDeleted, err = readTombstones(r, len(vecs), version); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
-// saveHNSW writes an HNSW index: config, vectors, entry point, then the
-// per-node level and adjacency lists verbatim.
+// saveHNSW writes an HNSW index: config, vectors (plus int8 scales), entry
+// point, then the per-node level and adjacency lists verbatim.
 func saveHNSW(w io.Writer, h *HNSW) error {
 	bw := bufio.NewWriter(w)
-	if err := writeLE(bw, magic, kindHNSW, uint8(h.cfg.Metric),
+	if err := writeLE(bw, magic, kindHNSW, uint8(h.cfg.Metric), uint8(h.st.prec),
 		uint32(h.cfg.M), uint32(h.cfg.EfConstruction), uint32(h.cfg.EfSearch),
 		uint32(h.cfg.BatchSize), h.cfg.Seed); err != nil {
 		return err
 	}
-	if err := writeVectors(bw, h.dim, h.vecs); err != nil {
+	if err := writeVectors(bw, h.st.dim, h.st.vecs); err != nil {
 		return err
+	}
+	if h.st.prec == Int8 {
+		if err := writeScales(bw, h.st.scales); err != nil {
+			return err
+		}
 	}
 	if err := writeLE(bw, int32(h.entry), int32(h.maxLvl)); err != nil {
 		return err
 	}
-	for id := range h.vecs {
+	for id := range h.st.vecs {
 		if err := writeLE(bw, uint8(h.levels[id])); err != nil {
 			return err
 		}
@@ -267,7 +349,7 @@ func saveHNSW(w io.Writer, h *HNSW) error {
 
 // loadHNSW reads an HNSW body (header already consumed) and validates the
 // graph invariants so a corrupt adjacency cannot cause out-of-range panics.
-func loadHNSW(r io.Reader, metric Metric, version uint8, p *pool.Pool) (*HNSW, error) {
+func loadHNSW(r io.Reader, metric Metric, prec Precision, version uint8, p *pool.Pool) (*HNSW, error) {
 	var mM, efC, efS, batch uint32
 	var seed int64
 	if err := readLE(r, &mM, &efC, &efS, &batch, &seed); err != nil {
@@ -278,7 +360,7 @@ func loadHNSW(r io.Reader, metric Metric, version uint8, p *pool.Pool) (*HNSW, e
 	}
 	h, err := NewHNSW(HNSWConfig{
 		Metric: metric, M: int(mM), EfConstruction: int(efC),
-		EfSearch: int(efS), Seed: seed, BatchSize: int(batch),
+		EfSearch: int(efS), Seed: seed, BatchSize: int(batch), Precision: prec,
 	}, p)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
@@ -286,6 +368,17 @@ func loadHNSW(r io.Reader, metric Metric, version uint8, p *pool.Pool) (*HNSW, e
 	dim, vecs, err := readVectors(r)
 	if err != nil {
 		return nil, err
+	}
+	// Rebuild the scan copies (norms, float32 rows, int8 codes) through the
+	// same deterministic path a fresh build uses; the persisted scales only
+	// cross-check it. The adjacency is read verbatim below — Add is never
+	// called, so the graph is exactly the saved one.
+	h.st.add(dim, vecs)
+	h.st.dim = dim
+	if prec == Int8 {
+		if err := readScales(r, h.st.scales); err != nil {
+			return nil, err
+		}
 	}
 	var entry, maxLvl int32
 	if err := readLE(r, &entry, &maxLvl); err != nil {
@@ -304,13 +397,9 @@ func loadHNSW(r io.Reader, metric Metric, version uint8, p *pool.Pool) (*HNSW, e
 	if entry < 0 || int(entry) >= n || maxLvl < 0 || maxLvl > maxLevelCap {
 		return nil, fmt.Errorf("%w: entry %d / max level %d out of range for %d vectors", ErrFormat, entry, maxLvl, n)
 	}
-	h.dim = dim
-	h.vecs = vecs
-	h.norms = make([]float64, n)
 	h.levels = make([]int, n)
 	h.links = make([][][]int32, n)
 	for id := 0; id < n; id++ {
-		h.norms[id] = Norm(vecs[id])
 		var lvl uint8
 		if err := readLE(r, &lvl); err != nil {
 			return nil, err
@@ -324,6 +413,9 @@ func loadHNSW(r io.Reader, metric Metric, version uint8, p *pool.Pool) (*HNSW, e
 			cnt, err := readCount(r, "neighbour")
 			if err != nil {
 				return nil, err
+			}
+			if cnt > n {
+				return nil, fmt.Errorf("%w: node %d layer %d claims %d neighbours in a %d-node graph", ErrFormat, id, l, cnt, n)
 			}
 			nbs := make([]int32, cnt)
 			if err := readLE(r, nbs); err != nil {

@@ -137,15 +137,16 @@ func TestPersistCorruptHeader(t *testing.T) {
 	corrupt("bad-version", func(b []byte) []byte { b[7] = 99; return b })
 	corrupt("bad-kind", func(b []byte) []byte { b[8] = 77; return b })
 	corrupt("bad-metric", func(b []byte) []byte { b[9] = 9; return b })
+	corrupt("bad-precision", func(b []byte) []byte { b[10] = 7; return b })
 	corrupt("truncated-header", func(b []byte) []byte { return b[:9] })
 	corrupt("truncated-body", func(b []byte) []byte { return b[:len(b)/2] })
 	corrupt("trailing-cut", func(b []byte) []byte { return b[:len(b)-3] })
 	// Vector count beyond the allocation cap.
 	corrupt("huge-count", func(b []byte) []byte {
-		// dim is the first uint32 after magic(8)+kind(1)+metric(1)+
-		// M/efC/efS/batch (4*4)+seed(8) = 34; n follows at 38.
+		// dim is the first uint32 after magic(8)+kind(1)+metric(1)+prec(1)+
+		// M/efC/efS/batch (4*4)+seed(8) = 35; n follows at 39.
 		for i, v := range []byte{0xFF, 0xFF, 0xFF, 0xFF} {
-			b[38+i] = v
+			b[39+i] = v
 		}
 		return b
 	})
@@ -153,7 +154,7 @@ func TestPersistCorruptHeader(t *testing.T) {
 	// be rejected like Add/Search reject it.
 	corrupt("nan-payload", func(b []byte) []byte {
 		for i := 0; i < 8; i++ {
-			b[42+i] = 0xFF // first component of vector 0 (payload starts at 42)
+			b[43+i] = 0xFF // first component of vector 0 (payload starts at 43)
 		}
 		return b
 	})
@@ -181,9 +182,9 @@ func TestPersistCorruptGraph(t *testing.T) {
 }
 
 // TestLoadV1Compat: indexes saved before the tombstone section (format
-// v1) must still load, as fully-live indexes. A v1 file is byte-wise a v2
-// file minus its trailing zero-count tombstone section, with the version
-// byte set to 1.
+// v1) must still load, as fully-live indexes. A v1 file is byte-wise a v3
+// file minus the precision header byte and minus its trailing zero-count
+// tombstone section, with the version byte set to 1.
 func TestLoadV1Compat(t *testing.T) {
 	vecs := randomVectors(40, 6, 91)
 	h, err := NewHNSW(HNSWConfig{Seed: 2, M: 6, EfConstruction: 40}, nil)
@@ -199,7 +200,9 @@ func TestLoadV1Compat(t *testing.T) {
 			if err := idx.Save(&buf); err != nil {
 				t.Fatal(err)
 			}
-			v1 := buf.Bytes()[:buf.Len()-4] // drop the empty tombstone section
+			full := buf.Bytes()[:buf.Len()-4] // drop the empty tombstone section
+			v1 := append([]byte(nil), full[:10]...)
+			v1 = append(v1, full[11:]...) // drop the precision byte
 			v1[7] = 1
 			loaded, err := Load(bytes.NewReader(v1), nil)
 			if err != nil {

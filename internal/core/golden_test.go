@@ -19,7 +19,11 @@ import (
 // normalization — so a refactor that silently changes any float cannot
 // pass. If a change is SUPPOSED to alter numerics, update this constant
 // in the same commit and say so in the commit message.
-const goldenFingerprint = "8bdd174c8e6981d4180818134f599e74266f8b816bd75806b44249889562c435"
+//
+// Last intentional change: the E-step density was regrouped into the
+// folded c1 + d²·c2 form (weightedLogPDFs) — same math, different float
+// association.
+const goldenFingerprint = "5dfbe790cfcbf218bd9f83c727b0931f80224a42029ce163db10021c7a78dd90"
 
 // goldenCatalog builds a fixed-seed synthetic catalog with distinct
 // column shapes (gaussians, mixtures, uniform, lognormal, constant-ish),

@@ -1,9 +1,10 @@
 package experiments
 
 // Machine-readable benchmark reporting. gembench -json writes one
-// BenchReport per run (CI uploads it as the BENCH_5.json artifact), so the
-// performance trajectory — QPS, recall@k, latency percentiles — is
-// recorded per commit instead of scrolling away in build logs.
+// BenchReport per run (CI uploads it as the BENCH_6 artifact and diffs it
+// against the checked-in BENCH_6.json baseline), so the performance
+// trajectory — QPS, recall@k, latency percentiles — is recorded and gated
+// per commit instead of scrolling away in build logs.
 
 import (
 	"encoding/json"
@@ -26,35 +27,62 @@ type BenchReport struct {
 	Serve  *ServeReport  `json:"serve,omitempty"`
 }
 
-// BenchSchemaVersion is the current BenchReport schema.
-const BenchSchemaVersion = 1
+// BenchSchemaVersion is the current BenchReport schema. Version 2 added
+// fit_seconds and the per-precision tiers list to the search section.
+const BenchSchemaVersion = 2
 
-// SearchReport is the JSON form of a SearchResult.
+// SearchReport is the JSON form of a SearchResult. The top-level recall and
+// QPS fields mirror the first precision tier (float64 by default); Tiers
+// holds the full sweep.
 type SearchReport struct {
-	Columns      int     `json:"columns"`
-	Dim          int     `json:"dim"`
-	K            int     `json:"k"`
-	Metric       string  `json:"metric"`
-	RecallAtK    float64 `json:"recall_at_k"`
-	EmbedSeconds float64 `json:"embed_seconds"`
-	BuildSeconds float64 `json:"build_seconds"`
-	FlatQPS      float64 `json:"flat_qps"`
-	HNSWQPS      float64 `json:"hnsw_qps"`
+	Columns      int          `json:"columns"`
+	Dim          int          `json:"dim"`
+	K            int          `json:"k"`
+	Metric       string       `json:"metric"`
+	RecallAtK    float64      `json:"recall_at_k"`
+	EmbedSeconds float64      `json:"embed_seconds"`
+	FitSeconds   float64      `json:"fit_seconds"`
+	BuildSeconds float64      `json:"build_seconds"`
+	FlatQPS      float64      `json:"flat_qps"`
+	HNSWQPS      float64      `json:"hnsw_qps"`
+	Tiers        []TierReport `json:"tiers,omitempty"`
+}
+
+// TierReport is the JSON form of one precision tier.
+type TierReport struct {
+	Precision     string  `json:"precision"`
+	BuildSeconds  float64 `json:"build_seconds"`
+	FlatRecallAtK float64 `json:"flat_recall_at_k"`
+	RecallAtK     float64 `json:"recall_at_k"`
+	FlatQPS       float64 `json:"flat_qps"`
+	HNSWQPS       float64 `json:"hnsw_qps"`
 }
 
 // NewSearchReport converts a SearchResult.
 func NewSearchReport(r *SearchResult) *SearchReport {
-	return &SearchReport{
+	out := &SearchReport{
 		Columns:      r.Columns,
 		Dim:          r.Dim,
 		K:            r.K,
 		Metric:       r.Metric.String(),
 		RecallAtK:    r.Recall,
 		EmbedSeconds: r.EmbedSeconds,
+		FitSeconds:   r.FitSeconds,
 		BuildSeconds: r.BuildSeconds,
 		FlatQPS:      r.FlatQPS,
 		HNSWQPS:      r.HNSWQPS,
 	}
+	for _, tr := range r.Tiers {
+		out.Tiers = append(out.Tiers, TierReport{
+			Precision:     tr.Precision.String(),
+			BuildSeconds:  tr.BuildSeconds,
+			FlatRecallAtK: tr.FlatRecall,
+			RecallAtK:     tr.HNSWRecall,
+			FlatQPS:       tr.FlatQPS,
+			HNSWQPS:       tr.HNSWQPS,
+		})
+	}
+	return out
 }
 
 // ServeReport is the JSON form of a ServeResult.

@@ -1,0 +1,120 @@
+package experiments
+
+// Benchmark regression gating: CI diffs a fresh gembench report against the
+// checked-in baseline (BENCH_6.json). Quality metrics (recall, hit rate)
+// are reproducible and get tight tolerances; throughput gets a deliberately
+// loose ratio floor, because CI runners share cores and jitter by integer
+// factors — the gate exists to catch an order-of-magnitude cliff (an
+// accidentally quadratic path, a disabled index), not a noisy ±20%.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+const (
+	// maxRecallDrop is the tolerated decrease in any recall@k metric.
+	maxRecallDrop = 0.05
+	// maxHitRateDelta is the tolerated absolute change in a serve cache
+	// hit rate (hit rates are near-deterministic given the workload).
+	maxHitRateDelta = 0.1
+	// minQPSRatio is the floor on fresh/baseline throughput.
+	minQPSRatio = 1.0 / 8
+)
+
+// ReadBenchReport decodes a BenchReport from JSON.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var b BenchReport
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("%w: decoding bench report: %v", ErrRun, err)
+	}
+	return &b, nil
+}
+
+// CompareBenchReports diffs a fresh report against a baseline and returns
+// one human-readable violation per regression (empty means the gate
+// passes). Sections present in the baseline must be present in the fresh
+// report; new sections and tiers in the fresh report are fine.
+func CompareBenchReports(baseline, fresh *BenchReport) []string {
+	var v []string
+	if fresh.Schema < baseline.Schema {
+		v = append(v, fmt.Sprintf("schema regressed: %d -> %d", baseline.Schema, fresh.Schema))
+	}
+	if baseline.Search != nil {
+		if fresh.Search == nil {
+			v = append(v, "search section missing from fresh report")
+		} else {
+			v = append(v, compareSearch(baseline.Search, fresh.Search)...)
+		}
+	}
+	if baseline.Serve != nil {
+		if fresh.Serve == nil {
+			v = append(v, "serve section missing from fresh report")
+		} else {
+			v = append(v, compareServe(baseline.Serve, fresh.Serve)...)
+		}
+	}
+	return v
+}
+
+func checkRecall(what string, base, got float64) []string {
+	if got < base-maxRecallDrop {
+		return []string{fmt.Sprintf("%s dropped %.4f -> %.4f (tolerance %.2f)", what, base, got, maxRecallDrop)}
+	}
+	return nil
+}
+
+func checkQPS(what string, base, got float64) []string {
+	if base > 0 && got < base*minQPSRatio {
+		return []string{fmt.Sprintf("%s collapsed %.0f -> %.0f qps (floor %.2fx baseline)", what, base, got, minQPSRatio)}
+	}
+	return nil
+}
+
+func compareSearch(base, got *SearchReport) []string {
+	var v []string
+	v = append(v, checkRecall("search recall@k", base.RecallAtK, got.RecallAtK)...)
+	v = append(v, checkQPS("flat search", base.FlatQPS, got.FlatQPS)...)
+	v = append(v, checkQPS("hnsw search", base.HNSWQPS, got.HNSWQPS)...)
+	for _, bt := range base.Tiers {
+		var gt *TierReport
+		for i := range got.Tiers {
+			if got.Tiers[i].Precision == bt.Precision {
+				gt = &got.Tiers[i]
+				break
+			}
+		}
+		if gt == nil {
+			v = append(v, fmt.Sprintf("precision tier %q missing from fresh report", bt.Precision))
+			continue
+		}
+		v = append(v, checkRecall(fmt.Sprintf("tier %s flat recall@k", bt.Precision), bt.FlatRecallAtK, gt.FlatRecallAtK)...)
+		v = append(v, checkRecall(fmt.Sprintf("tier %s hnsw recall@k", bt.Precision), bt.RecallAtK, gt.RecallAtK)...)
+		v = append(v, checkQPS(fmt.Sprintf("tier %s flat search", bt.Precision), bt.FlatQPS, gt.FlatQPS)...)
+		v = append(v, checkQPS(fmt.Sprintf("tier %s hnsw search", bt.Precision), bt.HNSWQPS, gt.HNSWQPS)...)
+	}
+	return v
+}
+
+func compareServe(base, got *ServeReport) []string {
+	var v []string
+	for _, bp := range base.Points {
+		var gp *ServePointReport
+		for i := range got.Points {
+			if got.Points[i].DupFraction == bp.DupFraction {
+				gp = &got.Points[i]
+				break
+			}
+		}
+		if gp == nil {
+			v = append(v, fmt.Sprintf("serve point dup=%.2f missing from fresh report", bp.DupFraction))
+			continue
+		}
+		if d := gp.HitRate - bp.HitRate; d < -maxHitRateDelta || d > maxHitRateDelta {
+			v = append(v, fmt.Sprintf("serve dup=%.2f hit rate moved %.3f -> %.3f (tolerance %.2f)", bp.DupFraction, bp.HitRate, gp.HitRate, maxHitRateDelta))
+		}
+		v = append(v, checkQPS(fmt.Sprintf("serve dup=%.2f", bp.DupFraction), bp.QPS, gp.QPS)...)
+	}
+	return v
+}

@@ -35,6 +35,10 @@ type SearchOptions struct {
 	// M, EfConstruction and EfSearch tune the HNSW graph; 0 takes the
 	// internal/ann defaults.
 	M, EfConstruction, EfSearch int
+	// Precisions lists the scan-precision tiers to evaluate; every tier is
+	// measured against the same exact float64 ground truth. Empty defaults
+	// to all tiers (float64, float32, int8).
+	Precisions []ann.Precision
 }
 
 // fillDefaults normalizes zero-valued search options.
@@ -49,6 +53,27 @@ func (o *SearchOptions) fillDefaults() {
 	if o.K <= 0 {
 		o.K = 10
 	}
+	if len(o.Precisions) == 0 {
+		o.Precisions = []ann.Precision{ann.Float64, ann.Float32, ann.Int8}
+	}
+}
+
+// TierResult reports one scan-precision tier of a search evaluation. All
+// recalls are measured against the exact float64 scan, so a tier's numbers
+// quantify exactly what its quantization costs.
+type TierResult struct {
+	// Precision is the scan precision of both indexes in this tier.
+	Precision ann.Precision
+	// BuildSeconds is the wall-clock cost of the HNSW build at this tier.
+	BuildSeconds float64
+	// FlatRecall is mean recall@K of the tier's exact-scan index against
+	// the float64 scan (1 by definition for the float64 tier).
+	FlatRecall float64
+	// HNSWRecall is mean recall@K of the tier's HNSW index.
+	HNSWRecall float64
+	// FlatQPS and HNSWQPS are single-threaded queries per second over the
+	// full query replay.
+	FlatQPS, HNSWQPS float64
 }
 
 // SearchResult reports one ANN evaluation run.
@@ -58,32 +83,39 @@ type SearchResult struct {
 	// Metric is the index distance.
 	Metric ann.Metric
 	// Recall is mean recall@K of HNSW against the exact scan over all
-	// columns as queries (each query excludes itself).
+	// columns as queries (each query excludes itself), at the first
+	// configured precision tier (float64 by default).
 	Recall float64
-	// EmbedSeconds and BuildSeconds are the wall-clock costs of embedding
-	// the catalog and of constructing the HNSW graph.
-	EmbedSeconds, BuildSeconds float64
-	// FlatQPS and HNSWQPS are single-threaded queries per second over the
-	// full query replay.
+	// EmbedSeconds is the wall-clock cost of fitting the model and
+	// embedding the catalog; FitSeconds is the model-fit share of it.
+	// BuildSeconds is the first tier's HNSW construction cost.
+	EmbedSeconds, FitSeconds, BuildSeconds float64
+	// FlatQPS and HNSWQPS are the first tier's single-threaded queries per
+	// second over the full query replay.
 	FlatQPS, HNSWQPS float64
+	// Tiers holds the per-precision sweep, in Precisions order.
+	Tiers []TierResult
 }
 
 // String renders the result as a small paper-style text table.
 func (r *SearchResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ANN search: %d columns, dim %d, metric %s\n", r.Columns, r.Dim, r.Metric)
-	fmt.Fprintf(&b, "  recall@%-3d        %.4f\n", r.K, r.Recall)
-	fmt.Fprintf(&b, "  embed             %.3fs\n", r.EmbedSeconds)
-	fmt.Fprintf(&b, "  hnsw build        %.3fs\n", r.BuildSeconds)
-	fmt.Fprintf(&b, "  flat search       %.0f qps\n", r.FlatQPS)
-	fmt.Fprintf(&b, "  hnsw search       %.0f qps (%.1fx)\n", r.HNSWQPS, r.HNSWQPS/r.FlatQPS)
+	fmt.Fprintf(&b, "  embed             %.3fs (fit %.3fs)\n", r.EmbedSeconds, r.FitSeconds)
+	for _, tr := range r.Tiers {
+		fmt.Fprintf(&b, "  [%s]\n", tr.Precision)
+		fmt.Fprintf(&b, "    hnsw build      %.3fs\n", tr.BuildSeconds)
+		fmt.Fprintf(&b, "    flat recall@%-3d %.4f  (%.0f qps)\n", r.K, tr.FlatRecall, tr.FlatQPS)
+		fmt.Fprintf(&b, "    hnsw recall@%-3d %.4f  (%.0f qps, %.1fx flat)\n", r.K, tr.HNSWRecall, tr.HNSWQPS, tr.HNSWQPS/tr.FlatQPS)
+	}
 	return b.String()
 }
 
-// SearchEval builds the catalog, embeds it, constructs both indexes and
-// replays every column as a query. Deterministic apart from the timing
-// fields: the recall number is a pure function of (options, seed) at every
-// worker count.
+// SearchEval builds the catalog, embeds it, constructs both indexes per
+// configured precision tier and replays every column as a query against
+// each. The exact float64 scan is computed once and is the ground truth for
+// every tier. Deterministic apart from the timing fields: the recall
+// numbers are pure functions of (options, seed) at every worker count.
 func SearchEval(opts SearchOptions) (*SearchResult, error) {
 	opts.fillDefaults()
 	ds, err := catalog.Synthetic(opts.Columns, opts.Seed).Load()
@@ -98,6 +130,7 @@ func SearchEval(opts SearchOptions) (*SearchResult, error) {
 	if err := e.Fit(ds); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRun, err)
 	}
+	fitSecs := time.Since(embedStart).Seconds()
 	vs, err := e.EmbedVectors(ds, opts.Metric)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRun, err)
@@ -108,35 +141,99 @@ func SearchEval(opts SearchOptions) (*SearchResult, error) {
 	if err := flat.Add(vs.Vectors...); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRun, err)
 	}
-	h, err := ann.NewHNSW(ann.HNSWConfig{
-		Metric: opts.Metric, M: opts.M, EfConstruction: opts.EfConstruction,
-		EfSearch: opts.EfSearch, Seed: opts.Seed,
-	}, pool.New(opts.Workers))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRun, err)
-	}
-	buildStart := time.Now()
-	if err := h.Add(vs.Vectors...); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRun, err)
-	}
-	buildSecs := time.Since(buildStart).Seconds()
-
-	recall, flatSecs, hnswSecs, err := ReplayQueries(flat, h, vs.Vectors, opts.K)
+	exact, flatSecs, err := exactReplay(flat, vs.Vectors, opts.K)
 	if err != nil {
 		return nil, err
 	}
+
 	n := float64(len(vs.Vectors))
+	tiers := make([]TierResult, 0, len(opts.Precisions))
+	for _, prec := range opts.Precisions {
+		tr := TierResult{Precision: prec}
+		if prec == ann.Float64 {
+			// The reference scan IS this tier's flat index; reuse its replay.
+			tr.FlatRecall = 1
+			tr.FlatQPS = n / flatSecs
+		} else {
+			tf, err := ann.NewFlatAt(opts.Metric, prec)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrRun, err)
+			}
+			if err := tf.Add(vs.Vectors...); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrRun, err)
+			}
+			secs := 0.0
+			if tr.FlatRecall, secs, err = replayAgainst(tf, vs.Vectors, exact, opts.K); err != nil {
+				return nil, err
+			}
+			tr.FlatQPS = n / secs
+		}
+		h, err := ann.NewHNSW(ann.HNSWConfig{
+			Metric: opts.Metric, M: opts.M, EfConstruction: opts.EfConstruction,
+			EfSearch: opts.EfSearch, Seed: opts.Seed, Precision: prec,
+		}, pool.New(opts.Workers))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRun, err)
+		}
+		buildStart := time.Now()
+		if err := h.Add(vs.Vectors...); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRun, err)
+		}
+		tr.BuildSeconds = time.Since(buildStart).Seconds()
+		secs := 0.0
+		if tr.HNSWRecall, secs, err = replayAgainst(h, vs.Vectors, exact, opts.K); err != nil {
+			return nil, err
+		}
+		tr.HNSWQPS = n / secs
+		tiers = append(tiers, tr)
+	}
+
+	first := tiers[0]
 	return &SearchResult{
 		Columns:      len(vs.Vectors),
 		Dim:          flat.Dim(),
 		K:            opts.K,
 		Metric:       opts.Metric,
-		Recall:       recall,
+		Recall:       first.HNSWRecall,
 		EmbedSeconds: embedSecs,
-		BuildSeconds: buildSecs,
-		FlatQPS:      n / flatSecs,
-		HNSWQPS:      n / hnswSecs,
+		FitSeconds:   fitSecs,
+		BuildSeconds: first.BuildSeconds,
+		FlatQPS:      first.FlatQPS,
+		HNSWQPS:      first.HNSWQPS,
+		Tiers:        tiers,
 	}, nil
+}
+
+// exactReplay runs every vector as a query against the exact index and
+// returns the ground-truth result lists plus the replay wall-clock.
+func exactReplay(flat ann.Index, vecs [][]float64, k int) (exact [][]ann.Result, secs float64, err error) {
+	exact = make([][]ann.Result, len(vecs))
+	start := time.Now()
+	for i, q := range vecs {
+		if exact[i], err = flat.Search(q, k+1); err != nil {
+			return nil, 0, fmt.Errorf("%w: flat query %d: %v", ErrRun, i, err)
+		}
+	}
+	return exact, time.Since(start).Seconds(), nil
+}
+
+// replayAgainst runs every vector as a query against idx and scores it with
+// recall@k against precomputed exact results (each query excludes itself,
+// hence the k+1 searches).
+func replayAgainst(idx ann.Index, vecs [][]float64, exact [][]ann.Result, k int) (recall, secs float64, err error) {
+	got := make([][]ann.Result, len(vecs))
+	start := time.Now()
+	for i, q := range vecs {
+		if got[i], err = idx.Search(q, k+1); err != nil {
+			return 0, 0, fmt.Errorf("%w: query %d: %v", ErrRun, i, err)
+		}
+	}
+	secs = time.Since(start).Seconds()
+	var total float64
+	for i := range vecs {
+		total += RecallAtK(exact[i], got[i], i, k)
+	}
+	return total / float64(len(vecs)), secs, nil
 }
 
 // ReplayQueries runs every vector as a query against both indexes and
@@ -146,27 +243,12 @@ func SearchEval(opts SearchOptions) (*SearchResult, error) {
 // implementation of the recall/QPS replay, shared by SearchEval,
 // cmd/gemsearch's -recall mode and the repository BenchmarkSearch.
 func ReplayQueries(flat, approx ann.Index, vecs [][]float64, k int) (recall, flatSecs, approxSecs float64, err error) {
-	exact := make([][]ann.Result, len(vecs))
-	start := time.Now()
-	for i, q := range vecs {
-		if exact[i], err = flat.Search(q, k+1); err != nil {
-			return 0, 0, 0, fmt.Errorf("%w: flat query %d: %v", ErrRun, i, err)
-		}
+	exact, flatSecs, err := exactReplay(flat, vecs, k)
+	if err != nil {
+		return 0, 0, 0, err
 	}
-	flatSecs = time.Since(start).Seconds()
-	got := make([][]ann.Result, len(vecs))
-	start = time.Now()
-	for i, q := range vecs {
-		if got[i], err = approx.Search(q, k+1); err != nil {
-			return 0, 0, 0, fmt.Errorf("%w: hnsw query %d: %v", ErrRun, i, err)
-		}
-	}
-	approxSecs = time.Since(start).Seconds()
-	var total float64
-	for i := range vecs {
-		total += RecallAtK(exact[i], got[i], i, k)
-	}
-	return total / float64(len(vecs)), flatSecs, approxSecs, nil
+	recall, approxSecs, err = replayAgainst(approx, vecs, exact, k)
+	return recall, flatSecs, approxSecs, err
 }
 
 // RecallAtK compares an approximate result list against the exact one for

@@ -316,8 +316,8 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 	n := len(xs)
 	k := len(m.Weights)
 	resp := make([]float64, n*k) // row-major n×k responsibilities
-	logw := make([]float64, k)
-	logVar := make([]float64, k)
+	c1 := make([]float64, k)
+	c2 := make([]float64, k)
 	nChunks := (n + estepChunk - 1) / estepChunk
 	llPart := make([]float64, nChunks)
 	// One scratch stripe per chunk, allocated once for the whole run:
@@ -332,12 +332,12 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 	iter := 0
 
 	for ; iter < cfg.MaxIter; iter++ {
-		// E-step in log space. Per-component constants are hoisted out of
-		// the value loop; the arithmetic below is term-for-term identical
-		// to logNormPDF against a cached log-variance.
+		// E-step in log space. The density folds into two per-component
+		// constants (see weightedLogPDFs), hoisted out of the value loop;
+		// the arithmetic stays term-for-term identical to logNormPDF.
 		for j := 0; j < k; j++ {
-			logw[j] = math.Log(m.Weights[j])
-			logVar[j] = math.Log(m.Variances[j])
+			c1[j] = math.Log(m.Weights[j]) - 0.5*(log2Pi+math.Log(m.Variances[j]))
+			c2[j] = -0.5 / m.Variances[j]
 		}
 		_ = cfg.Pool.For(nChunks, func(c int) error {
 			lo := c * estepChunk
@@ -350,9 +350,7 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 			for i := lo; i < hi; i++ {
 				x := xs[i]
 				row := resp[i*k : i*k+k]
-				for j := 0; j < k; j++ {
-					buf[j] = logWeightedNormPDF(x, m.Means[j], m.Variances[j], logw[j], logVar[j])
-				}
+				weightedLogPDFs(x, m.Means, c1, c2, buf)
 				lse := mathx.LogSumExp(buf)
 				ll += lse
 				for j := 0; j < k; j++ {
@@ -466,11 +464,41 @@ func logNormPDF(x, mean, variance float64) float64 {
 // log-weight and log-variance — the single source of the density
 // expression, shared by the EM E-step, MeanResponsibilities and (via
 // logNormPDF) every inference path, so training-time and inference-time
-// responsibilities stay bit-identical by construction. The compiler
-// inlines the call.
+// responsibilities stay bit-identical by construction. The grouping is the
+// folded form c1 + d²·c2 the hot loops use (see weightedLogPDFs): the two
+// constants depend on the component alone, so the per-value work is one
+// subtract, two multiplies and one add. The compiler inlines the call.
 func logWeightedNormPDF(x, mean, variance, logWeight, logVariance float64) float64 {
 	d := x - mean
-	return logWeight + -0.5*(log2Pi+logVariance+d*d/variance)
+	return logWeight - 0.5*(log2Pi+logVariance) + d*d*(-0.5/variance)
+}
+
+// weightedLogPDFs fills buf[j] = log(w_j · N(x | mean_j, var_j)) against the
+// folded per-component constants c1[j] = log w_j − ½(log 2π + log var_j) and
+// c2[j] = −½/var_j. This is the E-step and embedding inner loop, unrolled
+// four components wide: each lane is an independent write (no cross-lane
+// accumulation), so the unroll cannot change a single bit — buf[j] is
+// exactly logWeightedNormPDF for every j — while the four FMA-shaped chains
+// overlap instead of serializing.
+func weightedLogPDFs(x float64, means, c1, c2, buf []float64) {
+	means = means[:len(buf)]
+	c1 = c1[:len(buf)]
+	c2 = c2[:len(buf)]
+	j := 0
+	for ; j+3 < len(buf); j += 4 {
+		d0 := x - means[j]
+		d1 := x - means[j+1]
+		d2 := x - means[j+2]
+		d3 := x - means[j+3]
+		buf[j] = c1[j] + d0*d0*c2[j]
+		buf[j+1] = c1[j+1] + d1*d1*c2[j+1]
+		buf[j+2] = c1[j+2] + d2*d2*c2[j+2]
+		buf[j+3] = c1[j+3] + d3*d3*c2[j+3]
+	}
+	for ; j < len(buf); j++ {
+		d := x - means[j]
+		buf[j] = c1[j] + d*d*c2[j]
+	}
 }
 
 // PDF returns the mixture density at x (Equation 1).
@@ -482,11 +510,13 @@ func (m *Model) PDF(x float64) float64 {
 	return s
 }
 
-// LogPDF returns the log mixture density at x, computed stably.
+// LogPDF returns the log mixture density at x, computed stably. The
+// per-component terms use the same grouping as Responsibilities and the
+// E-step, so the mixture likelihood agrees bit-for-bit with training.
 func (m *Model) LogPDF(x float64) float64 {
 	buf := make([]float64, len(m.Weights))
 	for j := range m.Weights {
-		buf[j] = math.Log(m.Weights[j]) + logNormPDF(x, m.Means[j], m.Variances[j])
+		buf[j] = logWeightedNormPDF(x, m.Means[j], m.Variances[j], math.Log(m.Weights[j]), math.Log(m.Variances[j]))
 	}
 	return mathx.LogSumExp(buf)
 }
@@ -503,8 +533,11 @@ func (m *Model) ComponentLogPDF(x float64, j int) float64 {
 func (m *Model) Responsibilities(x float64) []float64 {
 	k := len(m.Weights)
 	buf := make([]float64, k)
+	// The log weight goes through logWeightedNormPDF rather than being
+	// added outside: the grouping must match the E-step's folded form so
+	// training-time and inference-time responsibilities stay bit-identical.
 	for j := 0; j < k; j++ {
-		buf[j] = math.Log(m.Weights[j]) + logNormPDF(x, m.Means[j], m.Variances[j])
+		buf[j] = logWeightedNormPDF(x, m.Means[j], m.Variances[j], math.Log(m.Weights[j]), math.Log(m.Variances[j]))
 	}
 	lse := mathx.LogSumExp(buf)
 	out := make([]float64, k)
@@ -520,8 +553,8 @@ func (m *Model) Responsibilities(x float64) []float64 {
 // column.
 //
 // This is the embedding hot path (columns × values × components), so the
-// per-value E-step is inlined against precomputed per-component constants
-// (log weight, log variance) and a single reused scratch buffer — the
+// per-value E-step runs the blocked weightedLogPDFs kernel against the
+// folded per-component constants and a single reused scratch buffer — the
 // arithmetic is term-for-term identical to Responsibilities, without its two
 // heap allocations and k logarithms per value.
 func (m *Model) MeanResponsibilities(values []float64) ([]float64, error) {
@@ -529,18 +562,16 @@ func (m *Model) MeanResponsibilities(values []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: empty column", ErrInput)
 	}
 	k := len(m.Weights)
-	logW := make([]float64, k)
-	logVar := make([]float64, k)
+	c1 := make([]float64, k)
+	c2 := make([]float64, k)
 	for j := 0; j < k; j++ {
-		logW[j] = math.Log(m.Weights[j])
-		logVar[j] = math.Log(m.Variances[j])
+		c1[j] = math.Log(m.Weights[j]) - 0.5*(log2Pi+math.Log(m.Variances[j]))
+		c2[j] = -0.5 / m.Variances[j]
 	}
 	out := make([]float64, k)
 	buf := make([]float64, k)
 	for _, x := range values {
-		for j := 0; j < k; j++ {
-			buf[j] = logWeightedNormPDF(x, m.Means[j], m.Variances[j], logW[j], logVar[j])
-		}
+		weightedLogPDFs(x, m.Means, c1, c2, buf)
 		lse := mathx.LogSumExp(buf)
 		for j := 0; j < k; j++ {
 			out[j] += math.Exp(buf[j] - lse)

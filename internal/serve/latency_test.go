@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLatencyPercentilesInterpolated pins the percentile estimator to the
+// linearly interpolated h = p·(n−1) convention on a known vector. With the
+// ten samples 1..10 the exact answers are p50 = 5.5, p90 = 9.1, p99 = 9.91;
+// the old truncating estimator reported 5, 9 and 9 — the p99 regression on
+// small samples this test guards.
+func TestLatencyPercentilesInterpolated(t *testing.T) {
+	r := newLatencyRing(64)
+	for i := 1; i <= 10; i++ {
+		r.record(float64(i))
+	}
+	p50, p90, p99 := r.percentiles()
+	for _, tc := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", p50, 5.5},
+		{"p90", p90, 9.1},
+		{"p99", p99, 9.91},
+	} {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+// TestLatencyPercentilesEdgeCases: empty ring reports zeros, a single
+// sample is every percentile, and wraparound drops the oldest samples.
+func TestLatencyPercentilesEdgeCases(t *testing.T) {
+	r := newLatencyRing(4)
+	if p50, p90, p99 := r.percentiles(); p50 != 0 || p90 != 0 || p99 != 0 {
+		t.Fatalf("empty ring: %v %v %v, want zeros", p50, p90, p99)
+	}
+	r.record(3)
+	if p50, p90, p99 := r.percentiles(); p50 != 3 || p90 != 3 || p99 != 3 {
+		t.Fatalf("single sample: %v %v %v, want all 3", p50, p90, p99)
+	}
+	// Overfill: the ring keeps only the last 4 samples (100, 200, 300, 400).
+	for _, v := range []float64{1, 2, 100, 200, 300, 400} {
+		r.record(v)
+	}
+	p50, _, p99 := r.percentiles()
+	if want := 250.0; math.Abs(p50-want) > 1e-9 {
+		t.Errorf("wrapped p50 = %v, want %v", p50, want)
+	}
+	if want := 397.0; math.Abs(p99-want) > 1e-9 {
+		t.Errorf("wrapped p99 = %v, want %v", p99, want)
+	}
+}

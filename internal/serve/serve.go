@@ -227,14 +227,16 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 
 // StoreIdentity derives the binding string a catalog store must be opened
 // with for this (embedder fingerprint, index) pair: the fingerprint plus
-// everything that defines the index's graph — metric, and for HNSW the
-// construction parameters (EfSearch excluded: it is a pure query-time
-// knob). Binding the store to this composite makes a restart with a
+// everything that defines the index's graph — metric, scan precision
+// (reduced-precision kernels steer HNSW construction, so the graph is
+// per-precision), and for HNSW the construction parameters (EfSearch
+// excluded: it is a pure query-time knob). Binding the store to this
+// composite makes a restart with a
 // different -metric or -seed fail loudly instead of silently replaying
 // the journal into a differently-shaped graph, which would break the
 // byte-identical restart contract.
 func StoreIdentity(fingerprint string, idx ann.Index) string {
-	id := fingerprint + "|metric=" + idx.Metric().String()
+	id := fingerprint + "|metric=" + idx.Metric().String() + "|prec=" + idx.Precision().String()
 	if h, ok := idx.(*ann.HNSW); ok {
 		c := h.Config()
 		id += fmt.Sprintf("|hnsw:m=%d,efc=%d,seed=%d,batch=%d", c.M, c.EfConstruction, c.Seed, c.BatchSize)
@@ -946,9 +948,18 @@ func (r *latencyRing) percentiles() (p50, p90, p99 float64) {
 		return 0, 0, 0
 	}
 	sort.Float64s(snap)
+	// Linear interpolation between the bracketing order statistics (the
+	// h = p·(n−1) convention). Truncating h to an index instead rounds
+	// every percentile down — on small samples p99 collapsed onto a much
+	// lower order statistic (with 10 samples it reported the 9th-largest
+	// value as p99).
 	at := func(p float64) float64 {
-		i := int(p * float64(len(snap)-1))
-		return snap[i]
+		h := p * float64(len(snap)-1)
+		lo := int(h)
+		if lo >= len(snap)-1 {
+			return snap[len(snap)-1]
+		}
+		return snap[lo] + (h-float64(lo))*(snap[lo+1]-snap[lo])
 	}
 	return at(0.50), at(0.90), at(0.99)
 }
