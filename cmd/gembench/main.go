@@ -45,9 +45,14 @@ func main() {
 		reps       = flag.Int("reps", 3, "timed repetitions per point (fig5)")
 		workers    = flag.Int("workers", 0, "worker-pool width shared by column fan-out and EM (0 = GOMAXPROCS; results are identical for every value)")
 		out        = flag.String("out", "", "optional output file (default stdout)")
-		jsonOut    = flag.String("json", "", "write machine-readable search/serve results (BENCH_6.json format) to this file")
-		baseline   = flag.String("baseline", "", "diff the fresh search/serve results against this bench report and fail on regressions")
+		jsonOut    = flag.String("json", "", "write machine-readable search/serve/load results to this file")
+		baseline   = flag.String("baseline", "", "diff the fresh search/serve/load results against this bench report and fail on regressions")
 		precList   = flag.String("precision", "", "comma-separated index scan precisions the search experiment sweeps (default float64,float32,int8)")
+		loadShards = flag.Int("load-shards", 0, "catalog shard count for the load experiment (0 = default 2)")
+		loadOps    = flag.Int("load-ops", 0, "closed-loop op count for the load experiment (0 = scale-derived)")
+		sloP50     = flag.Float64("slo-p50-ms", 0, "load experiment search p50 ceiling in ms (0 = unchecked)")
+		sloP95     = flag.Float64("slo-p95-ms", 0, "load experiment search p95 ceiling in ms (0 = unchecked)")
+		sloP99     = flag.Float64("slo-p99-ms", 0, "load experiment search p99 ceiling in ms (0 = unchecked)")
 	)
 	flag.Parse()
 
@@ -96,7 +101,13 @@ func main() {
 			log.Fatalf("reading baseline %s: %v", *baseline, err)
 		}
 	}
-	report, err := run(w, strings.ToLower(*exp), opts, *reps, precisions)
+	loadOpts := experiments.LoadOptions{
+		Options: opts,
+		Shards:  *loadShards,
+		Ops:     *loadOps,
+		SLO:     experiments.LoadSLO{P50Ms: *sloP50, P95Ms: *sloP95, P99Ms: *sloP99},
+	}
+	report, err := run(w, strings.ToLower(*exp), opts, *reps, precisions, loadOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,11 +158,11 @@ func parsePrecisions(spec string) ([]ann.Precision, error) {
 // its run branch).
 var experimentNames = []string{
 	"table1", "table2", "table3", "table4",
-	"fig3", "fig4", "fig5", "search", "serve",
+	"fig3", "fig4", "fig5", "search", "serve", "load",
 }
 
 // reportingExperiments fill the machine-readable -json report.
-var reportingExperiments = map[string]bool{"search": true, "serve": true}
+var reportingExperiments = map[string]bool{"search": true, "serve": true, "load": true}
 
 func wantExperiments() string {
 	return strings.Join(experimentNames, "|") + "|all"
@@ -171,7 +182,7 @@ func selectsReporting(exp string) bool {
 
 // run executes the selected experiments (a comma-separated list, or
 // "all") and returns the machine-readable report of those that have one.
-func run(w io.Writer, exp string, opts experiments.Options, reps int, precisions []ann.Precision) (*experiments.BenchReport, error) {
+func run(w io.Writer, exp string, opts experiments.Options, reps int, precisions []ann.Precision, loadOpts experiments.LoadOptions) (*experiments.BenchReport, error) {
 	report := &experiments.BenchReport{
 		Schema:  experiments.BenchSchemaVersion,
 		Seed:    opts.Seed,
@@ -269,6 +280,16 @@ func run(w io.Writer, exp string, opts experiments.Options, reps int, precisions
 		}
 		fmt.Fprintln(w, res)
 		report.Serve = experiments.NewServeReport(res)
+		ran = true
+	}
+	if all || selected["load"] {
+		loadOpts.Options = opts
+		res, err := experiments.LoadEval(loadOpts)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, res)
+		report.Load = experiments.NewLoadReport(res)
 		ran = true
 	}
 	if !ran {

@@ -21,7 +21,7 @@ func tinyOpts() experiments.Options {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	_, err := run(&buf, "bogus", tinyOpts(), 1, nil)
+	_, err := run(&buf, "bogus", tinyOpts(), 1, nil, experiments.LoadOptions{})
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("want unknown-experiment error, got %v", err)
 	}
@@ -29,7 +29,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "table1", tinyOpts(), 1, nil); err != nil {
+	if _, err := run(&buf, "table1", tinyOpts(), 1, nil, experiments.LoadOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -42,7 +42,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunTable2(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "table2", tinyOpts(), 1, nil); err != nil {
+	if _, err := run(&buf, "table2", tinyOpts(), 1, nil, experiments.LoadOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -55,7 +55,7 @@ func TestRunTable2(t *testing.T) {
 
 func TestRunFig3(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "fig3", tinyOpts(), 1, nil); err != nil {
+	if _, err := run(&buf, "fig3", tinyOpts(), 1, nil, experiments.LoadOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -66,7 +66,7 @@ func TestRunFig3(t *testing.T) {
 
 func TestRunServe(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "serve", tinyOpts(), 1, nil); err != nil {
+	if _, err := run(&buf, "serve", tinyOpts(), 1, nil, experiments.LoadOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -77,9 +77,30 @@ func TestRunServe(t *testing.T) {
 	}
 }
 
+func TestRunLoad(t *testing.T) {
+	var buf bytes.Buffer
+	lo := experiments.LoadOptions{Columns: 40, Ops: 120, Clients: 4, Shards: 2}
+	report, err := run(&buf, "load", tinyOpts(), 1, nil, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"load eval", "2 shards", "closed loop", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if report.Load == nil || report.Load.QPS <= 0 || report.Load.Shards != 2 {
+		t.Errorf("load report not filled: %+v", report.Load)
+	}
+	if report.Load.Searches+report.Load.Adds+report.Load.Removes != 120 {
+		t.Errorf("load op counts: %+v", report.Load)
+	}
+}
+
 func TestRunSearch(t *testing.T) {
 	var buf bytes.Buffer
-	report, err := run(&buf, "search", tinyOpts(), 1, nil)
+	report, err := run(&buf, "search", tinyOpts(), 1, nil, experiments.LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +122,7 @@ func TestRunSearchPrecisionSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	report, err := run(&buf, "search", tinyOpts(), 1, precs)
+	report, err := run(&buf, "search", tinyOpts(), 1, precs, experiments.LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +151,7 @@ func TestParsePrecisions(t *testing.T) {
 // entry once and fills the machine-readable report for search and serve.
 func TestRunCommaListAndReport(t *testing.T) {
 	var buf bytes.Buffer
-	report, err := run(&buf, "search,serve", tinyOpts(), 1, nil)
+	report, err := run(&buf, "search,serve", tinyOpts(), 1, nil, experiments.LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,13 +172,13 @@ func TestRunCommaListAndReport(t *testing.T) {
 	if err := report.Write(&js); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"recall_at_k"`, `"hnsw_qps"`, `"latency_p99_ms"`, `"schema": 2`} {
+	for _, want := range []string{`"recall_at_k"`, `"hnsw_qps"`, `"latency_p99_ms"`, `"schema": 3`} {
 		if !strings.Contains(js.String(), want) {
 			t.Errorf("JSON report missing %s:\n%s", want, js.String())
 		}
 	}
 	// A list with an unknown entry fails loudly instead of half-running.
-	if _, err := run(&buf, "search,bogus", tinyOpts(), 1, nil); err == nil ||
+	if _, err := run(&buf, "search,bogus", tinyOpts(), 1, nil, experiments.LoadOptions{}); err == nil ||
 		!strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("unknown entry in list: got %v", err)
 	}

@@ -13,6 +13,8 @@
 //	gemserve -model gem.model -search -addr :8080              # + warm similarity search
 //	gemserve -fit-synthetic 500 -addr 127.0.0.1:0              # fit a synthetic catalog and serve
 //	gemserve -model gem.model -catalog ./store -addr :8080     # durable mutable catalog
+//	gemserve -model gem.model -catalog ./store -shards 4       # catalog split across 4 shards
+//	gemserve -proxy "http://h1:8080,http://h2:8080"            # scatter-gather front door
 //
 // Endpoints: POST /embed, POST /search, GET/POST/DELETE /columns,
 // POST /columns/compact, GET /healthz, GET /stats. An /embed response is a
@@ -20,10 +22,18 @@
 // answers whether served cold, cached or coalesced. With -catalog DIR the
 // index is durable: adds and removes are journaled to a snapshot+journal
 // store, and a restarted server replays them — byte-identical /embed and
-// /search answers, no re-embedding.
+// /search answers, no re-embedding. With -shards N the catalog is split
+// into N consistent-hashed shards (per-shard stores under DIR/shard-NNN)
+// whose scatter-gather /search answers are byte-identical to the unsharded
+// server; -proxy fans /search across remote shard processes instead.
+//
+// On SIGINT/SIGTERM the server stops accepting connections, finishes
+// in-flight requests, and exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +41,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"github.com/gem-embeddings/gem/internal/ann"
@@ -38,6 +52,7 @@ import (
 	"github.com/gem-embeddings/gem/internal/core"
 	"github.com/gem-embeddings/gem/internal/pool"
 	"github.com/gem-embeddings/gem/internal/serve"
+	"github.com/gem-embeddings/gem/internal/shard"
 )
 
 // cliConfig carries the parsed flags; the build/run helpers are pure in it
@@ -63,6 +78,9 @@ type cliConfig struct {
 	maxBatch     int
 	batchWindow  time.Duration
 	cacheSize    int
+	shards       int
+	proxy        string
+	maxBodyBytes int64
 
 	// set records which flags were given explicitly on the command line
 	// (filled by flag.Visit), so conflicts with flags that merely have
@@ -98,6 +116,9 @@ func main() {
 	flag.IntVar(&cfg.maxBatch, "max-batch", 0, "max columns per coalesced signature pass (0 = default 64)")
 	flag.DurationVar(&cfg.batchWindow, "batch-window", 0, "how long a batch waits to coalesce (0 = default 200µs)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "column-embedding cache entries (0 = default 4096, negative disables)")
+	flag.IntVar(&cfg.shards, "shards", 1, "split the search catalog into N consistent-hashed shards (requires -search or -catalog; /search answers are byte-identical to -shards 1)")
+	flag.StringVar(&cfg.proxy, "proxy", "", "comma-separated shard-server URLs; serve a scatter-gather /search front door instead of a model")
+	flag.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 0, "cap on one request body; oversized posts answer 413 (0 = default 8 MiB, negative disables)")
 	flag.Parse()
 	cfg.set = map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { cfg.set[f.Name] = true })
@@ -108,6 +129,18 @@ func main() {
 }
 
 func run(cfg cliConfig, w io.Writer) error {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	return runUntil(cfg, w, stop)
+}
+
+// runUntil is run with the shutdown signal injectable, so tests can drain
+// a live server without killing the test process.
+func runUntil(cfg cliConfig, w io.Writer, stop <-chan os.Signal) error {
+	if cfg.proxy != "" {
+		return runProxy(cfg, w, stop)
+	}
 	if cfg.addr == "" && cfg.saveModel == "" {
 		return fmt.Errorf("empty -addr without -save-model does nothing")
 	}
@@ -124,7 +157,83 @@ func run(cfg cliConfig, w io.Writer) error {
 		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
 	}
 	fmt.Fprintf(w, "listening on http://%s (POST /embed, POST /search, /columns, GET /healthz, GET /stats)\n", ln.Addr())
-	return (&http.Server{Handler: srv.Handler()}).Serve(ln)
+	return serveAndDrain(newHTTPServer(srv.Handler()), ln, stop, w)
+}
+
+// runProxy serves the scatter-gather front door over remote shard servers.
+func runProxy(cfg cliConfig, w io.Writer, stop <-chan os.Signal) error {
+	// The proxy holds no model: every flag that shapes one is a conflict,
+	// not a silent no-op.
+	for _, c := range []struct {
+		on   bool
+		flag string
+	}{
+		{cfg.model != "", "-model"},
+		{cfg.fit != "", "-fit"},
+		{cfg.fitSynthetic > 0, "-fit-synthetic"},
+		{cfg.search, "-search"},
+		{cfg.indexIn != "", "-index-in"},
+		{cfg.catalogDir != "", "-catalog"},
+		{cfg.isSet("shards"), "-shards"},
+	} {
+		if c.on {
+			return fmt.Errorf("-proxy fronts remote shard servers; it cannot be combined with %s", c.flag)
+		}
+	}
+	if cfg.addr == "" {
+		return fmt.Errorf("-proxy needs a listen -addr")
+	}
+	p, err := serve.NewProxy(serve.ProxyConfig{
+		Backends:     strings.Split(cfg.proxy, ","),
+		MaxBodyBytes: cfg.maxBodyBytes,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
+	}
+	fmt.Fprintf(w, "proxying %d shards on http://%s (POST /search, GET /healthz, GET /stats)\n",
+		len(strings.Split(cfg.proxy, ",")), ln.Addr())
+	return serveAndDrain(newHTTPServer(p.Handler()), ln, stop, w)
+}
+
+// newHTTPServer wraps a handler with the serving timeouts a public
+// listener needs: a header deadline so idle half-open connections
+// (slowloris) cannot pin goroutines forever, and an idle keep-alive cap.
+// Request bodies are bounded separately by -max-body-bytes.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// serveAndDrain serves until the listener fails or a shutdown signal
+// arrives; on the signal it stops accepting connections, lets in-flight
+// requests finish (bounded), and reports a clean exit.
+func serveAndDrain(hs *http.Server, ln net.Listener, stop <-chan os.Signal, w io.Writer) error {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(w, "received %v, draining in-flight requests\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("draining: %w", err)
+		}
+		<-errc // Serve has returned ErrServerClosed
+		fmt.Fprintf(w, "drained, exiting\n")
+		return nil
+	}
 }
 
 // buildServer assembles the warm server: embedder (loaded or freshly
@@ -144,6 +253,17 @@ func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(),
 	if cfg.indexIn != "" && cfg.isSet("precision") {
 		return nil, nil, fmt.Errorf("-precision is baked into a saved index at build time; it cannot change one loaded with -index-in")
 	}
+	if cfg.shards > 1 {
+		if cfg.indexIn != "" {
+			return nil, nil, fmt.Errorf("-index-in preloads one unsharded index; it cannot be combined with -shards")
+		}
+		if !cfg.search && cfg.catalogDir == "" {
+			return nil, nil, fmt.Errorf("-shards splits the search catalog; it requires -search or -catalog")
+		}
+	}
+	if cfg.isSet("shards") && cfg.shards < 1 {
+		return nil, nil, fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
+	}
 	emb, err := buildEmbedder(cfg, w)
 	if err != nil {
 		return nil, nil, err
@@ -153,6 +273,10 @@ func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(),
 		BatchWindow:  cfg.batchWindow,
 		CacheSize:    cfg.cacheSize,
 		CompactEvery: cfg.compactEvery,
+		MaxBodyBytes: cfg.maxBodyBytes,
+	}
+	if cfg.shards > 1 {
+		return buildShardedServer(cfg, emb, scfg, w)
 	}
 	if cfg.search || cfg.indexIn != "" || cfg.catalogDir != "" {
 		idx, err := buildIndex(cfg, emb.Config().Workers)
@@ -201,6 +325,81 @@ func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(),
 	fp := srv.Fingerprint()
 	fmt.Fprintf(w, "warm embedder ready: %d components, dim %d, fingerprint %s\n",
 		emb.Model().K(), srv.Dim(), fp[:12])
+	return srv, cleanup, nil
+}
+
+// buildShardedServer assembles the -shards N catalog: N identically
+// configured indexes (and, with -catalog, N per-shard stores under
+// DIR/shard-NNN whose identities bind their shard coordinate), merged
+// behind one scatter-gather serve.Catalog.
+func buildShardedServer(cfg cliConfig, emb *core.Embedder, scfg serve.Config, w io.Writer) (srv *serve.Server, cleanup func(), err error) {
+	idxs := make([]ann.Index, cfg.shards)
+	for i := range idxs {
+		if idxs[i], err = buildIndex(cfg, emb.Config().Workers); err != nil {
+			return nil, nil, err
+		}
+	}
+	var stores []*catalog.Store
+	closeStores := func() {
+		for _, st := range stores {
+			if st != nil {
+				st.Close()
+			}
+		}
+	}
+	if cfg.catalogDir != "" {
+		fp, err := emb.Fingerprint()
+		if err != nil {
+			return nil, nil, err
+		}
+		// An unsharded store keeps its files at the top of the directory; a
+		// sharded server must not quietly ignore them (the columns would
+		// vanish from /search), so their presence is a refused downgrade.
+		for _, f := range []string{"snapshot.gemcat", "journal.gemcat"} {
+			if _, statErr := os.Stat(filepath.Join(cfg.catalogDir, f)); statErr == nil {
+				return nil, nil, fmt.Errorf("%s holds an unsharded catalog store (%s); -shards %d needs a fresh directory",
+					cfg.catalogDir, f, cfg.shards)
+			}
+		}
+		stores = make([]*catalog.Store, cfg.shards)
+		for i := range stores {
+			st, err := catalog.Open(
+				filepath.Join(cfg.catalogDir, fmt.Sprintf("shard-%03d", i)),
+				serve.StoreIdentityShard(fp, idxs[i], i, cfg.shards))
+			if err != nil {
+				closeStores()
+				return nil, nil, err
+			}
+			stores[i] = st
+		}
+		total := 0
+		for _, st := range stores {
+			total += st.Len()
+		}
+		fmt.Fprintf(w, "catalog store %s: %d shards, %d live columns\n", cfg.catalogDir, cfg.shards, total)
+	}
+	cat, err := shard.New(shard.Config{
+		Indexes: idxs,
+		Stores:  stores,
+		Pool:    pool.New(emb.Config().Workers),
+	})
+	if err != nil {
+		closeStores()
+		return nil, nil, err
+	}
+	scfg.Catalog = cat
+	srv, err = serve.New(emb, scfg)
+	if err != nil {
+		closeStores()
+		return nil, nil, err
+	}
+	cleanup = func() {
+		srv.Close()
+		closeStores()
+	}
+	fp := srv.Fingerprint()
+	fmt.Fprintf(w, "warm embedder ready: %d components, dim %d, %d shards, fingerprint %s\n",
+		emb.Model().K(), srv.Dim(), cfg.shards, fp[:12])
 	return srv, cleanup, nil
 }
 

@@ -1,0 +1,278 @@
+package main
+
+// CLI-level tests for the sharded catalog (-shards), the scatter-gather
+// front door (-proxy) and the graceful drain: a SIGTERM'd server finishes
+// the in-flight request before exiting.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/data"
+)
+
+// TestShardedCatalogAcrossRestart: -shards 3 -catalog DIR journals each
+// column to its owning shard's store and a restarted server replays all
+// three, answering /search byte-identically.
+func TestShardedCatalogAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "gem.model")
+	store := filepath.Join(dir, "store")
+
+	cfg := tinyCfg()
+	cfg.saveModel = model
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("persist run: %v\n%s", err, buf.String())
+	}
+
+	scfg := tinyCfg()
+	scfg.fitSynthetic = 0
+	scfg.model = model
+	scfg.catalogDir = store
+	scfg.shards = 3
+
+	searchBody := func(ts *httptest.Server) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/search", "application/json",
+			strings.NewReader(`{"column":{"name":"probe","values":[2,4,6,8,10,12]},"k":4}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search: %d %s", resp.StatusCode, b)
+		}
+		return b
+	}
+
+	buf.Reset()
+	srv, cleanup, err := buildServer(scfg, &buf)
+	if err != nil {
+		t.Fatalf("buildServer: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "3 shards") {
+		t.Errorf("startup output missing shard count:\n%s", buf.String())
+	}
+	ds := data.ScalabilityDataset(12, 9)
+	if _, err := srv.AddColumns(context.Background(), ds.Columns[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.RemoveColumns("@2", "@6"); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Shards != 3 || st.StoreColumns != 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+	tsA := httptest.NewServer(srv.Handler())
+	want := searchBody(tsA)
+	tsA.Close()
+	cleanup()
+
+	// Each shard got its own store directory.
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(filepath.Join(store, fmt.Sprintf("shard-%03d", i), "journal.gemcat")); err != nil {
+			t.Errorf("shard %d store missing: %v", i, err)
+		}
+	}
+
+	// Restart over the same stores: byte-identical /search.
+	buf.Reset()
+	srv2, cleanup2, err := buildServer(scfg, &buf)
+	if err != nil {
+		t.Fatalf("restart buildServer: %v\n%s", err, buf.String())
+	}
+	defer cleanup2()
+	if !strings.Contains(buf.String(), "3 shards, 6 live columns") {
+		t.Errorf("restart output missing replayed stores:\n%s", buf.String())
+	}
+	tsB := httptest.NewServer(srv2.Handler())
+	defer tsB.Close()
+	if got := searchBody(tsB); !bytes.Equal(want, got) {
+		t.Errorf("search changed across sharded restart:\npre:  %s\npost: %s", want, got)
+	}
+}
+
+// TestShardedRejectsUnshardedStore: pointing -shards at a directory that
+// already holds an unsharded store must fail, not silently hide its
+// columns.
+func TestShardedRejectsUnshardedStore(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "gem.model")
+	store := filepath.Join(dir, "store")
+	cfg := tinyCfg()
+	cfg.saveModel = model
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(store, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store, "journal.gemcat"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scfg := tinyCfg()
+	scfg.fitSynthetic = 0
+	scfg.model = model
+	scfg.catalogDir = store
+	scfg.shards = 2
+	if _, _, err := buildServer(scfg, &buf); err == nil ||
+		!strings.Contains(err.Error(), "unsharded catalog store") {
+		t.Fatalf("unsharded store accepted by -shards: %v", err)
+	}
+}
+
+func TestShardAndProxyFlagConflicts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  cliConfig
+		want string
+	}{
+		{
+			name: "shards+index-in",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				shards: 2, indexIn: "x.idx"},
+			want: "cannot be combined with -shards",
+		},
+		{
+			name: "shards-without-search",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				shards: 2},
+			want: "requires -search or -catalog",
+		},
+		{
+			name: "shards-zero",
+			cfg: cliConfig{model: "x.model", addr: "127.0.0.1:0",
+				shards: 0, search: true, set: map[string]bool{"shards": true}},
+			want: "-shards must be at least 1",
+		},
+		{
+			name: "proxy+model",
+			cfg: cliConfig{proxy: "http://h:1", model: "x.model",
+				addr: "127.0.0.1:0"},
+			want: "cannot be combined with -model",
+		},
+		{
+			name: "proxy+catalog",
+			cfg: cliConfig{proxy: "http://h:1", catalogDir: "store",
+				addr: "127.0.0.1:0"},
+			want: "cannot be combined with -catalog",
+		},
+		{
+			name: "proxy+shards",
+			cfg: cliConfig{proxy: "http://h:1", shards: 2,
+				addr: "127.0.0.1:0", set: map[string]bool{"shards": true}},
+			want: "cannot be combined with -shards",
+		},
+		{
+			name: "proxy-bad-backend",
+			cfg:  cliConfig{proxy: "h:1", addr: "127.0.0.1:0"},
+			want: "not an http(s) URL",
+		},
+		{
+			name: "proxy-empty-addr",
+			cfg:  cliConfig{proxy: "http://h:1"},
+			want: "needs a listen -addr",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.cfg, &bytes.Buffer{})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestGracefulDrain: a server that receives the shutdown signal while a
+// request is in flight finishes that request (200, full body) before
+// serveAndDrain returns cleanly.
+func TestGracefulDrain(t *testing.T) {
+	scfg := tinyCfg()
+	scfg.search = true
+	var buf bytes.Buffer
+	srv, cleanup, err := buildServer(scfg, &buf)
+	if err != nil {
+		t.Fatalf("buildServer: %v\n%s", err, buf.String())
+	}
+	defer cleanup()
+
+	// Gate the handler so the test controls when the in-flight request
+	// completes: the request parks inside the server until released.
+	inner := srv.Handler()
+	var enterOnce sync.Once
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	gated := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enterOnce.Do(func() { close(entered) })
+		<-release
+		inner.ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serveAndDrain(newHTTPServer(gated), ln, stop, &buf) }()
+
+	type reply struct {
+		code int
+		body []byte
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/embed", "application/json",
+			strings.NewReader(`{"columns":[{"name":"c","values":[1,2,3,4,5,6]}]}`))
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- reply{code: resp.StatusCode, body: b}
+	}()
+
+	<-entered
+	stop <- syscall.SIGTERM
+
+	// The drain must wait for the parked request: serveAndDrain must not
+	// return while the handler is still blocked.
+	select {
+	case err := <-served:
+		t.Fatalf("serveAndDrain returned %v with a request still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.code != http.StatusOK || !bytes.Contains(r.body, []byte(`"embeddings"`)) {
+		t.Fatalf("in-flight request answer: %d %s", r.code, r.body)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serveAndDrain: %v", err)
+	}
+	if !strings.Contains(buf.String(), "draining in-flight requests") ||
+		!strings.Contains(buf.String(), "drained, exiting") {
+		t.Errorf("drain log:\n%s", buf.String())
+	}
+}

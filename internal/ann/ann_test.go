@@ -2,8 +2,10 @@ package ann
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -77,6 +79,51 @@ func TestFlatTieBreakByID(t *testing.T) {
 		if res[i].ID != want {
 			t.Fatalf("tie-broken ids = %v, want [0 1 2]", res)
 		}
+	}
+}
+
+// TestSearchKValidation pins the k contract on every index kind: any
+// negative k is ErrInput with the offending value named (so HTTP layers
+// can map it to 400 verbatim), k = 0 is an empty answer, and positive k
+// truncates to the live size. A request must never panic or silently
+// clamp a negative k to something positive.
+func TestSearchKValidation(t *testing.T) {
+	for name, idx := range testIndexes(t, Euclidean) {
+		t.Run(name, func(t *testing.T) {
+			if err := idx.Add([]float64{1, 2}, []float64{3, 4}, []float64{5, 6}); err != nil {
+				t.Fatal(err)
+			}
+			q := []float64{1, 2}
+			for _, tc := range []struct {
+				k       int
+				wantErr bool
+				wantLen int
+			}{
+				{k: -1, wantErr: true},
+				{k: -10, wantErr: true},
+				{k: math.MinInt, wantErr: true},
+				{k: 0, wantLen: 0},
+				{k: 2, wantLen: 2},
+				{k: 100, wantLen: 3},
+			} {
+				res, err := idx.Search(q, tc.k)
+				if tc.wantErr {
+					if !errors.Is(err, ErrInput) {
+						t.Errorf("Search(k=%d) err = %v, want ErrInput", tc.k, err)
+					}
+					if res != nil {
+						t.Errorf("Search(k=%d) returned results alongside the error", tc.k)
+					}
+					if !strings.Contains(err.Error(), fmt.Sprintf("k = %d", tc.k)) {
+						t.Errorf("Search(k=%d) error does not name the value: %v", tc.k, err)
+					}
+					continue
+				}
+				if err != nil || len(res) != tc.wantLen {
+					t.Errorf("Search(k=%d) = %d results, %v; want %d", tc.k, len(res), err, tc.wantLen)
+				}
+			}
+		})
 	}
 }
 

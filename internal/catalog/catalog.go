@@ -60,10 +60,17 @@ func ParseKey(s string) (Key, error) {
 
 // Entry is one live column of the catalog: its content key, header name
 // and raw embedding row.
+//
+// Seq is an opaque, caller-assigned sequence number persisted with the
+// entry (format v2). The store itself orders replay by arrival, not by
+// Seq; the sharded catalog uses Seq to reconstruct the global add order
+// across its per-shard stores after a restart. Entries written by the v1
+// format decode with Seq 0.
 type Entry struct {
 	Key  Key
 	Name string
 	Vec  []float64
+	Seq  uint64
 }
 
 // OpKind discriminates journal operations.

@@ -19,14 +19,15 @@ func FuzzReplayJournal(f *testing.F) {
 	full := append([]byte(nil), hdr...)
 	full = appendRecord(full, Op{Kind: OpAdd, Entry: Entry{Key: key(1), Name: "price", Vec: []float64{1.5, -2, 0}}})
 	full = appendRecord(full, Op{Kind: OpRemove, Entry: Entry{Key: key(1)}})
-	full = appendRecord(full, Op{Kind: OpAdd, Entry: Entry{Key: key(2), Name: "qty", Vec: []float64{7, 8, 9}}})
+	full = appendRecord(full, Op{Kind: OpAdd, Entry: Entry{Key: key(2), Name: "qty", Vec: []float64{7, 8, 9}, Seq: 12}})
 	f.Add(full)
 	f.Add(full[:len(full)-5])
 	f.Add([]byte{})
 	f.Add([]byte("gemjnl\x00\x01"))
+	f.Add([]byte("gemjnl\x00\x02"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ops, _, _, goodLen, torn, err := replayJournal(bytes.NewReader(data))
+		ops, _, _, goodLen, torn, _, err := replayJournal(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
@@ -59,7 +60,7 @@ func FuzzReplayJournal(f *testing.F) {
 		for _, op := range ops {
 			re = appendRecord(re, op)
 		}
-		ops2, _, _, _, torn2, err := replayJournal(bytes.NewReader(re))
+		ops2, _, _, _, torn2, _, err := replayJournal(bytes.NewReader(re))
 		if err != nil || torn2 {
 			t.Fatalf("re-encoded journal failed to replay: torn=%v err=%v", torn2, err)
 		}

@@ -2,7 +2,7 @@ package catalog
 
 // The append-only journal. Layout, little-endian:
 //
-//	magic       [8]byte  "gemjnl\x00\x01"
+//	magic       [8]byte  "gemjnl\x00\x02" (v1 "gemjnl\x00\x01" still reads)
 //	generation  uint64   must match the snapshot's generation
 //	fpLen       uint32   followed by the embedder fingerprint bytes
 //	records...
@@ -13,12 +13,16 @@ package catalog
 //	payload     payloadLen bytes
 //	crc         uint32    IEEE CRC-32 of the payload
 //
-// Payload:
+// Payload (v2):
 //
 //	kind   uint8   1 = add, 2 = remove
 //	key    [32]byte
 //	add only:
-//	  nameLen uint32, name, dim uint32, dim float64s (raw bits)
+//	  seq uint64, nameLen uint32, name, dim uint32, dim float64s (raw bits)
+//
+// v1 add payloads lack the seq field and decode with Seq 0. New journals
+// are always written at v2; Open upgrades an intact v1 journal in place
+// (re-encoded via the same atomic temp+rename as a journal reset).
 //
 // Replay distinguishes a torn tail from corruption. A record cut short by
 // the end of the stream is how a crash mid-append looks, so it is reported
@@ -35,7 +39,10 @@ import (
 	"math"
 )
 
-var journalMagic = [8]byte{'g', 'e', 'm', 'j', 'n', 'l', 0, 1}
+var (
+	journalMagicV1 = [8]byte{'g', 'e', 'm', 'j', 'n', 'l', 0, 1}
+	journalMagic   = [8]byte{'g', 'e', 'm', 'j', 'n', 'l', 0, 2}
+)
 
 const (
 	// maxJournalName bounds a column name read from journal bytes.
@@ -43,9 +50,9 @@ const (
 	// maxJournalDim bounds an embedding dimensionality read from journal
 	// bytes.
 	maxJournalDim = 1 << 20
-	// maxJournalPayload bounds one record payload: kind + key + name and
-	// vector sections at their own caps.
-	maxJournalPayload = 1 + 32 + 4 + maxJournalName + 4 + 8*maxJournalDim
+	// maxJournalPayload bounds one record payload: kind + key + seq + name
+	// and vector sections at their own caps.
+	maxJournalPayload = 1 + 32 + 8 + 4 + maxJournalName + 4 + 8*maxJournalDim
 )
 
 // appendJournalHeader encodes the journal file header.
@@ -56,12 +63,14 @@ func appendJournalHeader(buf []byte, generation uint64, fingerprint string) []by
 	return append(buf, fingerprint...)
 }
 
-// appendRecord encodes one framed journal record.
+// appendRecord encodes one framed journal record (always at the current
+// format version).
 func appendRecord(buf []byte, op Op) []byte {
 	payload := make([]byte, 0, 64+8*len(op.Entry.Vec))
 	payload = append(payload, byte(op.Kind))
 	payload = append(payload, op.Entry.Key[:]...)
 	if op.Kind == OpAdd {
+		payload = binary.LittleEndian.AppendUint64(payload, op.Entry.Seq)
 		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(op.Entry.Name)))
 		payload = append(payload, op.Entry.Name...)
 		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(op.Entry.Vec)))
@@ -74,8 +83,10 @@ func appendRecord(buf []byte, op Op) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
 }
 
-// decodePayload parses one record payload into an Op.
-func decodePayload(p []byte) (Op, error) {
+// decodePayload parses one record payload into an Op. version is the
+// journal's format version: v2 add records carry a seq field, v1 records
+// do not (Seq decodes as 0).
+func decodePayload(p []byte, version int) (Op, error) {
 	if len(p) < 1+32 {
 		return Op{}, fmt.Errorf("%w: journal payload of %d bytes", ErrFormat, len(p))
 	}
@@ -90,6 +101,13 @@ func decodePayload(p []byte) (Op, error) {
 		}
 		return op, nil
 	case OpAdd:
+		if version >= 2 {
+			if len(rest) < 8 {
+				return Op{}, fmt.Errorf("%w: add record truncated before seq", ErrFormat)
+			}
+			op.Entry.Seq = binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+		}
 		if len(rest) < 4 {
 			return Op{}, fmt.Errorf("%w: add record truncated before name", ErrFormat)
 		}
@@ -124,29 +142,35 @@ func decodePayload(p []byte) (Op, error) {
 
 // replayJournal reads a journal stream. It returns the decoded ops, the
 // stream's generation and fingerprint, the byte offset of the end of the
-// last intact record, and whether a torn tail (truncated trailing record)
-// was dropped. Corruption other than a torn tail is an error.
-func replayJournal(r io.Reader) (ops []Op, generation uint64, fingerprint string, goodLen int64, torn bool, err error) {
+// last intact record, whether a torn tail (truncated trailing record) was
+// dropped, and the stream's format version. Corruption other than a torn
+// tail is an error.
+func replayJournal(r io.Reader) (ops []Op, generation uint64, fingerprint string, goodLen int64, torn bool, version int, err error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, 0, "", 0, false, fmt.Errorf("%w: reading journal magic: %v", ErrFormat, err)
+		return nil, 0, "", 0, false, 0, fmt.Errorf("%w: reading journal magic: %v", ErrFormat, err)
 	}
-	if m != journalMagic {
-		return nil, 0, "", 0, false, fmt.Errorf("%w: bad journal magic %q", ErrFormat, m[:])
+	switch m {
+	case journalMagicV1:
+		version = 1
+	case journalMagic:
+		version = 2
+	default:
+		return nil, 0, "", 0, false, 0, fmt.Errorf("%w: bad journal magic %q", ErrFormat, m[:])
 	}
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, 0, "", 0, false, fmt.Errorf("%w: reading journal header: %v", ErrFormat, err)
+		return nil, 0, "", 0, false, 0, fmt.Errorf("%w: reading journal header: %v", ErrFormat, err)
 	}
 	generation = binary.LittleEndian.Uint64(hdr[:8])
 	fpLen := binary.LittleEndian.Uint32(hdr[8:])
 	if fpLen > maxJournalName {
-		return nil, 0, "", 0, false, fmt.Errorf("%w: journal fingerprint length %d", ErrFormat, fpLen)
+		return nil, 0, "", 0, false, 0, fmt.Errorf("%w: journal fingerprint length %d", ErrFormat, fpLen)
 	}
 	fpBytes := make([]byte, fpLen)
 	if _, err := io.ReadFull(br, fpBytes); err != nil {
-		return nil, 0, "", 0, false, fmt.Errorf("%w: reading journal fingerprint: %v", ErrFormat, err)
+		return nil, 0, "", 0, false, 0, fmt.Errorf("%w: reading journal fingerprint: %v", ErrFormat, err)
 	}
 	fingerprint = string(fpBytes)
 	goodLen = int64(len(journalMagic)) + 12 + int64(fpLen)
@@ -156,15 +180,15 @@ func replayJournal(r io.Reader) (ops []Op, generation uint64, fingerprint string
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			if err == io.EOF {
-				return ops, generation, fingerprint, goodLen, false, nil
+				return ops, generation, fingerprint, goodLen, false, version, nil
 			}
 			// A partial length prefix at the end of the stream is a torn
 			// tail.
-			return ops, generation, fingerprint, goodLen, true, nil
+			return ops, generation, fingerprint, goodLen, true, version, nil
 		}
 		payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
 		if payloadLen > maxJournalPayload {
-			return nil, 0, "", 0, false, fmt.Errorf("%w: journal record length %d exceeds limit", ErrFormat, payloadLen)
+			return nil, 0, "", 0, false, 0, fmt.Errorf("%w: journal record length %d exceeds limit", ErrFormat, payloadLen)
 		}
 		if cap(frame) < int(payloadLen)+4 {
 			frame = make([]byte, payloadLen+4)
@@ -173,16 +197,16 @@ func replayJournal(r io.Reader) (ops []Op, generation uint64, fingerprint string
 		if _, err := io.ReadFull(br, frame); err != nil {
 			// Payload or checksum cut short by the end of the stream: torn
 			// tail.
-			return ops, generation, fingerprint, goodLen, true, nil
+			return ops, generation, fingerprint, goodLen, true, version, nil
 		}
 		payload := frame[:payloadLen]
 		wantCRC := binary.LittleEndian.Uint32(frame[payloadLen:])
 		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return nil, 0, "", 0, false, fmt.Errorf("%w: journal record checksum mismatch", ErrFormat)
+			return nil, 0, "", 0, false, 0, fmt.Errorf("%w: journal record checksum mismatch", ErrFormat)
 		}
-		op, err := decodePayload(payload)
+		op, err := decodePayload(payload, version)
 		if err != nil {
-			return nil, 0, "", 0, false, err
+			return nil, 0, "", 0, false, 0, err
 		}
 		ops = append(ops, op)
 		goodLen += 4 + int64(payloadLen) + 4

@@ -5,10 +5,11 @@ package catalog
 //
 // Snapshot layout ("snapshot.gemcat"), little-endian:
 //
-//	magic       [8]byte  "gemcat\x00\x01"
+//	magic       [8]byte  "gemcat\x00\x02" (v1 "gemcat\x00\x01" still reads)
 //	body        generation uint64, fpLen uint32 + fingerprint,
 //	            dim uint32, count uint32,
-//	            count × (key [32]byte, nameLen uint32 + name, dim float64s)
+//	            count × (key [32]byte, seq uint64 [v2 only],
+//	                     nameLen uint32 + name, dim float64s)
 //	crc         uint32   IEEE CRC-32 of the body
 //
 // The journal ("journal.gemcat", see journal.go) holds every mutation
@@ -32,7 +33,10 @@ import (
 	"syscall"
 )
 
-var snapshotMagic = [8]byte{'g', 'e', 'm', 'c', 'a', 't', 0, 1}
+var (
+	snapshotMagicV1 = [8]byte{'g', 'e', 'm', 'c', 'a', 't', 0, 1}
+	snapshotMagic   = [8]byte{'g', 'e', 'm', 'c', 'a', 't', 0, 2}
+)
 
 const (
 	snapshotFile = "snapshot.gemcat"
@@ -86,6 +90,7 @@ type loadedDir struct {
 	jnlOK   bool  // journal matches the snapshot generation (ops valid)
 	goodLen int64 // intact journal prefix length (when jnlOK)
 	jnlLen  int64 // raw journal file length (when jnlSeen)
+	jnlVer  int   // journal format version (when jnlOK)
 }
 
 // loadDir reads and reconciles a store directory's snapshot and journal.
@@ -128,7 +133,7 @@ func loadDir(dir, fingerprint string) (*loadedDir, error) {
 	if raw, err := os.ReadFile(jnlPath); err == nil {
 		ld.jnlSeen = true
 		ld.jnlLen = int64(len(raw))
-		ops, gen, fp, goodLen, _, err := replayJournal(bytes.NewReader(raw))
+		ops, gen, fp, goodLen, _, ver, err := replayJournal(bytes.NewReader(raw))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", jnlPath, err)
 		}
@@ -145,6 +150,7 @@ func loadDir(dir, fingerprint string) (*loadedDir, error) {
 			ld.jnlOK = true
 			ld.goodLen = goodLen
 			ld.ops = ops
+			ld.jnlVer = ver
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("catalog: reading journal: %w", err)
@@ -204,6 +210,20 @@ func Open(dir, fingerprint string) (*Store, error) {
 			return nil, err
 		}
 		s.jsize = journalHeaderLen(s.fp)
+	case ld.jnlVer < 2:
+		// A previous-format journal: re-encode its intact ops at the
+		// current version (atomic temp+rename, like a journal reset), so
+		// appends never mix record formats in one file. A torn v1 tail is
+		// dropped by the same rewrite.
+		buf := appendJournalHeader(nil, ld.gen, s.fp)
+		for _, op := range ld.ops {
+			buf = appendRecord(buf, op)
+		}
+		if err := atomicWrite(jnlPath, buf); err != nil {
+			releaseLock(lock)
+			return nil, err
+		}
+		s.jsize = int64(len(buf))
 	case ld.jnlLen > ld.goodLen:
 		// Torn tail from a crash mid-append.
 		if err := os.Truncate(jnlPath, ld.goodLen); err != nil {
@@ -492,6 +512,7 @@ func encodeSnapshot(generation uint64, fingerprint string, dim int, entries []En
 	body = binary.LittleEndian.AppendUint32(body, uint32(len(entries)))
 	for _, e := range entries {
 		body = append(body, e.Key[:]...)
+		body = binary.LittleEndian.AppendUint64(body, e.Seq)
 		body = binary.LittleEndian.AppendUint32(body, uint32(len(e.Name)))
 		body = append(body, e.Name...)
 		for _, v := range e.Vec {
@@ -509,7 +530,13 @@ func decodeSnapshot(raw []byte) (generation uint64, fingerprint string, dim int,
 	if len(raw) < len(snapshotMagic)+4 {
 		return 0, "", 0, nil, fmt.Errorf("%w: snapshot of %d bytes", ErrFormat, len(raw))
 	}
-	if !bytes.Equal(raw[:len(snapshotMagic)], snapshotMagic[:]) {
+	version := 0
+	switch {
+	case bytes.Equal(raw[:len(snapshotMagic)], snapshotMagicV1[:]):
+		version = 1
+	case bytes.Equal(raw[:len(snapshotMagic)], snapshotMagic[:]):
+		version = 2
+	default:
 		return 0, "", 0, nil, fmt.Errorf("%w: bad snapshot magic %q", ErrFormat, raw[:len(snapshotMagic)])
 	}
 	body := raw[len(snapshotMagic) : len(raw)-4]
@@ -549,8 +576,13 @@ func decodeSnapshot(raw []byte) (generation uint64, fingerprint string, dim int,
 	if count > 0 && d == 0 {
 		return 0, "", 0, nil, fmt.Errorf("%w: %d snapshot entries with dim 0", ErrFormat, count)
 	}
-	// Minimum bytes per entry: 32-byte key + 4-byte name length + vector.
-	if int64(count)*int64(36+8*d) > int64(len(body)) {
+	// Minimum bytes per entry: 32-byte key + (v2) 8-byte seq + 4-byte name
+	// length + vector.
+	entryMin := int64(36 + 8*d)
+	if version >= 2 {
+		entryMin += 8
+	}
+	if int64(count)*entryMin > int64(len(body)) {
 		return 0, "", 0, nil, fmt.Errorf("%w: snapshot count %d exceeds payload", ErrFormat, count)
 	}
 	dim = int(d)
@@ -561,6 +593,12 @@ func decodeSnapshot(raw []byte) (generation uint64, fingerprint string, dim int,
 			return 0, "", 0, nil, err
 		}
 		copy(e.Key[:], b)
+		if version >= 2 {
+			if b, err = take(8); err != nil {
+				return 0, "", 0, nil, err
+			}
+			e.Seq = binary.LittleEndian.Uint64(b)
+		}
 		if b, err = take(4); err != nil {
 			return 0, "", 0, nil, err
 		}

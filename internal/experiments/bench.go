@@ -25,11 +25,14 @@ type BenchReport struct {
 
 	Search *SearchReport `json:"search,omitempty"`
 	Serve  *ServeReport  `json:"serve,omitempty"`
+	Load   *LoadReport   `json:"load,omitempty"`
 }
 
 // BenchSchemaVersion is the current BenchReport schema. Version 2 added
-// fit_seconds and the per-precision tiers list to the search section.
-const BenchSchemaVersion = 2
+// fit_seconds and the per-precision tiers list to the search section;
+// version 3 added the load section (sharded closed-loop load harness with
+// SLO ceilings).
+const BenchSchemaVersion = 3
 
 // SearchReport is the JSON form of a SearchResult. The top-level recall and
 // QPS fields mirror the first precision tier (float64 by default); Tiers
@@ -124,6 +127,72 @@ func NewServeReport(r *ServeResult) *ServeReport {
 		}
 	}
 	return out
+}
+
+// LoadReport is the JSON form of a LoadResult. The SLO fields carry the
+// configured ceilings: a checked-in baseline with SLOs makes the CI gate
+// enforce them against every fresh run's measured percentiles.
+type LoadReport struct {
+	Columns     int     `json:"columns"`
+	Ops         int     `json:"ops"`
+	Clients     int     `json:"clients"`
+	Shards      int     `json:"shards"`
+	K           int     `json:"k"`
+	Dim         int     `json:"dim"`
+	SearchFrac  float64 `json:"search_frac"`
+	AddFrac     float64 `json:"add_frac"`
+	RemoveFrac  float64 `json:"remove_frac"`
+	Searches    int     `json:"searches"`
+	Adds        int     `json:"adds"`
+	Removes     int     `json:"removes"`
+	LiveColumns int     `json:"live_columns"`
+	QPS         float64 `json:"qps"`
+	SearchP50Ms float64 `json:"search_p50_ms"`
+	SearchP95Ms float64 `json:"search_p95_ms"`
+	SearchP99Ms float64 `json:"search_p99_ms"`
+	MutateP99Ms float64 `json:"mutate_p99_ms"`
+
+	OpenLoopQPS         float64 `json:"open_loop_qps,omitempty"`
+	OpenLoopAchievedQPS float64 `json:"open_loop_achieved_qps,omitempty"`
+	OpenLoopP99Ms       float64 `json:"open_loop_p99_ms,omitempty"`
+
+	SLOP50Ms      float64  `json:"slo_p50_ms,omitempty"`
+	SLOP95Ms      float64  `json:"slo_p95_ms,omitempty"`
+	SLOP99Ms      float64  `json:"slo_p99_ms,omitempty"`
+	SLOViolations []string `json:"slo_violations,omitempty"`
+}
+
+// NewLoadReport converts a LoadResult.
+func NewLoadReport(r *LoadResult) *LoadReport {
+	return &LoadReport{
+		Columns:     r.Columns,
+		Ops:         r.Ops,
+		Clients:     r.Clients,
+		Shards:      r.Shards,
+		K:           r.K,
+		Dim:         r.Dim,
+		SearchFrac:  r.SearchFrac,
+		AddFrac:     r.AddFrac,
+		RemoveFrac:  r.RemoveFrac,
+		Searches:    r.Searches,
+		Adds:        r.Adds,
+		Removes:     r.Removes,
+		LiveColumns: r.LiveColumns,
+		QPS:         r.QPS,
+		SearchP50Ms: r.SearchP50Ms,
+		SearchP95Ms: r.SearchP95Ms,
+		SearchP99Ms: r.SearchP99Ms,
+		MutateP99Ms: r.MutateP99Ms,
+
+		OpenLoopQPS:         r.OpenLoopQPS,
+		OpenLoopAchievedQPS: r.OpenLoopAchievedQPS,
+		OpenLoopP99Ms:       r.OpenLoopP99Ms,
+
+		SLOP50Ms:      r.SLO.P50Ms,
+		SLOP95Ms:      r.SLO.P95Ms,
+		SLOP99Ms:      r.SLO.P99Ms,
+		SLOViolations: r.SLOViolations,
+	}
 }
 
 // Write renders the report as indented JSON.

@@ -55,6 +55,13 @@ func CompareBenchReports(baseline, fresh *BenchReport) []string {
 			v = append(v, compareServe(baseline.Serve, fresh.Serve)...)
 		}
 	}
+	if baseline.Load != nil {
+		if fresh.Load == nil {
+			v = append(v, "load section missing from fresh report")
+		} else {
+			v = append(v, compareLoad(baseline.Load, fresh.Load)...)
+		}
+	}
 	return v
 }
 
@@ -115,6 +122,40 @@ func compareServe(base, got *ServeReport) []string {
 			v = append(v, fmt.Sprintf("serve dup=%.2f hit rate moved %.3f -> %.3f (tolerance %.2f)", bp.DupFraction, bp.HitRate, gp.HitRate, maxHitRateDelta))
 		}
 		v = append(v, checkQPS(fmt.Sprintf("serve dup=%.2f", bp.DupFraction), bp.QPS, gp.QPS)...)
+	}
+	return v
+}
+
+// compareLoad gates the load section. Op counts are deterministic in
+// (options, seed), so a shifted traffic mix is an exact-match failure;
+// throughput gets the shared loose floor; and the BASELINE's SLO ceilings
+// — the checked-in contract — are enforced against the FRESH run's
+// measured search percentiles, alongside any violations the fresh run
+// already recorded against its own configuration.
+func compareLoad(base, got *LoadReport) []string {
+	var v []string
+	if got.Searches != base.Searches || got.Adds != base.Adds || got.Removes != base.Removes {
+		v = append(v, fmt.Sprintf("load op mix changed: %d/%d/%d searches/adds/removes, baseline %d/%d/%d",
+			got.Searches, got.Adds, got.Removes, base.Searches, base.Adds, base.Removes))
+	}
+	if base.LiveColumns != 0 && got.LiveColumns != base.LiveColumns {
+		v = append(v, fmt.Sprintf("load live columns after replay changed: %d, baseline %d", got.LiveColumns, base.LiveColumns))
+	}
+	v = append(v, checkQPS("load closed-loop", base.QPS, got.QPS)...)
+	for _, c := range []struct {
+		name       string
+		limit, got float64
+	}{
+		{"search p50", base.SLOP50Ms, got.SearchP50Ms},
+		{"search p95", base.SLOP95Ms, got.SearchP95Ms},
+		{"search p99", base.SLOP99Ms, got.SearchP99Ms},
+	} {
+		if c.limit > 0 && c.got > c.limit {
+			v = append(v, fmt.Sprintf("load %s %.3f ms exceeds baseline SLO %.3f ms", c.name, c.got, c.limit))
+		}
+	}
+	for _, s := range got.SLOViolations {
+		v = append(v, "load run-recorded SLO violation: "+s)
 	}
 	return v
 }

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func tinyLoadOpts() LoadOptions {
+	return LoadOptions{
+		Options: tinyOpts(),
+		Columns: 40,
+		Ops:     120,
+		Clients: 4,
+		Shards:  2,
+	}
+}
+
+func TestLoadEval(t *testing.T) {
+	opts := tinyLoadOpts()
+	res, err := LoadEval(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 2 || res.Clients != 4 || res.Columns != 40 {
+		t.Fatalf("shape: %+v", res)
+	}
+	total := res.Searches + res.Adds + res.Removes
+	if total != 120 {
+		t.Fatalf("op counts %d/%d/%d sum to %d, want 120", res.Searches, res.Adds, res.Removes, total)
+	}
+	// The mix tracks the default 0.75/0.15/0.10 split loosely (removes can
+	// degrade to adds early in a stream).
+	if res.Searches < 70 || res.Adds < 5 || res.Removes < 1 {
+		t.Fatalf("implausible op mix: %d/%d/%d", res.Searches, res.Adds, res.Removes)
+	}
+	if res.LiveColumns != res.Columns+res.Adds-res.Removes {
+		t.Fatalf("live %d, want %d", res.LiveColumns, res.Columns+res.Adds-res.Removes)
+	}
+	if res.QPS <= 0 || res.SearchP50Ms <= 0 || res.SearchP99Ms < res.SearchP50Ms {
+		t.Fatalf("timings implausible: %+v", res)
+	}
+	if res.OpenLoopAchievedQPS <= 0 {
+		t.Fatalf("open-loop probe recorded nothing: %+v", res)
+	}
+	if len(res.SLOViolations) != 0 {
+		t.Fatalf("violations without SLOs configured: %v", res.SLOViolations)
+	}
+	for _, want := range []string{"load eval", "closed loop", "open loop", "p99"} {
+		if !strings.Contains(res.String(), want) {
+			t.Errorf("String() missing %q:\n%s", want, res.String())
+		}
+	}
+
+	// Determinism of the non-wall-clock facts: a rerun realizes the same
+	// op counts and final catalog size.
+	res2, err := LoadEval(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Searches != res.Searches || res2.Adds != res.Adds ||
+		res2.Removes != res.Removes || res2.LiveColumns != res.LiveColumns {
+		t.Fatalf("op stream not deterministic: %+v vs %+v", res2, res)
+	}
+}
+
+func TestLoadEvalSLOViolation(t *testing.T) {
+	opts := tinyLoadOpts()
+	opts.SLO = LoadSLO{P50Ms: 1e-9} // unattainably tight: must be flagged
+	res, err := LoadEval(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SLOViolations) == 0 {
+		t.Fatal("impossible SLO not flagged")
+	}
+	if !strings.Contains(res.SLOViolations[0], "search p50") {
+		t.Fatalf("violation text: %v", res.SLOViolations)
+	}
+	if !strings.Contains(res.String(), "SLO VIOLATION") {
+		t.Errorf("String() hides the violation:\n%s", res.String())
+	}
+}
+
+func TestLoadEvalRejectsBadFractions(t *testing.T) {
+	opts := tinyLoadOpts()
+	opts.SearchFrac, opts.AddFrac, opts.RemoveFrac = 0.9, 0.3, 0.1
+	if _, err := LoadEval(opts); err == nil || !strings.Contains(err.Error(), "sum to") {
+		t.Fatalf("bad fraction sum: %v", err)
+	}
+	opts = tinyLoadOpts()
+	opts.SearchFrac, opts.AddFrac, opts.RemoveFrac = 1.2, -0.3, 0.1
+	if _, err := LoadEval(opts); err == nil || !strings.Contains(err.Error(), "non-negative") {
+		t.Fatalf("negative fraction: %v", err)
+	}
+}
+
+func TestPercentileMs(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.9, 4.6},
+	} {
+		if got := percentileMs(vals, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("percentileMs(%.2f) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentileMs(nil, 0.5); got != 0 {
+		t.Errorf("empty sample percentile = %v", got)
+	}
+}
+
+func TestCompareLoad(t *testing.T) {
+	base := &LoadReport{
+		Searches: 90, Adds: 20, Removes: 10, LiveColumns: 50,
+		QPS:      1000,
+		SLOP99Ms: 5,
+	}
+	same := &LoadReport{
+		Searches: 90, Adds: 20, Removes: 10, LiveColumns: 50,
+		QPS: 900, SearchP99Ms: 3,
+	}
+	if v := compareLoad(base, same); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+
+	for name, fresh := range map[string]*LoadReport{
+		"mix": {Searches: 91, Adds: 19, Removes: 10, LiveColumns: 50, QPS: 900},
+		"live": {Searches: 90, Adds: 20, Removes: 10, LiveColumns: 49,
+			QPS: 900},
+		"qps-collapse": {Searches: 90, Adds: 20, Removes: 10, LiveColumns: 50,
+			QPS: 10},
+		"slo-breach": {Searches: 90, Adds: 20, Removes: 10, LiveColumns: 50,
+			QPS: 900, SearchP99Ms: 50},
+		"self-violation": {Searches: 90, Adds: 20, Removes: 10, LiveColumns: 50,
+			QPS: 900, SLOViolations: []string{"search p95 breached"}},
+	} {
+		if v := compareLoad(base, fresh); len(v) == 0 {
+			t.Errorf("%s regression not flagged", name)
+		}
+	}
+
+	// The section gate: a baseline with load requires fresh load.
+	b := &BenchReport{Schema: 3, Load: base}
+	if v := CompareBenchReports(b, &BenchReport{Schema: 3}); len(v) == 0 ||
+		!strings.Contains(v[0], "load section missing") {
+		t.Errorf("missing load section not flagged: %v", v)
+	}
+}

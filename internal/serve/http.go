@@ -9,6 +9,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"github.com/gem-embeddings/gem/internal/table"
@@ -122,10 +123,31 @@ func (s *Server) handleColumnsList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, columnsResponse{Columns: cols, Live: len(cols)})
 }
 
+// decodeBody decodes one JSON request body under the configured size cap
+// and writes the error response itself when decoding fails: 413 when the
+// cap cut the body off, 400 for malformed JSON. Reports whether decoding
+// succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, body, s.cfg.MaxBodyBytes)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleColumnsAdd(w http.ResponseWriter, r *http.Request) {
 	var req addColumnsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	cols := make([]table.Column, len(req.Columns))
@@ -164,8 +186,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req embedRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	cols := make([]table.Column, len(req.Columns))
@@ -190,8 +211,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req searchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.K == 0 {

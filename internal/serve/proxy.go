@@ -1,0 +1,272 @@
+package serve
+
+// The scatter-gather HTTP front door: a Proxy fans one /search out to N
+// remote gemserve backends (one shard of the catalog each, typically on
+// separate machines) and merges the per-backend top-k into one ranked
+// answer. All backends must serve the same fitted model — that is what
+// makes their distances comparable — and /healthz verifies it by
+// comparing fingerprints.
+//
+// The merge is deterministic: hits order by (distance, backend, id), so
+// repeated identical queries against unchanged backends return identical
+// bytes no matter which backend answered first. Backend ids are local to
+// their shard process; results therefore carry a "shard" field alongside
+// the id, and the (shard, id) pair is the global handle.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ProxyConfig assembles a Proxy.
+type ProxyConfig struct {
+	// Backends are the base URLs of the shard servers, e.g.
+	// "http://10.0.0.1:8080". At least one is required.
+	Backends []string
+	// Client issues the fan-out requests. Default http.DefaultClient.
+	Client *http.Client
+	// MaxBodyBytes caps one incoming request body, as in Config. Default
+	// 8 MiB; negative disables the cap.
+	MaxBodyBytes int64
+}
+
+// Proxy merges remote shard servers behind one /search endpoint. Safe
+// for concurrent use.
+type Proxy struct {
+	backends []string
+	client   *http.Client
+	maxBody  int64
+}
+
+// NewProxy validates the backend list.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("%w: a proxy needs at least one backend", ErrInput)
+	}
+	p := &Proxy{client: cfg.Client, maxBody: cfg.MaxBodyBytes}
+	for _, b := range cfg.Backends {
+		if !strings.HasPrefix(b, "http://") && !strings.HasPrefix(b, "https://") {
+			return nil, fmt.Errorf("%w: backend %q is not an http(s) URL", ErrInput, b)
+		}
+		p.backends = append(p.backends, strings.TrimRight(b, "/"))
+	}
+	if p.client == nil {
+		p.client = http.DefaultClient
+	}
+	if p.maxBody == 0 {
+		p.maxBody = 8 << 20
+	}
+	return p, nil
+}
+
+// ProxyHit is one merged search result: a backend-local hit tagged with
+// the shard (backend position) that holds it.
+type ProxyHit struct {
+	Shard int `json:"shard"`
+	Hit
+}
+
+type proxySearchResponse struct {
+	Results []ProxyHit `json:"results"`
+}
+
+type proxyHealthResponse struct {
+	Status      string `json:"status"`
+	Shards      int    `json:"shards"`
+	Fingerprint string `json:"fingerprint"`
+	IndexSize   int    `json:"index_size"`
+}
+
+type proxyStatsResponse struct {
+	Shards    int     `json:"shards"`
+	IndexSize int     `json:"index_size"`
+	Requests  int64   `json:"requests"`
+	Backends  []Stats `json:"backends"`
+}
+
+// Handler returns the proxy's HTTP API:
+//
+//	POST /search   same payload as a shard server; merged top-k answer
+//	GET  /healthz  aggregate liveness + model-identity agreement
+//	GET  /stats    per-backend counters plus fleet totals
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", p.handleSearch)
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("GET /stats", p.handleStats)
+	return mux
+}
+
+func (p *Proxy) handleSearch(w http.ResponseWriter, r *http.Request) {
+	body := r.Body
+	if p.maxBody > 0 {
+		body = http.MaxBytesReader(w, body, p.maxBody)
+	}
+	var req searchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	// Mirror the shard server's k contract at the front door: negative k
+	// is a client bug rejected before it costs a fan-out, 0 means the
+	// default.
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s: k = %d", ErrInput, req.K))
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "encoding fan-out request: "+err.Error())
+		return
+	}
+
+	type result struct {
+		resp searchResponse
+		err  error
+	}
+	results := make([]result, len(p.backends))
+	var wg sync.WaitGroup
+	for i := range p.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].err = p.call(r, http.MethodPost, p.backends[i]+"/search", payload, &results[i].resp)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s): %v", i, p.backends[i], res.err))
+			return
+		}
+	}
+
+	merged := make([]ProxyHit, 0, req.K)
+	for i, res := range results {
+		for _, h := range res.resp.Results {
+			merged = append(merged, ProxyHit{Shard: i, Hit: h})
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Dist != merged[b].Dist {
+			return merged[a].Dist < merged[b].Dist
+		}
+		if merged[a].Shard != merged[b].Shard {
+			return merged[a].Shard < merged[b].Shard
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	if len(merged) > req.K {
+		merged = merged[:req.K]
+	}
+	writeJSON(w, proxySearchResponse{Results: merged})
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healths := make([]healthResponse, len(p.backends))
+	errs := make([]error, len(p.backends))
+	var wg sync.WaitGroup
+	for i := range p.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.call(r, http.MethodGet, p.backends[i]+"/healthz", nil, &healths[i])
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for i := range p.backends {
+		if errs[i] != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s): %v", i, p.backends[i], errs[i]))
+			return
+		}
+		// Distances are only comparable when every backend serves the
+		// same fitted model; a mixed fleet is an operator error that must
+		// not answer queries quietly.
+		if healths[i].Fingerprint != healths[0].Fingerprint {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s) serves a different model than shard 0", i, p.backends[i]))
+			return
+		}
+		total += healths[i].IndexSize
+	}
+	writeJSON(w, proxyHealthResponse{
+		Status:      "ok",
+		Shards:      len(p.backends),
+		Fingerprint: healths[0].Fingerprint,
+		IndexSize:   total,
+	})
+}
+
+func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
+	all := make([]Stats, len(p.backends))
+	errs := make([]error, len(p.backends))
+	var wg sync.WaitGroup
+	for i := range p.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.call(r, http.MethodGet, p.backends[i]+"/stats", nil, &all[i])
+		}(i)
+	}
+	wg.Wait()
+	resp := proxyStatsResponse{Shards: len(p.backends), Backends: all}
+	for i := range p.backends {
+		if errs[i] != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s): %v", i, p.backends[i], errs[i]))
+			return
+		}
+		resp.IndexSize += all[i].IndexSize
+		resp.Requests += all[i].Requests
+	}
+	writeJSON(w, resp)
+}
+
+// call issues one backend request bound to the incoming request's
+// context and decodes the JSON answer; a non-200 backend answer is
+// surfaced as its error message.
+func (p *Proxy) call(r *http.Request, method, url string, body []byte, v any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.Unmarshal(data, v)
+}

@@ -53,6 +53,7 @@ import (
 	"github.com/gem-embeddings/gem/internal/ann"
 	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/shard"
 	"github.com/gem-embeddings/gem/internal/stats"
 	"github.com/gem-embeddings/gem/internal/table"
 )
@@ -99,6 +100,18 @@ type Config struct {
 	// journaled. The caller opens the store (bound to this embedder's
 	// fingerprint) and closes it after Close.
 	Store *catalog.Store
+	// Catalog, when set, is a pre-assembled (possibly sharded) column
+	// catalog the server adopts instead of building a single-shard one
+	// from the fields above — mutually exclusive with Index, IndexNames
+	// and Store. Any stores inside must be opened against
+	// StoreIdentityShard; the server replays them at startup. The server
+	// owns all access to the catalog from New on.
+	Catalog *shard.Catalog
+	// MaxBodyBytes caps one HTTP request body on the Handler's POST
+	// endpoints (/embed, /search, /columns); oversized requests fail with
+	// 413 before any JSON decoding. Default 8 MiB; negative disables the
+	// cap. Direct method calls (Embed, AddColumns, ...) are not affected.
+	MaxBodyBytes int64
 	// CompactEvery, when positive, compacts the catalog (index rebuild +
 	// store snapshot) automatically once that many removes have
 	// accumulated since the last compaction. 0 means compaction only via
@@ -125,6 +138,9 @@ func (c *Config) fillDefaults() {
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 2048
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
 }
 
 // Server hosts one warm embedder. Safe for concurrent use; create with New,
@@ -140,19 +156,20 @@ type Server struct {
 	cache     *cache
 	b         *batcher
 
-	idxMu    sync.RWMutex
-	idx      ann.Index
-	store    *catalog.Store
-	idxNames []string
-	idxKeyOf []cacheKey // aligned with index ids; zero key for preloaded entries
-	idxLive  []bool     // aligned with index ids; false once tombstoned
-	// idxSeen records every content key the auto-feed path has handled, so
-	// a column that was explicitly removed is not silently resurrected by a
-	// later /embed of the same content (only an explicit add brings it
-	// back). idxIDOf maps the keys that are currently live to their id.
-	idxSeen  map[cacheKey]bool
-	idxIDOf  map[cacheKey]int
-	removals int // removes since the last compaction (CompactEvery trigger)
+	// idxMu serializes catalog mutations; Search holds it shared (the
+	// catalog allows concurrent read-only searches, nothing else). cat is
+	// nil when the server runs without an index; it owns all membership
+	// bookkeeping — names, content keys, liveness, the seen set — and the
+	// shard routing.
+	idxMu sync.RWMutex
+	cat   *shard.Catalog
+	// storeMode records that the catalog is durable: the /embed auto-feed
+	// is disabled (membership must be deterministic in the stores alone)
+	// and mutations journal before they touch an index.
+	storeMode bool
+	// store keeps the legacy single-store handle when the catalog was
+	// assembled from Config.Store (nil for sharded or store-less servers).
+	store *catalog.Store
 
 	start time.Time
 	ctr   counters
@@ -190,35 +207,49 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 		start:     time.Now(),
 		lat:       newLatencyRing(cfg.LatencyWindow),
 	}
+	if cfg.Catalog != nil && (cfg.Index != nil || cfg.Store != nil || len(cfg.IndexNames) > 0) {
+		return nil, fmt.Errorf("%w: Catalog is mutually exclusive with Index, IndexNames and Store", ErrInput)
+	}
 	if cfg.Store != nil && cfg.Index == nil {
 		return nil, fmt.Errorf("%w: a catalog store needs an index to replay into", ErrInput)
 	}
-	if cfg.Index != nil {
+	cat := cfg.Catalog
+	if cat == nil && cfg.Index != nil {
+		// Legacy single-index configuration: wrap it into a one-shard
+		// catalog. The pre-checks preserve the startup error contract.
+		if cfg.Store != nil {
+			if len(cfg.IndexNames) > 0 {
+				return nil, fmt.Errorf("%w: IndexNames and Store are mutually exclusive (the store replays its own names)", ErrInput)
+			}
+			if cfg.Index.Len() != 0 {
+				return nil, fmt.Errorf("%w: store replay needs an empty index, got %d preloaded vectors", ErrInput, cfg.Index.Len())
+			}
+		}
+		var stores []*catalog.Store
+		if cfg.Store != nil {
+			stores = []*catalog.Store{cfg.Store}
+		}
+		var err error
+		cat, err = shard.New(shard.Config{Indexes: []ann.Index{cfg.Index}, Stores: stores, PreloadNames: cfg.IndexNames})
+		if err != nil {
+			return nil, fmt.Errorf("serve: assembling catalog: %w", err)
+		}
+	}
+	if cat != nil {
 		// A preloaded index must hold vectors of the served dimensionality,
 		// or the warm-index hook would silently drop every Add and /search
 		// would 500 on each request — fail at startup instead.
-		if d := cfg.Index.Dim(); d != 0 && d != s.dim {
+		if d := cat.Dim(); d != 0 && d != s.dim {
 			return nil, fmt.Errorf("%w: index holds vectors of dim %d, embedder serves dim %d — was it built from this model and configuration?",
 				ErrInput, d, s.dim)
 		}
-		s.idx = cfg.Index
-		s.idxSeen = make(map[cacheKey]bool)
-		s.idxIDOf = make(map[cacheKey]int)
-		s.idxKeyOf = make([]cacheKey, s.idx.Len())
-		s.idxNames = make([]string, s.idx.Len())
-		s.idxLive = make([]bool, s.idx.Len())
-		for i := range s.idxNames {
-			s.idxLive[i] = true
-			if i < len(cfg.IndexNames) {
-				s.idxNames[i] = cfg.IndexNames[i]
-			} else {
-				s.idxNames[i] = fmt.Sprintf("@%d", i)
+		s.cat = cat
+		s.store = cfg.Store
+		if cat.Store(0) != nil {
+			s.storeMode = true
+			if err := s.replayCatalog(); err != nil {
+				return nil, err
 			}
-		}
-	}
-	if cfg.Store != nil {
-		if err := s.replayStore(cfg.Store, len(cfg.IndexNames) > 0); err != nil {
-			return nil, err
 		}
 	}
 	go s.b.run(s.process)
@@ -244,77 +275,42 @@ func StoreIdentity(fingerprint string, idx ann.Index) string {
 	return id
 }
 
-// replayStore drives the index and cache through the store's recorded
-// history: snapshot entries first, then the journal ops, in order. Because
-// the mutable index is deterministic in its op sequence, the result is the
-// exact index state of the server that wrote the journal.
-func (s *Server) replayStore(st *catalog.Store, haveNames bool) error {
-	if haveNames {
-		return fmt.Errorf("%w: IndexNames and Store are mutually exclusive (the store replays its own names)", ErrInput)
+// StoreIdentityShard is StoreIdentity for shard i of an n-shard catalog:
+// the shard coordinate joins the binding so shard stores cannot be
+// permuted, dropped or replayed at a different shard count — any of which
+// would re-route keys and break the byte-identical restart contract. For
+// n == 1 it is exactly StoreIdentity, so unsharded deployments keep their
+// existing store directories.
+func StoreIdentityShard(fingerprint string, idx ann.Index, i, n int) string {
+	id := StoreIdentity(fingerprint, idx)
+	if n > 1 {
+		id += fmt.Sprintf("|shard=%d/%d", i, n)
 	}
-	if s.idx.Len() != 0 {
-		return fmt.Errorf("%w: store replay needs an empty index, got %d preloaded vectors", ErrInput, s.idx.Len())
-	}
-	if want := StoreIdentity(s.fp, s.idx); st.Fingerprint() != "" && st.Fingerprint() != want {
-		return fmt.Errorf("%w: store belongs to embedder+index %.24s…, server runs %.24s… — was the model refitted or the index reconfigured? use a fresh store directory",
-			ErrInput, st.Fingerprint(), want)
-	}
-	if d := st.Dim(); d != 0 && d != s.dim {
-		return fmt.Errorf("%w: store holds vectors of dim %d, embedder serves dim %d", ErrInput, d, s.dim)
-	}
-	s.store = st
-	// The snapshot section must be inserted with ONE batched Add: it was
-	// written by a compaction, whose index rebuild inserts all survivors
-	// in a single batched call, and HNSW graphs differ between batched and
-	// one-at-a-time insertion of the same vectors (batch boundaries are
-	// part of the graph definition). Journal ops, by contrast, were each
-	// applied as individual calls originally, so they replay one at a
-	// time. Mirroring the original call pattern is what makes the replayed
-	// graph byte-identical to the pre-restart one.
-	if snap := st.Snapshot(); len(snap) > 0 {
-		vecs := make([][]float64, len(snap))
-		for i, e := range snap {
-			v := e.Vec
-			if s.idx.Metric() == ann.Cosine {
-				v = stats.L2Normalize(e.Vec)
-			}
-			vecs[i] = v
+	return id
+}
+
+// replayCatalog validates each shard store's binding and replays the
+// recorded history into the indexes and the embedding cache. Because the
+// mutable indexes are deterministic in their op sequences, the result is
+// the exact catalog state of the server that wrote the journals.
+func (s *Server) replayCatalog() error {
+	n := s.cat.Shards()
+	for i := 0; i < n; i++ {
+		st := s.cat.Store(i)
+		want := StoreIdentityShard(s.fp, s.cat.Index(i), i, n)
+		if st.Fingerprint() != "" && st.Fingerprint() != want {
+			return fmt.Errorf("%w: store belongs to embedder+index %.24s…, server runs %.24s… — was the model refitted or the index reconfigured? use a fresh store directory",
+				ErrInput, st.Fingerprint(), want)
 		}
-		if err := s.idx.Add(vecs...); err != nil {
-			return fmt.Errorf("serve: replaying store snapshot: %w", err)
-		}
-		for i, e := range snap {
-			key := cacheKey(e.Key)
-			// Warm the embedding cache too: a restarted server answers
-			// /embed for every stored column without re-embedding it.
-			s.cache.put(key, e.Vec)
-			s.idxSeen[key] = true
-			s.idxIDOf[key] = i
-			s.idxNames = append(s.idxNames, e.Name)
-			s.idxKeyOf = append(s.idxKeyOf, key)
-			s.idxLive = append(s.idxLive, true)
+		if d := st.Dim(); d != 0 && d != s.dim {
+			return fmt.Errorf("%w: store holds vectors of dim %d, embedder serves dim %d", ErrInput, d, s.dim)
 		}
 	}
-	for _, op := range st.Ops() {
-		key := cacheKey(op.Entry.Key)
-		switch op.Kind {
-		case catalog.OpAdd:
-			s.cache.put(key, op.Entry.Vec)
-			s.idxSeen[key] = true
-			if _, err := s.indexAdd(key, op.Entry.Name, op.Entry.Vec, false); err != nil {
-				return fmt.Errorf("serve: replaying store journal: %w", err)
-			}
-		case catalog.OpRemove:
-			id, ok := s.idxIDOf[key]
-			if !ok {
-				return fmt.Errorf("serve: replaying store journal: remove of key %s that is not live", op.Entry.Key)
-			}
-			if err := s.removeID(id, false); err != nil {
-				return fmt.Errorf("serve: replaying store journal: %w", err)
-			}
-		}
-	}
-	return nil
+	return s.cat.Replay(func(key catalog.Key, name string, vec []float64) {
+		// Warm the embedding cache too: a restarted server answers /embed
+		// for every stored column without re-embedding it.
+		s.cache.put(cacheKey(key), vec)
+	})
 }
 
 // Fingerprint returns the warm embedder's stable fingerprint (the cache-key
@@ -487,82 +483,41 @@ func (s *Server) process(batch []*job) {
 // restarted server would enroll a different column set. Durable catalogs
 // take members only through the explicit AddColumns path.
 func (s *Server) feedIndex(key cacheKey, name string, vec []float64) {
-	if s.idx == nil || s.store != nil {
+	if s.cat == nil || s.storeMode {
 		return
 	}
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
-	if s.idxSeen[key] {
+	if s.cat.Seen(catalog.Key(key)) {
 		return
 	}
-	s.idxSeen[key] = true
-	if _, err := s.indexAdd(key, name, vec, true); err != nil {
+	if _, err := s.cat.Add(catalog.Key(key), name, vec); err != nil {
 		s.ctr.indexErrors.Add(1)
 	}
 }
 
-// indexAdd inserts one raw embedding into the index and, when journal is
-// set, appends the matching add record to the store — journal FIRST, so a
-// store failure aborts the mutation and the caller sees the error instead
-// of an index entry that silently vanishes on restart. The caller holds
-// idxMu (or is still inside New). Adding a key that is already live is a
-// no-op returning the existing id.
-func (s *Server) indexAdd(key cacheKey, name string, vec []float64, journal bool) (int, error) {
-	if id, live := s.idxIDOf[key]; live {
-		return id, nil
+// catalogAdd inserts one raw embedding through the sharded catalog
+// (journal-first on the owning shard, so a store failure aborts the
+// mutation and the caller sees the error instead of an index entry that
+// silently vanishes on restart), translating store failures into the
+// storeErrors counter. The caller holds idxMu.
+func (s *Server) catalogAdd(key cacheKey, name string, vec []float64) (int, error) {
+	id, err := s.cat.Add(catalog.Key(key), name, vec)
+	if err != nil && errors.Is(err, shard.ErrStore) {
+		s.ctr.storeErrors.Add(1)
 	}
-	if journal && s.store != nil {
-		op := catalog.Op{Kind: catalog.OpAdd, Entry: catalog.Entry{Key: catalog.Key(key), Name: name, Vec: vec}}
-		if err := s.store.Append(op); err != nil {
-			s.ctr.storeErrors.Add(1)
-			return -1, fmt.Errorf("serve: journaling add: %w", err)
-		}
-	}
-	v := vec
-	if s.idx.Metric() == ann.Cosine {
-		v = stats.L2Normalize(vec)
-	}
-	if err := s.idx.Add(v); err != nil {
-		// The journal already has the add (the vector passed the store's
-		// own validation, so this is out-of-memory territory): record the
-		// divergence loudly rather than hiding it.
-		if journal && s.store != nil {
-			s.ctr.storeErrors.Add(1)
-		}
-		return -1, err
-	}
-	id := s.idx.Len() - 1
-	s.idxIDOf[key] = id
-	s.idxNames = append(s.idxNames, name)
-	s.idxKeyOf = append(s.idxKeyOf, key)
-	s.idxLive = append(s.idxLive, true)
-	return id, nil
+	return id, err
 }
 
-// removeID tombstones one live id and, when journal is set, first appends
-// the matching remove record (same journal-first contract as indexAdd).
-// The caller holds idxMu (or is inside New) and guarantees id is live.
-func (s *Server) removeID(id int, journal bool) error {
-	key := s.idxKeyOf[id]
-	if journal && s.store != nil {
-		op := catalog.Op{Kind: catalog.OpRemove, Entry: catalog.Entry{Key: catalog.Key(key)}}
-		if err := s.store.Append(op); err != nil {
-			s.ctr.storeErrors.Add(1)
-			return fmt.Errorf("serve: journaling remove: %w", err)
-		}
+// catalogRemove is the remove-side twin of catalogAdd: journal first on
+// the owning shard, then tombstone. The caller holds idxMu and
+// guarantees id is live.
+func (s *Server) catalogRemove(id int) error {
+	err := s.cat.Remove(id)
+	if err != nil && errors.Is(err, shard.ErrStore) {
+		s.ctr.storeErrors.Add(1)
 	}
-	if err := s.idx.Remove(id); err != nil {
-		if journal && s.store != nil {
-			s.ctr.storeErrors.Add(1)
-		}
-		return err
-	}
-	s.idxLive[id] = false
-	if key != (cacheKey{}) {
-		delete(s.idxIDOf, key)
-	}
-	s.removals++
-	return nil
+	return err
 }
 
 // ColumnInfo describes one live indexed column.
@@ -576,19 +531,19 @@ type ColumnInfo struct {
 
 // Columns lists the live indexed columns in id order.
 func (s *Server) Columns() ([]ColumnInfo, error) {
-	if s.idx == nil {
+	if s.cat == nil {
 		return nil, ErrNoIndex
 	}
 	s.idxMu.RLock()
 	defer s.idxMu.RUnlock()
-	out := make([]ColumnInfo, 0, s.idx.Live())
-	for id, live := range s.idxLive {
-		if !live {
+	out := make([]ColumnInfo, 0, s.cat.Live())
+	for id := 0; id < s.cat.Len(); id++ {
+		if !s.cat.IsLive(id) {
 			continue
 		}
-		info := ColumnInfo{ID: id, Name: s.idxNames[id]}
-		if s.idxKeyOf[id] != (cacheKey{}) {
-			info.Key = catalog.Key(s.idxKeyOf[id]).String()
+		info := ColumnInfo{ID: id, Name: s.cat.Name(id)}
+		if k := s.cat.Key(id); k != (catalog.Key{}) {
+			info.Key = k.String()
 		}
 		out = append(out, info)
 	}
@@ -611,7 +566,7 @@ func (s *Server) Columns() ([]ColumnInfo, error) {
 // because enrollment is content-addressed and idempotent, retrying the
 // identical batch completes it without duplicates.
 func (s *Server) AddColumns(ctx context.Context, cols []table.Column) ([]int, error) {
-	if s.idx == nil {
+	if s.cat == nil {
 		return nil, ErrNoIndex
 	}
 	rows, err := s.Embed(ctx, cols)
@@ -622,9 +577,7 @@ func (s *Server) AddColumns(ctx context.Context, cols []table.Column) ([]int, er
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
 	for i, col := range cols {
-		key := s.key(col)
-		s.idxSeen[key] = true
-		id, err := s.indexAdd(key, col.Name, rows[i], true)
+		id, err := s.catalogAdd(s.key(col), col.Name, rows[i])
 		if err != nil {
 			return nil, fmt.Errorf("serve: indexing column %q: %w", col.Name, err)
 		}
@@ -638,7 +591,7 @@ func (s *Server) AddColumns(ctx context.Context, cols []table.Column) ([]int, er
 // remove, and returns the removed ids in ascending order. Unknown
 // references fail with ErrNotFound before anything is removed.
 func (s *Server) RemoveColumns(refs ...string) ([]int, error) {
-	if s.idx == nil {
+	if s.cat == nil {
 		return nil, ErrNoIndex
 	}
 	s.idxMu.Lock()
@@ -662,12 +615,12 @@ func (s *Server) RemoveColumns(refs ...string) ([]int, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%w: column reference %q (want @i or a header name)", ErrInput, ref)
 			}
-			if id >= 0 && id < len(s.idxLive) && s.idxLive[id] {
+			if s.cat.IsLive(id) {
 				claim(id)
 			}
 		} else {
-			for id, live := range s.idxLive {
-				if live && s.idxNames[id] == ref {
+			for id := 0; id < s.cat.Len(); id++ {
+				if s.cat.IsLive(id) && s.cat.Name(id) == ref {
 					claim(id)
 				}
 			}
@@ -678,12 +631,12 @@ func (s *Server) RemoveColumns(refs ...string) ([]int, error) {
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		if err := s.removeID(id, true); err != nil {
+		if err := s.catalogRemove(id); err != nil {
 			return nil, fmt.Errorf("serve: removing column %d: %w", id, err)
 		}
 	}
 	s.ctr.removes.Add(int64(len(ids)))
-	if s.cfg.CompactEvery > 0 && s.removals >= s.cfg.CompactEvery {
+	if s.cfg.CompactEvery > 0 && s.cat.RemovalsSinceCompact() >= s.cfg.CompactEvery {
 		// Best-effort: the removals above are already journaled and
 		// applied, so a failed compaction must not turn this call into an
 		// error — it stays retriable via CompactCatalog, and store
@@ -699,7 +652,7 @@ func (s *Server) RemoveColumns(refs ...string) ([]int, error) {
 // store journal into a fresh snapshot, keeping both aligned id-for-id. It
 // returns the live column count.
 func (s *Server) CompactCatalog() (int, error) {
-	if s.idx == nil {
+	if s.cat == nil {
 		return 0, ErrNoIndex
 	}
 	s.idxMu.Lock()
@@ -707,48 +660,28 @@ func (s *Server) CompactCatalog() (int, error) {
 	if err := s.compactLocked(); err != nil {
 		return 0, err
 	}
-	return s.idx.Live(), nil
+	return s.cat.Live(), nil
 }
 
 // compactLocked is CompactCatalog under an already-held idxMu. The
-// durable step runs FIRST: store.Compact only needs the live entries, so
-// a store failure (full disk, dead handle) aborts the compaction before
-// the in-memory index and id maps are touched — memory and disk never
-// diverge on the common failure path.
+// catalog compacts its durable step FIRST: store compaction only needs
+// the live entries, so a store failure (full disk, dead handle) aborts
+// the compaction before the in-memory indexes and id maps are touched —
+// memory and disk never diverge on the common failure path.
 func (s *Server) compactLocked() error {
-	if s.store != nil {
-		if s.store.Len() != s.idx.Live() {
-			// The store's live order is the contract that makes restart
-			// replay line up with the rebuilt index; a mismatch means a
-			// journal append failed earlier and the store lost a mutation.
-			s.ctr.storeErrors.Add(1)
-		}
-		if err := s.store.Compact(); err != nil {
-			s.ctr.storeErrors.Add(1)
-			return fmt.Errorf("serve: compacting store: %w", err)
-		}
+	diverged, err := s.cat.Compact()
+	if diverged {
+		// A shard store's live order is the contract that makes restart
+		// replay line up with the rebuilt index; a mismatch means a
+		// journal append failed earlier and the store lost a mutation.
+		s.ctr.storeErrors.Add(1)
 	}
-	mapping, err := s.idx.Rebuild()
 	if err != nil {
-		return fmt.Errorf("serve: rebuilding index: %w", err)
-	}
-	names := make([]string, s.idx.Len())
-	keys := make([]cacheKey, s.idx.Len())
-	live := make([]bool, s.idx.Len())
-	ids := make(map[cacheKey]int, s.idx.Len())
-	for oldID, newID := range mapping {
-		if newID < 0 {
-			continue
+		if errors.Is(err, shard.ErrStore) {
+			s.ctr.storeErrors.Add(1)
 		}
-		names[newID] = s.idxNames[oldID]
-		keys[newID] = s.idxKeyOf[oldID]
-		live[newID] = true
-		if keys[newID] != (cacheKey{}) {
-			ids[keys[newID]] = newID
-		}
+		return fmt.Errorf("serve: compacting catalog: %w", err)
 	}
-	s.idxNames, s.idxKeyOf, s.idxLive, s.idxIDOf = names, keys, live, ids
-	s.removals = 0
 	s.ctr.compactions.Add(1)
 	return nil
 }
@@ -766,7 +699,7 @@ type Hit struct {
 // feeds it into the warm index, the query's own content is excluded from
 // its result.
 func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, error) {
-	if s.idx == nil {
+	if s.cat == nil {
 		return nil, ErrNoIndex
 	}
 	if k <= 0 {
@@ -777,23 +710,23 @@ func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, er
 		return nil, err
 	}
 	q := rows[0]
-	if s.idx.Metric() == ann.Cosine {
+	if s.cat.Metric() == ann.Cosine {
 		q = stats.L2Normalize(q)
 	}
-	qKey := s.key(col)
+	qKey := catalog.Key(s.key(col))
 	s.idxMu.RLock()
 	defer s.idxMu.RUnlock()
 	// k+1 covers the query's own indexed copy being among the nearest.
-	res, err := s.idx.Search(q, k+1)
+	res, err := s.cat.Search(q, k+1)
 	if err != nil {
 		return nil, fmt.Errorf("serve: search: %w", err)
 	}
 	hits := make([]Hit, 0, k)
 	for _, r := range res {
-		if r.ID < len(s.idxKeyOf) && s.idxKeyOf[r.ID] == qKey {
+		if s.cat.Key(r.ID) == qKey {
 			continue
 		}
-		hits = append(hits, Hit{ID: r.ID, Name: s.idxNames[r.ID], Dist: r.Dist})
+		hits = append(hits, Hit{ID: r.ID, Name: s.cat.Name(r.ID), Dist: r.Dist})
 		if len(hits) == k {
 			break
 		}
@@ -804,22 +737,22 @@ func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, er
 // IndexLen returns the number of live indexed columns (0 without an
 // index).
 func (s *Server) IndexLen() int {
-	if s.idx == nil {
+	if s.cat == nil {
 		return 0
 	}
 	s.idxMu.RLock()
 	defer s.idxMu.RUnlock()
-	return s.idx.Live()
+	return s.cat.Live()
 }
 
 // indexShape snapshots (live, tombstones) under the read lock.
 func (s *Server) indexShape() (live, tombstones int) {
-	if s.idx == nil {
+	if s.cat == nil {
 		return 0, 0
 	}
 	s.idxMu.RLock()
 	defer s.idxMu.RUnlock()
-	return s.idx.Live(), s.idx.Len() - s.idx.Live()
+	return s.cat.Live(), s.cat.Len() - s.cat.Live()
 }
 
 // counters aggregates the hot-path statistics lock-free.
@@ -864,6 +797,8 @@ type Stats struct {
 	IndexTombstones int   `json:"index_tombstones"`
 	Removes         int64 `json:"removes"`
 	Compactions     int64 `json:"compactions"`
+	// Shards is the catalog's shard count (0 without an index).
+	Shards int `json:"shards"`
 	// StoreColumns is the live size of the catalog store (0 without one);
 	// StoreErrors counts journal/compaction failures — any non-zero value
 	// means the durable catalog may be missing mutations.
@@ -888,9 +823,10 @@ func (s *Server) Stats() Stats {
 	}
 	p50, p90, p99 := s.lat.percentiles()
 	live, tombstones := s.indexShape()
-	storeCols := 0
-	if s.store != nil {
-		storeCols = s.store.Len()
+	storeCols, shards := 0, 0
+	if s.cat != nil {
+		shards = s.cat.Shards()
+		storeCols = s.cat.StoreLen()
 	}
 	return Stats{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
@@ -909,6 +845,7 @@ func (s *Server) Stats() Stats {
 		IndexTombstones: tombstones,
 		Removes:         s.ctr.removes.Load(),
 		Compactions:     s.ctr.compactions.Load(),
+		Shards:          shards,
 		StoreColumns:    storeCols,
 		StoreErrors:     s.ctr.storeErrors.Load(),
 		LatencyP50Ms:    p50 * 1000,

@@ -1,0 +1,260 @@
+package serve
+
+// Tests of the sharded serving path: a server over an N-shard catalog
+// answers the HTTP surface byte-identically to the unsharded server fed
+// the same mutations, survives restart from its per-shard stores, and the
+// request-hardening knobs (body cap, k validation) hold at the HTTP
+// layer.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/catalog"
+	"github.com/gem-embeddings/gem/internal/pool"
+	"github.com/gem-embeddings/gem/internal/shard"
+)
+
+// newShardedServer assembles a server over n flat shards with per-shard
+// stores under dir, mirroring what gemserve -shards n builds.
+func newShardedServer(t *testing.T, dir string, n, workers int, cfg Config) (*Server, func()) {
+	t.Helper()
+	emb := fittedEmbedder(t, workers)
+	fp, err := emb.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxs := make([]ann.Index, n)
+	stores := make([]*catalog.Store, n)
+	for i := range idxs {
+		idxs[i] = ann.NewFlat(ann.Euclidean)
+		st, err := catalog.Open(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)), StoreIdentityShard(fp, idxs[i], i, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+	}
+	cat, err := shard.New(shard.Config{Indexes: idxs, Stores: stores, Pool: pool.New(workers)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Catalog = cat
+	s, err := New(emb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeAll := func() {
+		s.Close()
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	return s, closeAll
+}
+
+// TestShardedServerMatchesUnsharded: the serving-layer version of the
+// determinism pin — /search, /columns and /stats shapes from a sharded
+// server match the unsharded server byte for byte (exact flat indexes, so
+// sharding must not change a single result).
+func TestShardedServerMatchesUnsharded(t *testing.T) {
+	ds := testCatalog()
+	mutate := func(t *testing.T, s *Server) {
+		t.Helper()
+		if _, err := s.AddColumns(context.Background(), ds.Columns[:10]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RemoveColumns(ds.Columns[2].Name, "@5", "@8"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	capture := func(t *testing.T, s *Server) map[string][]byte {
+		t.Helper()
+		h := s.Handler()
+		out := make(map[string][]byte)
+		for name, req := range map[string][3]string{
+			"search":  {"POST", "/search", `{"column":` + colJSON(ds.Columns[3]) + `,"k":6}`},
+			"search2": {"POST", "/search", `{"column":` + colJSON(ds.Columns[12]) + `,"k":3}`},
+			"columns": {"GET", "/columns", ""},
+		} {
+			code, b := doReq(t, h, req[0], req[1], req[2])
+			if code != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", name, code, b)
+			}
+			out[name] = b
+		}
+		return out
+	}
+
+	// Reference: the legacy unsharded configuration.
+	emb := fittedEmbedder(t, 2)
+	fp, err := emb.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIdx := ann.NewFlat(ann.Euclidean)
+	refStore, err := catalog.Open(t.TempDir(), StoreIdentity(fp, refIdx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refStore.Close()
+	ref, err := New(emb, Config{Index: refIdx, Store: refStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	mutate(t, ref)
+	want := capture(t, ref)
+
+	for _, n := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", n, workers), func(t *testing.T) {
+				dir := t.TempDir()
+				s, closeAll := newShardedServer(t, dir, n, workers, Config{})
+				mutate(t, s)
+				got := capture(t, s)
+				for name, w := range want {
+					if !bytes.Equal(w, got[name]) {
+						t.Errorf("%s diverges from unsharded:\nunsharded: %s\nsharded:   %s", name, w, got[name])
+					}
+				}
+				if st := s.Stats(); st.Shards != n || st.StoreColumns != 7 {
+					t.Fatalf("stats shards/store: %+v", st)
+				}
+				closeAll()
+
+				// Restart from the per-shard stores: still byte-identical.
+				s2, closeAll2 := newShardedServer(t, dir, n, workers, Config{})
+				defer closeAll2()
+				got2 := capture(t, s2)
+				for name, w := range want {
+					if !bytes.Equal(w, got2[name]) {
+						t.Errorf("%s diverges after sharded restart:\nwant: %s\ngot:  %s", name, w, got2[name])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedStoreIdentityBinding: shard stores cannot be opened at the
+// wrong coordinate — the identity string embeds (i, n).
+func TestShardedStoreIdentityBinding(t *testing.T) {
+	idx := ann.NewFlat(ann.Euclidean)
+	if StoreIdentityShard("fp", idx, 0, 1) != StoreIdentity("fp", idx) {
+		t.Fatal("single-shard identity must stay the legacy identity")
+	}
+	a := StoreIdentityShard("fp", idx, 0, 2)
+	b := StoreIdentityShard("fp", idx, 1, 2)
+	c := StoreIdentityShard("fp", idx, 0, 4)
+	if a == b || a == c || a == StoreIdentity("fp", idx) {
+		t.Fatalf("shard coordinates not bound: %q %q %q", a, b, c)
+	}
+
+	// A server whose catalog stores carry the wrong binding must refuse
+	// to start.
+	emb := fittedEmbedder(t, 2)
+	idxs := []ann.Index{ann.NewFlat(ann.Euclidean), ann.NewFlat(ann.Euclidean)}
+	stores := make([]*catalog.Store, 2)
+	for i := range stores {
+		st, err := catalog.Open(filepath.Join(t.TempDir(), "s"), "wrong-binding")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		stores[i] = st
+	}
+	cat, err := shard.New(shard.Config{Indexes: idxs, Stores: stores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(emb, Config{Catalog: cat}); !errors.Is(err, ErrInput) {
+		t.Fatalf("mis-bound shard stores accepted: %v", err)
+	}
+}
+
+// TestConfigCatalogExclusive: Catalog cannot be combined with the legacy
+// index/store fields.
+func TestConfigCatalogExclusive(t *testing.T) {
+	emb := fittedEmbedder(t, 2)
+	cat, err := shard.New(shard.Config{Indexes: []ann.Index{ann.NewFlat(ann.Euclidean)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(emb, Config{Catalog: cat, Index: ann.NewFlat(ann.Euclidean)}); !errors.Is(err, ErrInput) {
+		t.Fatalf("Catalog+Index accepted: %v", err)
+	}
+}
+
+// TestHTTPBodyCap: oversized POST bodies fail with 413 on every decoding
+// endpoint, and within-cap requests are unaffected.
+func TestHTTPBodyCap(t *testing.T) {
+	idx := ann.NewFlat(ann.Euclidean)
+	s := newTestServer(t, 2, Config{Index: idx, MaxBodyBytes: 512})
+	h := s.Handler()
+
+	big := `{"columns":[{"name":"huge","values":[` + strings.Repeat("1,", 400) + `1]}]}`
+	for _, path := range []string{"/embed", "/columns"} {
+		code, body := doReq(t, h, "POST", path, big)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s with %d-byte body: status %d: %s", path, len(big), code, body)
+		}
+		if !strings.Contains(string(body), "request body exceeds 512 bytes") {
+			t.Fatalf("POST %s 413 body: %s", path, body)
+		}
+	}
+	bigSearch := `{"column":{"name":"huge","values":[` + strings.Repeat("1,", 400) + `1]},"k":3}`
+	if code, body := doReq(t, h, "POST", "/search", bigSearch); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("POST /search oversized: status %d: %s", code, body)
+	}
+
+	ds := testCatalog()
+	small := colsJSON(ds.Columns[:1])
+	if len(small) >= 512 {
+		t.Fatalf("test fixture too large for the cap: %d bytes", len(small))
+	}
+	if code, body := doReq(t, h, "POST", "/embed", small); code != http.StatusOK {
+		t.Fatalf("within-cap embed: status %d: %s", code, body)
+	}
+}
+
+// TestHTTPSearchKValidation: negative k is rejected with 400 at the HTTP
+// layer (and ErrInput at the method layer); k = 0 means the default 10.
+func TestHTTPSearchKValidation(t *testing.T) {
+	ds := testCatalog()
+	s := newTestServer(t, 2, Config{Index: ann.NewFlat(ann.Euclidean)})
+	if _, err := s.AddColumns(context.Background(), ds.Columns[:12]); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	for _, k := range []int{-1, -100} {
+		if _, err := s.Search(context.Background(), ds.Columns[0], k); !errors.Is(err, ErrInput) {
+			t.Fatalf("Search(k=%d) = %v, want ErrInput", k, err)
+		}
+		code, body := doReq(t, h, "POST", "/search", fmt.Sprintf(`{"column":%s,"k":%d}`, colJSON(ds.Columns[0]), k))
+		if code != http.StatusBadRequest {
+			t.Fatalf("/search k=%d: status %d: %s", k, code, body)
+		}
+	}
+	code, body := doReq(t, h, "POST", "/search", `{"column":`+colJSON(ds.Columns[0])+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("/search default k: status %d: %s", code, body)
+	}
+	var resp struct {
+		Results []Hit `json:"results"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 10 {
+		t.Fatalf("default k returned %d hits, want 10", len(resp.Results))
+	}
+}

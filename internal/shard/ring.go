@@ -1,0 +1,79 @@
+package shard
+
+// The consistent-hash ring that assigns every content key an owning
+// shard. Each shard contributes `replicas` virtual points hashed from
+// (shard, replica); a key is owned by the first point clockwise from the
+// key's own hash. Consistent hashing is what keeps the assignment stable
+// under resharding: going from N to N+1 shards moves ~1/(N+1) of the keys
+// instead of nearly all of them, so an operator can split a catalog by
+// replaying each store into a wider ring without re-embedding anything.
+//
+// The ring is pure arithmetic on (shards, replicas) — no RNG, no map
+// iteration — so every process that builds it with the same parameters
+// routes every key identically, which the scatter-gather determinism
+// contract depends on.
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"github.com/gem-embeddings/gem/internal/catalog"
+)
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+type ring struct {
+	n      int
+	points []ringPoint // sorted by hash
+}
+
+func newRing(shards, replicas int) *ring {
+	r := &ring{n: shards}
+	if shards <= 1 {
+		return r
+	}
+	r.points = make([]ringPoint, 0, shards*replicas)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(uint64(s), uint64(v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual points is vanishingly
+		// unlikely; break it deterministically anyway.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// pointHash mixes one (shard, replica) pair through the splitmix64
+// finalizer — the same mixer the HNSW level hash uses.
+func pointHash(s, v uint64) uint64 {
+	z := s*0x9e3779b97f4a7c15 + v*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// owner returns the shard that owns key. Content keys are SHA-256
+// outputs, so their leading 8 bytes are already uniform on the ring.
+func (r *ring) owner(key catalog.Key) int {
+	if r.n <= 1 {
+		return 0
+	}
+	h := binary.BigEndian.Uint64(key[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/catalog"
+)
+
+// ringKey derives a deterministic content-like key (keys in production are
+// SHA-256 outputs, so tests hash too).
+func ringKey(i int) catalog.Key {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(i))
+	return catalog.Key(sha256.Sum256(b[:]))
+}
+
+func TestRingSingleShardOwnsEverything(t *testing.T) {
+	r := newRing(1, 64)
+	for i := 0; i < 100; i++ {
+		if got := r.owner(ringKey(i)); got != 0 {
+			t.Fatalf("owner(%d) = %d in a 1-shard ring", i, got)
+		}
+	}
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a, b := newRing(4, 64), newRing(4, 64)
+	for i := 0; i < 1000; i++ {
+		k := ringKey(i)
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("key %d: ring instances disagree (%d vs %d)", i, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 10000
+	r := newRing(shards, 64)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.owner(ringKey(i))]++
+	}
+	// 64 virtual points per shard keeps the split loose but sane: every
+	// shard sees at least 10% and at most 45% of a uniform key set.
+	for s, n := range counts {
+		if n < keys/10 || n > keys*45/100 {
+			t.Fatalf("shard %d owns %d of %d keys: %v", s, n, keys, counts)
+		}
+	}
+}
+
+func TestRingRemapMovesOnlyToNewShard(t *testing.T) {
+	const keys = 10000
+	old, grown := newRing(4, 64), newRing(5, 64)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := ringKey(i)
+		was, is := old.owner(k), grown.owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		// Consistent hashing: growing the ring only reassigns keys to the
+		// shard that joined.
+		if is != 4 {
+			t.Fatalf("key %d moved %d -> %d, not to the new shard", i, was, is)
+		}
+	}
+	// ~1/5 of the keys should move; far less means the new shard is
+	// starved, far more means the hash is not consistent.
+	if moved < keys/10 || moved > keys*4/10 {
+		t.Fatalf("%d of %d keys moved on 4 -> 5 growth", moved, keys)
+	}
+}

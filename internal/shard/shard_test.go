@@ -1,0 +1,497 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/catalog"
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// column is one dataset row of the tests.
+type column struct {
+	key  catalog.Key
+	name string
+	vec  []float64
+}
+
+func makeColumns(n, dim int, seed int64) []column {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]column, n)
+	for i := range cols {
+		name := fmt.Sprintf("col-%03d", i)
+		vec := make([]float64, dim)
+		for j := range vec {
+			vec[j] = rng.NormFloat64()
+		}
+		cols[i] = column{key: catalog.Key(sha256.Sum256([]byte(name))), name: name, vec: vec}
+	}
+	return cols
+}
+
+// scriptOp is one step of a deterministic add/remove workload. Remove
+// targets are concrete global ids so every structure under test replays
+// the exact same mutation sequence.
+type scriptOp struct {
+	add bool
+	col int // dataset index, for adds
+	id  int // global id, for removes
+}
+
+func makeScript(n int, seed int64) []scriptOp {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		ops  []scriptOp
+		live []int
+	)
+	for i := 0; i < n; i++ {
+		ops = append(ops, scriptOp{add: true, col: i, id: i})
+		live = append(live, i)
+		if len(live) > 1 && rng.Intn(4) == 0 {
+			j := rng.Intn(len(live))
+			ops = append(ops, scriptOp{id: live[j]})
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	return ops
+}
+
+// newIndexes builds n identically-configured empty indexes. kind is
+// "flat" (exact float64 scan) or "hnsw" (graph index with an exhaustive
+// search beam, so searches are still exact).
+func newIndexes(t *testing.T, kind string, n int) []ann.Index {
+	t.Helper()
+	idxs := make([]ann.Index, n)
+	for i := range idxs {
+		switch kind {
+		case "flat":
+			idxs[i] = ann.NewFlat(ann.Euclidean)
+		case "hnsw":
+			h, err := ann.NewHNSW(ann.HNSWConfig{Metric: ann.Euclidean, M: 8, EfConstruction: 64, EfSearch: 4096, Seed: 42, BatchSize: 4}, nil)
+			if err != nil {
+				t.Fatalf("NewHNSW: %v", err)
+			}
+			idxs[i] = h
+		default:
+			t.Fatalf("unknown index kind %q", kind)
+		}
+	}
+	return idxs
+}
+
+// applyScript replays a workload into a catalog, checking that global id
+// assignment matches the script's expectation.
+func applyScript(t *testing.T, c *Catalog, cols []column, ops []scriptOp) {
+	t.Helper()
+	for _, op := range ops {
+		if op.add {
+			id, err := c.Add(cols[op.col].key, cols[op.col].name, cols[op.col].vec)
+			if err != nil {
+				t.Fatalf("Add(%s): %v", cols[op.col].name, err)
+			}
+			if id != op.id {
+				t.Fatalf("Add(%s) assigned id %d, want %d", cols[op.col].name, id, op.id)
+			}
+		} else if err := c.Remove(op.id); err != nil {
+			t.Fatalf("Remove(%d): %v", op.id, err)
+		}
+	}
+}
+
+func queries(dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([][]float64, 5)
+	for i := range qs {
+		qs[i] = make([]float64, dim)
+		for j := range qs[i] {
+			qs[i][j] = rng.NormFloat64()
+		}
+	}
+	return qs
+}
+
+// TestScatterGatherMatchesUnsharded pins the tentpole contract: for exact
+// searches, a sharded catalog answers byte-identically to the unsharded
+// index built from the same global add/remove sequence — across shard
+// counts, worker counts and both index kinds.
+func TestScatterGatherMatchesUnsharded(t *testing.T) {
+	const n, dim = 90, 8
+	cols := makeColumns(n, dim, 1)
+	ops := makeScript(n, 2)
+	qs := queries(dim, 3)
+
+	for _, kind := range []string{"flat", "hnsw"} {
+		// Reference: one unsharded index fed the global sequence.
+		ref := newIndexes(t, kind, 1)[0]
+		for _, op := range ops {
+			if op.add {
+				if err := ref.Add(cols[op.col].vec); err != nil {
+					t.Fatalf("ref add: %v", err)
+				}
+			} else if err := ref.Remove(op.id); err != nil {
+				t.Fatalf("ref remove: %v", err)
+			}
+		}
+		for _, shards := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("%s/shards=%d/workers=%d", kind, shards, workers), func(t *testing.T) {
+					c, err := New(Config{Indexes: newIndexes(t, kind, shards), Pool: pool.New(workers)})
+					if err != nil {
+						t.Fatalf("New: %v", err)
+					}
+					applyScript(t, c, cols, ops)
+					for qi, q := range qs {
+						for _, k := range []int{1, 3, 10, n + 5} {
+							want, err := ref.Search(q, k)
+							if err != nil {
+								t.Fatalf("ref search: %v", err)
+							}
+							got, err := c.Search(q, k)
+							if err != nil {
+								t.Fatalf("Search: %v", err)
+							}
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("query %d k=%d: sharded results diverge\n got %v\nwant %v", qi, k, got, want)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedRestartReplay pins crash recovery: a catalog replayed from
+// its per-shard stores answers searches byte-identically to the process
+// that wrote them, before and after compaction.
+func TestShardedRestartReplay(t *testing.T) {
+	const n, dim, shards = 60, 6, 3
+	cols := makeColumns(n, dim, 4)
+	ops := makeScript(n, 5)
+	qs := queries(dim, 6)
+
+	dir := t.TempDir()
+	openStores := func() []*catalog.Store {
+		sts := make([]*catalog.Store, shards)
+		for i := range sts {
+			st, err := catalog.Open(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)), "fp-test")
+			if err != nil {
+				t.Fatalf("open store %d: %v", i, err)
+			}
+			sts[i] = st
+		}
+		return sts
+	}
+	closeStores := func(sts []*catalog.Store) {
+		for _, st := range sts {
+			if err := st.Close(); err != nil {
+				t.Fatalf("close store: %v", err)
+			}
+		}
+	}
+
+	sts := openStores()
+	c, err := New(Config{Indexes: newIndexes(t, "hnsw", shards), Stores: sts, Pool: pool.New(2)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Replay(nil); err != nil {
+		t.Fatalf("Replay of empty stores: %v", err)
+	}
+	applyScript(t, c, cols, ops)
+
+	record := func(c *Catalog) [][]ann.Result {
+		var out [][]ann.Result
+		for _, q := range qs {
+			res, err := c.Search(q, 10)
+			if err != nil {
+				t.Fatalf("Search: %v", err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	want := record(c)
+	closeStores(sts)
+
+	// Restart 1: replay the journals.
+	sts = openStores()
+	c2, err := New(Config{Indexes: newIndexes(t, "hnsw", shards), Stores: sts, Pool: pool.New(2)})
+	if err != nil {
+		t.Fatalf("New after restart: %v", err)
+	}
+	warmed := 0
+	if err := c2.Replay(func(key catalog.Key, name string, vec []float64) { warmed++ }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if warmed != c2.Len() {
+		t.Fatalf("warm callback saw %d adds, catalog has %d", warmed, c2.Len())
+	}
+	if got := record(c2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restart changed search results\n got %v\nwant %v", got, want)
+	}
+	for id := 0; id < c2.Len(); id++ {
+		if c2.Name(id) != c.Name(id) || c2.Key(id) != c.Key(id) || c2.IsLive(id) != c.IsLive(id) {
+			t.Fatalf("restart changed column %d: %q/%v vs %q/%v", id, c2.Name(id), c2.IsLive(id), c.Name(id), c.IsLive(id))
+		}
+	}
+
+	// Compact, restart again: still byte-identical modulo the dense
+	// renumbering, which a fresh replay must reproduce.
+	if _, err := c2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	want2 := record(c2)
+	closeStores(sts)
+
+	sts = openStores()
+	defer closeStores(sts)
+	c3, err := New(Config{Indexes: newIndexes(t, "hnsw", shards), Stores: sts, Pool: pool.New(2)})
+	if err != nil {
+		t.Fatalf("New after compacted restart: %v", err)
+	}
+	if err := c3.Replay(nil); err != nil {
+		t.Fatalf("Replay after compaction: %v", err)
+	}
+	if got := record(c3); !reflect.DeepEqual(got, want2) {
+		t.Fatalf("compacted restart changed search results\n got %v\nwant %v", got, want2)
+	}
+}
+
+// TestRebalanceMatchesFreshBuild removes every column owned by one shard,
+// compacts, and requires scatter-gather to answer byte-identically to a
+// fresh unsharded build of the survivors — the satellite regression test
+// for rebalance correctness.
+func TestRebalanceMatchesFreshBuild(t *testing.T) {
+	const n, dim, shards = 80, 8, 4
+	cols := makeColumns(n, dim, 7)
+	qs := queries(dim, 8)
+
+	for _, kind := range []string{"flat", "hnsw"} {
+		t.Run(kind, func(t *testing.T) {
+			c, err := New(Config{Indexes: newIndexes(t, kind, shards), Pool: pool.New(4)})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			var survivors []column
+			for _, col := range cols {
+				if _, err := c.Add(col.key, col.name, col.vec); err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+				if c.Owner(col.key) != 0 {
+					survivors = append(survivors, col)
+				}
+			}
+			if len(survivors) == n || len(survivors) == 0 {
+				t.Fatalf("degenerate split: %d of %d columns survive", len(survivors), n)
+			}
+			for id := 0; id < c.Len(); id++ {
+				if c.Owner(c.Key(id)) == 0 {
+					if err := c.Remove(id); err != nil {
+						t.Fatalf("Remove(%d): %v", id, err)
+					}
+				}
+			}
+			if _, err := c.Compact(); err != nil {
+				t.Fatalf("Compact: %v", err)
+			}
+			if c.Len() != len(survivors) || c.Live() != len(survivors) {
+				t.Fatalf("after compact: Len %d Live %d, want %d", c.Len(), c.Live(), len(survivors))
+			}
+
+			// Fresh unsharded build of the survivors in global-id order.
+			ref := newIndexes(t, kind, 1)[0]
+			for i, col := range survivors {
+				if err := ref.Add(col.vec); err != nil {
+					t.Fatalf("ref add: %v", err)
+				}
+				if c.Name(i) != col.name {
+					t.Fatalf("survivor %d renumbered to %q, want %q", i, c.Name(i), col.name)
+				}
+			}
+			for qi, q := range qs {
+				for _, k := range []int{1, 5, len(survivors)} {
+					want, err := ref.Search(q, k)
+					if err != nil {
+						t.Fatalf("ref search: %v", err)
+					}
+					got, err := c.Search(q, k)
+					if err != nil {
+						t.Fatalf("Search: %v", err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("query %d k=%d after rebalance: results diverge\n got %v\nwant %v", qi, k, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAddDedupesLiveKeys(t *testing.T) {
+	cols := makeColumns(3, 4, 9)
+	c, err := New(Config{Indexes: newIndexes(t, "flat", 2)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	id0, err := c.Add(cols[0].key, cols[0].name, cols[0].vec)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	again, err := c.Add(cols[0].key, "renamed", cols[0].vec)
+	if err != nil {
+		t.Fatalf("re-Add: %v", err)
+	}
+	if again != id0 {
+		t.Fatalf("re-adding a live key assigned id %d, want %d", again, id0)
+	}
+	if c.Len() != 1 || c.Name(id0) != cols[0].name {
+		t.Fatalf("dedupe mutated the catalog: Len %d name %q", c.Len(), c.Name(id0))
+	}
+	if err := c.Remove(id0); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if !c.Seen(cols[0].key) {
+		t.Fatal("removed key no longer Seen")
+	}
+	if _, ok := c.IDOf(cols[0].key); ok {
+		t.Fatal("removed key still resolves to a live id")
+	}
+	// Re-adding after removal is a fresh column with a fresh id.
+	id1, err := c.Add(cols[0].key, cols[0].name, cols[0].vec)
+	if err != nil {
+		t.Fatalf("Add after remove: %v", err)
+	}
+	if id1 != 1 {
+		t.Fatalf("re-added key got id %d, want 1", id1)
+	}
+}
+
+func TestRemoveRejectsBadIDs(t *testing.T) {
+	cols := makeColumns(1, 4, 10)
+	c, err := New(Config{Indexes: newIndexes(t, "flat", 2)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.Add(cols[0].key, cols[0].name, cols[0].vec); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	for _, id := range []int{-1, 1, 99} {
+		if err := c.Remove(id); !errors.Is(err, ErrInput) {
+			t.Fatalf("Remove(%d) = %v, want ErrInput", id, err)
+		}
+	}
+	if err := c.Remove(0); err != nil {
+		t.Fatalf("Remove(0): %v", err)
+	}
+	if err := c.Remove(0); !errors.Is(err, ErrInput) {
+		t.Fatalf("double Remove(0) = %v, want ErrInput", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	flat2 := newIndexes(t, "flat", 2)
+	preloaded := ann.NewFlat(ann.Euclidean)
+	if err := preloaded.Add([]float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no indexes", Config{}},
+		{"store count mismatch", Config{Indexes: flat2, Stores: make([]*catalog.Store, 1)}},
+		{"metric mismatch", Config{Indexes: []ann.Index{ann.NewFlat(ann.Euclidean), ann.NewFlat(ann.Cosine)}}},
+		{"preloaded multi-shard", Config{Indexes: []ann.Index{preloaded, ann.NewFlat(ann.Euclidean)}}},
+		{"preloaded with stores", Config{Indexes: []ann.Index{preloaded}, Stores: make([]*catalog.Store, 1)}},
+		{"preload names multi-shard", Config{Indexes: flat2, PreloadNames: []string{"a"}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); !errors.Is(err, ErrInput) {
+			t.Errorf("%s: New = %v, want ErrInput", tc.name, err)
+		}
+	}
+}
+
+func TestPreloadedAdoption(t *testing.T) {
+	idx := ann.NewFlat(ann.Euclidean)
+	if err := idx.Add([]float64{1, 0}, []float64{0, 1}, []float64{1, 1}); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	c, err := New(Config{Indexes: []ann.Index{idx}, PreloadNames: []string{"alpha", "beta"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.Len() != 3 || c.Live() != 3 {
+		t.Fatalf("Len %d Live %d, want 3/3", c.Len(), c.Live())
+	}
+	for id, want := range []string{"alpha", "beta", "@2"} {
+		if c.Name(id) != want {
+			t.Fatalf("Name(%d) = %q, want %q", id, c.Name(id), want)
+		}
+	}
+	res, err := c.Search([]float64{1, 0}, 1)
+	if err != nil || len(res) != 1 || res[0].ID != 0 {
+		t.Fatalf("Search over preloaded index: %v %v", res, err)
+	}
+	if err := c.Remove(0); err != nil {
+		t.Fatalf("Remove preloaded: %v", err)
+	}
+	if c.Live() != 2 {
+		t.Fatalf("Live after remove = %d, want 2", c.Live())
+	}
+}
+
+// TestReplayRejectsUnsequencedStores guards the multi-shard replay
+// precondition: stores written independently (duplicate global sequence
+// numbers) cannot be glued into one sharded catalog.
+func TestReplayRejectsUnsequencedStores(t *testing.T) {
+	dir := t.TempDir()
+	cols := makeColumns(4, 4, 11)
+	// Write two stores via two independent single-shard catalogs: each
+	// assigns sequences from 1, so they collide.
+	for i := 0; i < 2; i++ {
+		st, err := catalog.Open(filepath.Join(dir, fmt.Sprintf("s%d", i)), "fp")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		c, err := New(Config{Indexes: newIndexes(t, "flat", 1), Stores: []*catalog.Store{st}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := c.Replay(nil); err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		for j := 0; j < 2; j++ {
+			col := cols[2*i+j]
+			if _, err := c.Add(col.key, col.name, col.vec); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	sts := make([]*catalog.Store, 2)
+	for i := range sts {
+		st, err := catalog.Open(filepath.Join(dir, fmt.Sprintf("s%d", i)), "fp")
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer st.Close()
+		sts[i] = st
+	}
+	c, err := New(Config{Indexes: newIndexes(t, "flat", 2), Stores: sts})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Replay(nil); !errors.Is(err, ErrInput) {
+		t.Fatalf("Replay of colliding stores = %v, want ErrInput", err)
+	}
+}
