@@ -47,9 +47,12 @@ import (
 	"syscall"
 	"time"
 
+	"net/http/pprof"
+
 	"github.com/gem-embeddings/gem/internal/ann"
 	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/obs"
 	"github.com/gem-embeddings/gem/internal/pool"
 	"github.com/gem-embeddings/gem/internal/serve"
 	"github.com/gem-embeddings/gem/internal/shard"
@@ -81,6 +84,9 @@ type cliConfig struct {
 	shards       int
 	proxy        string
 	maxBodyBytes int64
+	metrics      bool
+	slowMS       float64
+	pprofAddr    string
 
 	// set records which flags were given explicitly on the command line
 	// (filled by flag.Visit), so conflicts with flags that merely have
@@ -119,6 +125,9 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "split the search catalog into N consistent-hashed shards (requires -search or -catalog; /search answers are byte-identical to -shards 1)")
 	flag.StringVar(&cfg.proxy, "proxy", "", "comma-separated shard-server URLs; serve a scatter-gather /search front door instead of a model")
 	flag.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 0, "cap on one request body; oversized posts answer 413 (0 = default 8 MiB, negative disables)")
+	flag.BoolVar(&cfg.metrics, "metrics", true, "expose Prometheus metrics at GET /metrics (request counters, latency histograms, stage and per-shard timings); responses are byte-identical either way")
+	flag.Float64Var(&cfg.slowMS, "slow-ms", 0, "log a structured one-line record (request id + stage breakdown) for every request slower than this many milliseconds (0 disables)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables profiling")
 	flag.Parse()
 	cfg.set = map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { cfg.set[f.Name] = true })
@@ -138,6 +147,13 @@ func run(cfg cliConfig, w io.Writer) error {
 // runUntil is run with the shutdown signal injectable, so tests can drain
 // a live server without killing the test process.
 func runUntil(cfg cliConfig, w io.Writer, stop <-chan os.Signal) error {
+	if cfg.pprofAddr != "" {
+		stopPprof, err := startPprof(cfg.pprofAddr, w)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
 	if cfg.proxy != "" {
 		return runProxy(cfg, w, stop)
 	}
@@ -156,7 +172,7 @@ func runUntil(cfg cliConfig, w io.Writer, stop <-chan os.Signal) error {
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
 	}
-	fmt.Fprintf(w, "listening on http://%s (POST /embed, POST /search, /columns, GET /healthz, GET /stats)\n", ln.Addr())
+	fmt.Fprintf(w, "listening on http://%s (POST /embed, POST /search, /columns, GET /healthz, GET /stats, GET /metrics)\n", ln.Addr())
 	return serveAndDrain(newHTTPServer(srv.Handler()), ln, stop, w)
 }
 
@@ -183,10 +199,14 @@ func runProxy(cfg cliConfig, w io.Writer, stop <-chan os.Signal) error {
 	if cfg.addr == "" {
 		return fmt.Errorf("-proxy needs a listen -addr")
 	}
-	p, err := serve.NewProxy(serve.ProxyConfig{
+	pcfg := serve.ProxyConfig{
 		Backends:     strings.Split(cfg.proxy, ","),
 		MaxBodyBytes: cfg.maxBodyBytes,
-	})
+	}
+	if cfg.metrics {
+		pcfg.Metrics = obs.NewRegistry()
+	}
+	p, err := serve.NewProxy(pcfg)
 	if err != nil {
 		return err
 	}
@@ -194,9 +214,33 @@ func runProxy(cfg cliConfig, w io.Writer, stop <-chan os.Signal) error {
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
 	}
-	fmt.Fprintf(w, "proxying %d shards on http://%s (POST /search, GET /healthz, GET /stats)\n",
+	fmt.Fprintf(w, "proxying %d shards on http://%s (POST /search, GET /healthz, GET /stats, GET /metrics)\n",
 		len(strings.Split(cfg.proxy, ",")), ln.Addr())
 	return serveAndDrain(newHTTPServer(p.Handler()), ln, stop, w)
+}
+
+// startPprof serves net/http/pprof on its own listener, kept off the API
+// address so profiling endpoints are never reachable through the public
+// port. Returns a closer for the listener.
+func startPprof(addr string, w io.Writer) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listening for pprof on %s: %w", addr, err)
+	}
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	fmt.Fprintf(w, "pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { hs.Close() }, nil
 }
 
 // newHTTPServer wraps a handler with the serving timeouts a public
@@ -269,11 +313,15 @@ func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(),
 		return nil, nil, err
 	}
 	scfg := serve.Config{
-		MaxBatch:     cfg.maxBatch,
-		BatchWindow:  cfg.batchWindow,
-		CacheSize:    cfg.cacheSize,
-		CompactEvery: cfg.compactEvery,
-		MaxBodyBytes: cfg.maxBodyBytes,
+		MaxBatch:      cfg.maxBatch,
+		BatchWindow:   cfg.batchWindow,
+		CacheSize:     cfg.cacheSize,
+		CompactEvery:  cfg.compactEvery,
+		MaxBodyBytes:  cfg.maxBodyBytes,
+		SlowThreshold: time.Duration(cfg.slowMS * float64(time.Millisecond)),
+	}
+	if cfg.metrics {
+		scfg.Metrics = obs.NewRegistry()
 	}
 	if cfg.shards > 1 {
 		return buildShardedServer(cfg, emb, scfg, w)
@@ -465,6 +513,12 @@ func buildEmbedder(cfg cliConfig, w io.Writer) (*core.Embedder, error) {
 	}
 	fmt.Fprintf(w, "fitted on %d columns (%d values) in %.2fs\n",
 		len(ds.Columns), ds.TotalValues(), time.Since(start).Seconds())
+	if st := emb.FitStats(); st != nil && st.Winner >= 0 {
+		win := st.Restarts[st.Winner]
+		fmt.Fprintf(w, "fit telemetry: restart %d/%d won with logL %.4f after %d iterations (converged=%v); %d EM iterations total, E-step %.2fs, M-step %.2fs\n",
+			st.Winner+1, len(st.Restarts), win.LogLikelihood, win.Iterations, win.Converged,
+			st.Iterations(), st.EStepSeconds, st.MStepSeconds)
+	}
 	if cfg.saveModel != "" {
 		f, err := os.Create(cfg.saveModel)
 		if err != nil {

@@ -233,6 +233,10 @@ type Embedder struct {
 	// cfg.Workers. See the internal/pool package comment for the
 	// no-oversubscription contract.
 	pool *pool.Pool
+	// fitStats is the telemetry of the last Fit call; nil before Fit and
+	// on loaded embedders. Excluded from persistence: it describes one
+	// fitting run on one host, not the model.
+	fitStats *gmm.FitStats
 }
 
 // NewEmbedder returns an unfitted embedder.
@@ -274,7 +278,7 @@ func (e *Embedder) Fit(ds *table.Dataset) error {
 	if e.cfg.SubsampleStack > 0 && len(stack) > e.cfg.SubsampleStack {
 		stack = subsample(stack, e.cfg.SubsampleStack, e.cfg.Seed)
 	}
-	m, err := gmm.Fit(stack, gmm.Config{
+	m, st, err := gmm.FitWithStats(stack, gmm.Config{
 		K:        e.cfg.Components,
 		Tol:      e.cfg.Tol,
 		MaxIter:  e.cfg.MaxIter,
@@ -287,8 +291,15 @@ func (e *Embedder) Fit(ds *table.Dataset) error {
 		return fmt.Errorf("core: fitting GMM: %w", err)
 	}
 	e.model = m
+	e.fitStats = st
 	return e.freezeMoments(ds)
 }
+
+// FitStats returns the telemetry recorded by the last Fit call: per-restart
+// iteration counts and likelihoods, the winning restart, the winner's
+// log-likelihood trajectory, and E/M-step wall-clock. Nil before Fit and on
+// embedders restored by LoadEmbedder.
+func (e *Embedder) FitStats() *gmm.FitStats { return e.fitStats }
 
 // freezeMoments computes and stores the corpus-level feature moments of ds
 // (see StatMoments). A no-op when the configuration selects no statistical

@@ -10,6 +10,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"github.com/gem-embeddings/gem/internal/gmm"
 )
 
 // BenchReport is the machine-readable result of one gembench run. Only
@@ -31,8 +33,10 @@ type BenchReport struct {
 // BenchSchemaVersion is the current BenchReport schema. Version 2 added
 // fit_seconds and the per-precision tiers list to the search section;
 // version 3 added the load section (sharded closed-loop load harness with
-// SLO ceilings).
-const BenchSchemaVersion = 3
+// SLO ceilings); version 4 added EM fit telemetry (per-restart iterations
+// and likelihoods, winning restart, E/M-step wall-clock) to the search
+// section.
+const BenchSchemaVersion = 4
 
 // SearchReport is the JSON form of a SearchResult. The top-level recall and
 // QPS fields mirror the first precision tier (float64 by default); Tiers
@@ -49,6 +53,9 @@ type SearchReport struct {
 	FlatQPS      float64      `json:"flat_qps"`
 	HNSWQPS      float64      `json:"hnsw_qps"`
 	Tiers        []TierReport `json:"tiers,omitempty"`
+	// Fit is the EM fit telemetry of the model behind the catalog
+	// embeddings (schema 4+).
+	Fit *gmm.FitStats `json:"fit,omitempty"`
 }
 
 // TierReport is the JSON form of one precision tier.
@@ -74,6 +81,7 @@ func NewSearchReport(r *SearchResult) *SearchReport {
 		BuildSeconds: r.BuildSeconds,
 		FlatQPS:      r.FlatQPS,
 		HNSWQPS:      r.HNSWQPS,
+		Fit:          r.FitStats,
 	}
 	for _, tr := range r.Tiers {
 		out.Tiers = append(out.Tiers, TierReport{

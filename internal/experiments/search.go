@@ -16,6 +16,7 @@ import (
 	"github.com/gem-embeddings/gem/internal/ann"
 	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/gmm"
 	"github.com/gem-embeddings/gem/internal/pool"
 )
 
@@ -95,6 +96,9 @@ type SearchResult struct {
 	FlatQPS, HNSWQPS float64
 	// Tiers holds the per-precision sweep, in Precisions order.
 	Tiers []TierResult
+	// FitStats is the EM fit telemetry behind FitSeconds: per-restart
+	// iterations and likelihoods, the winner, and E/M-step wall-clock.
+	FitStats *gmm.FitStats
 }
 
 // String renders the result as a small paper-style text table.
@@ -102,6 +106,12 @@ func (r *SearchResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ANN search: %d columns, dim %d, metric %s\n", r.Columns, r.Dim, r.Metric)
 	fmt.Fprintf(&b, "  embed             %.3fs (fit %.3fs)\n", r.EmbedSeconds, r.FitSeconds)
+	if st := r.FitStats; st != nil && st.Winner >= 0 {
+		win := st.Restarts[st.Winner]
+		fmt.Fprintf(&b, "  fit em            restart %d/%d won, logL %.2f, %d iters (%d total), E %.3fs / M %.3fs\n",
+			st.Winner+1, len(st.Restarts), win.LogLikelihood, win.Iterations,
+			st.Iterations(), st.EStepSeconds, st.MStepSeconds)
+	}
 	for _, tr := range r.Tiers {
 		fmt.Fprintf(&b, "  [%s]\n", tr.Precision)
 		fmt.Fprintf(&b, "    hnsw build      %.3fs\n", tr.BuildSeconds)
@@ -201,6 +211,7 @@ func SearchEval(opts SearchOptions) (*SearchResult, error) {
 		FlatQPS:      first.FlatQPS,
 		HNSWQPS:      first.HNSWQPS,
 		Tiers:        tiers,
+		FitStats:     e.FitStats(),
 	}, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"github.com/gem-embeddings/gem/internal/kmeans"
 	"github.com/gem-embeddings/gem/internal/mathx"
@@ -134,17 +135,67 @@ type Model struct {
 // K returns the number of components.
 func (m *Model) K() int { return len(m.Weights) }
 
+// RestartStats describes one EM restart of a Fit run.
+type RestartStats struct {
+	// Iterations is how many EM iterations the restart ran.
+	Iterations int `json:"iterations"`
+	// LogLikelihood is the restart's final training log-likelihood (NaN
+	// for a restart that diverged and produced no model).
+	LogLikelihood float64 `json:"log_likelihood"`
+	// Converged reports whether the restart met the tolerance before
+	// MaxIter.
+	Converged bool `json:"converged"`
+}
+
+// FitStats is the fit telemetry of one Fit run — the convergence
+// behaviour an operator watches as a feedback signal (how hard did EM
+// work, did restarts agree, where did the wall-clock go). It is
+// observational only: nothing in it feeds back into the fitted model, and
+// it is not persisted with the model.
+type FitStats struct {
+	// Restarts holds one entry per EM restart, in restart order.
+	Restarts []RestartStats `json:"restarts"`
+	// Winner is the index of the restart whose model was kept (-1 when
+	// every restart diverged).
+	Winner int `json:"winner"`
+	// Trajectory is the winning restart's log-likelihood after every EM
+	// iteration — the convergence curve.
+	Trajectory []float64 `json:"trajectory,omitempty"`
+	// EStepSeconds and MStepSeconds are wall-clock totals across all
+	// restarts. With a parallel pool restarts overlap, so the sums can
+	// exceed the elapsed fit time — they measure work, not latency.
+	EStepSeconds float64 `json:"estep_seconds"`
+	MStepSeconds float64 `json:"mstep_seconds"`
+}
+
+// Iterations sums the EM iterations across all restarts.
+func (s *FitStats) Iterations() int {
+	n := 0
+	for _, r := range s.Restarts {
+		n += r.Iterations
+	}
+	return n
+}
+
 // Fit runs EM on xs with cfg and returns the best model across restarts.
 func Fit(xs []float64, cfg Config) (*Model, error) {
+	m, _, err := FitWithStats(xs, cfg)
+	return m, err
+}
+
+// FitWithStats is Fit returning the run's telemetry alongside the model.
+// The telemetry is purely observational: the returned model is
+// bit-identical to Fit's for every pool width.
+func FitWithStats(xs []float64, cfg Config) (*Model, *FitStats, error) {
 	if len(xs) == 0 {
-		return nil, fmt.Errorf("%w: empty sample", ErrInput)
+		return nil, nil, fmt.Errorf("%w: empty sample", ErrInput)
 	}
 	if cfg.K < 1 {
-		return nil, fmt.Errorf("%w: K = %d", ErrInput, cfg.K)
+		return nil, nil, fmt.Errorf("%w: K = %d", ErrInput, cfg.K)
 	}
 	for i, x := range xs {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return nil, fmt.Errorf("%w: non-finite value at index %d", ErrInput, i)
+			return nil, nil, fmt.Errorf("%w: non-finite value at index %d", ErrInput, i)
 		}
 	}
 	k := cfg.K
@@ -163,26 +214,41 @@ func Fit(xs []float64, cfg Config) (*Model, error) {
 	// comparison — exactly what the serial loop does — so the selected
 	// model does not depend on scheduling.
 	models := make([]*Model, cfg.Restarts)
+	tels := make([]emTelemetry, cfg.Restarts)
 	_ = cfg.Pool.For(cfg.Restarts, func(r int) error {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*104729))
 		init := initialize(xs, k, cfg, rng, totalVar)
-		models[r] = emLoop(xs, init, cfg, varFloor)
+		models[r], tels[r] = emLoop(xs, init, cfg, varFloor)
 		return nil
 	})
+	st := &FitStats{Restarts: make([]RestartStats, cfg.Restarts), Winner: -1}
 	var best *Model
-	for _, m := range models {
+	for r, m := range models {
+		st.EStepSeconds += tels[r].eSeconds
+		st.MStepSeconds += tels[r].mSeconds
+		st.Restarts[r] = RestartStats{
+			Iterations:    tels[r].iterations,
+			LogLikelihood: math.NaN(),
+		}
 		if m == nil {
 			continue
 		}
+		st.Restarts[r] = RestartStats{
+			Iterations:    m.Iterations,
+			LogLikelihood: m.LogLikelihood,
+			Converged:     m.Converged,
+		}
 		if best == nil || m.LogLikelihood > best.LogLikelihood {
 			best = m
+			st.Winner = r
 		}
 	}
 	if best == nil {
-		return nil, ErrNoConverge
+		return nil, st, ErrNoConverge
 	}
+	st.Trajectory = tels[st.Winner].trajectory
 	best.sortByMean()
-	return best, nil
+	return best, st, nil
 }
 
 // nearestGap returns the distance from mu to the closest distinct
@@ -302,6 +368,18 @@ func initialize(xs []float64, k int, cfg Config, rng *rand.Rand, totalVar float6
 // stack still splits across a typical pool.
 const estepChunk = 1024
 
+// emTelemetry is one restart's observational record: the log-likelihood
+// after every iteration and where the wall-clock went. Recording it costs
+// two time.Now calls and one slice append per iteration — invisible next
+// to an E-step pass over the sample — and cannot affect the fitted
+// parameters.
+type emTelemetry struct {
+	trajectory []float64
+	iterations int
+	eSeconds   float64
+	mSeconds   float64
+}
+
 // emLoop runs EM until convergence (|Δ logL| < tol) or MaxIter.
 //
 // Both halves of each iteration fan out across cfg.Pool with index-slot
@@ -312,7 +390,7 @@ const estepChunk = 1024
 // serial order as the classic loop). The chunked reduction is the single
 // code path — pool width 1 and nil pools sum in the identical order — so
 // results are bit-identical for every worker count.
-func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
+func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) (*Model, emTelemetry) {
 	n := len(xs)
 	k := len(m.Weights)
 	resp := make([]float64, n*k) // row-major n×k responsibilities
@@ -330,11 +408,13 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 	prevLL := math.Inf(-1)
 	converged := false
 	iter := 0
+	var tel emTelemetry
 
 	for ; iter < cfg.MaxIter; iter++ {
 		// E-step in log space. The density folds into two per-component
 		// constants (see weightedLogPDFs), hoisted out of the value loop;
 		// the arithmetic stays term-for-term identical to logNormPDF.
+		eStart := time.Now()
 		for j := 0; j < k; j++ {
 			c1[j] = math.Log(m.Weights[j]) - 0.5*(log2Pi+math.Log(m.Variances[j]))
 			c2[j] = -0.5 / m.Variances[j]
@@ -364,9 +444,12 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 		for _, part := range llPart {
 			ll += part
 		}
+		tel.eSeconds += time.Since(eStart).Seconds()
 		if math.IsNaN(ll) {
-			return nil
+			tel.iterations = iter + 1
+			return nil, tel
 		}
+		tel.trajectory = append(tel.trajectory, ll)
 		if cfg.iterHook != nil {
 			cfg.iterHook(iter, ll)
 		}
@@ -379,6 +462,7 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 		prevLL = ll
 
 		// M-step (Equations 3–5), parallel over components.
+		mStart := time.Now()
 		_ = cfg.Pool.For(k, func(j int) error {
 			var nk, mu float64
 			for i := 0; i < n; i++ {
@@ -410,12 +494,14 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) *Model {
 			return nil
 		})
 		normalizeWeights(m.Weights)
+		tel.mSeconds += time.Since(mStart).Seconds()
 	}
 	m.LogLikelihood = prevLL
 	m.Iterations = iter
 	m.Converged = converged
 	m.N = n
-	return m
+	tel.iterations = iter
+	return m, tel
 }
 
 func normalizeWeights(w []float64) {

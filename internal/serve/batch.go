@@ -14,6 +14,12 @@ type job struct {
 	vec  []float64
 	err  error
 	done chan struct{}
+	// enqueued (zero when tracing is off) and spans (nil when the request
+	// is untraced) carry the observability context: the dispatcher
+	// attributes batch-wait and signature time back to the submitting
+	// request through them. Purely observational.
+	enqueued time.Time
+	spans    *spanSet
 }
 
 // columnWork is the minimal column payload a job carries (decoupled from

@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
+	"github.com/gem-embeddings/gem/internal/obs"
 	"github.com/gem-embeddings/gem/internal/table"
 )
 
@@ -60,6 +62,13 @@ type healthResponse struct {
 	Components  int    `json:"components"`
 	Dim         int    `json:"dim"`
 	IndexSize   int    `json:"index_size"`
+	// UptimeSeconds and the build identity fields (debug.ReadBuildInfo)
+	// let fleet checks confirm WHICH binary answered, not just that one
+	// did.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision"`
 }
 
 type errorResponse struct {
@@ -99,19 +108,28 @@ type compactResponse struct {
 //	POST /columns          {"columns":[...]}                         → add (embed + index + journal)
 //	DELETE /columns/{ref}  ref = header name or @id                  → remove
 //	POST /columns/compact                                            → drop tombstones, snapshot the store
-//	GET  /healthz                                                    → liveness + model identity
+//	GET  /healthz                                                    → liveness + model identity + build info
 //	GET  /stats                                                      → cache/batch/catalog counters
+//	GET  /metrics                                                    → Prometheus exposition (when metrics are on)
+//
+// Every route is method-scoped; the instrumentation middleware wraps the
+// mux, so mux-generated 404/405 bodies come back as the same JSON error
+// shape the handlers produce, and every request (matched or not) lands in
+// the per-endpoint metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/embed", s.handleEmbed)
-	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("POST /embed", s.handleEmbed)
+	mux.HandleFunc("POST /search", s.handleSearch)
 	mux.HandleFunc("GET /columns", s.handleColumnsList)
 	mux.HandleFunc("POST /columns", s.handleColumnsAdd)
 	mux.HandleFunc("DELETE /columns/{ref}", s.handleColumnsRemove)
 	mux.HandleFunc("POST /columns/compact", s.handleCompact)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	if s.met.reg != nil {
+		mux.Handle("GET /metrics", s.met.reg.Handler())
+	}
+	return s.ins.wrap(mux)
 }
 
 func (s *Server) handleColumnsList(w http.ResponseWriter, r *http.Request) {
@@ -181,10 +199,6 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	var req embedRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -206,10 +220,6 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	var req searchRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -229,12 +239,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	goVersion, modVersion, revision := obs.BuildInfo()
 	writeJSON(w, healthResponse{
-		Status:      "ok",
-		Fingerprint: s.fp,
-		Components:  s.emb.Model().K(),
-		Dim:         s.dim,
-		IndexSize:   s.IndexLen(),
+		Status:        "ok",
+		Fingerprint:   s.fp,
+		Components:    s.emb.Model().K(),
+		Dim:           s.dim,
+		IndexSize:     s.IndexLen(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     goVersion,
+		Version:       modVersion,
+		Revision:      revision,
 	})
 }
 

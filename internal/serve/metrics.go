@@ -1,0 +1,282 @@
+package serve
+
+// Metrics and request tracing for the HTTP layer. Everything here is
+// observational: instruments are obs package atomics (nil-safe no-ops when
+// metrics are off), span timings live in the request context and surface
+// only through /metrics and the slow-request log — never in a response
+// body, which is what keeps /embed and /search byte-identical with
+// instrumentation on or off.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/obs"
+)
+
+// serveMetrics bundles the server's hot-path instruments. Built from a
+// possibly-nil registry: with metrics off every instrument is nil and every
+// operation no-ops, so call sites carry no flag checks.
+type serveMetrics struct {
+	reg *obs.Registry
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	batches     *obs.Counter
+	batchCols   *obs.Counter
+	embedErrors *obs.Counter
+
+	stageCacheLookup *obs.Histogram
+	stageBatchWait   *obs.Histogram
+	stageSignatures  *obs.Histogram
+	stageIndexAdd    *obs.Histogram
+
+	stageSearchEmbed *obs.Histogram
+	stageScatter     *obs.Histogram
+	stageMerge       *obs.Histogram
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("gem_embed_stage_seconds",
+			"Wall-clock of one embed hot-path stage.",
+			obs.Labels{"stage": name}, obs.DefBuckets())
+	}
+	searchStage := func(name string) *obs.Histogram {
+		return reg.Histogram("gem_search_stage_seconds",
+			"Wall-clock of one search hot-path stage.",
+			obs.Labels{"stage": name}, obs.DefBuckets())
+	}
+	return &serveMetrics{
+		reg:              reg,
+		cacheHits:        reg.Counter("gem_cache_hits_total", "Embedding cache hits.", nil),
+		cacheMisses:      reg.Counter("gem_cache_misses_total", "Embedding cache misses.", nil),
+		batches:          reg.Counter("gem_batches_total", "Coalesced signature batches processed.", nil),
+		batchCols:        reg.Counter("gem_batch_columns_total", "Distinct columns embedded across batches.", nil),
+		embedErrors:      reg.Counter("gem_embed_errors_total", "Columns that failed to embed.", nil),
+		stageCacheLookup: stage("cache_lookup"),
+		stageBatchWait:   stage("batch_wait"),
+		stageSignatures:  stage("signatures"),
+		stageIndexAdd:    stage("index_add"),
+		stageSearchEmbed: searchStage("embed"),
+		stageScatter:     searchStage("scatter"),
+		stageMerge:       searchStage("merge"),
+	}
+}
+
+// httpRequest records one finished HTTP request on the shared per-endpoint
+// families. Lazy get-or-create keeps the label space (endpoint × code)
+// driven by traffic; the registry dedupes, and a nil registry no-ops.
+func (m *serveMetrics) httpRequest(endpoint string, code int, seconds float64) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter("gem_http_requests_total", "HTTP requests by endpoint.",
+		obs.Labels{"endpoint": endpoint}).Inc()
+	m.reg.Histogram("gem_http_request_seconds", "HTTP request latency by endpoint.",
+		obs.Labels{"endpoint": endpoint}, obs.DefBuckets()).Observe(seconds)
+	if code >= 400 {
+		m.reg.Counter("gem_http_errors_total", "HTTP error responses by endpoint and status code.",
+			obs.Labels{"endpoint": endpoint, "code": strconv.Itoa(code)}).Inc()
+	}
+}
+
+// registerMetrics installs the registry-resident series that need server
+// state: uptime, build identity, cache and catalog gauges, and the
+// per-shard search observer. Called once from New.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	goVersion, modVersion, revision := obs.BuildInfo()
+	reg.Gauge("gem_build_info", "Build identity; value is always 1.",
+		obs.Labels{"go_version": goVersion, "version": modVersion, "revision": revision}).Set(1)
+	reg.GaugeFunc("gem_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("gem_cache_entries", "Live embedding cache entries.", nil,
+		func() float64 { return float64(s.cache.len()) })
+	if s.cat == nil {
+		return
+	}
+	reg.GaugeFunc("gem_catalog_live_columns", "Live indexed columns.", nil,
+		func() float64 { live, _ := s.indexShape(); return float64(live) })
+	reg.GaugeFunc("gem_catalog_tombstones", "Removed-but-not-compacted index slots.", nil,
+		func() float64 { _, tombs := s.indexShape(); return float64(tombs) })
+	shardHists := make([]*obs.Histogram, s.cat.Shards())
+	for i := range shardHists {
+		shardHists[i] = reg.Histogram("gem_search_shard_seconds",
+			"Per-shard index search latency inside the scatter phase.",
+			obs.Labels{"shard": strconv.Itoa(i)}, obs.DefBuckets())
+	}
+	s.cat.SetSearchObserver(func(shard int, seconds float64) {
+		shardHists[shard].Observe(seconds)
+	})
+}
+
+// spanSet accumulates named stage durations for one request. Stages of one
+// request can be recorded from the request goroutine and the dispatcher
+// goroutine concurrently, hence the mutex. A nil *spanSet no-ops.
+type spanSet struct {
+	mu    sync.Mutex
+	order []string
+	durs  map[string]time.Duration
+}
+
+func (ss *spanSet) add(name string, d time.Duration) {
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.durs == nil {
+		ss.durs = make(map[string]time.Duration, 8)
+	}
+	if _, seen := ss.durs[name]; !seen {
+		ss.order = append(ss.order, name)
+	}
+	ss.durs[name] += d
+}
+
+// format renders "name=1.234ms name=0.017ms" in first-recorded order.
+func (ss *spanSet) format() string {
+	if ss == nil {
+		return ""
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var b strings.Builder
+	for i, name := range ss.order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.3fms", name, ss.durs[name].Seconds()*1000)
+	}
+	return b.String()
+}
+
+type spanCtxKey struct{}
+
+func withSpans(ctx context.Context, ss *spanSet) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, ss)
+}
+
+// spansFrom returns the request's span collector, or nil (no-op) when the
+// request was not traced.
+func spansFrom(ctx context.Context) *spanSet {
+	ss, _ := ctx.Value(spanCtxKey{}).(*spanSet)
+	return ss
+}
+
+// endpointLabel collapses a request path onto a bounded endpoint label so
+// client-chosen path segments cannot explode the metric label space.
+func endpointLabel(path string) string {
+	switch path {
+	case "/embed", "/search", "/columns", "/columns/compact", "/healthz", "/stats", "/metrics":
+		return path
+	}
+	if strings.HasPrefix(path, "/columns/") {
+		return "/columns/{ref}"
+	}
+	return "other"
+}
+
+// responseRecorder captures the response status for the request metrics
+// and normalizes error bodies: a ≥400 response whose handler did not set a
+// JSON Content-Type (the mux's own text/plain 404/405, http.Error callers)
+// is buffered and rewritten as the API's standard {"error": ...} body.
+type responseRecorder struct {
+	http.ResponseWriter
+	code        int
+	wroteHeader bool
+	intercept   bool
+	buf         bytes.Buffer
+}
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if r.wroteHeader {
+		return
+	}
+	r.wroteHeader = true
+	r.code = code
+	if code >= 400 && !strings.HasPrefix(r.Header().Get("Content-Type"), "application/json") {
+		// Hold the header back: the body arrives first (buffered), then
+		// flush rewrites it as JSON.
+		r.intercept = true
+		return
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	if !r.wroteHeader {
+		r.WriteHeader(http.StatusOK)
+	}
+	if r.intercept {
+		return r.buf.Write(p)
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// flush completes an intercepted error response. Must be called after the
+// handler returns.
+func (r *responseRecorder) flush() {
+	if !r.wroteHeader {
+		r.code = http.StatusOK
+		return
+	}
+	if !r.intercept {
+		return
+	}
+	msg := strings.TrimSpace(r.buf.String())
+	if msg == "" {
+		msg = http.StatusText(r.code)
+	}
+	r.Header().Set("Content-Type", "application/json")
+	r.Header().Del("Content-Length")
+	r.ResponseWriter.WriteHeader(r.code)
+	_ = json.NewEncoder(r.ResponseWriter).Encode(errorResponse{Error: msg})
+}
+
+// httpInstrumentor is the outermost middleware shared by the shard server
+// and the proxy: per-endpoint request/error counters and latency
+// histograms, JSON-normalized error bodies, and (server only) span tracing
+// plus the slow-request log.
+type httpInstrumentor struct {
+	met           *serveMetrics
+	trace         bool
+	slowThreshold time.Duration
+	slowLog       *log.Logger
+	reqID         atomic.Int64
+}
+
+func (ins *httpInstrumentor) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endpoint := endpointLabel(r.URL.Path)
+		var spans *spanSet
+		if ins.trace {
+			spans = &spanSet{}
+			r = r.WithContext(withSpans(r.Context(), spans))
+		}
+		rec := &responseRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		rec.flush()
+		total := time.Since(start)
+		ins.met.httpRequest(endpoint, rec.code, total.Seconds())
+		if ins.slowThreshold > 0 && total >= ins.slowThreshold {
+			// The request id exists only in this log line — handing it to
+			// the response would break the byte-identity contract.
+			ins.slowLog.Printf("slow request id=%d endpoint=%s method=%s status=%d total_ms=%.3f stages=[%s]",
+				ins.reqID.Add(1), endpoint, r.Method, rec.code, total.Seconds()*1000, spans.format())
+		}
+	})
+}

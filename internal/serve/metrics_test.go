@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/obs"
+)
+
+const searchBody = `{"column":{"name":"cost","values":[10,21,34,11,50,3]},"k":2}`
+
+// TestMetricsDeterminismNeutral is the tentpole's hard constraint: /embed
+// and /search bodies are byte-identical with metrics (and the slow log) on
+// vs off, at workers 1, 2 and 8, cold and cached.
+func TestMetricsDeterminismNeutral(t *testing.T) {
+	var ref []byte // metrics-off, workers 1, cold /embed answer
+	var refSearch []byte
+	for _, workers := range []int{1, 2, 8} {
+		for _, metricsOn := range []bool{false, true} {
+			cfg := Config{Index: ann.NewFlat(ann.Cosine)}
+			if metricsOn {
+				cfg.Metrics = obs.NewRegistry()
+				cfg.SlowThreshold = time.Nanosecond // trace + log every request
+				cfg.SlowLog = log.New(&syncBuffer{}, "", 0)
+			}
+			ts := httpServer(t, workers, cfg)
+			code, cold := post(t, ts.URL+"/embed", embedBody)
+			if code != http.StatusOK {
+				t.Fatalf("workers=%d metrics=%v: embed status %d: %s", workers, metricsOn, code, cold)
+			}
+			_, cached := post(t, ts.URL+"/embed", embedBody)
+			code, search := post(t, ts.URL+"/search", searchBody)
+			if code != http.StatusOK {
+				t.Fatalf("workers=%d metrics=%v: search status %d: %s", workers, metricsOn, code, search)
+			}
+			if ref == nil {
+				ref, refSearch = cold, search
+				continue
+			}
+			if !bytes.Equal(ref, cold) || !bytes.Equal(ref, cached) {
+				t.Errorf("workers=%d metrics=%v: /embed body differs from reference", workers, metricsOn)
+			}
+			if !bytes.Equal(refSearch, search) {
+				t.Errorf("workers=%d metrics=%v: /search body differs from reference:\n%s\n%s", workers, metricsOn, refSearch, search)
+			}
+		}
+	}
+}
+
+// metricValue extracts the value of the first exposition line whose series
+// name+labels start with prefix.
+func metricValue(t *testing.T, exposition, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("no series with prefix %q in exposition:\n%s", prefix, exposition)
+	return 0
+}
+
+// TestMetricsExposition drives traffic through a 2-shard server and pins
+// the acceptance series: per-endpoint counters and latency histograms,
+// cache hits/misses, stage timings, and per-shard search fan-out timings.
+func TestMetricsExposition(t *testing.T) {
+	cfg := Config{Metrics: obs.NewRegistry()}
+	s, closeAll := newShardedServer(t, t.TempDir(), 2, 2, cfg)
+	defer closeAll()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Enroll enough columns that both shards own some, then embed (one
+	// miss + one hit) and search.
+	var cols []string
+	for i := 0; i < 8; i++ {
+		cols = append(cols, fmt.Sprintf(`{"name":"c%d","values":[%d,%d,%d]}`, i, i+1, 2*i+3, 7*i+5))
+	}
+	if code, body := post(t, ts.URL+"/columns", `{"columns":[`+strings.Join(cols, ",")+`]}`); code != http.StatusOK {
+		t.Fatalf("add columns: status %d: %s", code, body)
+	}
+	post(t, ts.URL+"/embed", embedBody)
+	post(t, ts.URL+"/embed", embedBody)
+	if code, body := post(t, ts.URL+"/search", searchBody); code != http.StatusOK {
+		t.Fatalf("search: status %d: %s", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := string(raw)
+
+	for prefix, min := range map[string]float64{
+		`gem_http_requests_total{endpoint="/embed"}`:          2,
+		`gem_http_requests_total{endpoint="/search"}`:         1,
+		`gem_http_requests_total{endpoint="/columns"}`:        1,
+		`gem_http_request_seconds_count{endpoint="/embed"}`:   2,
+		`gem_cache_hits_total`:                                1,
+		`gem_cache_misses_total`:                              1,
+		`gem_batches_total`:                                   1,
+		`gem_embed_stage_seconds_count{stage="cache_lookup"}`: 1,
+		`gem_embed_stage_seconds_count{stage="signatures"}`:   1,
+		`gem_embed_stage_seconds_count{stage="batch_wait"}`:   1,
+		`gem_search_stage_seconds_count{stage="embed"}`:       1,
+		`gem_search_stage_seconds_count{stage="scatter"}`:     1,
+		`gem_search_stage_seconds_count{stage="merge"}`:       1,
+		`gem_search_shard_seconds_count{shard="0"}`:           1,
+		`gem_search_shard_seconds_count{shard="1"}`:           1,
+		`gem_catalog_live_columns`:                            8,
+		`gem_uptime_seconds`:                                  0,
+		`gem_build_info`:                                      1,
+	} {
+		if got := metricValue(t, exp, prefix); got < min {
+			t.Errorf("%s = %v, want >= %v", prefix, got, min)
+		}
+	}
+	// A histogram family must expose cumulative buckets ending in +Inf.
+	if !strings.Contains(exp, `gem_http_request_seconds_bucket{endpoint="/embed",le="+Inf"}`) {
+		t.Error("missing +Inf bucket for the /embed latency histogram")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSlowRequestLog pins the slow-log record shape: one line per slow
+// request with a request id, the endpoint, the status, and a stage
+// breakdown — and nothing about it in the response body.
+func TestSlowRequestLog(t *testing.T) {
+	buf := &syncBuffer{}
+	s := newTestServer(t, 1, Config{
+		Index:         ann.NewFlat(ann.Cosine),
+		SlowThreshold: time.Nanosecond, // everything is slow
+		SlowLog:       log.New(buf, "", 0),
+	})
+	h := s.Handler()
+
+	// Direct ServeHTTP keeps the log write synchronous with the assertion.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/embed", strings.NewReader(embedBody)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("embed status %d: %s", rec.Code, rec.Body.String())
+	}
+	if strings.Contains(rec.Body.String(), "id=") {
+		t.Error("response body leaked a request id")
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search", strings.NewReader(searchBody)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	got := buf.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("slow log has %d lines, want 2:\n%s", len(lines), got)
+	}
+	embedLine := regexp.MustCompile(`^slow request id=1 endpoint=/embed method=POST status=200 total_ms=\d+\.\d{3} stages=\[cache_lookup=\d+\.\d{3}ms batch_wait=\d+\.\d{3}ms signatures=\d+\.\d{3}ms index_add=\d+\.\d{3}ms\]$`)
+	if !embedLine.MatchString(lines[0]) {
+		t.Errorf("embed slow-log line does not match the pinned format:\n%s", lines[0])
+	}
+	for _, want := range []string{"slow request id=2 endpoint=/search", "embed=", "scatter=", "merge="} {
+		if !strings.Contains(lines[1], want) {
+			t.Errorf("search slow-log line missing %q:\n%s", want, lines[1])
+		}
+	}
+}
+
+// TestMetricsDisabled pins the off switch: without a registry /metrics is
+// a JSON 404 and serving works untouched.
+func TestMetricsDisabled(t *testing.T) {
+	ts := httpServer(t, 1, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without a registry: status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/metrics 404 Content-Type = %q, want application/json", ct)
+	}
+	if code, _ := post(t, ts.URL+"/embed", embedBody); code != http.StatusOK {
+		t.Errorf("embed with metrics off: status %d", code)
+	}
+}

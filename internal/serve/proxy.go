@@ -21,8 +21,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/obs"
 )
 
 // ProxyConfig assembles a Proxy.
@@ -35,6 +39,11 @@ type ProxyConfig struct {
 	// MaxBodyBytes caps one incoming request body, as in Config. Default
 	// 8 MiB; negative disables the cap.
 	MaxBodyBytes int64
+	// Metrics, when set, receives the proxy's own request series plus
+	// per-backend fan-out latency/error/health series, exposed at
+	// GET /metrics (which additionally scrapes each backend's /stats and
+	// re-exports its health and latency percentiles as gauges).
+	Metrics *obs.Registry
 }
 
 // Proxy merges remote shard servers behind one /search endpoint. Safe
@@ -43,6 +52,8 @@ type Proxy struct {
 	backends []string
 	client   *http.Client
 	maxBody  int64
+	reg      *obs.Registry
+	start    time.Time
 }
 
 // NewProxy validates the backend list.
@@ -50,7 +61,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("%w: a proxy needs at least one backend", ErrInput)
 	}
-	p := &Proxy{client: cfg.Client, maxBody: cfg.MaxBodyBytes}
+	p := &Proxy{client: cfg.Client, maxBody: cfg.MaxBodyBytes, reg: cfg.Metrics, start: time.Now()}
 	for _, b := range cfg.Backends {
 		if !strings.HasPrefix(b, "http://") && !strings.HasPrefix(b, "https://") {
 			return nil, fmt.Errorf("%w: backend %q is not an http(s) URL", ErrInput, b)
@@ -62,6 +73,13 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	}
 	if p.maxBody == 0 {
 		p.maxBody = 8 << 20
+	}
+	if p.reg != nil {
+		goVersion, modVersion, revision := obs.BuildInfo()
+		p.reg.Gauge("gem_build_info", "Build identity; value is always 1.",
+			obs.Labels{"go_version": goVersion, "version": modVersion, "revision": revision}).Set(1)
+		p.reg.GaugeFunc("gem_uptime_seconds", "Seconds since the proxy started.", nil,
+			func() float64 { return time.Since(p.start).Seconds() })
 	}
 	return p, nil
 }
@@ -78,10 +96,14 @@ type proxySearchResponse struct {
 }
 
 type proxyHealthResponse struct {
-	Status      string `json:"status"`
-	Shards      int    `json:"shards"`
-	Fingerprint string `json:"fingerprint"`
-	IndexSize   int    `json:"index_size"`
+	Status        string  `json:"status"`
+	Shards        int     `json:"shards"`
+	Fingerprint   string  `json:"fingerprint"`
+	IndexSize     int     `json:"index_size"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision"`
 }
 
 type proxyStatsResponse struct {
@@ -94,14 +116,70 @@ type proxyStatsResponse struct {
 // Handler returns the proxy's HTTP API:
 //
 //	POST /search   same payload as a shard server; merged top-k answer
-//	GET  /healthz  aggregate liveness + model-identity agreement
+//	GET  /healthz  aggregate liveness + model-identity agreement + build info
 //	GET  /stats    per-backend counters plus fleet totals
+//	GET  /metrics  Prometheus exposition incl. scraped backend health/latency
+//
+// The instrumentation middleware wraps the mux, so mux-generated 404/405
+// bodies use the API's JSON error shape and every request is counted.
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", p.handleSearch)
 	mux.HandleFunc("GET /healthz", p.handleHealthz)
 	mux.HandleFunc("GET /stats", p.handleStats)
-	return mux
+	if p.reg != nil {
+		mux.HandleFunc("GET /metrics", p.handleMetrics)
+	}
+	ins := &httpInstrumentor{met: newServeMetrics(p.reg)}
+	return ins.wrap(mux)
+}
+
+// handleMetrics refreshes the re-exported backend gauges from a live
+// /stats scrape of every backend, then serves the exposition. An
+// unreachable backend only zeroes its up gauge — the scrape never fails
+// the exposition.
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var wg sync.WaitGroup
+	for i := range p.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			be := obs.Labels{"backend": strconv.Itoa(i)}
+			var st Stats
+			if err := p.call(r, http.MethodGet, p.backends[i]+"/stats", nil, &st); err != nil {
+				p.reg.Gauge("gem_proxy_backend_up", "1 when the backend's last scrape succeeded.", be).Set(0)
+				return
+			}
+			p.reg.Gauge("gem_proxy_backend_up", "1 when the backend's last scrape succeeded.", be).Set(1)
+			p.reg.Gauge("gem_proxy_backend_index_size", "Live indexed columns on the backend.", be).Set(float64(st.IndexSize))
+			p.reg.Gauge("gem_proxy_backend_requests", "Embed requests served by the backend.", be).Set(float64(st.Requests))
+			p.reg.Gauge("gem_proxy_backend_uptime_seconds", "Backend uptime at last scrape.", be).Set(st.UptimeSeconds)
+			p.reg.Gauge("gem_proxy_backend_latency_p50_ms", "Backend p50 embed latency at last scrape.", be).Set(st.LatencyP50Ms)
+			p.reg.Gauge("gem_proxy_backend_latency_p99_ms", "Backend p99 embed latency at last scrape.", be).Set(st.LatencyP99Ms)
+		}(i)
+	}
+	wg.Wait()
+	p.reg.Handler().ServeHTTP(w, r)
+}
+
+// timedCall is call plus per-backend fan-out instrumentation: latency
+// histogram, error counter, and an up gauge flipped by the outcome.
+func (p *Proxy) timedCall(r *http.Request, i int, method, path string, body []byte, v any) error {
+	if p.reg == nil {
+		return p.call(r, method, p.backends[i]+path, body, v)
+	}
+	be := obs.Labels{"backend": strconv.Itoa(i)}
+	t0 := time.Now()
+	err := p.call(r, method, p.backends[i]+path, body, v)
+	p.reg.Histogram("gem_proxy_backend_seconds", "Fan-out request latency by backend.", be, obs.DefBuckets()).
+		Observe(time.Since(t0).Seconds())
+	if err != nil {
+		p.reg.Counter("gem_proxy_backend_errors_total", "Failed fan-out requests by backend.", be).Inc()
+		p.reg.Gauge("gem_proxy_backend_up", "1 when the backend's last scrape succeeded.", be).Set(0)
+	} else {
+		p.reg.Gauge("gem_proxy_backend_up", "1 when the backend's last scrape succeeded.", be).Set(1)
+	}
+	return err
 }
 
 func (p *Proxy) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -146,7 +224,7 @@ func (p *Proxy) handleSearch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i].err = p.call(r, http.MethodPost, p.backends[i]+"/search", payload, &results[i].resp)
+			results[i].err = p.timedCall(r, i, http.MethodPost, "/search", payload, &results[i].resp)
 		}(i)
 	}
 	wg.Wait()
@@ -186,7 +264,7 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = p.call(r, http.MethodGet, p.backends[i]+"/healthz", nil, &healths[i])
+			errs[i] = p.timedCall(r, i, http.MethodGet, "/healthz", nil, &healths[i])
 		}(i)
 	}
 	wg.Wait()
@@ -205,11 +283,16 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		total += healths[i].IndexSize
 	}
+	goVersion, modVersion, revision := obs.BuildInfo()
 	writeJSON(w, proxyHealthResponse{
-		Status:      "ok",
-		Shards:      len(p.backends),
-		Fingerprint: healths[0].Fingerprint,
-		IndexSize:   total,
+		Status:        "ok",
+		Shards:        len(p.backends),
+		Fingerprint:   healths[0].Fingerprint,
+		IndexSize:     total,
+		UptimeSeconds: time.Since(p.start).Seconds(),
+		GoVersion:     goVersion,
+		Version:       modVersion,
+		Revision:      revision,
 	})
 }
 
@@ -221,7 +304,7 @@ func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = p.call(r, http.MethodGet, p.backends[i]+"/stats", nil, &all[i])
+			errs[i] = p.timedCall(r, i, http.MethodGet, "/stats", nil, &all[i])
 		}(i)
 	}
 	wg.Wait()

@@ -42,6 +42,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"sort"
 	"strconv"
@@ -53,6 +54,7 @@ import (
 	"github.com/gem-embeddings/gem/internal/ann"
 	"github.com/gem-embeddings/gem/internal/catalog"
 	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/obs"
 	"github.com/gem-embeddings/gem/internal/shard"
 	"github.com/gem-embeddings/gem/internal/stats"
 	"github.com/gem-embeddings/gem/internal/table"
@@ -120,6 +122,17 @@ type Config struct {
 	// LatencyWindow is how many recent request latencies the percentile
 	// report keeps. Default 2048.
 	LatencyWindow int
+	// Metrics, when set, receives the server's operational series (request
+	// counters, stage timings, cache and catalog gauges) and is exposed at
+	// GET /metrics. Nil disables metrics; the hot path then records
+	// nothing. Instrumentation never alters a response body.
+	Metrics *obs.Registry
+	// SlowThreshold, when positive, logs a structured one-line record (with
+	// request id and per-stage breakdown) for every HTTP request slower
+	// than it. 0 disables the slow log.
+	SlowThreshold time.Duration
+	// SlowLog receives the slow-request records. Default log.Default().
+	SlowLog *log.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -174,6 +187,13 @@ type Server struct {
 	start time.Time
 	ctr   counters
 	lat   *latencyRing
+
+	// met holds the metric instruments (no-op instances when metrics are
+	// off); trace gates the hot-path time.Now() calls — true when either
+	// metrics or the slow log wants stage timings.
+	met   *serveMetrics
+	trace bool
+	ins   *httpInstrumentor
 }
 
 // New validates that e can serve single columns (fitted, frozen moments
@@ -207,6 +227,13 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 		start:     time.Now(),
 		lat:       newLatencyRing(cfg.LatencyWindow),
 	}
+	s.met = newServeMetrics(cfg.Metrics)
+	s.trace = cfg.Metrics != nil || cfg.SlowThreshold > 0
+	slowLog := cfg.SlowLog
+	if slowLog == nil {
+		slowLog = log.Default()
+	}
+	s.ins = &httpInstrumentor{met: s.met, trace: s.trace, slowThreshold: cfg.SlowThreshold, slowLog: slowLog}
 	if cfg.Catalog != nil && (cfg.Index != nil || cfg.Store != nil || len(cfg.IndexNames) > 0) {
 		return nil, fmt.Errorf("%w: Catalog is mutually exclusive with Index, IndexNames and Store", ErrInput)
 	}
@@ -252,6 +279,7 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 			}
 		}
 	}
+	s.registerMetrics(cfg.Metrics)
 	go s.b.run(s.process)
 	return s, nil
 }
@@ -361,25 +389,44 @@ func (s *Server) Embed(ctx context.Context, cols []table.Column) ([][]float64, e
 		slot int
 		j    *job
 	}
+	spans := spansFrom(ctx)
+	var lookup time.Duration
 	var waits []pending
 	for i, col := range cols {
 		key := s.key(col)
-		if vec, ok := s.cache.get(key); ok {
+		var t0 time.Time
+		if s.trace {
+			t0 = time.Now()
+		}
+		vec, ok := s.cache.get(key)
+		if s.trace {
+			lookup += time.Since(t0)
+		}
+		if ok {
 			s.ctr.hits.Add(1)
+			s.met.cacheHits.Inc()
 			out[i] = vec
 			continue
 		}
 		s.ctr.misses.Add(1)
+		s.met.cacheMisses.Inc()
 		// Snapshot the values: the dispatcher may read them after this
 		// call has returned (ctx cancellation abandons the job, not the
 		// batch), and a caller-mutated slice would race AND be cached
 		// under the key of the old bytes.
 		vals := append([]float64(nil), col.Values...)
-		j := &job{col: columnWork{name: col.Name, values: vals}, key: key, done: make(chan struct{})}
+		j := &job{col: columnWork{name: col.Name, values: vals}, key: key, done: make(chan struct{}), spans: spans}
+		if s.trace {
+			j.enqueued = time.Now()
+		}
 		if err := s.b.submit(ctx, j); err != nil {
 			return nil, err
 		}
 		waits = append(waits, pending{slot: i, j: j})
+	}
+	if s.trace {
+		s.met.stageCacheLookup.Observe(lookup.Seconds())
+		spans.add("cache_lookup", lookup)
 	}
 	for _, p := range waits {
 		select {
@@ -429,6 +476,22 @@ func (s *Server) process(batch []*job) {
 	s.ctr.batches.Add(1)
 	s.ctr.batchCols.Add(int64(len(uniq)))
 	s.ctr.maxBatchObserved(int64(len(uniq)))
+	s.met.batches.Inc()
+	s.met.batchCols.Add(int64(len(uniq)))
+	var sigStart time.Time
+	if s.trace {
+		// batch_wait is per job: queue entry to the moment its batch
+		// started embedding.
+		now := time.Now()
+		for _, j := range batch {
+			if !j.enqueued.IsZero() {
+				d := now.Sub(j.enqueued)
+				s.met.stageBatchWait.Observe(d.Seconds())
+				j.spans.add("batch_wait", d)
+			}
+		}
+		sigStart = now
+	}
 
 	sigs := make([]core.Signature, len(uniq))
 	sigErrs := make([]error, len(uniq))
@@ -454,6 +517,16 @@ func (s *Server) process(batch []*job) {
 		}
 	}
 
+	if s.trace {
+		// The signature pass is shared by the whole batch; every job in it
+		// waited on the pass, so each gets the full duration.
+		sigD := time.Since(sigStart)
+		s.met.stageSignatures.Observe(sigD.Seconds())
+		for _, j := range batch {
+			j.spans.add("signatures", sigD)
+		}
+	}
+
 	for i, j := range uniq {
 		var vec []float64
 		err := sigErrs[i]
@@ -462,9 +535,19 @@ func (s *Server) process(batch []*job) {
 		}
 		if err == nil {
 			s.cache.put(j.key, vec)
+			var t0 time.Time
+			if s.trace {
+				t0 = time.Now()
+			}
 			s.feedIndex(j.key, j.col.name, vec)
+			if s.trace {
+				d := time.Since(t0)
+				s.met.stageIndexAdd.Observe(d.Seconds())
+				j.spans.add("index_add", d)
+			}
 		} else {
 			s.ctr.errors.Add(1)
+			s.met.embedErrors.Inc()
 		}
 		for _, dup := range groups[j.key] {
 			dup.finish(vec, err)
@@ -705,7 +788,17 @@ func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, er
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: k = %d", ErrInput, k)
 	}
+	spans := spansFrom(ctx)
+	var t0 time.Time
+	if s.trace {
+		t0 = time.Now()
+	}
 	rows, err := s.Embed(ctx, []table.Column{col})
+	if s.trace {
+		d := time.Since(t0)
+		s.met.stageSearchEmbed.Observe(d.Seconds())
+		spans.add("embed", d)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -716,10 +809,21 @@ func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, er
 	qKey := catalog.Key(s.key(col))
 	s.idxMu.RLock()
 	defer s.idxMu.RUnlock()
+	if s.trace {
+		t0 = time.Now()
+	}
 	// k+1 covers the query's own indexed copy being among the nearest.
 	res, err := s.cat.Search(q, k+1)
+	if s.trace {
+		d := time.Since(t0)
+		s.met.stageScatter.Observe(d.Seconds())
+		spans.add("scatter", d)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: search: %w", err)
+	}
+	if s.trace {
+		t0 = time.Now()
 	}
 	hits := make([]Hit, 0, k)
 	for _, r := range res {
@@ -730,6 +834,11 @@ func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, er
 		if len(hits) == k {
 			break
 		}
+	}
+	if s.trace {
+		d := time.Since(t0)
+		s.met.stageMerge.Observe(d.Seconds())
+		spans.add("merge", d)
 	}
 	return hits, nil
 }

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/gem-embeddings/gem/internal/ann"
 	"github.com/gem-embeddings/gem/internal/catalog"
@@ -96,7 +97,17 @@ type Catalog struct {
 	// Sequence 0 is reserved for legacy (format v1) entries.
 	nextSeq  uint64
 	removals int
+
+	// searchObs, when set, observes each shard's Search wall-clock during
+	// the scatter phase. Observation only — it must not influence results.
+	searchObs func(shard int, seconds float64)
 }
+
+// SetSearchObserver installs fn to receive (shard, seconds) for every
+// per-shard index search. Search fans out over a pool, so fn is called
+// concurrently and must be safe for that. Set once before serving; nil
+// uninstalls.
+func (c *Catalog) SetSearchObserver(fn func(shard int, seconds float64)) { c.searchObs = fn }
 
 // New validates the shard set and assembles a Catalog. Indexes must be
 // empty, except that a single-shard store-less catalog may adopt one
@@ -346,6 +357,12 @@ func (c *Catalog) Search(q []float64, k int) ([]ann.Result, error) {
 	per := make([][]ann.Result, len(c.idxs))
 	errs := make([]error, len(c.idxs))
 	_ = c.pool.For(len(c.idxs), func(i int) error {
+		if c.searchObs != nil {
+			t := time.Now()
+			per[i], errs[i] = c.idxs[i].Search(q, k)
+			c.searchObs(i, time.Since(t).Seconds())
+			return nil
+		}
 		per[i], errs[i] = c.idxs[i].Search(q, k)
 		return nil
 	})
