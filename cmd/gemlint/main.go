@@ -1,0 +1,191 @@
+// Command gemlint runs the repo's contract analyzers over Go packages
+// and fails when any contract is violated. It is the mechanical
+// enforcement for the invariants the packages only used to document:
+// determinism of marked packages (detmaprange, detnondet), the pool's
+// caller-runs no-oversubscription contract (poolgo), bound-checked
+// decode lengths (decodebound), and the JSON error-body contract of the
+// serving layer (errjson). See internal/lint's package doc for the
+// contract catalog, the //gem: markers, and the //lint:gemallow
+// suppression syntax.
+//
+// Usage:
+//
+//	gemlint ./...                 # the whole module
+//	gemlint ./internal/gmm        # one package
+//	gemlint -json ./...           # machine-readable findings
+//
+// gemlint exits 0 when every analyzed package is clean, 1 when it found
+// diagnostics, stale suppressions, or malformed suppressions, and 2 on
+// a usage or load error. A stale suppression — a //lint:gemallow that
+// silences nothing — is itself a finding: suppressions must not outlive
+// the code they excused.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/gem-embeddings/gem/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gemlint [-json] packages...\n  (patterns: ./..., ./dir/..., ./dir, or import paths)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gemlint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(run(dir, flag.Args(), *jsonOut, os.Stdout, os.Stderr))
+}
+
+// finding is one reported problem: an analyzer diagnostic or a bad
+// suppression.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run is the testable driver body: resolve patterns, analyze each
+// package with the full suite, print findings, and return the exit code.
+func run(dir string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "gemlint: %v\n", err)
+		return 2
+	}
+	paths, err := resolve(loader, dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "gemlint: %v\n", err)
+		return 2
+	}
+	var findings []finding
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "gemlint: %v\n", err)
+			return 2
+		}
+		diags, bad, err := lint.RunPackage(pkg, lint.Analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "gemlint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File: rel(dir, pos.Filename), Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, a := range bad {
+			msg := fmt.Sprintf("stale suppression: no %s diagnostic on this or the next line (%s)", a.Analyzer, a.Reason)
+			if a.Malformed != "" {
+				msg = "malformed suppression: " + a.Malformed
+			} else if a.FileWide {
+				msg = fmt.Sprintf("stale suppression: no %s diagnostic in this file (%s)", a.Analyzer, a.Reason)
+			}
+			findings = append(findings, finding{
+				File: rel(dir, a.File), Line: a.Line,
+				Analyzer: "gemallow", Message: msg,
+			})
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "gemlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if f.Col > 0 {
+				fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+			} else {
+				fmt.Fprintf(stdout, "%s:%d: %s: %s\n", f.File, f.Line, f.Analyzer, f.Message)
+			}
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// resolve expands package patterns into import paths: "./..." and
+// "./dir/..." walk the tree, "./dir" names one directory, anything else
+// is taken as an import path.
+func resolve(loader *lint.Loader, dir string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(paths ...string) {
+		for _, p := range paths {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./...":
+			paths, err := loader.DiscoverPackages(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(paths...)
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(dir, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			paths, err := loader.DiscoverPackages(root)
+			if err != nil {
+				return nil, err
+			}
+			add(paths...)
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			abs, err := filepath.Abs(filepath.Join(dir, filepath.FromSlash(pat)))
+			if err != nil {
+				return nil, err
+			}
+			relPath, err := filepath.Rel(loader.ModuleDir, abs)
+			if err != nil {
+				return nil, err
+			}
+			if relPath == "." {
+				add(loader.ModulePath)
+			} else {
+				add(loader.ModulePath + "/" + filepath.ToSlash(relPath))
+			}
+		default:
+			add(pat)
+		}
+	}
+	return out, nil
+}
+
+// rel shortens a filename to be relative to the invocation directory
+// when possible; diagnostics stay clickable either way.
+func rel(dir, name string) string {
+	if r, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return name
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the driver to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module example.com/mini\n\ngo 1.22\n"
+
+const dirtyPkg = `// Package det is marked deterministic but reads the wall clock.
+//
+//gem:deterministic
+package det
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+
+const cleanPkg = `// Package det is marked deterministic and stays that way.
+//
+//gem:deterministic
+package det
+
+func Stamp() int64 {
+	return 42
+}
+`
+
+const stalePkg = `// Package det carries a suppression with nothing to suppress.
+//
+//gem:deterministic
+package det
+
+func Stamp() int64 {
+	//lint:gemallow detnondet leftover excuse from deleted code
+	return 42
+}
+`
+
+func TestRunFindsViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     goMod,
+		"det/det.go": dirtyPkg,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./..."}, false, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "detnondet") || !strings.Contains(out, "time.Now") {
+		t.Fatalf("output missing detnondet/time.Now finding:\n%s", out)
+	}
+	if !strings.Contains(out, "det.go:9:") {
+		t.Fatalf("output missing file:line anchor:\n%s", out)
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     goMod,
+		"det/det.go": cleanPkg,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./..."}, false, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean module produced output:\n%s", stdout.String())
+	}
+}
+
+func TestRunReportsStaleSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     goMod,
+		"det/det.go": stalePkg,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./det"}, false, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stale suppression") {
+		t.Fatalf("output missing stale-suppression finding:\n%s", stdout.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     goMod,
+		"det/det.go": dirtyPkg,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./..."}, true, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var fs []finding
+	if err := json.Unmarshal(stdout.Bytes(), &fs); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(fs) != 1 || fs[0].Analyzer != "detnondet" || fs[0].Line != 9 {
+		t.Fatalf("findings = %+v, want one detnondet finding on line 9", fs)
+	}
+}

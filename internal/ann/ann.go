@@ -20,6 +20,9 @@
 // This package is also the repository's single home for vector metric
 // kernels: eval's cosine similarity delegates here, so there is exactly one
 // implementation of the dot/norm/cosine arithmetic.
+//
+//gem:deterministic
+//gem:pooled
 package ann
 
 import (

@@ -25,6 +25,8 @@
 // sequence into internal/ann's deterministic mutable index reconstructs a
 // byte-identical graph — which is what makes a restarted server answer
 // /search exactly like the one that wrote the journal.
+//
+//gem:deterministic
 package catalog
 
 import (

@@ -19,6 +19,9 @@
 //
 // Every step is independently accessible so the ablation of Figure 3
 // (D, S, C and all combinations) can be reproduced exactly.
+//
+//gem:deterministic
+//gem:pooled
 package core
 
 import (

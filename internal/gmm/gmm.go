@@ -15,7 +15,14 @@
 // candidate models — and is engineered to be bit-identical for every pool
 // width: per-restart RNGs are derived from a seed sequence, partial sums are
 // reduced in index order, and winners are selected by scanning results in
-// index order. The determinism test suite pins this property.
+// index order. The determinism test suite pins this property, and the
+// gemlint analyzers detmaprange and detnondet (see internal/lint) enforce
+// its preconditions statically: no unordered map iteration feeds output
+// and no wall clock or unseeded randomness enters the fit. The pooled
+// fan-out discipline is checked by poolgo.
+//
+//gem:deterministic
+//gem:pooled
 package gmm
 
 import (
@@ -414,6 +421,7 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) (*Model, emTel
 		// E-step in log space. The density folds into two per-component
 		// constants (see weightedLogPDFs), hoisted out of the value loop;
 		// the arithmetic stays term-for-term identical to logNormPDF.
+		//lint:gemallow detnondet E-step timing feeds emTelemetry only, never the model
 		eStart := time.Now()
 		for j := 0; j < k; j++ {
 			c1[j] = math.Log(m.Weights[j]) - 0.5*(log2Pi+math.Log(m.Variances[j]))
@@ -444,6 +452,7 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) (*Model, emTel
 		for _, part := range llPart {
 			ll += part
 		}
+		//lint:gemallow detnondet E-step timing feeds emTelemetry only, never the model
 		tel.eSeconds += time.Since(eStart).Seconds()
 		if math.IsNaN(ll) {
 			tel.iterations = iter + 1
@@ -462,6 +471,7 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) (*Model, emTel
 		prevLL = ll
 
 		// M-step (Equations 3–5), parallel over components.
+		//lint:gemallow detnondet M-step timing feeds emTelemetry only, never the model
 		mStart := time.Now()
 		_ = cfg.Pool.For(k, func(j int) error {
 			var nk, mu float64
@@ -494,6 +504,7 @@ func emLoop(xs []float64, m *Model, cfg Config, varFloor float64) (*Model, emTel
 			return nil
 		})
 		normalizeWeights(m.Weights)
+		//lint:gemallow detnondet M-step timing feeds emTelemetry only, never the model
 		tel.mSeconds += time.Since(mStart).Seconds()
 	}
 	m.LogLikelihood = prevLL

@@ -1,0 +1,117 @@
+package lint
+
+// Suppression handling. A triaged finding is silenced in place with
+//
+//	//lint:gemallow <analyzer> <reason>        (this line or the next)
+//	//lint:gemallow-file <analyzer> <reason>   (the whole file)
+//
+// The reason is mandatory — an allow without a justification is reported
+// as malformed — and the driver treats an allow that matched no
+// diagnostic as stale, so suppressions cannot outlive the code they
+// excused.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow is one parsed //lint:gemallow directive.
+type Allow struct {
+	// Analyzer is the analyzer the allow silences; "*" silences all
+	// (reserved for generated code, discouraged elsewhere).
+	Analyzer string
+	// Reason is the mandatory justification.
+	Reason string
+	// File and Line locate the directive. A line-scoped allow matches
+	// diagnostics on its own line (trailing comment) or the next line
+	// (comment-above style).
+	File string
+	Line int
+	// FileWide is true for //lint:gemallow-file.
+	FileWide bool
+	// Malformed carries a parse problem ("missing reason"); malformed
+	// allows silence nothing and are reported.
+	Malformed string
+}
+
+const (
+	allowPrefix     = "lint:gemallow "
+	allowFilePrefix = "lint:gemallow-file "
+)
+
+// collectAllows parses every gemallow directive in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	var out []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				fileWide := false
+				var rest string
+				switch {
+				case strings.HasPrefix(text, allowFilePrefix):
+					fileWide, rest = true, strings.TrimPrefix(text, allowFilePrefix)
+				case strings.HasPrefix(text, allowPrefix):
+					rest = strings.TrimPrefix(text, allowPrefix)
+				case text == strings.TrimSpace(allowPrefix), text == strings.TrimSpace(allowFilePrefix):
+					pos := fset.Position(c.Pos())
+					out = append(out, Allow{File: pos.Filename, Line: pos.Line,
+						Malformed: "missing analyzer and reason"})
+					continue
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := Allow{File: pos.Filename, Line: pos.Line, FileWide: fileWide}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					a.Malformed = "missing analyzer and reason"
+				} else {
+					a.Analyzer = fields[0]
+					if len(fields) < 2 {
+						a.Malformed = "missing reason (a justification is mandatory)"
+					} else {
+						a.Reason = strings.Join(fields[1:], " ")
+					}
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// applyAllows drops diagnostics matched by a well-formed allow and
+// returns the survivors plus the allows that matched nothing (stale) or
+// failed to parse (malformed) — both of which the driver reports.
+func applyAllows(fset *token.FileSet, diags []Diagnostic, allows []Allow) ([]Diagnostic, []Allow) {
+	used := make([]bool, len(allows))
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for i, a := range allows {
+			if a.Malformed != "" || a.File != pos.Filename {
+				continue
+			}
+			if a.Analyzer != "*" && a.Analyzer != d.Analyzer {
+				continue
+			}
+			if a.FileWide || a.Line == pos.Line || a.Line+1 == pos.Line {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	var bad []Allow
+	for i, a := range allows {
+		if a.Malformed != "" || !used[i] {
+			bad = append(bad, a)
+		}
+	}
+	return kept, bad
+}

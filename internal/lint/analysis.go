@@ -1,0 +1,138 @@
+package lint
+
+// The analyzer framework: a deliberately minimal mirror of the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, Diagnostic)
+// over the standard library's go/ast + go/types. Run functions written
+// here port to the upstream framework by swapping the import; nothing in
+// the analyzers depends on more than what both APIs share.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:gemallow suppressions.
+	Name string
+	// Doc is a one-paragraph description; the first line is the summary.
+	Doc string
+	// Run applies the check to one package and reports findings via
+	// pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path (fixture packages use their
+	// path under testdata/src).
+	PkgPath string
+	// Markers holds the package's //gem: markers ("deterministic",
+	// "pooled", "jsonerrors").
+	Markers map[string]bool
+	// Report records one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message states the violation; it ends with the violated
+	// contract's tag, e.g. "[DET-ORDER]" (see package doc).
+	Message string
+}
+
+// Analyzers is the gemlint suite in reporting order.
+var Analyzers = []*Analyzer{
+	DetMapRange,
+	DetNonDet,
+	PoolGo,
+	DecodeBound,
+	ErrJSON,
+}
+
+// RunPackage applies every analyzer in suite to pkg, resolves
+// //lint:gemallow suppressions, and returns the surviving diagnostics
+// (sorted by position) plus any suppressions that matched nothing.
+// A stale suppression is the caller's error to report: an allow that
+// silences no finding is rot and must not linger.
+func RunPackage(pkg *Package, suite []*Analyzer) (diags []Diagnostic, stale []Allow, err error) {
+	markers := packageMarkers(pkg.Files)
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			PkgPath:   pkg.Path,
+			Markers:   markers,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	diags, stale = applyAllows(pkg.Fset, diags, allows)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	// Nested scopes can report one site twice (a range inside a range, a
+	// closure inside a pool-receiving function); keep the first.
+	dedup := diags[:0]
+	for i, d := range diags {
+		if i == 0 || d != diags[i-1] {
+			dedup = append(dedup, d)
+		}
+	}
+	return dedup, stale, nil
+}
+
+// packageMarkers scans every file's package doc group for //gem:<name>
+// marker lines.
+func packageMarkers(files []*ast.File) map[string]bool {
+	m := map[string]bool{}
+	for _, f := range files {
+		if f.Doc == nil {
+			continue
+		}
+		for _, c := range f.Doc.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if name, ok := strings.CutPrefix(text, "gem:"); ok {
+				m[strings.TrimSpace(name)] = true
+			}
+		}
+	}
+	return m
+}
+
+// funcHasMarker reports whether a function's doc comment carries
+// //gem:<name> (e.g. //gem:errwriter on the blessed error writer).
+func funcHasMarker(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if after, ok := strings.CutPrefix(text, "gem:"); ok &&
+			strings.TrimSpace(after) == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package lint
+
+// An analysistest-style fixture runner: RunFixture loads one package
+// from testdata/src/<path> (imports resolved GOPATH-style under
+// testdata/src, standard library from source), runs one analyzer, and
+// matches its diagnostics against the fixture's expectations —
+// `// want "regexp"` comments on the line the diagnostic lands on,
+// exactly the upstream golang.org/x/tools/go/analysis/analysistest
+// convention, so fixtures survive a later swap to the real framework.
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// wantRe extracts the expectation pattern from a `// want "pat"` or
+// `// want `+"`pat`"+“ comment.
+var wantRe = regexp.MustCompile("// want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// Testing is the subset of *testing.T the runner needs.
+type Testing interface {
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+	Helper()
+}
+
+// fixtureLoaders shares one loader per testdata root so the standard
+// library is typechecked once per test process, not once per fixture.
+// RunFixture is not safe for parallel use from one root.
+var (
+	fixtureMu      sync.Mutex
+	fixtureLoaders = map[string]*Loader{}
+)
+
+func fixtureLoader(srcRoot string) *Loader {
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if l, ok := fixtureLoaders[srcRoot]; ok {
+		return l
+	}
+	l := NewFixtureLoader(srcRoot)
+	fixtureLoaders[srcRoot] = l
+	return l
+}
+
+// RunFixture runs analyzer over the fixture package at
+// testdata/src/<pkgPath> and checks its diagnostics against the
+// fixture's want comments. Suppressions (//lint:gemallow) are applied
+// first, as in the real driver; a stale suppression fails the fixture.
+func RunFixture(t Testing, testdata string, analyzer *Analyzer, pkgPath string) {
+	t.Helper()
+	loader := fixtureLoader(filepath.Join(testdata, "src"))
+	pkg, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		return
+	}
+	diags, stale, err := RunPackage(pkg, []*Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s over %s: %v", analyzer.Name, pkgPath, err)
+		return
+	}
+	for _, a := range stale {
+		if a.Malformed != "" {
+			t.Errorf("%s:%d: malformed suppression: %s", a.File, a.Line, a.Malformed)
+		} else {
+			t.Errorf("%s:%d: stale suppression (%s: %s)", a.File, a.Line, a.Analyzer, a.Reason)
+		}
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" → expectations
+	key := func(pos token.Position) string {
+		return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				} else {
+					pat = strings.ReplaceAll(pat, `\"`, `"`)
+					pat = strings.ReplaceAll(pat, `\\`, `\`)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pat, err)
+					return
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[key(pos)] = append(wants[key(pos)], &want{re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key(pos)
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", k, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}

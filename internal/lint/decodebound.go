@@ -1,0 +1,300 @@
+package lint
+
+// decodebound: any length or count decoded from input bytes must be
+// compared against something before it sizes an allocation. This is the
+// exact class of the two fuzz-found crashers fixed in PR 6: a corrupt
+// index header or journal frame claiming 2^32 elements drove make into
+// a multi-gigabyte allocation (or an OOM kill) before a single payload
+// byte was read. The analyzer needs no marker — it self-scopes to
+// functions that actually decode untrusted bytes.
+//
+// Taint sources (per function, intraprocedural):
+//   - v in binary.Read(r, order, &v), and &v arguments to any local
+//     read* helper (the repo's readLE);
+//   - results of binary.LittleEndian/BigEndian/NativeEndian.UintNN and
+//     binary.ReadUvarint/ReadVarint;
+//   - values computed from tainted values (conversions, arithmetic).
+//
+// A taint clears once the value is mentioned in a comparison — an if or
+// switch-case guard such as `if n > maxCount { return err }` or
+// `if dim == 0 || dim > maxDim || len(rest) != 8*int(dim)`. Results of
+// other function calls count as clean: a helper like ann's readCount
+// owns its own bound check and is analyzed on its own.
+//
+// Flagged: make whose length or capacity mentions a still-tainted value
+// (or inlines a decode call directly).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DecodeBound flags allocations sized by unvalidated decoded lengths.
+var DecodeBound = &Analyzer{
+	Name: "decodebound",
+	Doc: "flag make sized by a length decoded from input bytes with no " +
+		"intervening bound check (the PR 6 fuzz-crasher class)",
+	Run: runDecodeBound,
+}
+
+func runDecodeBound(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				st := &taintState{pass: pass, tainted: map[types.Object]bool{}}
+				st.walkStmts(fd.Body.List)
+			}
+		}
+	}
+	return nil
+}
+
+type taintState struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+}
+
+func (st *taintState) info() *types.Info { return st.pass.TypesInfo }
+
+// walkStmts processes statements in order, tracking taint.
+func (st *taintState) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		st.walkStmt(s)
+	}
+}
+
+func (st *taintState) walkStmt(s ast.Stmt) {
+	switch e := s.(type) {
+	case *ast.AssignStmt:
+		// Flag makes with the pre-assignment state, then update taint.
+		st.checkMakes(e)
+		st.taintReaderArgs(e)
+		st.propagate(e)
+	case *ast.IfStmt:
+		if e.Init != nil {
+			st.walkStmt(e.Init)
+		}
+		st.checkMakes(e.Cond)
+		st.taintReaderArgs(e.Cond)
+		st.sanitizeFromCond(e.Cond)
+		st.walkStmt(e.Body)
+		if e.Else != nil {
+			st.walkStmt(e.Else)
+		}
+	case *ast.BlockStmt:
+		st.walkStmts(e.List)
+	case *ast.ForStmt:
+		if e.Init != nil {
+			st.walkStmt(e.Init)
+		}
+		if e.Cond != nil {
+			st.sanitizeFromCond(e.Cond)
+		}
+		st.walkStmt(e.Body)
+		if e.Post != nil {
+			st.walkStmt(e.Post)
+		}
+	case *ast.RangeStmt:
+		st.checkMakes(e.X)
+		st.walkStmt(e.Body)
+	case *ast.SwitchStmt:
+		if e.Init != nil {
+			st.walkStmt(e.Init)
+		}
+		for _, c := range e.Body.List {
+			cc := c.(*ast.CaseClause)
+			// A `case n > max:` or `switch n { case 0: }` guard counts as
+			// the bound check for the values it compares.
+			for _, ce := range cc.List {
+				st.sanitizeFromCond(ce)
+			}
+			st.walkStmts(cc.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		st.walkStmt(e.Body)
+	case *ast.SelectStmt:
+		st.walkStmt(e.Body)
+	case *ast.LabeledStmt:
+		st.walkStmt(e.Stmt)
+	case *ast.DeclStmt:
+		st.checkMakes(e)
+	case *ast.ExprStmt:
+		st.checkMakes(e)
+		st.taintReaderArgs(e)
+	case *ast.ReturnStmt, *ast.DeferStmt, *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt:
+		st.checkMakes(s)
+		st.taintReaderArgs(s)
+	}
+}
+
+// taintReaderArgs taints x for every &x passed to a byte-reading call
+// (binary.Read or a local read* helper) anywhere in n.
+func (st *taintState) taintReaderArgs(n ast.Node) {
+	ast.Inspect(n, func(cn ast.Node) bool {
+		call, ok := cn.(*ast.CallExpr)
+		if !ok || !isByteReaderCall(st.info(), call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok {
+					if obj := st.info().ObjectOf(id); obj != nil {
+						st.tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isByteReaderCall reports whether call decodes bytes into its pointer
+// arguments: encoding/binary.Read, or a helper whose name starts with
+// "read" (the repo's readLE convention).
+func isByteReaderCall(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgFunc(info, call, "encoding/binary", "Read") {
+		return true
+	}
+	obj := calleeObject(info, call)
+	return obj != nil && strings.HasPrefix(obj.Name(), "read")
+}
+
+// decodeResultCall reports whether call's result is a value decoded
+// straight from bytes (endian UintNN, ReadUvarint/ReadVarint).
+func decodeResultCall(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgFunc(info, call, "encoding/binary", "ReadUvarint", "ReadVarint") {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Uint") {
+		return false
+	}
+	// Receiver must be one of encoding/binary's byte-order values
+	// (binary.LittleEndian.Uint32(...)).
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[inner.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "encoding/binary"
+}
+
+// propagate updates taint for one assignment: decoded-result calls taint
+// their targets, other calls clean them, and plain expressions carry the
+// taint of whatever they mention.
+func (st *taintState) propagate(a *ast.AssignStmt) {
+	set := func(lhs ast.Expr, tainted bool) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := st.info().ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if tainted {
+			st.tainted[obj] = true
+		} else {
+			delete(st.tainted, obj)
+		}
+	}
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		// Tuple assignment from one call: n, err := binary.ReadUvarint(r)
+		// taints the first target; any other call cleans all targets.
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			dec := decodeResultCall(st.info(), call)
+			for i, lhs := range a.Lhs {
+				set(lhs, dec && i == 0)
+			}
+			return
+		}
+	}
+	for i, lhs := range a.Lhs {
+		if i >= len(a.Rhs) {
+			break
+		}
+		rhs := ast.Unparen(a.Rhs[i])
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			// A conversion like int(n) is syntactically a call; treat it
+			// as expression taint, real calls as laundering boundaries.
+			if tv, ok := st.info().Types[call.Fun]; ok && tv.IsType() {
+				set(lhs, st.mentionsTainted(call))
+			} else {
+				set(lhs, decodeResultCall(st.info(), call))
+			}
+			continue
+		}
+		set(lhs, st.mentionsTainted(rhs))
+	}
+}
+
+func (st *taintState) mentionsTainted(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := st.info().ObjectOf(id); obj != nil && st.tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sanitizeFromCond clears the taint of every value mentioned in a
+// comparison inside cond: the guard IS the bound check.
+func (st *taintState) sanitizeFromCond(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.GTR, token.GEQ, token.LSS, token.LEQ, token.EQL, token.NEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(sn ast.Node) bool {
+					if id, ok := sn.(*ast.Ident); ok {
+						if obj := st.info().ObjectOf(id); obj != nil {
+							delete(st.tainted, obj)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// checkMakes flags make calls in n whose size arguments mention a
+// tainted value or inline a decode call.
+func (st *taintState) checkMakes(n ast.Node) {
+	ast.Inspect(n, func(cn ast.Node) bool {
+		call, ok := cn.(*ast.CallExpr)
+		if !ok || !isMakeCall(st.info(), call) || len(call.Args) < 2 {
+			return true
+		}
+		for _, sizeArg := range call.Args[1:] {
+			bad := st.mentionsTainted(sizeArg)
+			if !bad {
+				ast.Inspect(sizeArg, func(an ast.Node) bool {
+					if c, ok := an.(*ast.CallExpr); ok && decodeResultCall(st.info(), c) {
+						bad = true
+					}
+					return !bad
+				})
+			}
+			if bad {
+				st.pass.Report(Diagnostic{Pos: call.Pos(),
+					Message: "make sized by a decoded length with no bound check: a " +
+						"corrupt input claiming a huge count drives the allocation " +
+						"(the PR 6 fuzz-crasher class); compare against a cap first " +
+						"[DECODE-BOUND]"})
+				return true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,212 @@
+package lint
+
+// detmaprange: in //gem:deterministic packages, no map iteration order
+// may reach anything that escapes the loop. Go randomizes map range
+// order per run, so an append, accumulation, channel send, plain
+// assignment or value return driven by a map range produces
+// run-dependent output — exactly what the byte-identity contracts
+// forbid. The blessed patterns pass: writes to keyed slots (map or slice
+// indexing is order-independent), integer counters (integer += and ++
+// commute exactly; float accumulation does not), and the collect-then-
+// sort idiom (append into a slice that is sorted before use later in the
+// same function).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMapRange flags map iteration whose order can escape the loop in
+// determinism-contracted packages.
+var DetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc: "flag range-over-map bodies that let iteration order escape " +
+		"(append without a later sort, non-integer accumulation, sends, " +
+		"assignments, returns) in //gem:deterministic packages",
+	Run: runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) error {
+	if !pass.Markers["deterministic"] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pass.TypesInfo.TypeOf(rs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRange(pass, fd, rs)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	body := rs.Body
+
+	// The loop's own key/value variables: writes to them are loop-local.
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	// outer reports whether obj is declared outside the loop body (so a
+	// write to it escapes the iteration).
+	outer := func(obj types.Object) bool {
+		if obj == nil || loopVars[obj] {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	}
+
+	report := func(pos token.Pos, msg string) {
+		pass.Report(Diagnostic{Pos: pos, Message: msg + " [DET-ORDER]"})
+	}
+
+	// appendTargets collects outer slices that the body only appends to;
+	// they pass if sorted later in the function, before any other use.
+	type appendSite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var appends []appendSite
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				// x = append(x, ...) into an outer slice: candidate for
+				// the collect-then-sort idiom, judged after the walk.
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && i < len(s.Rhs) {
+					if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok {
+						if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" {
+							if _, isBuiltin := info.Uses[fid].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+								if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok &&
+									info.ObjectOf(base) == info.ObjectOf(id) && outer(info.ObjectOf(id)) {
+									appends = append(appends, appendSite{info.ObjectOf(id), s.Pos()})
+									continue
+								}
+							}
+						}
+					}
+				}
+				checkWrite(pass, info, outer, report, lhs, s.Tok)
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(s.X); id != nil && outer(info.ObjectOf(id)) {
+				if t := info.TypeOf(s.X); t != nil && !isIntegerType(t) {
+					report(s.Pos(), "non-integer ++/-- on "+id.Name+
+						" inside a map range accumulates in iteration order")
+				}
+			}
+		case *ast.SendStmt:
+			report(s.Pos(), "channel send inside a map range publishes values in iteration order")
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				for lv := range loopVars {
+					if mentionsObject(info, res, lv) {
+						report(s.Pos(), "return of a map-iteration-dependent value: "+
+							"which element returns first depends on range order")
+						return true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Judge the collect-then-sort candidates: an append passes only when
+	// a sort call mentioning the slice appears after the loop.
+	for _, a := range appends {
+		if !sortedAfter(info, fn.Body, rs.End(), a.obj) {
+			report(a.pos, "append to "+a.obj.Name()+
+				" inside a map range without sorting it afterwards; "+
+				"sort the keys first or sort "+a.obj.Name()+" before use")
+		}
+	}
+}
+
+// checkWrite classifies one assignment target inside the loop body.
+func checkWrite(pass *Pass, info *types.Info, outer func(types.Object) bool,
+	report func(token.Pos, string), lhs ast.Expr, tok token.Token) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// Keyed writes (m[k] = v, out[i] = v) address independent slots, so
+	// iteration order cannot change the result; deletes likewise.
+	if _, ok := lhs.(*ast.IndexExpr); ok {
+		return
+	}
+	id := rootIdent(lhs)
+	if id == nil || !outer(info.ObjectOf(id)) {
+		return
+	}
+	switch tok {
+	case token.DEFINE:
+		return
+	case token.ASSIGN:
+		report(lhs.Pos(), "assignment to "+id.Name+
+			" inside a map range: the surviving value depends on iteration order")
+	default:
+		// Compound assignment: integer accumulation commutes exactly;
+		// floats (and strings) do not.
+		if t := info.TypeOf(lhs); t != nil && !isIntegerType(t) {
+			report(lhs.Pos(), "non-integer accumulation into "+id.Name+
+				" inside a map range depends on iteration order "+
+				"(float reductions must run in fixed order)")
+		}
+	}
+}
+
+// sortedAfter reports whether a sort/slices sorting call whose first
+// argument mentions obj appears after pos within body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || sorted {
+			return !sorted
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := info.Uses[pkgID].(*types.PkgName); !ok ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints",
+			"Float64s", "SortFunc", "SortStableFunc":
+		default:
+			return true
+		}
+		if len(call.Args) > 0 && mentionsObject(info, call.Args[0], obj) {
+			sorted = true
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,182 @@
+package lint
+
+// detnondet: in //gem:deterministic packages, non-test code must not
+// read wall clocks (time.Now/Since/Until), the process environment, or
+// the unseeded global math/rand state, and must not race multiple ready
+// channel sends in one select — each of those lets something outside the
+// input influence the output.
+//
+// Two escape hatches keep the proven-neutral telemetry honest instead of
+// silencing the analyzer wholesale:
+//
+//   - the telemetry-gate pattern: a call lexically inside an if whose
+//     condition mentions a trace/metrics/obs/slow/reg guard (serve's
+//     `if s.trace { t0 = time.Now() }`, shard's `if c.searchObs != nil`)
+//     is instrumentation that PR 8 pinned byte-neutral, and passes;
+//   - the built-in allowlist for the slow-log middleware, whose timings
+//     feed only logs and metrics.
+//
+// Everything else needs a per-site //lint:gemallow detnondet <reason>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// DetNonDet flags wall-clock, environment, global-randomness and racing
+// multi-send selects in determinism-contracted packages.
+var DetNonDet = &Analyzer{
+	Name: "detnondet",
+	Doc: "flag time.Now/Since/Until, os.Getenv, unseeded math/rand and " +
+		"multi-send selects outside telemetry gates in //gem:deterministic packages",
+	Run: runDetNonDet,
+}
+
+// telemetryGateRe matches identifier names that mark an if-condition as
+// a telemetry gate (the PR 8 determinism-neutral pattern).
+var telemetryGateRe = regexp.MustCompile(`(?i)(trace|slow|metric|obs|telemetr|reg)`)
+
+// nonDetAllowFuncs is the explicit allowlist: functions whose wall-clock
+// reads are part of the observability contract, keyed by package-path
+// suffix. The slow-log middleware is the canonical entry — its timings
+// exist only in log lines and metric series (PR 8).
+var nonDetAllowFuncs = map[string][]string{
+	"internal/serve": {"wrap"},
+}
+
+// randFlagged are the math/rand (and v2) top-level functions drawing
+// from shared, unseeded state; rand.New/NewSource with an explicit seed
+// stay legal — that is how the repo's deterministic fitting works.
+var randFlagged = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runDetNonDet(pass *Pass) error {
+	if !pass.Markers["deterministic"] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if allowedNonDetFunc(pass.PkgPath, fd.Name.Name) {
+				continue
+			}
+			gates := telemetryGatedSpans(fd.Body)
+			checkNonDet(pass, fd.Body, gates)
+		}
+	}
+	return nil
+}
+
+func allowedNonDetFunc(pkgPath, fn string) bool {
+	for suffix, fns := range nonDetAllowFuncs {
+		if !strings.HasSuffix(pkgPath, suffix) {
+			continue
+		}
+		for _, name := range fns {
+			if name == fn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type span struct{ lo, hi token.Pos }
+
+// telemetryGatedSpans collects the body spans of if-statements whose
+// condition mentions a telemetry guard.
+func telemetryGatedSpans(body *ast.BlockStmt) []span {
+	var spans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		gated := false
+		ast.Inspect(ifs.Cond, func(cn ast.Node) bool {
+			if id, ok := cn.(*ast.Ident); ok && telemetryGateRe.MatchString(id.Name) {
+				gated = true
+			}
+			return !gated
+		})
+		if gated {
+			spans = append(spans, span{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func inSpans(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s.lo && pos <= s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNonDet(pass *Pass, body *ast.BlockStmt, gates []span) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObject(info, e)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if name := obj.Name(); name == "Now" || name == "Since" || name == "Until" {
+					if !inSpans(gates, e.Pos()) {
+						pass.Report(Diagnostic{Pos: e.Pos(),
+							Message: "time." + name + " in a deterministic package outside a " +
+								"telemetry gate: wall clocks must not influence output [DET-WALLCLOCK]"})
+					}
+				}
+			case "os":
+				if name := obj.Name(); name == "Getenv" || name == "LookupEnv" || name == "Environ" {
+					pass.Report(Diagnostic{Pos: e.Pos(),
+						Message: "os." + name + " in a deterministic package: process " +
+							"environment must not influence output [DET-ENV]"})
+				}
+			case "math/rand", "math/rand/v2":
+				if randFlagged[obj.Name()] {
+					if _, isFunc := obj.(*types.Func); isFunc && obj.Parent() == obj.Pkg().Scope() {
+						pass.Report(Diagnostic{Pos: e.Pos(),
+							Message: "rand." + obj.Name() + " draws from unseeded global state; " +
+								"use rand.New(rand.NewSource(seed)) [DET-RAND]"})
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			sends := 0
+			for _, clause := range e.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					if _, isSend := cc.Comm.(*ast.SendStmt); isSend {
+						sends++
+					}
+				}
+			}
+			if sends >= 2 {
+				pass.Report(Diagnostic{Pos: e.Pos(),
+					Message: "select with multiple sends: when more than one channel is " +
+						"ready the winner is scheduling-dependent [DET-SELECT]"})
+			}
+		}
+		return true
+	})
+}

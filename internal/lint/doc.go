@@ -1,0 +1,100 @@
+// Package lint is gemlint: a family of static analyzers that turn this
+// repository's prose contracts — the ones its determinism, pool,
+// error-shape and decode-hardening guarantees rest on — into
+// build-breaking checks. The determinism suites and golden fingerprints
+// can only catch a contract violation after a test happens to exercise
+// it; these analyzers reject the violating code itself.
+//
+// # Contract catalog
+//
+// Diagnostics name the contract they enforce with one of these tags, so
+// a CI failure points straight at the rule (and the doc that defines it)
+// rather than at a mysterious style preference:
+//
+//	[DET-ORDER]   Deterministic packages must not let map iteration
+//	              order reach any output: no appends, accumulations,
+//	              sends, plain assignments or returns that depend on
+//	              the order of a range over a map, unless the collected
+//	              values are sorted before use. Defined in the
+//	              internal/pool package doc ("Determinism") and the
+//	              serve package doc (byte-identity contract).
+//
+//	[DET-WALLCLOCK], [DET-ENV], [DET-RAND], [DET-SELECT]
+//	              Deterministic packages must not read wall clocks,
+//	              process environment, or unseeded global randomness,
+//	              and must not race multiple ready channel sends, in
+//	              code that can influence output bytes. Telemetry reads
+//	              are exempt when they sit behind a recognised
+//	              telemetry gate (an if whose condition mentions a
+//	              trace/metrics/obs/slow/reg guard — the PR 8
+//	              determinism-neutral pattern) or an explicit allowlist
+//	              entry (the slow-log middleware).
+//
+//	[POOL-GO]     Hot-path packages under the internal/pool caller-runs
+//	              contract must not spawn naked goroutines: fan-out
+//	              goes through (*pool.Pool).For so nested parallelism
+//	              cannot oversubscribe the machine (pool package doc,
+//	              "no-oversubscription contract").
+//
+//	[POOL-NEST]   A function that already receives a *pool.Pool must
+//	              not construct another Pool: nesting pools breaks the
+//	              shared-slot accounting that makes columns × restarts
+//	              × chunks collapse onto one width-w budget.
+//
+//	[DECODE-BOUND] Persistence/decode code must compare any length or
+//	              count decoded from input bytes against a cap before
+//	              sizing an allocation with it. This is the exact class
+//	              of the two fuzz-found crashers fixed in PR 6
+//	              (internal/ann persist.go, internal/catalog
+//	              journal.go): a corrupt header claiming 2^32 elements
+//	              must not drive a huge make.
+//
+//	[ERR-JSON]    serve and the proxy answer every error as the JSON
+//	              {"error": ...} body with the mapped status (the
+//	              contract table-tested in PR 8). Handlers must route
+//	              errors through the blessed writers (marked
+//	              //gem:errwriter) instead of calling http.Error or
+//	              touching WriteHeader directly.
+//
+// # Markers
+//
+// Analyzers scope themselves by package-doc markers, so new packages opt
+// in explicitly instead of being guessed at:
+//
+//	//gem:deterministic   the package's outputs are bit-identity
+//	                      contracted (detmaprange, detnondet apply)
+//	//gem:pooled          the package's parallel fan-out must go
+//	                      through internal/pool (poolgo applies)
+//	//gem:jsonerrors      the package serves the JSON error contract
+//	                      (errjson applies)
+//
+// A marker is any comment line in a file's package doc group. The
+// decodebound analyzer needs no marker: it self-scopes to functions that
+// decode untrusted bytes.
+//
+// Function-level marker:
+//
+//	//gem:errwriter       this function is the sanctioned error/status
+//	                      writer; errjson permits raw WriteHeader here.
+//
+// # Suppressions
+//
+// A finding that is triaged as intentional is silenced in place:
+//
+//	//lint:gemallow <analyzer> <reason>        this or the next line
+//	//lint:gemallow-file <analyzer> <reason>   the whole file
+//
+// The reason is mandatory. The driver (cmd/gemlint) errors on any
+// suppression that matches no diagnostic — a stale allow is itself a
+// finding, so suppressions cannot rot after refactors.
+//
+// # Running
+//
+//	go run ./cmd/gemlint ./...
+//
+// The analyzers are written against a minimal in-repo mirror of the
+// golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic), so
+// each Run function is source-compatible with the upstream framework;
+// when the x/tools dependency can be vendored, cmd/gemlint becomes a
+// stock multichecker and the fixtures keep working unchanged.
+package lint

@@ -1,0 +1,61 @@
+package lint
+
+// errjson: packages marked //gem:jsonerrors answer every error with the
+// JSON {"error": ...} body and the status mapped by the error-contract
+// table (table-tested in PR 8 on both the shard server and the proxy).
+// http.Error writes text/plain and a bare WriteHeader+Write invents its
+// own shape, so both bypass the contract; error paths route through the
+// blessed writers instead — functions carrying a //gem:errwriter doc
+// marker (serve's writeError, the middleware's response recorder), the
+// only places allowed to touch the raw status line.
+
+import (
+	"go/ast"
+)
+
+// ErrJSON flags error responses that bypass the JSON error contract.
+var ErrJSON = &Analyzer{
+	Name: "errjson",
+	Doc: "flag http.Error and raw WriteHeader outside //gem:errwriter " +
+		"functions in //gem:jsonerrors packages",
+	Run: runErrJSON,
+}
+
+func runErrJSON(pass *Pass) error {
+	if !pass.Markers["jsonerrors"] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if funcHasMarker(fd.Doc, "errwriter") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgFunc(pass.TypesInfo, call, "net/http", "Error") {
+					pass.Report(Diagnostic{Pos: call.Pos(),
+						Message: "http.Error writes text/plain, bypassing the JSON " +
+							`{"error":...} contract; use the package's //gem:errwriter ` +
+							"helper [ERR-JSON]"})
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "WriteHeader" {
+					pass.Report(Diagnostic{Pos: call.Pos(),
+						Message: "raw WriteHeader outside a //gem:errwriter function: " +
+							"status codes and error bodies are set together by the " +
+							"contract writer [ERR-JSON]"})
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

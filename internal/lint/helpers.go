@@ -1,0 +1,88 @@
+package lint
+
+// Small AST/type helpers shared by the analyzers.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeObject resolves the object a call expression invokes, looking
+// through parentheses: the Uses entry for a selector's Sel or a plain
+// ident. Returns nil for builtins wrapped oddly, method values, etc.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	case *ast.Ident:
+		return info.Uses[fun]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes one of the named functions from
+// the package with the given import path.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsObject reports whether expr contains an identifier resolving
+// to obj.
+func mentionsObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent descends through selector, index, star, and paren wrappers
+// to the base identifier of an assignable expression (s.f[i] → s);
+// nil when the base is not a plain identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isIntegerType reports whether t's core type is an integer (including
+// unsigned): the accumulation operators that commute exactly.
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isMakeCall reports whether call is the builtin make.
+func isMakeCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok && id.Name == "make"
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The five analyzers, each against a fixture with firing and non-firing
+// cases (the `// want` comments in testdata/src/...).
+
+func TestDetMapRangeFixture(t *testing.T) {
+	RunFixture(t, "testdata", DetMapRange, "detmaprange")
+}
+
+func TestDetMapRangeUnmarkedPackageIsSilent(t *testing.T) {
+	RunFixture(t, "testdata", DetMapRange, "detmaprange_unmarked")
+}
+
+func TestDetNonDetFixture(t *testing.T) {
+	RunFixture(t, "testdata", DetNonDet, "detnondet")
+}
+
+func TestDetNonDetUnmarkedPackageIsSilent(t *testing.T) {
+	// The same unmarked fixture holds a naked time.Now: no marker, no
+	// diagnostics.
+	RunFixture(t, "testdata", DetNonDet, "detmaprange_unmarked")
+}
+
+func TestPoolGoFixture(t *testing.T) {
+	RunFixture(t, "testdata", PoolGo, "poolgo")
+}
+
+func TestDecodeBoundFixture(t *testing.T) {
+	RunFixture(t, "testdata", DecodeBound, "decodebound")
+}
+
+func TestErrJSONFixture(t *testing.T) {
+	RunFixture(t, "testdata", ErrJSON, "errjson")
+}
+
+// Marker and suppression parsing, on synthetic sources.
+
+func parse(t *testing.T, src string) (*token.FileSet, []Allow, map[string]bool) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	files := []*ast.File{f}
+	return fset, collectAllows(fset, files), packageMarkers(files)
+}
+
+func TestPackageMarkers(t *testing.T) {
+	src := `// Package x does things.
+//
+//gem:deterministic
+//gem:pooled
+package x
+`
+	_, _, markers := parse(t, src)
+	if !markers["deterministic"] || !markers["pooled"] {
+		t.Fatalf("markers = %v, want deterministic and pooled", markers)
+	}
+	if markers["jsonerrors"] {
+		t.Fatalf("unexpected jsonerrors marker")
+	}
+}
+
+func TestAllowParsing(t *testing.T) {
+	src := `package x
+
+func f() {
+	//lint:gemallow detnondet uptime counter only
+	g()
+	//lint:gemallow-file poolgo generated shim
+	//lint:gemallow errjson
+	h()
+}
+
+func g() {}
+func h() {}
+`
+	_, allows, _ := parse(t, src)
+	if len(allows) != 3 {
+		t.Fatalf("got %d allows, want 3", len(allows))
+	}
+	if allows[0].Analyzer != "detnondet" || allows[0].Reason != "uptime counter only" || allows[0].FileWide {
+		t.Fatalf("allow[0] = %+v", allows[0])
+	}
+	if !allows[1].FileWide || allows[1].Analyzer != "poolgo" {
+		t.Fatalf("allow[1] = %+v", allows[1])
+	}
+	if allows[2].Malformed == "" || !strings.Contains(allows[2].Malformed, "reason") {
+		t.Fatalf("allow[2] should be malformed for missing reason, got %+v", allows[2])
+	}
+}
+
+func TestApplyAllows(t *testing.T) {
+	src := `package x
+
+func f() {
+	//lint:gemallow detnondet justified reason
+	g()
+}
+
+func g() {}
+`
+	fset, allows, _ := parse(t, src)
+	// One diagnostic on the g() line (5), one on an unrelated line (7).
+	mk := func(line int) Diagnostic {
+		// Reconstruct a Pos on the wanted line via the fset's only file.
+		var pos token.Pos
+		fset.Iterate(func(f *token.File) bool {
+			pos = f.LineStart(line)
+			return false
+		})
+		return Diagnostic{Pos: pos, Analyzer: "detnondet", Message: "m"}
+	}
+	kept, stale := applyAllows(fset, []Diagnostic{mk(5), mk(7)}, allows)
+	if len(kept) != 1 {
+		t.Fatalf("kept %d diagnostics, want 1 (only the unsuppressed line)", len(kept))
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %+v, want none (the allow matched line 5)", stale)
+	}
+	// With no diagnostic to silence, the same allow is stale.
+	_, stale = applyAllows(fset, nil, allows)
+	if len(stale) != 1 {
+		t.Fatalf("stale = %+v, want the unused allow", stale)
+	}
+}

@@ -1,0 +1,295 @@
+package lint
+
+// Package loading and typechecking over the standard library only. The
+// loader resolves module-local imports by mapping the module path onto
+// the module directory (read from go.mod), fixture imports GOPATH-style
+// under explicit source roots (analysistest's testdata/src), and
+// everything else — the standard library — through go/importer's source
+// importer. No go list subprocess, no external dependency: the same
+// loader serves cmd/gemlint over the real tree and the fixture tests.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and typechecks packages. It caches by import path, so a
+// process typechecks the standard library and shared internal packages
+// once no matter how many roots it analyzes.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath maps onto ModuleDir for module-local imports; empty
+	// when loading fixtures only.
+	ModulePath string
+	ModuleDir  string
+	// SrcRoots are GOPATH-style roots (dir/<import path>/*.go), used by
+	// the fixture tests.
+	SrcRoots []string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir (found
+// by walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		modDir = parent
+	}
+	data, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", modDir)
+	}
+	l := newLoader()
+	l.ModulePath = modPath
+	l.ModuleDir = modDir
+	return l, nil
+}
+
+// NewFixtureLoader returns a loader that resolves imports GOPATH-style
+// under srcRoot (testdata/src in the fixture tests).
+func NewFixtureLoader(srcRoot string) *Loader {
+	l := newLoader()
+	l.SrcRoots = []string{srcRoot}
+	return l
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Load returns the typechecked package at importPath.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(importPath)
+	if !ok {
+		return nil, fmt.Errorf("lint: cannot resolve import %q", importPath)
+	}
+	return l.loadDir(dir, importPath)
+}
+
+// dirFor maps an import path to a source directory via the module
+// mapping or the fixture roots.
+func (l *Loader) dirFor(importPath string) (string, bool) {
+	if l.ModulePath != "" {
+		if importPath == l.ModulePath {
+			return l.ModuleDir, true
+		}
+		if rest, ok := strings.CutPrefix(importPath, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+		}
+	}
+	for _, root := range l.SrcRoots {
+		dir := filepath.Join(root, filepath.FromSlash(importPath))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// loadDir parses and typechecks the non-test files of one directory.
+func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: typechecking %s:\n  %s",
+			importPath, strings.Join(typeErrs, "\n  "))
+	}
+	p := &Package{Path: importPath, Dir: dir, Fset: l.Fset,
+		Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// Import implements types.Importer for the typechecker: module-local and
+// fixture imports load through this Loader; everything else falls back
+// to the standard library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		p, err := l.loadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// sourceFiles lists a directory's non-test .go files, sorted for stable
+// positions, skipping ignore-tagged files.
+func sourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if buildIgnored(string(data)) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// buildIgnored reports whether src carries an ignore build constraint.
+// Only constraint lines above the package clause count — the same string
+// inside a declaration (or a string literal, as in this very file) does
+// not ignore the file.
+func buildIgnored(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			return false
+		}
+		if strings.HasPrefix(line, "//go:build ") &&
+			strings.Contains(line[len("//go:build "):], "ignore") {
+			return true
+		}
+	}
+	return false
+}
+
+// DiscoverPackages walks the module tree under root and returns the
+// import paths of every directory holding at least one non-test Go file,
+// skipping testdata, hidden and VCS directories. root must be inside the
+// loader's module.
+func (l *Loader) DiscoverPackages(root string) ([]string, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := sourceFiles(path)
+		if err != nil || len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.ModulePath)
+		} else {
+			paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

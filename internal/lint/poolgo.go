@@ -1,0 +1,109 @@
+package lint
+
+// poolgo: in //gem:pooled packages — the hot paths whose parallel
+// fan-out is contracted to internal/pool's caller-runs discipline — a
+// naked go statement bypasses the shared w-1 token budget, so nested
+// parallelism can oversubscribe the machine; and constructing a fresh
+// Pool inside a function that already receives one splits the budget
+// into independent pools, which is the same bug with extra steps. Both
+// are flagged; legitimately unpooled goroutines (a long-lived
+// dispatcher, an I/O-bound network fan-out) take a per-site
+// //lint:gemallow poolgo with the justification.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolGo flags naked goroutines and nested Pool construction in
+// pool-contracted packages.
+var PoolGo = &Analyzer{
+	Name: "poolgo",
+	Doc: "flag go statements and nested pool.New inside functions already " +
+		"receiving a *pool.Pool in //gem:pooled packages",
+	Run: runPoolGo,
+}
+
+func runPoolGo(pass *Pass) error {
+	if !pass.Markers["pooled"] {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.GoStmt:
+				pass.Report(Diagnostic{Pos: e.Pos(),
+					Message: "naked goroutine in a pool-contracted package: fan-out " +
+						"goes through (*pool.Pool).For so nested parallelism stays " +
+						"inside the shared worker budget [POOL-GO]"})
+			case *ast.FuncDecl:
+				if e.Body != nil && funcReceivesPool(info, e.Type) {
+					flagNestedPoolNew(pass, e.Body)
+				}
+			case *ast.FuncLit:
+				if funcReceivesPool(info, e.Type) {
+					flagNestedPoolNew(pass, e.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcReceivesPool reports whether the function type has a *pool.Pool
+// (or pool.Pool) parameter.
+func funcReceivesPool(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isPoolType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Name() == "pool"
+}
+
+// flagNestedPoolNew reports pool.New calls inside a body that already
+// has a pool in scope.
+func flagNestedPoolNew(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "New" {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := info.Uses[pkgID].(*types.PkgName); ok && pn.Imported().Name() == "pool" {
+			pass.Report(Diagnostic{Pos: call.Pos(),
+				Message: "pool.New inside a function already receiving a *pool.Pool: " +
+					"nested pools split the shared worker budget; reuse the caller's " +
+					"pool (a nested For degrades to caller-runs, never deadlocks) [POOL-NEST]"})
+		}
+		return true
+	})
+}

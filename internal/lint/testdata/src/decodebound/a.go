@@ -1,0 +1,130 @@
+// Package decodebound exercises the decodebound analyzer: lengths
+// decoded from untrusted bytes must be bound-checked before they size an
+// allocation.
+package decodebound
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxCount = 1 << 20
+
+var errFormat = errors.New("format")
+
+// crasher reproduces the PR 6 unvalidated-length decode crasher shape
+// (the ann index loader before hardening): the vector count comes
+// straight off the wire and sizes the allocation, so a corrupt header
+// claiming 2^32 vectors drives a multi-gigabyte make before one payload
+// byte is read.
+func crasher(r io.Reader) ([][]float64, error) {
+	var dim, n uint32
+	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	vecs := make([][]float64, n) // want `make sized by a decoded length with no bound check`
+	for i := range vecs {
+		vecs[i] = make([]float64, dim) // want `make sized by a decoded length with no bound check`
+		if err := binary.Read(r, binary.LittleEndian, vecs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return vecs, nil
+}
+
+// bounded is the hardened shape: the cap comparison clears the taint.
+func bounded(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxCount {
+		return nil, errFormat
+	}
+	buf := make([]byte, n) // ok: bound-checked above
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// manual fires: length-prefix parsing without a check.
+func manual(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	out := make([]byte, n) // want `make sized by a decoded length with no bound check`
+	copy(out, b[4:])
+	return out
+}
+
+// inline fires: the decode call sizing the make directly.
+func inline(b []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint32(b)) // want `make sized by a decoded length with no bound check`
+}
+
+// manualBounded passes: any comparison on the decoded value counts as
+// the guard (the journal's `dim == 0 || dim > maxJournalDim` chain).
+func manualBounded(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > maxCount || int(n) > len(b)-4 {
+		return nil
+	}
+	out := make([]byte, n) // ok: bound-checked above
+	copy(out, b[4:])
+	return out
+}
+
+// readLE mirrors the repo's helper: decoding into its pointer arguments
+// taints them at the caller.
+func readLE(r io.Reader, vs ...any) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// viaHelper fires: readLE is a decode, and cnt reaches make unchecked.
+func viaHelper(r io.Reader) ([]int32, error) {
+	var cnt uint32
+	if err := readLE(r, &cnt); err != nil {
+		return nil, err
+	}
+	nbs := make([]int32, cnt) // want `make sized by a decoded length with no bound check`
+	return nbs, readLE(r, nbs)
+}
+
+// count owns its bound check and returns a safe value.
+func count(r io.Reader) (int, error) {
+	var n uint32
+	if err := readLE(r, &n); err != nil {
+		return 0, err
+	}
+	if n > maxCount {
+		return 0, errFormat
+	}
+	return int(n), nil
+}
+
+// laundered passes: a helper call's result is treated as checked — the
+// helper is analyzed on its own (ann's readCount pattern).
+func laundered(r io.Reader) ([]byte, error) {
+	n, err := count(r)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // ok: count bound-checks its result
+}
+
+// fixedSizes passes: allocations sized by trusted values never fire.
+func fixedSizes(xs []float64) []float64 {
+	out := make([]float64, len(xs)) // ok: trusted length
+	tmp := make([]byte, 64)         // ok: constant length
+	_ = tmp
+	copy(out, xs)
+	return out
+}

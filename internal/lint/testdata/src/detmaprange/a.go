@@ -1,0 +1,97 @@
+// Package detmaprange exercises the detmaprange analyzer: map iteration
+// order must not escape the loop in determinism-marked packages.
+//
+//gem:deterministic
+package detmaprange
+
+import "sort"
+
+// appendNoSort is the firing shape: collected values are used unsorted.
+func appendNoSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside a map range without sorting`
+	}
+	return out
+}
+
+// collectThenSort is the blessed idiom: the collected slice is sorted
+// before use.
+func collectThenSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // ok: sorted below
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedKeys is the other blessed idiom: sort the keys, then iterate.
+func sortedKeys(m map[string]float64) []float64 {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k) // ok: sorted below
+	}
+	sort.Strings(ks)
+	out := make([]float64, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, m[k]) // ok: ranging a sorted slice, not a map
+	}
+	return out
+}
+
+// floatAccumulate fires: float reductions must run in fixed order.
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `non-integer accumulation into sum`
+	}
+	return sum
+}
+
+// intCounter passes: integer accumulation commutes exactly.
+func intCounter(m map[string]int) (int, int) {
+	n, total := 0, 0
+	for _, v := range m {
+		n++        // ok: integer counter
+		total += v // ok: integer accumulation
+	}
+	return n, total
+}
+
+// keyedWrites passes: map and slice index writes address independent
+// slots, so order cannot change the result.
+func keyedWrites(m map[int]float64, out []float64) map[int]float64 {
+	inv := make(map[int]float64, len(m))
+	for k, v := range m {
+		inv[k] = v // ok: keyed write
+		out[k] = v // ok: index-addressed slot
+	}
+	return inv
+}
+
+// lastWriter fires: the surviving value depends on iteration order.
+func lastWriter(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `assignment to last inside a map range`
+	}
+	return last
+}
+
+// send fires: the channel consumer observes iteration order.
+func send(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside a map range`
+	}
+}
+
+// firstMatch fires: which element returns first is order-dependent.
+func firstMatch(m map[string]int, want int) string {
+	for k, v := range m {
+		if v == want {
+			return k // want `return of a map-iteration-dependent value`
+		}
+	}
+	return ""
+}

@@ -1,0 +1,18 @@
+// Package detmaprange_unmarked carries no //gem:deterministic marker,
+// so the determinism analyzers must stay silent here even on shapes
+// that would fire in a marked package.
+package detmaprange_unmarked
+
+import "time"
+
+func appendNoSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // ok: package is not determinism-contracted
+	}
+	return out
+}
+
+func wallClock() time.Time {
+	return time.Now() // ok: package is not determinism-contracted
+}

@@ -1,0 +1,78 @@
+// Package detnondet exercises the detnondet analyzer: wall clocks,
+// process environment, unseeded randomness and racing sends must not
+// reach determinism-contracted code outside telemetry gates.
+//
+//gem:deterministic
+package detnondet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+type server struct {
+	trace bool
+	obs   func(float64)
+	start time.Time
+}
+
+// naked fires: an ungated wall-clock read.
+func naked() time.Duration {
+	t0 := time.Now()      // want `time.Now in a deterministic package outside a telemetry gate`
+	return time.Since(t0) // want `time.Since in a deterministic package outside a telemetry gate`
+}
+
+// gated passes: the PR 8 telemetry-gate pattern.
+func (s *server) gated() {
+	var t0 time.Time
+	if s.trace {
+		t0 = time.Now() // ok: trace-gated telemetry
+	}
+	if s.trace {
+		_ = time.Since(t0) // ok: trace-gated telemetry
+	}
+	if s.obs != nil {
+		s.obs(time.Since(t0).Seconds()) // ok: obs-gated telemetry
+	}
+}
+
+// suppressed passes via an explicit, justified allow.
+func (s *server) suppressed() {
+	//lint:gemallow detnondet uptime feeds only the stats endpoint, never response bodies
+	s.start = time.Now()
+}
+
+// env fires: environment must not influence output.
+func env() string {
+	return os.Getenv("GEM_MODE") // want `os.Getenv in a deterministic package`
+}
+
+// globalRand fires; a seeded source passes.
+func globalRand() (int, int) {
+	a := rand.Intn(10) // want `rand.Intn draws from unseeded global state`
+	rng := rand.New(rand.NewSource(7))
+	b := rng.Intn(10) // ok: explicitly seeded source
+	return a, b
+}
+
+// selects: two ready sends race; one send with a default does not.
+func selects(a, b chan int) {
+	select { // want `select with multiple sends`
+	case a <- 1:
+	case b <- 2:
+	}
+	select { // ok: single send, non-blocking
+	case a <- 1:
+	default:
+	}
+}
+
+// receives pass: the two-receive wait shape (done vs ctx) is not a
+// multi-send race.
+func receives(done, quit chan struct{}) {
+	select { // ok: receives only
+	case <-done:
+	case <-quit:
+	}
+}

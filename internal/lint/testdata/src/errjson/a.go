@@ -1,0 +1,39 @@
+// Package errjson exercises the errjson analyzer: every error answer is
+// the JSON {"error": ...} body written by the blessed writer.
+//
+//gem:jsonerrors
+package errjson
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// plainText fires: http.Error writes text/plain.
+func plainText(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusBadRequest) // want `http.Error writes text/plain`
+}
+
+// rawHeader fires: a bare WriteHeader invents its own error shape.
+func rawHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusInternalServerError) // want `raw WriteHeader outside a //gem:errwriter function`
+	_, _ = w.Write([]byte("boom"))
+}
+
+// writeError is the blessed JSON error writer.
+//
+//gem:errwriter
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code) // ok: inside the contract writer
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// contract passes: the handler routes its error through writeError.
+func contract(w http.ResponseWriter, r *http.Request) {
+	if r.ContentLength == 0 {
+		writeError(w, http.StatusBadRequest, "empty body") // ok: blessed writer
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}

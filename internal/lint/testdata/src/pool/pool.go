@@ -1,0 +1,19 @@
+// Package pool is a fixture stub of the repo's internal/pool: just
+// enough surface (New, For) for the poolgo fixtures to typecheck.
+package pool
+
+// Pool is a bounded worker pool (stub).
+type Pool struct{ workers int }
+
+// New returns a Pool bounded to workers concurrent loop bodies (stub).
+func New(workers int) *Pool { return &Pool{workers: workers} }
+
+// For runs fn(i) for every i in [0, n) (stub: serial).
+func (p *Pool) For(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

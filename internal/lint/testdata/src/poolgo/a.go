@@ -1,0 +1,53 @@
+// Package poolgo exercises the poolgo analyzer: hot-path fan-out goes
+// through the shared pool, and a function already holding a pool never
+// builds another one.
+//
+//gem:pooled
+package poolgo
+
+import "pool"
+
+// naked fires: a raw goroutine bypasses the worker budget.
+func naked(xs []float64, out []float64) {
+	done := make(chan struct{})
+	go func() { // want `naked goroutine in a pool-contracted package`
+		for i, x := range xs {
+			out[i] = 2 * x
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// nested fires: the caller's pool is the budget; a second pool splits it.
+func nested(p *pool.Pool, xs []float64, out []float64) error {
+	q := pool.New(4) // want `pool.New inside a function already receiving a \*pool.Pool`
+	return q.For(len(xs), func(i int) error {
+		out[i] = 2 * xs[i]
+		return nil
+	})
+}
+
+// pooled passes: fan-out through the received pool.
+func pooled(p *pool.Pool, xs []float64, out []float64) error {
+	return p.For(len(xs), func(i int) error { // ok: caller-runs fan-out
+		out[i] = 2 * xs[i]
+		return nil
+	})
+}
+
+// fresh passes: constructing a pool where none is in scope is how every
+// pipeline entry point starts.
+func fresh(workers int) *pool.Pool {
+	return pool.New(workers) // ok: no pool parameter in scope
+}
+
+// dispatcher passes via a justified suppression: a single long-lived
+// goroutine is not index-parallel fan-out.
+func dispatcher(ch chan int) {
+	//lint:gemallow poolgo long-lived dispatcher goroutine, not CPU fan-out
+	go func() {
+		for range ch {
+		}
+	}()
+}

@@ -20,6 +20,11 @@
 // only to index-addressed slots and reduce them in index order after For
 // returns get output that is bit-identical for every pool width. All of
 // Gem's hot loops follow that discipline.
+//
+// The contract is enforced statically by gemlint's poolgo analyzer (see
+// internal/lint): packages marked //gem:pooled may not spawn naked
+// goroutines for fan-out, and a function already receiving a *Pool may
+// not construct another one.
 package pool
 
 import (

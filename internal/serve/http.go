@@ -241,11 +241,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	goVersion, modVersion, revision := obs.BuildInfo()
 	writeJSON(w, healthResponse{
-		Status:        "ok",
-		Fingerprint:   s.fp,
-		Components:    s.emb.Model().K(),
-		Dim:           s.dim,
-		IndexSize:     s.IndexLen(),
+		Status:      "ok",
+		Fingerprint: s.fp,
+		Components:  s.emb.Model().K(),
+		Dim:         s.dim,
+		IndexSize:   s.IndexLen(),
+		//lint:gemallow detnondet uptime is operator telemetry on the health endpoint
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		GoVersion:     goVersion,
 		Version:       modVersion,
@@ -279,6 +280,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError is the blessed error writer: every error answer is the JSON
+// {"error": ...} body, status and body set together.
+//
+//gem:errwriter
 func writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

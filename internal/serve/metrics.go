@@ -101,6 +101,7 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	reg.Gauge("gem_build_info", "Build identity; value is always 1.",
 		obs.Labels{"go_version": goVersion, "version": modVersion, "revision": revision}).Set(1)
 	reg.GaugeFunc("gem_uptime_seconds", "Seconds since the server started.", nil,
+		//lint:gemallow detnondet uptime gauge is scrape-only telemetry
 		func() float64 { return time.Since(s.start).Seconds() })
 	reg.GaugeFunc("gem_cache_entries", "Live embedding cache entries.", nil,
 		func() float64 { return float64(s.cache.len()) })
@@ -201,6 +202,10 @@ type responseRecorder struct {
 	buf         bytes.Buffer
 }
 
+// WriteHeader is part of the JSON error interception layer: non-JSON
+// error responses are held back and rewritten by flush.
+//
+//gem:errwriter
 func (r *responseRecorder) WriteHeader(code int) {
 	if r.wroteHeader {
 		return
@@ -216,6 +221,10 @@ func (r *responseRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Write is part of the JSON error interception layer: intercepted error
+// bodies buffer here until flush rewrites them.
+//
+//gem:errwriter
 func (r *responseRecorder) Write(p []byte) (int, error) {
 	if !r.wroteHeader {
 		r.WriteHeader(http.StatusOK)
@@ -228,6 +237,8 @@ func (r *responseRecorder) Write(p []byte) (int, error) {
 
 // flush completes an intercepted error response. Must be called after the
 // handler returns.
+//
+//gem:errwriter
 func (r *responseRecorder) flush() {
 	if !r.wroteHeader {
 		r.code = http.StatusOK

@@ -36,6 +36,15 @@
 // corpus moments frozen at Fit time rather than against the incoming batch;
 // request isolation follows too — a malformed column is rejected before it
 // can poison a coalesced batch.
+//
+// These contracts are enforced statically by gemlint (see internal/lint):
+// detmaprange and detnondet guard the byte-identity guarantee, poolgo the
+// worker-budget discipline, and errjson the rule that every error answer
+// is the JSON {"error": ...} body produced by writeError.
+//
+//gem:deterministic
+//gem:pooled
+//gem:jsonerrors
 package serve
 
 import (
@@ -224,8 +233,9 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 		cfg:       cfg,
 		cache:     newCache(cfg.CacheSize),
 		b:         newBatcher(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow),
-		start:     time.Now(),
-		lat:       newLatencyRing(cfg.LatencyWindow),
+		//lint:gemallow detnondet start stamp feeds only uptime telemetry
+		start: time.Now(),
+		lat:   newLatencyRing(cfg.LatencyWindow),
 	}
 	s.met = newServeMetrics(cfg.Metrics)
 	s.trace = cfg.Metrics != nil || cfg.SlowThreshold > 0
@@ -280,6 +290,7 @@ func New(e *core.Embedder, cfg Config) (*Server, error) {
 		}
 	}
 	s.registerMetrics(cfg.Metrics)
+	//lint:gemallow poolgo single long-lived batch dispatcher, not CPU fan-out; workers stay pooled
 	go s.b.run(s.process)
 	return s, nil
 }
@@ -370,6 +381,7 @@ func (s *Server) key(col table.Column) cacheKey {
 }
 
 func (s *Server) Embed(ctx context.Context, cols []table.Column) ([][]float64, error) {
+	//lint:gemallow detnondet request timing feeds the latency ring, never the answer
 	start := time.Now()
 	if s.b.isClosed() {
 		// Checked up front so even fully cached requests honour the Close
@@ -441,6 +453,7 @@ func (s *Server) Embed(ctx context.Context, cols []table.Column) ([][]float64, e
 	}
 	s.ctr.requests.Add(1)
 	s.ctr.columns.Add(int64(len(cols)))
+	//lint:gemallow detnondet request timing feeds the latency ring, never the answer
 	s.lat.record(time.Since(start).Seconds())
 	return out, nil
 }
@@ -938,6 +951,7 @@ func (s *Server) Stats() Stats {
 		storeCols = s.cat.StoreLen()
 	}
 	return Stats{
+		//lint:gemallow detnondet uptime is operator telemetry in the stats body
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Requests:        s.ctr.requests.Load(),
 		Columns:         s.ctr.columns.Load(),

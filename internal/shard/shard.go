@@ -26,6 +26,9 @@
 // A Catalog is passive and unsynchronized, like ann.Index: the caller
 // (internal/serve) serializes mutations and may run Search concurrently
 // with other Searches, but not with mutations.
+//
+//gem:deterministic
+//gem:pooled
 package shard
 
 import (
