@@ -43,6 +43,7 @@ func benchOpts() experiments.Options {
 
 // BenchmarkTable1DatasetStats regenerates the dataset-statistics table.
 func BenchmarkTable1DatasetStats(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(benchOpts())
 		if err != nil {
@@ -58,6 +59,7 @@ func BenchmarkTable1DatasetStats(b *testing.B) {
 // reports Gem's mean average precision across the four corpora plus its mean
 // margin over the strongest baseline.
 func BenchmarkTable2NumericOnly(b *testing.B) {
+	b.ReportAllocs()
 	var gemMean, margin float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table2(benchOpts())
@@ -89,6 +91,7 @@ func BenchmarkTable2NumericOnly(b *testing.B) {
 // BenchmarkTable3HeadersValues regenerates the headers+values comparison and
 // reports the concatenation composition's mean precision.
 func BenchmarkTable3HeadersValues(b *testing.B) {
+	b.ReportAllocs()
 	var concatMean float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table3(benchOpts())
@@ -108,6 +111,7 @@ func BenchmarkTable3HeadersValues(b *testing.B) {
 // reports Gem/TableDC headers+values ACC averaged over GDS and WDC. Runs at
 // a reduced scale: deep clustering dominates suite runtime.
 func BenchmarkTable4Clustering(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	opts.Scale = 0.05
 	var acc float64
@@ -128,6 +132,7 @@ func BenchmarkTable4Clustering(b *testing.B) {
 // BenchmarkFigure3Ablation regenerates the feature ablation and reports the
 // D+C+S precision averaged over both corpora.
 func BenchmarkFigure3Ablation(b *testing.B) {
+	b.ReportAllocs()
 	var full float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Figure3(benchOpts())
@@ -149,6 +154,7 @@ func BenchmarkFigure3Ablation(b *testing.B) {
 // grid and reports the precision spread (max-min) across component counts —
 // the paper's claim is that this spread is small.
 func BenchmarkFigure4Components(b *testing.B) {
+	b.ReportAllocs()
 	var spread float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Figure4(benchOpts(), []int{10, 50, 100})
@@ -179,6 +185,7 @@ func BenchmarkFigure4Components(b *testing.B) {
 // statistic's runtime to Gem's at the largest size — the paper's Figure 5
 // shows KS growing much faster.
 func BenchmarkFigure5Scalability(b *testing.B) {
+	b.ReportAllocs()
 	sizes := []int{100, 300, 600}
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -233,6 +240,7 @@ func ablationConfig() core.Config {
 // BenchmarkAblationEMInit compares EM initialization methods (DESIGN.md §5):
 // quantile seeding (the default) vs k-means++ vs random.
 func BenchmarkAblationEMInit(b *testing.B) {
+	b.ReportAllocs()
 	ds := ablationCorpus()
 	for name, init := range map[string]gmm.InitMethod{
 		"quantile": gmm.InitQuantile,
@@ -241,6 +249,7 @@ func BenchmarkAblationEMInit(b *testing.B) {
 	} {
 		init := init
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ap float64
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -254,10 +263,12 @@ func BenchmarkAblationEMInit(b *testing.B) {
 
 // BenchmarkAblationRestarts compares 1 vs 10 EM restarts (the paper uses 10).
 func BenchmarkAblationRestarts(b *testing.B) {
+	b.ReportAllocs()
 	ds := ablationCorpus()
 	for _, restarts := range []int{1, 10} {
 		restarts := restarts
 		b.Run(map[int]string{1: "restarts-1", 10: "restarts-10"}[restarts], func(b *testing.B) {
+			b.ReportAllocs()
 			var ap float64
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -272,10 +283,12 @@ func BenchmarkAblationRestarts(b *testing.B) {
 // BenchmarkAblationNormalization compares the paper's L1 row normalization
 // (Eq. 9) against L2.
 func BenchmarkAblationNormalization(b *testing.B) {
+	b.ReportAllocs()
 	ds := ablationCorpus()
 	for name, norm := range map[string]core.Norm{"L1": core.L1, "L2": core.L2} {
 		norm := norm
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ap float64
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -291,10 +304,12 @@ func BenchmarkAblationNormalization(b *testing.B) {
 // statistical features (this repository's adaptation) against the raw
 // feature values.
 func BenchmarkAblationLogStats(b *testing.B) {
+	b.ReportAllocs()
 	ds := ablationCorpus()
 	for name, raw := range map[string]bool{"log-stats": false, "raw-stats": true} {
 		raw := raw
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ap float64
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -309,10 +324,12 @@ func BenchmarkAblationLogStats(b *testing.B) {
 // BenchmarkAblationPLEBinning compares the paper-literal uniform-width PLE
 // against the quantile-binned variant from the original PLE paper.
 func BenchmarkAblationPLEBinning(b *testing.B) {
+	b.ReportAllocs()
 	ds := ablationCorpus()
 	for name, quantile := range map[string]bool{"uniform": false, "quantile": true} {
 		quantile := quantile
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ap float64
 			for i := 0; i < b.N; i++ {
 				m := &baselines.PLE{Bins: 50, Quantile: quantile}
@@ -340,6 +357,7 @@ func BenchmarkGMMFit(b *testing.B) {
 	if len(stack) > 10000 {
 		stack = stack[:10000]
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gmm.Fit(stack, gmm.Config{K: 50, Restarts: 1, Seed: 1}); err != nil {
@@ -373,6 +391,7 @@ func BenchmarkFitParallel(b *testing.B) {
 	for _, w := range benchWidths() {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
 			p := pool.New(w)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := gmm.Fit(stack, gmm.Config{K: 50, Restarts: 4, Seed: 1, Pool: p}); err != nil {
@@ -396,6 +415,7 @@ func BenchmarkSelectK(b *testing.B) {
 	for _, w := range benchWidths() {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
 			p := pool.New(w)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := gmm.SelectK(stack, ks, gmm.Config{Restarts: 2, Seed: 1, Pool: p}); err != nil {
@@ -417,6 +437,7 @@ func BenchmarkSignature(b *testing.B) {
 	if err := e.Fit(ds); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Signatures(ds); err != nil {
@@ -450,6 +471,7 @@ func BenchmarkEmbedParallel(b *testing.B) {
 			if err := e.Fit(ds); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Embed(ds); err != nil {
@@ -466,6 +488,7 @@ func BenchmarkEmbedParallel(b *testing.B) {
 // build. The hnsw sub-bench reports recall@10 against the exact scan, so
 // bench_output.txt documents the speed/recall trade at catalog scale.
 func BenchmarkSearch(b *testing.B) {
+	b.ReportAllocs()
 	opts := experiments.Options{Seed: 1, Components: 16, Restarts: 1, SubsampleStack: 4000}
 	opts.FillDefaults()
 	ds := data.ScalabilityDataset(1000, opts.Seed)
@@ -497,11 +520,13 @@ func BenchmarkSearch(b *testing.B) {
 	h := buildHNSW(b)
 
 	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			buildHNSW(b)
 		}
 	})
 	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := flat.Search(vs.Vectors[i%len(vs.Vectors)], 10); err != nil {
 				b.Fatal(err)
@@ -509,6 +534,7 @@ func BenchmarkSearch(b *testing.B) {
 		}
 	})
 	b.Run("hnsw", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := h.Search(vs.Vectors[i%len(vs.Vectors)], 10); err != nil {
 				b.Fatal(err)
@@ -535,6 +561,7 @@ func BenchmarkCosineMatrix(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.CosineSimilarityMatrix(emb); err != nil {
@@ -554,6 +581,7 @@ func BenchmarkHungarian(b *testing.B) {
 			cost[i][j] = float64((i*7919 + j*104729) % 1000)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := hungarian.Solve(cost); err != nil {

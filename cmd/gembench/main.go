@@ -6,13 +6,13 @@
 //	gembench -exp all                 # every table and figure
 //	gembench -exp table2 -scale 1.0   # paper-sized numeric-only comparison
 //	gembench -exp fig4 -seed 7
-//	gembench -exp search,serve -json BENCH_6.json
-//	gembench -exp search,serve -json fresh.json -baseline BENCH_6.json
+//	gembench -exp search,serve -json BENCH_10.json
+//	gembench -exp search,serve -json fresh.json -baseline BENCH_10.json
 //
 // Experiments: table1, table2, table3, table4, fig3, fig4, fig5, search,
 // serve, all — or a comma-separated list. -json additionally writes the
 // machine-readable results (QPS, recall@k, latency percentiles) of the
-// search and serve experiments; CI uploads that file as the BENCH_6
+// search and serve experiments; CI uploads that file as the BENCH_10
 // perf-trajectory artifact. -baseline diffs the fresh results against a
 // previously written report and fails on regressions (recall drops beyond
 // tolerance, order-of-magnitude throughput collapses, missing sections).

@@ -172,7 +172,7 @@ func TestRunCommaListAndReport(t *testing.T) {
 	if err := report.Write(&js); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"recall_at_k"`, `"hnsw_qps"`, `"latency_p99_ms"`, `"schema": 4`} {
+	for _, want := range []string{`"recall_at_k"`, `"hnsw_qps"`, `"latency_p99_ms"`, `"schema": 5`} {
 		if !strings.Contains(js.String(), want) {
 			t.Errorf("JSON report missing %s:\n%s", want, js.String())
 		}

@@ -327,7 +327,7 @@ func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(),
 		return buildShardedServer(cfg, emb, scfg, w)
 	}
 	if cfg.search || cfg.indexIn != "" || cfg.catalogDir != "" {
-		idx, err := buildIndex(cfg, emb.Config().Workers)
+		idx, err := buildIndex(cfg, pool.New(emb.Config().Workers))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -381,9 +381,10 @@ func buildServer(cfg cliConfig, w io.Writer) (srv *serve.Server, cleanup func(),
 // DIR/shard-NNN whose identities bind their shard coordinate), merged
 // behind one scatter-gather serve.Catalog.
 func buildShardedServer(cfg cliConfig, emb *core.Embedder, scfg serve.Config, w io.Writer) (srv *serve.Server, cleanup func(), err error) {
+	p := pool.New(emb.Config().Workers)
 	idxs := make([]ann.Index, cfg.shards)
 	for i := range idxs {
-		if idxs[i], err = buildIndex(cfg, emb.Config().Workers); err != nil {
+		if idxs[i], err = buildIndex(cfg, p); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -429,7 +430,7 @@ func buildShardedServer(cfg cliConfig, emb *core.Embedder, scfg serve.Config, w 
 	cat, err := shard.New(shard.Config{
 		Indexes: idxs,
 		Stores:  stores,
-		Pool:    pool.New(emb.Config().Workers),
+		Pool:    p,
 	})
 	if err != nil {
 		closeStores()
@@ -546,7 +547,11 @@ func catalogHeaders(path string) ([]string, error) {
 	return ds.Headers(), nil
 }
 
-func buildIndex(cfg cliConfig, workers int) (ann.Index, error) {
+// buildIndex builds or loads one index on the given worker pool. Every
+// index of a sharded server shares ONE pool with the catalog's scatter
+// loop: the pool's caller-runs design degrades nested fan-out (shards ×
+// batched queries) to the same w slots instead of oversubscribing.
+func buildIndex(cfg cliConfig, p *pool.Pool) (ann.Index, error) {
 	metric, err := ann.ParseMetric(cfg.metricSpec)
 	if err != nil {
 		return nil, err
@@ -557,7 +562,6 @@ func buildIndex(cfg cliConfig, workers int) (ann.Index, error) {
 			return nil, err
 		}
 	}
-	p := pool.New(workers)
 	if cfg.indexIn != "" {
 		f, err := os.Open(cfg.indexIn)
 		if err != nil {

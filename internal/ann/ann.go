@@ -195,6 +195,13 @@ type Index interface {
 	Remove(id int) error
 	// Search returns up to k nearest live stored vectors, nearest first.
 	Search(q []float64, k int) ([]Result, error)
+	// SearchBatch answers qs[i] into result slot i, fanning query chunks
+	// out on the index's worker pool with per-worker reusable scratch.
+	// Output is bit-identical to a sequential loop of Search calls at
+	// every pool width; on error the lowest-indexed failing query's error
+	// is returned. Both indexes also support the allocation-free
+	// single-goroutine form via NewSearcher.
+	SearchBatch(qs [][]float64, k int) ([][]Result, error)
 	// Len returns the number of stored vector slots, including tombstones.
 	Len() int
 	// Live returns the number of live (non-tombstoned) vectors.

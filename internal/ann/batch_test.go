@@ -1,0 +1,291 @@
+package ann
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/pool"
+)
+
+// fullSortSearch is the historical float64 Flat search: materialize every
+// live distance, fully sort by (distance, id), truncate to k. The bounded
+// farthest-first heap that replaced it must reproduce this result for
+// result, ties included.
+func fullSortSearch(f *Flat, q []float64, k int) []Result {
+	sq := f.st.query(q)
+	out := make([]Result, 0, f.Live())
+	for i := range f.st.vecs {
+		if f.deleted[i] {
+			continue
+		}
+		out = append(out, Result{ID: i, Dist: f.st.scanDist(&sq, i)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k:k]
+}
+
+// sameResults compares two result lists for exact (bit-level) equality.
+func sameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: rank %d: got %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlatFloat64TopKMatchesFullSort pins the bounded-heap float64 scan
+// against the full-sort reference. Duplicate stored vectors force exact
+// distance ties, so the (distance, id) tie-break order is exercised, and a
+// tombstone stripe checks the heap honors deletions like the sort did.
+func TestFlatFloat64TopKMatchesFullSort(t *testing.T) {
+	base := randomVectors(150, 8, 7)
+	vecs := append([][]float64{}, base...)
+	for _, v := range base[:50] { // exact duplicates → tied distances
+		vecs = append(vecs, append([]float64(nil), v...))
+	}
+	queries := randomVectors(20, 8, 99)
+	queries = append(queries, vecs[3], vecs[170]) // zero-distance ties
+	for _, metric := range []Metric{Euclidean, Cosine} {
+		t.Run(metric.String(), func(t *testing.T) {
+			f := NewFlat(metric)
+			if err := f.Add(vecs...); err != nil {
+				t.Fatal(err)
+			}
+			for id := 0; id < len(vecs); id += 7 {
+				if err := f.Remove(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, k := range []int{1, 3, 10, 37, len(vecs)} {
+				for qi, q := range queries {
+					got, err := f.Search(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameResults(t, metric.String(), got, fullSortSearch(f, q, k))
+					_ = qi
+				}
+			}
+		})
+	}
+}
+
+// setIndexPool installs a SearchBatch fan-out pool on either index kind.
+func setIndexPool(t *testing.T, idx Index, p *pool.Pool) {
+	t.Helper()
+	switch v := idx.(type) {
+	case *Flat:
+		v.SetPool(p)
+	case *HNSW:
+		v.SetPool(p)
+	default:
+		t.Fatalf("unknown index type %T", idx)
+	}
+}
+
+// TestSearchBatchMatchesLoopedSearch is the batching determinism pin:
+// Index.SearchBatch must be bit-identical to a sequential loop of Search
+// calls at every pool width (nil/1/2/8), for both index kinds at every
+// precision tier, on a tombstone-heavy index.
+func TestSearchBatchMatchesLoopedSearch(t *testing.T) {
+	vecs := randomVectors(300, 10, 11)
+	queries := randomVectors(37, 10, 55)
+	const k = 9
+	for _, prec := range allPrecisions {
+		for _, kind := range []string{"flat", "hnsw"} {
+			t.Run(kind+"/"+prec.String(), func(t *testing.T) {
+				var idx Index
+				switch kind {
+				case "flat":
+					f, err := NewFlatAt(Cosine, prec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					idx = f
+				case "hnsw":
+					h, err := NewHNSW(HNSWConfig{Metric: Cosine, Seed: 9, Precision: prec}, pool.New(2))
+					if err != nil {
+						t.Fatal(err)
+					}
+					idx = h
+				}
+				if err := idx.Add(vecs...); err != nil {
+					t.Fatal(err)
+				}
+				for id := 0; id < len(vecs); id += 2 { // tombstone-heavy: half the slots
+					if err := idx.Remove(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want := make([][]Result, len(queries))
+				for i, q := range queries {
+					var err error
+					if want[i], err = idx.Search(q, k); err != nil {
+						t.Fatal(err)
+					}
+				}
+				pools := map[string]*pool.Pool{
+					"nil": nil, "w1": pool.New(1), "w2": pool.New(2), "w8": pool.New(8),
+				}
+				for name, p := range pools {
+					setIndexPool(t, idx, p)
+					got, err := idx.SearchBatch(queries, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s: %d batches, want %d", name, len(got), len(want))
+					}
+					for i := range got {
+						sameResults(t, name, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSearchBatchEdgeCases: empty batches are nil, and the error of the
+// lowest-indexed failing query is the one reported at every pool width.
+func TestSearchBatchEdgeCases(t *testing.T) {
+	f := NewFlat(Euclidean)
+	if err := f.Add(randomVectors(20, 4, 1)...); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := f.SearchBatch(nil, 3); err != nil || got != nil {
+		t.Fatalf("empty batch: got %v, %v", got, err)
+	}
+	qs := randomVectors(6, 4, 2)
+	qs[1] = []float64{1, 2}    // wrong dim: first failure
+	qs[4] = []float64{1, 2, 3} // wrong dim too, but later
+	wantErr := func(p *pool.Pool) {
+		f.SetPool(p)
+		_, err := f.SearchBatch(qs, 3)
+		if err == nil {
+			t.Fatal("expected a dimension error")
+		}
+		_, lowest := f.Search(qs[1], 3)
+		if err.Error() != lowest.Error() {
+			t.Fatalf("got %q, want the lowest-indexed query's error %q", err, lowest)
+		}
+	}
+	wantErr(nil)
+	wantErr(pool.New(8))
+}
+
+// TestSearcherMatchesIndexSearch: the scratch-backed Searcher answers
+// exactly like the copying Index.Search, query after query on the same
+// reused scratch, for both kinds at every precision.
+func TestSearcherMatchesIndexSearch(t *testing.T) {
+	vecs := randomVectors(250, 12, 31)
+	queries := randomVectors(30, 12, 77)
+	const k = 12
+	for _, prec := range allPrecisions {
+		for _, kind := range []string{"flat", "hnsw"} {
+			t.Run(kind+"/"+prec.String(), func(t *testing.T) {
+				var idx Index
+				switch kind {
+				case "flat":
+					f, err := NewFlatAt(Euclidean, prec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					idx = f
+				case "hnsw":
+					h, err := NewHNSW(HNSWConfig{Metric: Euclidean, Seed: 4, Precision: prec}, pool.New(2))
+					if err != nil {
+						t.Fatal(err)
+					}
+					idx = h
+				}
+				if err := idx.Add(vecs...); err != nil {
+					t.Fatal(err)
+				}
+				s, err := NewSearcher(idx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range queries {
+					want, err := idx.Search(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := s.Search(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameResults(t, "searcher", got, want)
+				}
+				want, err := idx.SearchBatch(queries, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.SearchBatch(queries, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					sameResults(t, "searcher batch", got[i], want[i])
+				}
+			})
+		}
+	}
+}
+
+// TestSearcherZeroAllocFlat is the hot-path memory contract: steady-state
+// Search and SearchBatch through a Searcher over a Flat index allocate
+// nothing, at all three precisions.
+func TestSearcherZeroAllocFlat(t *testing.T) {
+	vecs := randomVectors(400, 16, 3)
+	qs := randomVectors(8, 16, 71)
+	for _, prec := range allPrecisions {
+		t.Run(prec.String(), func(t *testing.T) {
+			f, err := NewFlatAt(Cosine, prec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Add(vecs...); err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSearcher(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm: first calls size the scratch buffers.
+			for _, q := range qs {
+				if _, err := s.Search(q, 10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.SearchBatch(qs, 10); err != nil {
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(50, func() {
+				if _, err := s.Search(qs[0], 10); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("Searcher.Search allocates %.1f per op, want 0", allocs)
+			}
+			if allocs := testing.AllocsPerRun(50, func() {
+				if _, err := s.SearchBatch(qs, 10); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("Searcher.SearchBatch allocates %.1f per op, want 0", allocs)
+			}
+		})
+	}
+}

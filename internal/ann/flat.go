@@ -2,7 +2,8 @@ package ann
 
 import (
 	"io"
-	"sort"
+
+	"github.com/gem-embeddings/gem/internal/pool"
 )
 
 // Flat is the exact brute-force index: Search scans every stored vector.
@@ -14,6 +15,7 @@ type Flat struct {
 	st       vecStore
 	deleted  []bool // tombstones; Search skips marked slots
 	nDeleted int
+	pool     *pool.Pool // bounds SearchBatch fan-out; nil = serial
 }
 
 // NewFlat returns an empty exact index under the given metric, scanning
@@ -32,6 +34,14 @@ func NewFlatAt(metric Metric, prec Precision) (*Flat, error) {
 	}
 	return &Flat{st: newVecStore(metric, prec)}, nil
 }
+
+// SetPool sets the worker pool SearchBatch fans queries out on. The pool
+// is a pure throughput knob: results are bit-identical at every width,
+// including the nil (serial) default.
+func (f *Flat) SetPool(p *pool.Pool) { f.pool = p }
+
+// searchPool implements searcherIndex.
+func (f *Flat) searchPool() *pool.Pool { return f.pool }
 
 // Add implements Index.
 func (f *Flat) Add(vecs ...[]float64) error {
@@ -75,7 +85,7 @@ func (f *Flat) Precision() Precision { return f.st.prec }
 // result is byte-identical to a fresh Flat built from them.
 func (f *Flat) Rebuild() ([]int, error) {
 	mapping, live := liveMapping(f.st.vecs, f.deleted)
-	nf := &Flat{st: newVecStore(f.st.metric, f.st.prec)}
+	nf := &Flat{st: newVecStore(f.st.metric, f.st.prec), pool: f.pool}
 	if err := nf.Add(live...); err != nil {
 		return nil, err
 	}
@@ -83,11 +93,33 @@ func (f *Flat) Rebuild() ([]int, error) {
 	return mapping, nil
 }
 
-// Search implements Index: an exact scan over the live vectors, sorted by
-// (distance, id). At a reduced precision the scan keeps the rerankDepth(k)
-// nearest candidates under the quantized kernel and re-scores them in
-// float64, so the returned distances are the exact metric distances.
-func (f *Flat) Search(q []float64, k int) ([]Result, error) {
+// selectNearest scans the live vectors under the scan kernel and fills
+// sc.sel with the m nearest candidates under the (distance, id) total
+// order — a farthest-first heap of size m, O(n log m) and no O(n) result
+// slice. The heap holds exactly the m first entries of the fully sorted
+// scan, so downstream consumers see the same candidates the historical
+// full-materialize-and-sort produced.
+func (f *Flat) selectNearest(sc *scratch, sq *scanQuery, m int) {
+	sel := &sc.sel
+	sel.reset(false)
+	for i := range f.st.vecs {
+		if f.deleted[i] {
+			continue
+		}
+		c := cand{id: int32(i), dist: f.st.scanDist(sq, i)}
+		if sel.len() < m {
+			sel.push(c)
+			continue
+		}
+		if candBefore(c, sel.peek()) {
+			sel.pop()
+			sel.push(c)
+		}
+	}
+}
+
+// searchInto implements searcherIndex; see Search for semantics.
+func (f *Flat) searchInto(sc *scratch, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(f.st.dim, q, k); err != nil {
 		return nil, err
 	}
@@ -97,52 +129,50 @@ func (f *Flat) Search(q []float64, k int) ([]Result, error) {
 	if k == 0 {
 		return nil, nil
 	}
-	sq := f.st.query(q)
+	sq := f.st.queryInto(sc, q)
 	if f.st.prec == Float64 {
-		out := make([]Result, 0, f.Live())
-		for i := range f.st.vecs {
-			if f.deleted[i] {
-				continue
-			}
-			out = append(out, Result{ID: i, Dist: f.st.scanDist(&sq, i)})
+		// Exact scan: the heap IS the answer. Popping farthest-first fills
+		// the output back to front, leaving it nearest-first.
+		f.selectNearest(sc, sq, k)
+		n := sc.sel.len()
+		sc.out = grow(sc.out, n)
+		for i := n - 1; i >= 0; i-- {
+			c := sc.sel.pop()
+			sc.out[i] = Result{ID: int(c.id), Dist: c.dist}
 		}
-		sort.Slice(out, func(a, b int) bool {
-			if out[a].Dist != out[b].Dist {
-				return out[a].Dist < out[b].Dist
-			}
-			return out[a].ID < out[b].ID
-		})
-		return out[:k:k], nil
+		return sc.out, nil
 	}
-	// Reduced precision: bounded selection under the scan kernel (a
-	// farthest-first heap of the best rerankDepth(k) candidates beats
-	// sorting the full scan), then the exact float64 re-rank.
-	r := rerankDepth(k)
-	best := &candHeap{min: false}
-	for i := range f.st.vecs {
-		if f.deleted[i] {
-			continue
-		}
-		c := cand{id: int32(i), dist: f.st.scanDist(&sq, i)}
-		if best.len() < r {
-			best.push(c)
-			continue
-		}
-		if candBefore(c, best.peek()) {
-			best.pop()
-			best.push(c)
-		}
+	// Reduced precision: bounded selection under the scan kernel, then the
+	// exact float64 re-rank of the survivors.
+	f.selectNearest(sc, sq, rerankDepth(k))
+	sc.cands = grow(sc.cands, sc.sel.len())
+	for i := range sc.cands {
+		c := sc.sel.pop()
+		sc.cands[i] = Result{ID: int(c.id), Dist: c.dist}
 	}
-	cands := make([]Result, best.len())
-	for i := range cands {
-		c := best.pop()
-		cands[i] = Result{ID: int(c.id), Dist: c.dist}
-	}
-	out := f.st.rerank(&sq, cands)
+	out := f.st.rerank(sq, sc.cands, &sc.rsort)
 	if len(out) > k {
 		out = out[:k:k]
 	}
 	return out, nil
+}
+
+// Search implements Index: an exact scan over the live vectors, sorted by
+// (distance, id). At a reduced precision the scan keeps the rerankDepth(k)
+// nearest candidates under the quantized kernel and re-scores them in
+// float64, so the returned distances are the exact metric distances. The
+// returned slice is caller-owned; hot loops that want the allocation-free
+// variant should hold a Searcher.
+func (f *Flat) Search(q []float64, k int) ([]Result, error) {
+	return searchOne(f, q, k)
+}
+
+// SearchBatch implements Index: it answers every query of the batch in one
+// call, fanning contiguous query chunks out on the pool (SetPool) with one
+// reusable scratch per worker. Output is bit-identical to calling Search
+// per query, at every pool width.
+func (f *Flat) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
+	return searchBatchOver(f, qs, k)
 }
 
 // Save implements Index; see persist.go for the format.

@@ -303,10 +303,25 @@ func (h *HNSW) greedyStep(q *scanQuery, cur cand, lvl int) cand {
 // it keeps the ef nearest visited nodes of layer lvl and expands the
 // nearest unexpanded candidate until no candidate can improve the result
 // set. visited must be a caller-owned scratch slice of at least Len()
-// false values; it is left dirty.
+// false values; it is left dirty. The construction path calls this
+// allocating wrapper once per (insertion, layer) — each layer's result is
+// retained as the next layer's entry points — while the query path goes
+// through searchLayerInto with fully reused scratch.
 func (h *HNSW) searchLayer(q *scanQuery, eps []cand, ef, lvl int, visited []bool) []cand {
-	frontier := &candHeap{min: true}
-	results := &candHeap{min: false}
+	var frontier, results candHeap
+	var out []cand
+	var cs candSorter
+	return h.searchLayerInto(q, eps, ef, lvl, visited, &frontier, &results, &out, &cs)
+}
+
+// searchLayerInto is searchLayer with every buffer caller-provided: the two
+// beam heaps, the (sorted) output slice and the sorter scratch are reset
+// and reused, so a steady-state call allocates nothing. The returned slice
+// aliases *out.
+func (h *HNSW) searchLayerInto(q *scanQuery, eps []cand, ef, lvl int, visited []bool,
+	frontier, results *candHeap, out *[]cand, cs *candSorter) []cand {
+	frontier.reset(true)
+	results.reset(false)
 	for _, e := range eps {
 		if visited[e.id] {
 			continue
@@ -338,10 +353,10 @@ func (h *HNSW) searchLayer(q *scanQuery, eps []cand, ef, lvl int, visited []bool
 			}
 		}
 	}
-	out := make([]cand, len(results.items))
-	copy(out, results.items)
-	sort.Slice(out, func(i, j int) bool { return candBefore(out[i], out[j]) })
-	return out
+	*out = grow(*out, len(results.items))
+	copy(*out, results.items)
+	cs.sort(*out)
+	return *out
 }
 
 // selectNeighbors is the diversity heuristic of HNSW (Algorithm 4): scan
@@ -521,14 +536,8 @@ func widenEf(base, nDeleted int) int {
 	return base + w
 }
 
-// Search implements Index: greedy descent from the entry point through the
-// upper layers, then a beam search of the base layer with
-// ef = max(EfSearch, k) widened by the tombstone count (clamped, see
-// widenEf). Tombstoned nodes route but never appear in the result. At a
-// reduced precision the beam runs on the scan kernels and the surviving
-// candidates are re-scored in exact float64, so the returned distances are
-// the exact metric distances in every mode.
-func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
+// searchInto implements searcherIndex; see Search for semantics.
+func (h *HNSW) searchInto(sc *scratch, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(h.st.dim, q, k); err != nil {
 		return nil, err
 	}
@@ -538,46 +547,81 @@ func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
 	if k == 0 || h.entry < 0 {
 		return nil, nil
 	}
-	sq := h.st.query(q)
-	cur := cand{id: int32(h.entry), dist: h.distQ(&sq, int32(h.entry))}
+	sq := h.st.queryInto(sc, q)
+	cur := cand{id: int32(h.entry), dist: h.distQ(sq, int32(h.entry))}
 	for l := h.maxLvl; l >= 1; l-- {
-		cur = h.greedyStep(&sq, cur, l)
+		cur = h.greedyStep(sq, cur, l)
 	}
 	base := h.cfg.EfSearch
 	if k > base {
 		base = k
 	}
 	ef := widenEf(base, h.nDeleted)
-	visited := make([]bool, h.st.len())
-	res := h.searchLayer(&sq, []cand{cur}, ef, 0, visited)
+	sc.visited = grow(sc.visited, h.st.len())
+	for i := range sc.visited {
+		sc.visited[i] = false
+	}
+	sc.eps[0] = cur
+	res := h.searchLayerInto(sq, sc.eps[:], ef, 0, sc.visited,
+		&sc.frontier, &sc.results, &sc.layer, &sc.csort)
 	if h.st.prec == Float64 {
-		out := make([]Result, 0, k)
+		sc.out = sc.out[:0]
 		for _, c := range res {
 			if h.deleted[c.id] {
 				continue
 			}
-			out = append(out, Result{ID: int(c.id), Dist: c.dist})
-			if len(out) == k {
+			sc.out = append(sc.out, Result{ID: int(c.id), Dist: c.dist})
+			if len(sc.out) == k {
 				break
 			}
 		}
-		return out, nil
+		return sc.out, nil
 	}
 	// Reduced precision: collect the nearest live scan candidates up to the
 	// re-rank depth, then re-score them exactly.
-	cands := make([]Result, 0, rerankDepth(k))
+	depth := rerankDepth(k)
+	sc.cands = sc.cands[:0]
 	for _, c := range res {
 		if h.deleted[c.id] {
 			continue
 		}
-		cands = append(cands, Result{ID: int(c.id), Dist: c.dist})
-		if len(cands) == cap(cands) {
+		sc.cands = append(sc.cands, Result{ID: int(c.id), Dist: c.dist})
+		if len(sc.cands) == depth {
 			break
 		}
 	}
-	out := h.st.rerank(&sq, cands)
+	out := h.st.rerank(sq, sc.cands, &sc.rsort)
 	if len(out) > k {
 		out = out[:k:k]
 	}
 	return out, nil
 }
+
+// Search implements Index: greedy descent from the entry point through the
+// upper layers, then a beam search of the base layer with
+// ef = max(EfSearch, k) widened by the tombstone count (clamped, see
+// widenEf). Tombstoned nodes route but never appear in the result. At a
+// reduced precision the beam runs on the scan kernels and the surviving
+// candidates are re-scored in exact float64, so the returned distances are
+// the exact metric distances in every mode. The returned slice is
+// caller-owned; hot loops that want the allocation-free variant should
+// hold a Searcher.
+func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
+	return searchOne(h, q, k)
+}
+
+// SearchBatch implements Index: it answers every query of the batch in one
+// call, fanning contiguous query chunks out on the construction pool with
+// one reusable scratch per worker. Output is bit-identical to calling
+// Search per query, at every pool width.
+func (h *HNSW) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
+	return searchBatchOver(h, qs, k)
+}
+
+// SetPool replaces the worker pool Add and SearchBatch fan out on. Like
+// the pool passed to NewHNSW it is a pure throughput knob — the graph and
+// every search result are bit-identical at every width; nil means serial.
+func (h *HNSW) SetPool(p *pool.Pool) { h.pool = p }
+
+// searchPool implements searcherIndex.
+func (h *HNSW) searchPool() *pool.Pool { return h.pool }

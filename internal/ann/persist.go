@@ -57,8 +57,8 @@ const maxPersistDim = 1 << 20
 // Load reads an index saved by Flat.Save or HNSW.Save, dispatching on the
 // header. The current format and the older layouts are accepted (a v1 file
 // loads with zero removals, pre-v3 files load as Float64). The pool bounds
-// the parallelism of future Add calls on a loaded HNSW (Flat ignores it);
-// nil is valid and means serial.
+// the parallelism of future Add calls on a loaded HNSW and of SearchBatch
+// fan-out on either kind; nil is valid and means serial.
 func Load(r io.Reader, p *pool.Pool) (Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
@@ -91,7 +91,7 @@ func Load(r io.Reader, p *pool.Pool) (Index, error) {
 	}
 	switch kind {
 	case kindFlat:
-		return loadFlat(br, Metric(metric), prec, version)
+		return loadFlat(br, Metric(metric), prec, version, p)
 	case kindHNSW:
 		return loadHNSW(br, Metric(metric), prec, version, p)
 	default:
@@ -287,12 +287,12 @@ func saveFlat(w io.Writer, f *Flat) error {
 // loadFlat reads a Flat body (header already consumed). The scan copies
 // are rebuilt from the float64 vectors through the same Add path a fresh
 // build uses; the persisted int8 scales only cross-check that rebuild.
-func loadFlat(r io.Reader, metric Metric, prec Precision, version uint8) (*Flat, error) {
+func loadFlat(r io.Reader, metric Metric, prec Precision, version uint8, p *pool.Pool) (*Flat, error) {
 	dim, vecs, err := readVectors(r)
 	if err != nil {
 		return nil, err
 	}
-	f := &Flat{st: newVecStore(metric, prec)}
+	f := &Flat{st: newVecStore(metric, prec), pool: p}
 	if err := f.Add(vecs...); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}

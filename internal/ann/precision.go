@@ -17,7 +17,6 @@ package ann
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Precision selects the storage and scan precision of an index's distance
@@ -261,20 +260,31 @@ type scanQuery struct {
 // query prepares q for scanning. The float64 fields are always filled —
 // they drive the exact re-rank.
 func (s *vecStore) query(q []float64) scanQuery {
-	sq := scanQuery{f64: q, n64: Norm(q)}
+	var sc scratch
+	return *s.queryInto(&sc, q)
+}
+
+// queryInto prepares q for scanning into sc's reusable buffers and returns
+// sc.sq. Steady state this allocates nothing: the reduced-precision copies
+// live in sc and are overwritten per query.
+func (s *vecStore) queryInto(sc *scratch, q []float64) *scanQuery {
+	sq := &sc.sq
+	*sq = scanQuery{f64: q, n64: Norm(q)}
 	switch s.prec {
 	case Float64:
 		sq.nq = sq.n64
 	case Float32:
-		sq.f32 = make([]float32, len(q))
+		sc.f32 = grow(sc.f32, len(q))
 		for i, x := range q {
-			sq.f32[i] = float32(x)
+			sc.f32[i] = float32(x)
 		}
+		sq.f32 = sc.f32
 		sq.nq = math.Sqrt(sqSumF32(sq.f32))
 	case Int8:
+		sc.i8 = grow(sc.i8, len(q))
 		sq.qs = quantizeScale(q)
-		sq.i8 = make([]int8, len(q))
-		quantizeInto(sq.i8, q, sq.qs)
+		quantizeInto(sc.i8, q, sq.qs)
+		sq.i8 = sc.i8
 		sq.nq = float64(sq.qs) * math.Sqrt(float64(dotI8(sq.i8, sq.i8)))
 	}
 	return sq
@@ -338,17 +348,13 @@ func (s *vecStore) exactDist(q *scanQuery, id int) float64 {
 }
 
 // rerank re-scores scan-order candidates exactly in float64 and returns
-// them sorted by (exact distance, id). In Float64 mode the scan distances
-// already are exact, so callers skip this.
-func (s *vecStore) rerank(q *scanQuery, cands []Result) []Result {
+// them sorted by (exact distance, id), using the caller's sorter scratch so
+// the sort allocates nothing. In Float64 mode the scan distances already
+// are exact, so callers skip this.
+func (s *vecStore) rerank(q *scanQuery, cands []Result, so *resultSorter) []Result {
 	for i := range cands {
 		cands[i].Dist = s.exactDist(q, cands[i].ID)
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].Dist != cands[b].Dist {
-			return cands[a].Dist < cands[b].Dist
-		}
-		return cands[a].ID < cands[b].ID
-	})
+	so.sort(cands)
 	return cands
 }

@@ -1,0 +1,279 @@
+package experiments
+
+// Batched-search evaluation: the PR 10 hot path measured end to end. The
+// in-process sweep drives Index.SearchBatch over a batch-size × worker
+// grid and reports throughput plus heap allocations per query (the
+// zero-allocation scratch contract, observed from outside via
+// runtime.MemStats). The proxy comparison then stands up two real shard
+// servers behind a fan-out proxy over loopback HTTP and measures how much
+// a multi-column /search request amortizes per-request overhead against
+// one-query-per-request traffic — the speedup the CI gate holds at ≥2x.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/core"
+	"github.com/gem-embeddings/gem/internal/pool"
+	"github.com/gem-embeddings/gem/internal/serve"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// BatchPoint is one cell of the batch-size × workers sweep. Allocations
+// are whole-process malloc counts divided by queries, so they include the
+// per-call [][]Result envelope and any pool-worker spin-up — the point is
+// to catch a reintroduced per-candidate allocation (an order-of-magnitude
+// cliff), not to audit single allocs.
+type BatchPoint struct {
+	// BatchSize is how many queries each SearchBatch call carried
+	// (clamped to the catalog size).
+	BatchSize int
+	// Workers is the index pool width the batch fanned across.
+	Workers int
+	// FlatQPS and HNSWQPS are batched queries per second.
+	FlatQPS, HNSWQPS float64
+	// FlatAllocs and HNSWAllocs are heap allocations per query.
+	FlatAllocs, HNSWAllocs float64
+}
+
+// BatchResult reports the batched-search sweep of one ANN evaluation.
+type BatchResult struct {
+	// K is the result depth, shared with the enclosing SearchResult.
+	K int
+	// Points holds the sweep grid, batch sizes within worker widths.
+	Points []BatchPoint
+	// ProxyBatchSize and ProxyQueries shape the proxy round-trip
+	// comparison: ProxyQueries distinct query columns replayed against a
+	// two-backend proxy, one per request vs ProxyBatchSize per request.
+	ProxyBatchSize, ProxyQueries int
+	// ProxySingleQPS and ProxyBatchQPS are end-to-end queries per second
+	// through the proxy (HTTP + embed + scatter-gather included).
+	ProxySingleQPS, ProxyBatchQPS float64
+	// ProxySpeedup is ProxyBatchQPS / ProxySingleQPS.
+	ProxySpeedup float64
+}
+
+// batchEval runs the batched-search sweep over an already-built float64
+// flat index plus a fresh HNSW over the same vectors, then (unless
+// disabled) the proxy round-trip comparison.
+func batchEval(opts SearchOptions, e *core.Embedder, ds *table.Dataset, flat *ann.Flat, vecs [][]float64) (*BatchResult, error) {
+	h, err := ann.NewHNSW(ann.HNSWConfig{
+		Metric: opts.Metric, M: opts.M, EfConstruction: opts.EfConstruction,
+		EfSearch: opts.EfSearch, Seed: opts.Seed,
+	}, pool.New(opts.Workers))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	if err := h.Add(vecs...); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	res := &BatchResult{K: opts.K}
+	for _, w := range opts.BatchWorkers {
+		p := pool.New(w)
+		flat.SetPool(p)
+		h.SetPool(p)
+		for _, b := range opts.BatchSizes {
+			pt := BatchPoint{BatchSize: b, Workers: w}
+			if pt.FlatQPS, pt.FlatAllocs, err = batchReplay(flat, vecs, b, opts.K); err != nil {
+				return nil, err
+			}
+			if pt.HNSWQPS, pt.HNSWAllocs, err = batchReplay(h, vecs, b, opts.K); err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	flat.SetPool(nil)
+	if opts.ProxyBatchSize < 0 {
+		return res, nil
+	}
+	res.ProxyBatchSize = opts.ProxyBatchSize
+	if res.ProxySingleQPS, res.ProxyBatchQPS, res.ProxyQueries, err = proxyCompare(opts, e, ds); err != nil {
+		return nil, err
+	}
+	if res.ProxySingleQPS > 0 {
+		res.ProxySpeedup = res.ProxyBatchQPS / res.ProxySingleQPS
+	}
+	return res, nil
+}
+
+// batchReplay replays all vectors as queries through SearchBatch in
+// chunks of b and returns throughput plus mallocs per query. One unmeasured
+// pass first primes the per-worker scratch pool, so the measured passes see
+// the steady state the zero-allocation contract is about.
+func batchReplay(idx ann.Index, vecs [][]float64, b, k int) (qps, allocs float64, err error) {
+	if b > len(vecs) {
+		b = len(vecs)
+	}
+	pass := func() error {
+		for off := 0; off < len(vecs); off += b {
+			end := off + b
+			if end > len(vecs) {
+				end = len(vecs)
+			}
+			if _, err := idx.SearchBatch(vecs[off:end], k); err != nil {
+				return fmt.Errorf("%w: batch replay at %d: %v", ErrRun, off, err)
+			}
+		}
+		return nil
+	}
+	if err := pass(); err != nil { // warm the scratch pool
+		return 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := pass(); err != nil {
+		return 0, 0, err
+	}
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	n := float64(len(vecs))
+	return n / secs, float64(after.Mallocs-before.Mallocs) / n, nil
+}
+
+// wireColumn mirrors the serve layer's column JSON shape.
+type wireColumn struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+func toWire(cols []table.Column) []wireColumn {
+	out := make([]wireColumn, len(cols))
+	for i, c := range cols {
+		out[i] = wireColumn{Name: c.Name, Values: c.Values}
+	}
+	return out
+}
+
+// proxyCompare stands up two single-shard servers over halves of the
+// catalog behind a fan-out proxy (all loopback HTTP) and replays the same
+// query set twice: one column per /search request, then ProxyBatchSize
+// columns per request. Both backends share the already-fitted embedder —
+// its post-fit embed paths are read-only. Returns end-to-end QPS for both
+// shapes plus the distinct query count.
+func proxyCompare(opts SearchOptions, e *core.Embedder, ds *table.Dataset) (singleQPS, batchQPS float64, nq int, err error) {
+	// Bound the backend catalogs: round-trip amortization is what is
+	// measured here, and it does not need the full corpus.
+	cols := ds.Columns
+	if len(cols) > 128 {
+		cols = cols[:128]
+	}
+	half := (len(cols) + 1) / 2
+	parts := [][]table.Column{cols[:half], cols[half:]}
+	backends := make([]string, 0, len(parts))
+	var cleanup []func()
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+	for _, part := range parts {
+		srv, err := serve.New(e, serve.Config{Index: ann.NewFlat(opts.Metric)})
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: %v", ErrRun, err)
+		}
+		cleanup = append(cleanup, srv.Close)
+		if _, err := srv.AddColumns(context.Background(), part); err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: preloading proxy backend: %v", ErrRun, err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		cleanup = append(cleanup, ts.Close)
+		backends = append(backends, ts.URL)
+	}
+	px, err := serve.NewProxy(serve.ProxyConfig{Backends: backends})
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %v", ErrRun, err)
+	}
+	front := httptest.NewServer(px.Handler())
+	cleanup = append(cleanup, front.Close)
+
+	queries := cols
+	if len(queries) > 64 {
+		queries = queries[:64]
+	}
+	nq = len(queries)
+	wire := toWire(queries)
+	singles := make([][]byte, nq)
+	for i, c := range wire {
+		if singles[i], err = json.Marshal(map[string]any{"column": c, "k": opts.K}); err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: %v", ErrRun, err)
+		}
+	}
+	var batches [][]byte
+	for off := 0; off < nq; off += opts.ProxyBatchSize {
+		end := off + opts.ProxyBatchSize
+		if end > nq {
+			end = nq
+		}
+		body, err := json.Marshal(map[string]any{"columns": wire[off:end], "k": opts.K})
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: %v", ErrRun, err)
+		}
+		batches = append(batches, body)
+	}
+	post := func(body []byte) error {
+		resp, err := http.Post(front.URL+"/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("%w: proxy search: %v", ErrRun, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("%w: proxy search: status %d: %s", ErrRun, resp.StatusCode, msg)
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	// Best-of-rounds: each shape is timed over enough passes that a round
+	// issues ~128 requests regardless of request shape (a batched pass
+	// has far fewer requests than a single-query pass), and the fastest
+	// round wins, so a GC pause or scheduler hiccup in one round cannot
+	// masquerade as a structural slowdown. The batched/single RATIO is
+	// the gated quantity, and best-of keeps it at its structural value.
+	replay := func(bodies [][]byte) (float64, error) {
+		const rounds, reqTarget = 3, 128
+		passes := reqTarget / len(bodies)
+		if passes < 2 {
+			passes = 2
+		}
+		best := 0.0
+		for rd := 0; rd < rounds; rd++ {
+			start := time.Now()
+			for p := 0; p < passes; p++ {
+				for _, body := range bodies {
+					if err := post(body); err != nil {
+						return 0, err
+					}
+				}
+			}
+			if qps := float64(passes*nq) / time.Since(start).Seconds(); qps > best {
+				best = qps
+			}
+		}
+		return best, nil
+	}
+	// Warm both shapes once: the first pass enrolls the query columns in
+	// the backends' embed caches, so the measured passes compare request
+	// shapes rather than cold-cache behaviour.
+	for _, body := range batches {
+		if err := post(body); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if singleQPS, err = replay(singles); err != nil {
+		return 0, 0, 0, err
+	}
+	if batchQPS, err = replay(batches); err != nil {
+		return 0, 0, 0, err
+	}
+	return singleQPS, batchQPS, nq, nil
+}

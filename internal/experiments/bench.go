@@ -1,8 +1,8 @@
 package experiments
 
 // Machine-readable benchmark reporting. gembench -json writes one
-// BenchReport per run (CI uploads it as the BENCH_6 artifact and diffs it
-// against the checked-in BENCH_6.json baseline), so the performance
+// BenchReport per run (CI uploads it as the BENCH_10 artifact and diffs it
+// against the checked-in BENCH_10.json baseline), so the performance
 // trajectory — QPS, recall@k, latency percentiles — is recorded and gated
 // per commit instead of scrolling away in build logs.
 
@@ -35,8 +35,10 @@ type BenchReport struct {
 // version 3 added the load section (sharded closed-loop load harness with
 // SLO ceilings); version 4 added EM fit telemetry (per-restart iterations
 // and likelihoods, winning restart, E/M-step wall-clock) to the search
-// section.
-const BenchSchemaVersion = 4
+// section; version 5 added the batched-search section (SearchBatch QPS and
+// allocations per query over a batch-size × workers grid, plus the proxy
+// single-vs-batched round-trip comparison).
+const BenchSchemaVersion = 5
 
 // SearchReport is the JSON form of a SearchResult. The top-level recall and
 // QPS fields mirror the first precision tier (float64 by default); Tiers
@@ -53,9 +55,61 @@ type SearchReport struct {
 	FlatQPS      float64      `json:"flat_qps"`
 	HNSWQPS      float64      `json:"hnsw_qps"`
 	Tiers        []TierReport `json:"tiers,omitempty"`
+	// Batch is the batched-search sweep (schema 5+).
+	Batch *BatchReport `json:"batch,omitempty"`
 	// Fit is the EM fit telemetry of the model behind the catalog
 	// embeddings (schema 4+).
 	Fit *gmm.FitStats `json:"fit,omitempty"`
+}
+
+// BatchReport is the JSON form of a BatchResult.
+type BatchReport struct {
+	K      int                `json:"k"`
+	Points []BatchPointReport `json:"points"`
+	// The proxy fields are zero when the run skipped the proxy
+	// round-trip comparison.
+	ProxyBatchSize int     `json:"proxy_batch_size,omitempty"`
+	ProxyQueries   int     `json:"proxy_queries,omitempty"`
+	ProxySingleQPS float64 `json:"proxy_single_qps,omitempty"`
+	ProxyBatchQPS  float64 `json:"proxy_batch_qps,omitempty"`
+	ProxySpeedup   float64 `json:"proxy_speedup,omitempty"`
+}
+
+// BatchPointReport is one batch-size × workers sweep point.
+type BatchPointReport struct {
+	BatchSize  int     `json:"batch_size"`
+	Workers    int     `json:"workers"`
+	FlatQPS    float64 `json:"flat_qps"`
+	HNSWQPS    float64 `json:"hnsw_qps"`
+	FlatAllocs float64 `json:"flat_allocs_per_query"`
+	HNSWAllocs float64 `json:"hnsw_allocs_per_query"`
+}
+
+// NewBatchReport converts a BatchResult (nil-safe).
+func NewBatchReport(r *BatchResult) *BatchReport {
+	if r == nil {
+		return nil
+	}
+	out := &BatchReport{
+		K:              r.K,
+		Points:         make([]BatchPointReport, len(r.Points)),
+		ProxyBatchSize: r.ProxyBatchSize,
+		ProxyQueries:   r.ProxyQueries,
+		ProxySingleQPS: r.ProxySingleQPS,
+		ProxyBatchQPS:  r.ProxyBatchQPS,
+		ProxySpeedup:   r.ProxySpeedup,
+	}
+	for i, p := range r.Points {
+		out.Points[i] = BatchPointReport{
+			BatchSize:  p.BatchSize,
+			Workers:    p.Workers,
+			FlatQPS:    p.FlatQPS,
+			HNSWQPS:    p.HNSWQPS,
+			FlatAllocs: p.FlatAllocs,
+			HNSWAllocs: p.HNSWAllocs,
+		}
+	}
+	return out
 }
 
 // TierReport is the JSON form of one precision tier.
@@ -81,6 +135,7 @@ func NewSearchReport(r *SearchResult) *SearchReport {
 		BuildSeconds: r.BuildSeconds,
 		FlatQPS:      r.FlatQPS,
 		HNSWQPS:      r.HNSWQPS,
+		Batch:        NewBatchReport(r.Batch),
 		Fit:          r.FitStats,
 	}
 	for _, tr := range r.Tiers {

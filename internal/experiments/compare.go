@@ -1,7 +1,7 @@
 package experiments
 
 // Benchmark regression gating: CI diffs a fresh gembench report against the
-// checked-in baseline (BENCH_6.json). Quality metrics (recall, hit rate)
+// checked-in baseline (BENCH_10.json). Quality metrics (recall, hit rate)
 // are reproducible and get tight tolerances; throughput gets a deliberately
 // loose ratio floor, because CI runners share cores and jitter by integer
 // factors — the gate exists to catch an order-of-magnitude cliff (an
@@ -21,6 +21,17 @@ const (
 	maxHitRateDelta = 0.1
 	// minQPSRatio is the floor on fresh/baseline throughput.
 	minQPSRatio = 1.0 / 8
+	// minProxySpeedup is the floor on the batched-vs-single proxy QPS
+	// ratio. Batching's advantage is structural — one round trip and one
+	// coalesced embed pass amortized over the whole batch — so unlike raw
+	// QPS it is stable across runner speeds and gated as an absolute.
+	minProxySpeedup = 2.0
+	// maxAllocGrowth and allocSlack bound fresh allocations per query at
+	// baseline·growth + slack. MemStats counts whole-process mallocs, so
+	// the gate is loose: it exists to catch a reintroduced per-candidate
+	// allocation, not to audit single allocs.
+	maxAllocGrowth = 4.0
+	allocSlack     = 32.0
 )
 
 // ReadBenchReport decodes a BenchReport from JSON.
@@ -100,6 +111,58 @@ func compareSearch(base, got *SearchReport) []string {
 		v = append(v, checkRecall(fmt.Sprintf("tier %s hnsw recall@k", bt.Precision), bt.RecallAtK, gt.RecallAtK)...)
 		v = append(v, checkQPS(fmt.Sprintf("tier %s flat search", bt.Precision), bt.FlatQPS, gt.FlatQPS)...)
 		v = append(v, checkQPS(fmt.Sprintf("tier %s hnsw search", bt.Precision), bt.HNSWQPS, gt.HNSWQPS)...)
+	}
+	if base.Batch != nil {
+		if got.Batch == nil {
+			v = append(v, "batched-search section missing from fresh report")
+		} else {
+			v = append(v, compareBatch(base.Batch, got.Batch)...)
+		}
+	}
+	return v
+}
+
+// compareBatch gates the batched-search section: the loose shared QPS
+// floor per sweep point, an allocation ceiling relative to the baseline,
+// and — whenever the baseline carried a proxy comparison — the absolute
+// ≥2x batched-vs-single speedup contract.
+func compareBatch(base, got *BatchReport) []string {
+	var v []string
+	for _, bp := range base.Points {
+		var gp *BatchPointReport
+		for i := range got.Points {
+			if got.Points[i].BatchSize == bp.BatchSize && got.Points[i].Workers == bp.Workers {
+				gp = &got.Points[i]
+				break
+			}
+		}
+		if gp == nil {
+			v = append(v, fmt.Sprintf("batch point size=%d workers=%d missing from fresh report", bp.BatchSize, bp.Workers))
+			continue
+		}
+		what := fmt.Sprintf("batch size=%d workers=%d", bp.BatchSize, bp.Workers)
+		v = append(v, checkQPS(what+" flat", bp.FlatQPS, gp.FlatQPS)...)
+		v = append(v, checkQPS(what+" hnsw", bp.HNSWQPS, gp.HNSWQPS)...)
+		for _, c := range []struct {
+			name      string
+			base, got float64
+		}{
+			{"flat", bp.FlatAllocs, gp.FlatAllocs},
+			{"hnsw", bp.HNSWAllocs, gp.HNSWAllocs},
+		} {
+			if limit := c.base*maxAllocGrowth + allocSlack; c.got > limit {
+				v = append(v, fmt.Sprintf("%s %s allocations grew %.1f -> %.1f per query (limit %.1f)",
+					what, c.name, c.base, c.got, limit))
+			}
+		}
+	}
+	if base.ProxySpeedup > 0 {
+		v = append(v, checkQPS("proxy single-query search", base.ProxySingleQPS, got.ProxySingleQPS)...)
+		v = append(v, checkQPS("proxy batched search", base.ProxyBatchQPS, got.ProxyBatchQPS)...)
+		if got.ProxySpeedup < minProxySpeedup {
+			v = append(v, fmt.Sprintf("proxy batch speedup %.2fx below the %.1fx floor (single %.0f qps, batched %.0f qps at batch %d)",
+				got.ProxySpeedup, minProxySpeedup, got.ProxySingleQPS, got.ProxyBatchQPS, got.ProxyBatchSize))
+		}
 	}
 	return v
 }

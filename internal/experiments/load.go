@@ -7,7 +7,7 @@ package experiments
 // open-loop client probes at a fixed rate. The harness reports throughput
 // plus search-latency percentiles and checks them against optional SLO
 // thresholds; cmd/gembench's -exp load wraps this and CI gates the
-// resulting BENCH_7.json against its checked-in baseline.
+// resulting BENCH_10.json against its checked-in baseline.
 //
 // Op streams are deterministic in (options, seed): each client owns a
 // pregenerated sequence whose removals target columns that same client

@@ -40,6 +40,14 @@ type SearchOptions struct {
 	// measured against the same exact float64 ground truth. Empty defaults
 	// to all tiers (float64, float32, int8).
 	Precisions []ann.Precision
+	// BatchSizes and BatchWorkers shape the batched-search sweep: every
+	// (size, workers) pair is one measured point. Empty defaults to
+	// {1, 16, 256} and {1, 2, 8}.
+	BatchSizes, BatchWorkers []int
+	// ProxyBatchSize is the queries-per-request size of the proxy
+	// round-trip comparison. Default 16; negative skips the proxy
+	// comparison (unit tests of the in-process sweep set this).
+	ProxyBatchSize int
 }
 
 // fillDefaults normalizes zero-valued search options.
@@ -56,6 +64,15 @@ func (o *SearchOptions) fillDefaults() {
 	}
 	if len(o.Precisions) == 0 {
 		o.Precisions = []ann.Precision{ann.Float64, ann.Float32, ann.Int8}
+	}
+	if len(o.BatchSizes) == 0 {
+		o.BatchSizes = []int{1, 16, 256}
+	}
+	if len(o.BatchWorkers) == 0 {
+		o.BatchWorkers = []int{1, 2, 8}
+	}
+	if o.ProxyBatchSize == 0 {
+		o.ProxyBatchSize = 16
 	}
 }
 
@@ -96,6 +113,10 @@ type SearchResult struct {
 	FlatQPS, HNSWQPS float64
 	// Tiers holds the per-precision sweep, in Precisions order.
 	Tiers []TierResult
+	// Batch holds the batched-search sweep (SearchBatch QPS and
+	// allocations per query across batch sizes and worker widths, plus
+	// the proxy single-vs-batched round-trip comparison).
+	Batch *BatchResult
 	// FitStats is the EM fit telemetry behind FitSeconds: per-restart
 	// iterations and likelihoods, the winner, and E/M-step wall-clock.
 	FitStats *gmm.FitStats
@@ -117,6 +138,17 @@ func (r *SearchResult) String() string {
 		fmt.Fprintf(&b, "    hnsw build      %.3fs\n", tr.BuildSeconds)
 		fmt.Fprintf(&b, "    flat recall@%-3d %.4f  (%.0f qps)\n", r.K, tr.FlatRecall, tr.FlatQPS)
 		fmt.Fprintf(&b, "    hnsw recall@%-3d %.4f  (%.0f qps, %.1fx flat)\n", r.K, tr.HNSWRecall, tr.HNSWQPS, tr.HNSWQPS/tr.FlatQPS)
+	}
+	if bt := r.Batch; bt != nil {
+		fmt.Fprintf(&b, "  [batched]\n")
+		for _, p := range bt.Points {
+			fmt.Fprintf(&b, "    batch %-4d x%-2d  flat %.0f qps (%.1f allocs/q)  hnsw %.0f qps (%.1f allocs/q)\n",
+				p.BatchSize, p.Workers, p.FlatQPS, p.FlatAllocs, p.HNSWQPS, p.HNSWAllocs)
+		}
+		if bt.ProxySingleQPS > 0 {
+			fmt.Fprintf(&b, "    proxy           %.0f qps single, %.0f qps at batch %d (%.1fx, %d queries)\n",
+				bt.ProxySingleQPS, bt.ProxyBatchQPS, bt.ProxyBatchSize, bt.ProxySpeedup, bt.ProxyQueries)
+		}
 	}
 	return b.String()
 }
@@ -198,6 +230,11 @@ func SearchEval(opts SearchOptions) (*SearchResult, error) {
 		tiers = append(tiers, tr)
 	}
 
+	batch, err := batchEval(opts, e, ds, flat, vs.Vectors)
+	if err != nil {
+		return nil, err
+	}
+
 	first := tiers[0]
 	return &SearchResult{
 		Columns:      len(vs.Vectors),
@@ -211,6 +248,7 @@ func SearchEval(opts SearchOptions) (*SearchResult, error) {
 		FlatQPS:      first.FlatQPS,
 		HNSWQPS:      first.HNSWQPS,
 		Tiers:        tiers,
+		Batch:        batch,
 		FitStats:     e.FitStats(),
 	}, nil
 }

@@ -1,0 +1,270 @@
+package serve
+
+// Batched /search wire-contract tests: a multi-column request must answer
+// exactly what the same columns get one request at a time (entries in
+// request order), the single-column shape must stay byte-compatible with
+// the historical indented form, ambiguous payloads must be rejected, and
+// the batch-size histogram must see every request — at both the shard
+// server and the proxy front door.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/gem-embeddings/gem/internal/ann"
+	"github.com/gem-embeddings/gem/internal/obs"
+	"github.com/gem-embeddings/gem/internal/table"
+)
+
+// batchBody renders a batched /search request over the given columns.
+func batchBody(cols []table.Column, k int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = colJSON(c)
+	}
+	return fmt.Sprintf(`{"columns":[%s],"k":%d}`, strings.Join(parts, ","), k)
+}
+
+// TestHTTPSearchBatchedMatchesSingles: one batched request answers exactly
+// what each column gets from its own single-column request, entries in
+// request order, and repeated batches are byte-identical.
+func TestHTTPSearchBatchedMatchesSingles(t *testing.T) {
+	ds := testCatalog()
+	s := newTestServer(t, 2, Config{Index: ann.NewFlat(ann.Euclidean)})
+	if _, err := s.AddColumns(context.Background(), ds.Columns[:10]); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	queries := ds.Columns[10:14]
+	const k = 5
+
+	code, body := doReq(t, h, "POST", "/search", batchBody(queries, k))
+	if code != http.StatusOK {
+		t.Fatalf("batched search: status %d: %s", code, body)
+	}
+	var batched searchBatchResponse
+	if err := json.Unmarshal(body, &batched); err != nil {
+		t.Fatal(err)
+	}
+	if len(batched.Results) != len(queries) {
+		t.Fatalf("%d batch entries, want %d", len(batched.Results), len(queries))
+	}
+	for i, q := range queries {
+		if batched.Results[i].Column != q.Name {
+			t.Errorf("entry %d named %q, want request-order %q", i, batched.Results[i].Column, q.Name)
+		}
+		scode, sbody := doReq(t, h, "POST", "/search",
+			fmt.Sprintf(`{"column":%s,"k":%d}`, colJSON(q), k))
+		if scode != http.StatusOK {
+			t.Fatalf("single search %d: status %d: %s", i, scode, sbody)
+		}
+		var single searchResponse
+		if err := json.Unmarshal(sbody, &single); err != nil {
+			t.Fatal(err)
+		}
+		if len(single.Results) != len(batched.Results[i].Results) {
+			t.Fatalf("entry %d: %d hits batched, %d single", i, len(batched.Results[i].Results), len(single.Results))
+		}
+		for j := range single.Results {
+			if single.Results[j] != batched.Results[i].Results[j] {
+				t.Errorf("entry %d hit %d: batched %+v, single %+v", i, j, batched.Results[i].Results[j], single.Results[j])
+			}
+		}
+	}
+
+	_, body2 := doReq(t, h, "POST", "/search", batchBody(queries, k))
+	if !bytes.Equal(body, body2) {
+		t.Errorf("repeated batched search diverged:\n%s\n%s", body, body2)
+	}
+}
+
+// TestHTTPSearchSingleShapeUnchanged pins the wire compatibility split:
+// single-column responses keep the historical indented encoding, batched
+// responses are compact, and a batch of empty answers encodes hits as []
+// rather than null.
+func TestHTTPSearchSingleShapeUnchanged(t *testing.T) {
+	ds := testCatalog()
+	s := newTestServer(t, 2, Config{Index: ann.NewFlat(ann.Euclidean)})
+	if _, err := s.AddColumns(context.Background(), ds.Columns[:6]); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	_, single := doReq(t, h, "POST", "/search",
+		fmt.Sprintf(`{"column":%s,"k":3}`, colJSON(ds.Columns[8])))
+	if !strings.HasPrefix(string(single), "{\n  \"results\"") {
+		t.Errorf("single-column response lost the historical indented shape:\n%s", single)
+	}
+	_, batched := doReq(t, h, "POST", "/search", batchBody(ds.Columns[8:9], 3))
+	if strings.Contains(string(batched), "\n  ") {
+		t.Errorf("batched response is indented, want compact:\n%s", batched)
+	}
+
+	// Empty answers: a server whose index holds nothing still answers one
+	// entry per query with [] hits, never null.
+	empty := newTestServer(t, 1, Config{Index: ann.NewFlat(ann.Euclidean)})
+	code, body := doReq(t, empty.Handler(), "POST", "/search", batchBody(ds.Columns[:2], 4))
+	if code != http.StatusOK {
+		t.Fatalf("empty-index batched search: status %d: %s", code, body)
+	}
+	if strings.Contains(string(body), "null") {
+		t.Errorf("empty hits encoded as null:\n%s", body)
+	}
+	var resp searchBatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("%d entries from empty index, want 2", len(resp.Results))
+	}
+}
+
+// TestHTTPSearchBothShapesRejected: a payload setting both column and
+// columns is ambiguous and must 400 at the shard server and the proxy.
+func TestHTTPSearchBothShapesRejected(t *testing.T) {
+	ds := testCatalog()
+	s := newTestServer(t, 1, Config{Index: ann.NewFlat(ann.Euclidean)})
+	both := fmt.Sprintf(`{"column":%s,"columns":[%s],"k":2}`,
+		colJSON(ds.Columns[0]), colJSON(ds.Columns[1]))
+	code, body := doReq(t, s.Handler(), "POST", "/search", both)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "use one") {
+		t.Errorf("server both-shapes: status %d: %s", code, body)
+	}
+
+	p, _ := newProxyFleet(t, 2, ds.Columns[:4])
+	code, body = doReq(t, p.Handler(), "POST", "/search", both)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "use one") {
+		t.Errorf("proxy both-shapes: status %d: %s", code, body)
+	}
+}
+
+// TestProxySearchBatchedMatchesSingles: the proxy's batched fan-out merges
+// each query exactly like its single-query path, entries in request order,
+// byte-deterministic across repeats.
+func TestProxySearchBatchedMatchesSingles(t *testing.T) {
+	ds := testCatalog()
+	p, _ := newProxyFleet(t, 2, ds.Columns[:12])
+	h := p.Handler()
+	queries := ds.Columns[12:16]
+	const k = 6
+
+	code, body := doReq(t, h, "POST", "/search", batchBody(queries, k))
+	if code != http.StatusOK {
+		t.Fatalf("proxy batched search: status %d: %s", code, body)
+	}
+	var batched proxyBatchSearchResponse
+	if err := json.Unmarshal(body, &batched); err != nil {
+		t.Fatal(err)
+	}
+	if len(batched.Results) != len(queries) {
+		t.Fatalf("%d batch entries, want %d", len(batched.Results), len(queries))
+	}
+	for i, q := range queries {
+		if batched.Results[i].Column != q.Name {
+			t.Errorf("entry %d named %q, want %q", i, batched.Results[i].Column, q.Name)
+		}
+		scode, sbody := doReq(t, h, "POST", "/search",
+			fmt.Sprintf(`{"column":%s,"k":%d}`, colJSON(q), k))
+		if scode != http.StatusOK {
+			t.Fatalf("proxy single search %d: status %d: %s", i, scode, sbody)
+		}
+		var single proxySearchResponse
+		if err := json.Unmarshal(sbody, &single); err != nil {
+			t.Fatal(err)
+		}
+		if len(single.Results) != len(batched.Results[i].Results) {
+			t.Fatalf("entry %d: %d hits batched, %d single", i, len(batched.Results[i].Results), len(single.Results))
+		}
+		for j := range single.Results {
+			if single.Results[j] != batched.Results[i].Results[j] {
+				t.Errorf("entry %d hit %d: batched %+v, single %+v", i, j, batched.Results[i].Results[j], single.Results[j])
+			}
+		}
+	}
+
+	_, body2 := doReq(t, h, "POST", "/search", batchBody(queries, k))
+	if !bytes.Equal(body, body2) {
+		t.Errorf("repeated proxy batched search diverged:\n%s\n%s", body, body2)
+	}
+}
+
+// TestProxyBatchEntryCountMismatch: a backend answering the wrong number
+// of entries for the batch is a contract violation the proxy turns into a
+// 502, never a partial merge.
+func TestProxyBatchEntryCountMismatch(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// One entry regardless of how many queries the batch carried.
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"results":[{"column":"only","results":[]}]}`)
+	}))
+	defer broken.Close()
+	p, err := NewProxy(ProxyConfig{Backends: []string{broken.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := testCatalog()
+	code, body := doReq(t, p.Handler(), "POST", "/search", batchBody(ds.Columns[:3], 2))
+	if code != http.StatusBadGateway {
+		t.Fatalf("mismatched entry count: status %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), "1 result entries for 3 queries") {
+		t.Errorf("502 body does not name the violation: %s", body)
+	}
+}
+
+// TestSearchBatchSizeHistogram: every /search request lands its query
+// count in gem_search_batch_size, at the shard server and at the proxy.
+func TestSearchBatchSizeHistogram(t *testing.T) {
+	ds := testCatalog()
+	reg := obs.NewRegistry()
+	s := newTestServer(t, 1, Config{Index: ann.NewFlat(ann.Euclidean), Metrics: reg})
+	if _, err := s.AddColumns(context.Background(), ds.Columns[:6]); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	doReq(t, h, "POST", "/search", fmt.Sprintf(`{"column":%s,"k":2}`, colJSON(ds.Columns[7])))
+	doReq(t, h, "POST", "/search", batchBody(ds.Columns[7:10], 2))
+	_, exp := doReq(t, h, "GET", "/metrics", "")
+	if !strings.Contains(string(exp), "gem_search_batch_size_count 2") {
+		t.Errorf("server batch-size histogram did not see both searches:\n%s",
+			grepMetric(string(exp), "gem_search_batch_size"))
+	}
+	if !strings.Contains(string(exp), "gem_search_batch_size_sum 4") {
+		t.Errorf("server batch-size histogram sum wrong (want 1+3=4):\n%s",
+			grepMetric(string(exp), "gem_search_batch_size"))
+	}
+
+	preg := obs.NewRegistry()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	p, err := NewProxy(ProxyConfig{Backends: []string{ts.URL}, Metrics: preg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := p.Handler()
+	doReq(t, ph, "POST", "/search", batchBody(ds.Columns[7:10], 2))
+	_, pexp := doReq(t, ph, "GET", "/metrics", "")
+	if !strings.Contains(string(pexp), "gem_search_batch_size_sum 3") {
+		t.Errorf("proxy batch-size histogram missed the batch:\n%s",
+			grepMetric(string(pexp), "gem_search_batch_size"))
+	}
+}
+
+// grepMetric filters an exposition dump to one series for error messages.
+func grepMetric(exp, name string) string {
+	var out []string
+	for _, line := range strings.Split(exp, "\n") {
+		if strings.Contains(line, name) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

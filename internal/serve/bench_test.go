@@ -29,6 +29,7 @@ func BenchmarkServeCacheHit(b *testing.B) {
 	if _, err := s.Embed(context.Background(), []table.Column{col}); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Embed(context.Background(), []table.Column{col}); err != nil {
@@ -46,6 +47,7 @@ func BenchmarkServeCacheHit(b *testing.B) {
 func BenchmarkServeCacheMiss(b *testing.B) {
 	s := newTestServer(b, 0, Config{CacheSize: -1})
 	col := benchColumn("cold", 2000, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Embed(context.Background(), []table.Column{col}); err != nil {
@@ -67,6 +69,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 	for i := range pool {
 		pool[i] = benchColumn("col", 2000, int64(i))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0

@@ -46,14 +46,50 @@ type embeddingJSON struct {
 	Embedding []float64 `json:"embedding"`
 }
 
-// searchRequest is the POST /search payload.
+// searchRequest is the POST /search payload. Exactly one of Column
+// (single-query, the historical shape) or Columns (batched) is set; a
+// single-column request and its response are byte-for-byte the historical
+// wire format.
 type searchRequest struct {
-	Column columnJSON `json:"column"`
-	K      int        `json:"k"`
+	Column  columnJSON   `json:"column"`
+	Columns []columnJSON `json:"columns,omitempty"`
+	K       int          `json:"k"`
+}
+
+// batched reports whether the request uses the multi-column form.
+func (r *searchRequest) batched() bool { return len(r.Columns) > 0 }
+
+// checkShape rejects a payload that sets both the single-column and the
+// batched field: silently preferring one would mask a client bug.
+func (r *searchRequest) checkShape() error {
+	if r.batched() && (r.Column.Name != "" || len(r.Column.Values) > 0) {
+		return fmt.Errorf("request sets both column and columns; use one")
+	}
+	return nil
+}
+
+// queryColumns returns the batch's query columns.
+func (r *searchRequest) queryColumns() []table.Column {
+	cols := make([]table.Column, len(r.Columns))
+	for i, c := range r.Columns {
+		cols[i] = c.column()
+	}
+	return cols
 }
 
 type searchResponse struct {
 	Results []Hit `json:"results"`
+}
+
+// searchBatchResponse is the batched /search answer: one entry per query
+// column, in request order.
+type searchBatchResponse struct {
+	Results []searchBatchEntry `json:"results"`
+}
+
+type searchBatchEntry struct {
+	Column  string `json:"column"`
+	Results []Hit  `json:"results"`
 }
 
 type healthResponse struct {
@@ -104,6 +140,7 @@ type compactResponse struct {
 //
 //	POST /embed            {"columns":[{"name":...,"values":[...]}]} → embeddings
 //	POST /search           {"column":{...},"k":10}                   → nearest indexed columns
+//	                       {"columns":[{...},...],"k":10}            → batched: one result entry per query column
 //	GET  /columns                                                    → live catalog columns
 //	POST /columns          {"columns":[...]}                         → add (embed + index + journal)
 //	DELETE /columns/{ref}  ref = header name or @id                  → remove
@@ -227,6 +264,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.K == 0 {
 		req.K = 10
 	}
+	if err := req.checkShape(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.batched() {
+		cols := req.queryColumns()
+		batches, err := s.SearchBatch(r.Context(), cols, req.K)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		resp := searchBatchResponse{Results: make([]searchBatchEntry, len(cols))}
+		for i, hits := range batches {
+			if hits == nil {
+				hits = []Hit{}
+			}
+			resp.Results[i] = searchBatchEntry{Column: cols[i].Name, Results: hits}
+		}
+		writeJSONCompact(w, resp)
+		return
+	}
 	hits, err := s.Search(r.Context(), req.Column.column(), req.K)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
@@ -278,6 +336,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// writeJSONCompact writes v without indentation. Batched /search answers
+// use it: they are machine-consumed fan-out payloads whose encoding cost
+// and bytes on the wire scale with batch size, and compact encoding is
+// measurably cheaper. Single-query responses keep the historical indented
+// form byte for byte.
+func writeJSONCompact(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // writeError is the blessed error writer: every error answer is the JSON

@@ -43,6 +43,14 @@ type serveMetrics struct {
 	stageSearchEmbed *obs.Histogram
 	stageScatter     *obs.Histogram
 	stageMerge       *obs.Histogram
+
+	searchBatchSize *obs.Histogram
+}
+
+// batchSizeBuckets covers the queries-per-request histogram: powers of two
+// from single-query requests up past the largest sensible client batch.
+func batchSizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 }
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
@@ -70,6 +78,8 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		stageSearchEmbed: searchStage("embed"),
 		stageScatter:     searchStage("scatter"),
 		stageMerge:       searchStage("merge"),
+		searchBatchSize: reg.Histogram("gem_search_batch_size",
+			"Queries answered per /search request.", nil, batchSizeBuckets()),
 	}
 }
 

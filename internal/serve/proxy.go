@@ -96,6 +96,17 @@ type proxySearchResponse struct {
 	Results []ProxyHit `json:"results"`
 }
 
+// proxyBatchSearchResponse is the batched answer: one merged entry per
+// query column, in request order.
+type proxyBatchSearchResponse struct {
+	Results []proxyBatchEntry `json:"results"`
+}
+
+type proxyBatchEntry struct {
+	Column  string     `json:"column"`
+	Results []ProxyHit `json:"results"`
+}
+
 type proxyHealthResponse struct {
 	Status        string  `json:"status"`
 	Shards        int     `json:"shards"`
@@ -185,63 +196,143 @@ func (p *Proxy) timedCall(r *http.Request, i int, method, path string, body []by
 	return err
 }
 
+// rawSearchRequest is the proxy's shallow view of a /search payload:
+// shape and k are inspected, but column values are never parsed — the
+// original body bytes ship to the backends verbatim, so front-door cost
+// does not scale with the number of values in the batch.
+type rawSearchRequest struct {
+	Column  json.RawMessage   `json:"column"`
+	Columns []json.RawMessage `json:"columns"`
+	K       int               `json:"k"`
+}
+
+// rawPresent reports whether a raw field carries a value. An absent
+// field, null, or an empty object all count as unset, matching the shard
+// server's view of an empty column.
+func rawPresent(m json.RawMessage) bool {
+	s := strings.TrimSpace(string(m))
+	return s != "" && s != "null" && s != "{}"
+}
+
 func (p *Proxy) handleSearch(w http.ResponseWriter, r *http.Request) {
 	body := r.Body
 	if p.maxBody > 0 {
 		body = http.MaxBytesReader(w, body, p.maxBody)
 	}
-	var req searchRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	payload, err := io.ReadAll(body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
+		writeError(w, http.StatusBadRequest, "reading request: "+err.Error())
+		return
+	}
+	var req rawSearchRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
 	// Mirror the shard server's k contract at the front door: negative k
 	// is a client bug rejected before it costs a fan-out, 0 means the
-	// default.
+	// default (which the backends apply identically to the forwarded
+	// payload).
 	if req.K < 0 {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s: k = %d", ErrInput, req.K))
 		return
 	}
-	if req.K == 0 {
-		req.K = 10
+	k := req.K
+	if k == 0 {
+		k = 10
 	}
-	payload, err := json.Marshal(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "encoding fan-out request: "+err.Error())
+	batched := len(req.Columns) > 0
+	if batched && rawPresent(req.Column) {
+		writeError(w, http.StatusBadRequest, "request sets both column and columns; use one")
+		return
+	}
+	if p.reg != nil {
+		n := 1
+		if batched {
+			n = len(req.Columns)
+		}
+		p.reg.Histogram("gem_search_batch_size",
+			"Queries answered per /search request.", nil, batchSizeBuckets()).Observe(float64(n))
+	}
+	// The whole batch ships to every backend in ONE request per backend
+	// per round trip — the original body bytes, batched or not — so a
+	// client batch of 256 queries costs the fan-out overhead once, not
+	// 256 times, and the proxy never re-encodes the query values.
+
+	if batched {
+		resps := make([]searchBatchResponse, len(p.backends))
+		if !p.fanoutSearch(w, r, payload, func(i int) any { return &resps[i] }) {
+			return
+		}
+		entries := make([]proxyBatchEntry, len(req.Columns))
+		per := make([][]Hit, len(p.backends))
+		for j := range req.Columns {
+			for i := range p.backends {
+				// A backend answering a different number of entries than the
+				// batch asked for is a contract violation, not a merge input.
+				if len(resps[i].Results) != len(req.Columns) {
+					writeError(w, http.StatusBadGateway,
+						fmt.Sprintf("shard %d (%s): %d result entries for %d queries",
+							i, p.backends[i], len(resps[i].Results), len(req.Columns)))
+					return
+				}
+				per[i] = resps[i].Results[j].Results
+			}
+			// Backends echo the query column names in request order; shard
+			// 0's echo names the entries, sparing a local parse of the batch.
+			entries[j] = proxyBatchEntry{Column: resps[0].Results[j].Column, Results: mergeProxyHits(per, k)}
+		}
+		writeJSONCompact(w, proxyBatchSearchResponse{Results: entries})
 		return
 	}
 
-	type result struct {
-		resp searchResponse
-		err  error
+	resps := make([]searchResponse, len(p.backends))
+	if !p.fanoutSearch(w, r, payload, func(i int) any { return &resps[i] }) {
+		return
 	}
-	results := make([]result, len(p.backends))
+	per := make([][]Hit, len(p.backends))
+	for i := range resps {
+		per[i] = resps[i].Results
+	}
+	writeJSON(w, proxySearchResponse{Results: mergeProxyHits(per, k)})
+}
+
+// fanoutSearch POSTs the payload to every backend's /search concurrently,
+// decoding backend i's answer into dst(i). On any backend failure it
+// writes the 502 itself and reports false.
+func (p *Proxy) fanoutSearch(w http.ResponseWriter, r *http.Request, payload []byte, dst func(i int) any) bool {
+	errs := make([]error, len(p.backends))
 	var wg sync.WaitGroup
 	for i := range p.backends {
 		wg.Add(1)
 		//lint:gemallow poolgo network fan-out blocks on I/O, not CPU; the pool budget is for compute
 		go func(i int) {
 			defer wg.Done()
-			results[i].err = p.timedCall(r, i, http.MethodPost, "/search", payload, &results[i].resp)
+			errs[i] = p.timedCall(r, i, http.MethodPost, "/search", payload, dst(i))
 		}(i)
 	}
 	wg.Wait()
-	for i, res := range results {
-		if res.err != nil {
-			writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s): %v", i, p.backends[i], res.err))
-			return
+	for i, err := range errs {
+		if err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s): %v", i, p.backends[i], err))
+			return false
 		}
 	}
+	return true
+}
 
-	merged := make([]ProxyHit, 0, req.K)
-	for i, res := range results {
-		for _, h := range res.resp.Results {
+// mergeProxyHits merges per-backend top-k lists into one ranked top-k by
+// (distance, backend, id) — the deterministic order documented on Proxy.
+func mergeProxyHits(per [][]Hit, k int) []ProxyHit {
+	merged := make([]ProxyHit, 0, k)
+	for i, hits := range per {
+		for _, h := range hits {
 			merged = append(merged, ProxyHit{Shard: i, Hit: h})
 		}
 	}
@@ -254,10 +345,10 @@ func (p *Proxy) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		return merged[a].ID < merged[b].ID
 	})
-	if len(merged) > req.K {
-		merged = merged[:req.K]
+	if len(merged) > k {
+		merged = merged[:k]
 	}
-	writeJSON(w, proxySearchResponse{Results: merged})
+	return merged
 }
 
 func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -793,20 +793,37 @@ type Hit struct {
 // Search embeds the query column (through the cache and batcher like any
 // Embed) and returns its k nearest indexed columns. Since serving a column
 // feeds it into the warm index, the query's own content is excluded from
-// its result.
+// its result. A single-column Search is exactly SearchBatch of one query.
 func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, error) {
+	res, err := s.SearchBatch(ctx, []table.Column{col}, k)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SearchBatch answers a whole batch of query columns in one pass: all
+// columns embed through one coalesced Embed call, the catalog scatter-
+// gathers every query per shard in a single batched sweep, and each
+// query's hits come back in its own slot (its own indexed copy excluded,
+// like Search). Per-request stage spans (embed/scatter/merge) cover the
+// whole batch; results are identical to calling Search per column.
+func (s *Server) SearchBatch(ctx context.Context, cols []table.Column, k int) ([][]Hit, error) {
 	if s.cat == nil {
 		return nil, ErrNoIndex
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: k = %d", ErrInput, k)
 	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("%w: no query columns", ErrInput)
+	}
 	spans := spansFrom(ctx)
 	var t0 time.Time
 	if s.trace {
 		t0 = time.Now()
 	}
-	rows, err := s.Embed(ctx, []table.Column{col})
+	rows, err := s.Embed(ctx, cols)
 	if s.trace {
 		d := time.Since(t0)
 		s.met.stageSearchEmbed.Observe(d.Seconds())
@@ -815,18 +832,24 @@ func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, er
 	if err != nil {
 		return nil, err
 	}
-	q := rows[0]
-	if s.cat.Metric() == ann.Cosine {
-		q = stats.L2Normalize(q)
+	qs := make([][]float64, len(rows))
+	qKeys := make([]catalog.Key, len(cols))
+	for i, row := range rows {
+		q := row
+		if s.cat.Metric() == ann.Cosine {
+			q = stats.L2Normalize(q)
+		}
+		qs[i] = q
+		qKeys[i] = catalog.Key(s.key(cols[i]))
 	}
-	qKey := catalog.Key(s.key(col))
 	s.idxMu.RLock()
 	defer s.idxMu.RUnlock()
+	s.met.searchBatchSize.Observe(float64(len(cols)))
 	if s.trace {
 		t0 = time.Now()
 	}
-	// k+1 covers the query's own indexed copy being among the nearest.
-	res, err := s.cat.Search(q, k+1)
+	// k+1 covers each query's own indexed copy being among its nearest.
+	res, err := s.cat.SearchBatch(qs, k+1)
 	if s.trace {
 		d := time.Since(t0)
 		s.met.stageScatter.Observe(d.Seconds())
@@ -838,22 +861,26 @@ func (s *Server) Search(ctx context.Context, col table.Column, k int) ([]Hit, er
 	if s.trace {
 		t0 = time.Now()
 	}
-	hits := make([]Hit, 0, k)
-	for _, r := range res {
-		if s.cat.Key(r.ID) == qKey {
-			continue
+	out := make([][]Hit, len(cols))
+	for i := range res {
+		hits := make([]Hit, 0, k)
+		for _, r := range res[i] {
+			if s.cat.Key(r.ID) == qKeys[i] {
+				continue
+			}
+			hits = append(hits, Hit{ID: r.ID, Name: s.cat.Name(r.ID), Dist: r.Dist})
+			if len(hits) == k {
+				break
+			}
 		}
-		hits = append(hits, Hit{ID: r.ID, Name: s.cat.Name(r.ID), Dist: r.Dist})
-		if len(hits) == k {
-			break
-		}
+		out[i] = hits
 	}
 	if s.trace {
 		d := time.Since(t0)
 		s.met.stageMerge.Observe(d.Seconds())
 		spans.add("merge", d)
 	}
-	return hits, nil
+	return out, nil
 }
 
 // IndexLen returns the number of live indexed columns (0 without an

@@ -357,16 +357,34 @@ func (c *Catalog) Remove(id int) error {
 // for the metric (it goes to the indexes verbatim). Safe to call
 // concurrently with other Searches, not with mutations.
 func (c *Catalog) Search(q []float64, k int) ([]ann.Result, error) {
-	per := make([][]ann.Result, len(c.idxs))
+	res, err := c.SearchBatch([][]float64{q}, k)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SearchBatch scatter-gathers a whole batch of queries in one pass: each
+// shard answers every query of the batch in a single Index.SearchBatch
+// call (one timing observation per shard per batch), and the per-shard
+// answers are merged per query exactly as Search merges them. Output is
+// bit-identical to calling Search once per query, at every pool width and
+// shard count. Queries must already be normalized for the metric. Safe to
+// call concurrently with other searches, not with mutations.
+func (c *Catalog) SearchBatch(qs [][]float64, k int) ([][]ann.Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	per := make([][][]ann.Result, len(c.idxs))
 	errs := make([]error, len(c.idxs))
 	_ = c.pool.For(len(c.idxs), func(i int) error {
 		if c.searchObs != nil {
 			t := time.Now()
-			per[i], errs[i] = c.idxs[i].Search(q, k)
+			per[i], errs[i] = c.idxs[i].SearchBatch(qs, k)
 			c.searchObs(i, time.Since(t).Seconds())
 			return nil
 		}
-		per[i], errs[i] = c.idxs[i].Search(q, k)
+		per[i], errs[i] = c.idxs[i].SearchBatch(qs, k)
 		return nil
 	})
 	// Report the lowest-shard error for determinism.
@@ -375,22 +393,26 @@ func (c *Catalog) Search(q []float64, k int) ([]ann.Result, error) {
 			return nil, err
 		}
 	}
-	var out []ann.Result
-	for si, res := range per {
-		for _, r := range res {
-			out = append(out, ann.Result{ID: c.globOf[si][r.ID], Dist: r.Dist})
+	outs := make([][]ann.Result, len(qs))
+	for j := range qs {
+		var out []ann.Result
+		for si, shardRes := range per {
+			for _, r := range shardRes[j] {
+				out = append(out, ann.Result{ID: c.globOf[si][r.ID], Dist: r.Dist})
+			}
 		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Dist != out[j].Dist {
+				return out[i].Dist < out[j].Dist
+			}
+			return out[i].ID < out[j].ID
+		})
+		if len(out) > k {
+			out = out[:k]
 		}
-		return out[i].ID < out[j].ID
-	})
-	if len(out) > k {
-		out = out[:k]
+		outs[j] = out
 	}
-	return out, nil
+	return outs, nil
 }
 
 // Compact folds every shard's journal into its snapshot, rebuilds every

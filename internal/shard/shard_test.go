@@ -495,3 +495,59 @@ func TestReplayRejectsUnsequencedStores(t *testing.T) {
 		t.Fatalf("Replay of colliding stores = %v, want ErrInput", err)
 	}
 }
+
+// TestCatalogSearchBatchMatchesSearch pins the batched scatter-gather: a
+// Catalog.SearchBatch over a whole query set must be bit-identical to
+// looping Catalog.Search, at every pool width, on both index kinds, after
+// a tombstone-producing add/remove script.
+func TestCatalogSearchBatchMatchesSearch(t *testing.T) {
+	const n, dim, shards, k = 48, 6, 3, 7
+	cols := makeColumns(n, dim, 21)
+	ops := makeScript(n, 22)
+	// A larger query set than the shared helper provides, so batches span
+	// multiple fan-out chunks at every worker width.
+	qs := queries(dim, 23)
+	for i := int64(0); i < 4; i++ {
+		qs = append(qs, queries(dim, 24+i)...)
+	}
+	for _, kind := range []string{"flat", "hnsw"} {
+		// Reference answers from a single-worker catalog's sequential path.
+		ref, err := New(Config{Indexes: newIndexes(t, kind, shards), Pool: pool.New(1)})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		applyScript(t, ref, cols, ops)
+		want := make([][]ann.Result, len(qs))
+		for i, q := range qs {
+			if want[i], err = ref.Search(q, k); err != nil {
+				t.Fatalf("ref search: %v", err)
+			}
+		}
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", kind, workers), func(t *testing.T) {
+				c, err := New(Config{Indexes: newIndexes(t, kind, shards), Pool: pool.New(workers)})
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				applyScript(t, c, cols, ops)
+				got, err := c.SearchBatch(qs, k)
+				if err != nil {
+					t.Fatalf("SearchBatch: %v", err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("batched results diverge from looped Search\n got %v\nwant %v", got, want)
+				}
+				// Looping Search on the same catalog agrees too.
+				for i, q := range qs {
+					one, err := c.Search(q, k)
+					if err != nil {
+						t.Fatalf("Search: %v", err)
+					}
+					if !reflect.DeepEqual(one, want[i]) {
+						t.Fatalf("query %d: looped Search diverges across widths\n got %v\nwant %v", i, one, want[i])
+					}
+				}
+			})
+		}
+	}
+}
